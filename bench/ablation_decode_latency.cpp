@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Sensitivity of COP's performance to the decoder/decompressor latency
+ * (the paper assumes 4 cycles, Section 4). Sweeping 0..16 cycles shows
+ * how much headroom the "simple hardware" requirement really has: even
+ * a pessimistic decoder leaves COP within a whisker of unprotected.
+ */
+
+#include "sim_util.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    static const char *names[] = {"mcf", "lbm", "omnetpp", "x264"};
+    static const Cycle latencies[] = {0, 2, 4, 8, 16};
+
+    std::printf("Ablation: COP fill latency adder (IPC normalised to "
+                "unprotected)\n\n");
+    std::printf("%-14s", "benchmark");
+    for (const Cycle l : latencies)
+        std::printf(" %7llu cyc", static_cast<unsigned long long>(l));
+    std::printf("\n%s\n", std::string(14 + 5 * 12, '-').c_str());
+
+    for (const char *name : names) {
+        const WorkloadProfile &p = WorkloadRegistry::byName(name);
+        const double unprot =
+            bench::runSystem(p, ControllerKind::Unprotected).ipc;
+        std::printf("%-14s", name);
+        for (const Cycle l : latencies) {
+            SystemConfig cfg = bench::paperConfig(ControllerKind::Cop4);
+            cfg.decodeLatency = l;
+            System sys(p, cfg);
+            std::printf(" %11.3f", sys.run().ipc / unprot);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nPaper operating point: 4 cycles.\n");
+    return 0;
+}

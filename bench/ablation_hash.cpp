@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation of the static hash (Section 3.1): without it, application
+ * data made of one repeated value aliases whenever that value happens
+ * to form a valid code word, wildly skewing the odds the alias
+ * analysis depends on. With the per-segment hash the alias rate drops
+ * to the random-data level (~2e-7).
+ */
+
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "core/codec.hpp"
+
+using namespace cop;
+
+namespace {
+
+/** Fraction of repeated-segment blocks that alias under @p codec. */
+double
+aliasRateRepeatedSegments(const CopCodec &codec, u64 seed, int n)
+{
+    // Worst-case repeated data: one 128-bit pattern that is itself a
+    // valid code word, repeated across the whole block. Any repeated
+    // 16-byte pattern has a 2^-8 chance of this in real data; we
+    // construct it directly.
+    Rng rng(seed);
+    int aliases = 0;
+    for (int i = 0; i < n; ++i) {
+        std::array<u8, 16> segment{};
+        for (unsigned b = 0; b < 15; ++b)
+            segment[b] = static_cast<u8>(rng.next());
+        codes::full128().encode(segment);
+        CacheBlock block;
+        for (unsigned s = 0; s < 4; ++s)
+            std::memcpy(block.data() + 16 * s, segment.data(), 16);
+        aliases += codec.isAlias(block);
+    }
+    return static_cast<double>(aliases) / n;
+}
+
+/** Fraction of repeated-word blocks (realistic case) that alias. */
+double
+aliasRateRepeatedWords(const CopCodec &codec, u64 seed, int n)
+{
+    Rng rng(seed);
+    int aliases = 0;
+    for (int i = 0; i < n; ++i) {
+        CacheBlock block;
+        const u64 v = rng.next();
+        for (unsigned w = 0; w < 8; ++w)
+            block.setWord64(w, v);
+        aliases += codec.isAlias(block);
+    }
+    return static_cast<double>(aliases) / n;
+}
+
+} // namespace
+
+int
+main()
+{
+    CopConfig hashed = CopConfig::fourByte();
+    CopConfig unhashed = CopConfig::fourByte();
+    unhashed.useStaticHash = false;
+    const CopCodec with(hashed), without(unhashed);
+
+    constexpr int kTrials = 100000;
+    std::printf("Ablation: the per-segment static hash "
+                "(alias rate on repeated-value data)\n\n");
+    std::printf("%-34s %14s %14s\n", "data pattern", "no hash",
+                "with hash");
+    std::printf("%s\n", std::string(64, '-').c_str());
+    std::printf("%-34s %13.4f%% %13.4f%%\n",
+                "repeated valid-code-word segment",
+                100 * aliasRateRepeatedSegments(without, 1, kTrials),
+                100 * aliasRateRepeatedSegments(with, 1, kTrials));
+    std::printf("%-34s %13.4f%% %13.4f%%\n", "repeated 64-bit word",
+                100 * aliasRateRepeatedWords(without, 2, kTrials),
+                100 * aliasRateRepeatedWords(with, 2, kTrials));
+
+    std::printf("\nWithout the hash, a repeated 16-byte pattern that is "
+                "a valid code word makes\nthe whole block an alias "
+                "(100%% above); the hash makes each segment see\n"
+                "different bits, restoring the 2^-24-scale odds of "
+                "Section 3.1.\n");
+    return 0;
+}

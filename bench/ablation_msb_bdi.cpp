@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation backing Section 3.2.1's design choice: COP's MSB scheme is
+ * a simplification of BDI that needs no adders. At COP's low target
+ * ratio, MSB matches or beats full BDI on the blocks that matter
+ * (similar-magnitude values, floating point), because what COP needs
+ * is *coverage at a small budget*, not a high compression ratio.
+ */
+
+#include "bench_util.hpp"
+#include "compress/bdi.hpp"
+#include "compress/msb.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    const MsbCompressor msb(5, true);
+    const BdiCompressor bdi;
+    constexpr unsigned kBudget = 478;
+
+    bench::printHeader(
+        "Ablation: MSB (COP's simplification) vs full BDI at the "
+        "4-byte budget",
+        {"MSB", "BDI", "delta"});
+
+    std::vector<double> msb_col, bdi_col;
+    for (const auto *p : WorkloadRegistry::memoryIntensive()) {
+        const auto blocks = bench::sampleFor(*p);
+        const double m = bench::fractionCompressible(blocks, msb, kBudget);
+        const double b = bench::fractionCompressible(blocks, bdi, kBudget);
+        bench::printPctRow(p->name, {m, b, m - b});
+        msb_col.push_back(m);
+        bdi_col.push_back(b);
+    }
+    std::printf("%s\n", std::string(16 + 3 * 13, '-').c_str());
+    bench::printPctRow("Average", {bench::mean(msb_col),
+                                   bench::mean(bdi_col),
+                                   bench::mean(msb_col) -
+                                       bench::mean(bdi_col)});
+    std::printf("\nMSB needs only a 5-bit comparator per word (no "
+                "adders); BDI needs a\nsubtractor per element plus "
+                "base-selection logic. Floating-point blocks\nwith "
+                "mixed signs favour MSB's shifted comparison; "
+                "BDI's arithmetic deltas\nfail on left-normalised "
+                "significands (Section 3.2.1).\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation of COP-ER's optimised ECC region (Section 3.3): three
+ * design points on the storage/performance plane —
+ *
+ *   ECC Reg.       : full-size region, accessed on *every* fill;
+ *   naive COP-ER   : full-size region, accessed only for
+ *                    incompressible fills (performance win, no storage
+ *                    win);
+ *   COP-ER         : pointer-indexed packed region (performance win
+ *                    AND ~80% storage win).
+ *
+ * Run on a representative slice of the Table 2 benchmarks.
+ */
+
+#include "mem/ecc_region_controller.hpp"
+#include "sim_util.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    static const char *names[] = {"mcf", "bzip2", "lbm", "canneal",
+                                  "streamcluster"};
+
+    std::printf("Ablation: ECC-region designs (IPC normalised to "
+                "unprotected; region KB)\n\n");
+    std::printf("%-14s %10s %10s %10s | %10s %10s\n", "benchmark",
+                "ECC Reg.", "naive", "COP-ER", "full KB", "packed KB");
+    std::printf("%s\n", std::string(72, '-').c_str());
+
+    std::vector<double> base_col, naive_col, coper_col;
+    for (const char *name : names) {
+        const WorkloadProfile &p = WorkloadRegistry::byName(name);
+        const double unprot =
+            bench::runSystem(p, ControllerKind::Unprotected).ipc;
+        const double eccreg =
+            bench::runSystem(p, ControllerKind::EccRegion).ipc / unprot;
+        const double naive =
+            bench::runSystem(p, ControllerKind::CopErNaive).ipc / unprot;
+        const SystemResults er = bench::runSystem(p, ControllerKind::CopEr);
+        const double coper = er.ipc / unprot;
+
+        const double full_kb =
+            EccRegionController::storageBytesFor(er.touchedBlocks) /
+            1024.0;
+        const double packed_kb = er.eccRegionBytesNoDealloc / 1024.0;
+        std::printf("%-14s %10.3f %10.3f %10.3f | %10.1f %10.1f\n",
+                    name, eccreg, naive, coper, full_kb, packed_kb);
+        base_col.push_back(eccreg);
+        naive_col.push_back(naive);
+        coper_col.push_back(coper);
+    }
+    std::printf("%s\n", std::string(72, '-').c_str());
+    std::printf("%-14s %10.3f %10.3f %10.3f\n", "geomean",
+                bench::geomean(base_col), bench::geomean(naive_col),
+                bench::geomean(coper_col));
+    std::printf("\nThe naive variant already recovers most of the "
+                "performance (inline check bits\nfor the ~90%% "
+                "compressible fills); the pointer-indexed region then "
+                "removes the\nstorage overhead without giving that "
+                "performance back.\n");
+    return 0;
+}

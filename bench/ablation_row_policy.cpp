@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Row-buffer policy ablation. The related work the paper builds on
+ * (embedded ECC, Section 2) relies on an open-row policy to make
+ * same-row ECC accesses cheap; this bench shows how the schemes fare
+ * when the controller auto-precharges instead — the ECC-region designs
+ * lose their row-locality discount on metadata accesses.
+ */
+
+#include "sim_util.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    static const char *names[] = {"lbm", "mcf", "streamcluster"};
+
+    std::printf("Ablation: row-buffer policy (IPC normalised to "
+                "unprotected under the same policy)\n\n");
+    std::printf("%-14s | %9s %9s %9s | %9s %9s %9s\n", "",
+                "open-row", "", "", "closed", "", "");
+    std::printf("%-14s | %9s %9s %9s | %9s %9s %9s\n", "benchmark",
+                "COP", "COP-ER", "ECC Reg.", "COP", "COP-ER",
+                "ECC Reg.");
+    std::printf("%s\n", std::string(78, '-').c_str());
+
+    for (const char *name : names) {
+        const WorkloadProfile &p = WorkloadRegistry::byName(name);
+        std::printf("%-14s |", name);
+        for (const RowPolicy policy :
+             {RowPolicy::Open, RowPolicy::Closed}) {
+            SystemConfig base = bench::paperConfig(
+                ControllerKind::Unprotected);
+            base.dram.rowPolicy = policy;
+            const double unprot = System(p, base).run().ipc;
+            for (const ControllerKind kind :
+                 {ControllerKind::Cop4, ControllerKind::CopEr,
+                  ControllerKind::EccRegion}) {
+                SystemConfig cfg = bench::paperConfig(kind);
+                cfg.dram.rowPolicy = policy;
+                std::printf(" %9.3f", System(p, cfg).run().ipc / unprot);
+            }
+            if (policy == RowPolicy::Open)
+                std::printf(" |");
+        }
+        std::printf("\n");
+    }
+    std::printf("\nCOP's inline check bits are policy-insensitive; the "
+                "region-based designs lean\non row locality for their "
+                "metadata traffic.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Scrubbing extension: COP's 4-byte configuration loses data when two
+ * errors accumulate in one block before it is read (Section 3.1). A
+ * background scrubber bounds that accumulation window. This bench
+ * sweeps the scrub interval and reports the residual uncorrected-error
+ * rate of long-resident protected blocks — an extension beyond the
+ * paper's model showing how cheap scrubbing closes COP's double-error
+ * gap.
+ */
+
+#include <cstdio>
+
+#include "reliability/error_model.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    // A population of protected blocks resident for ~1 hour at 3.2 GHz
+    // (cold data: the worst case for error accumulation).
+    const double residency = 3600.0 * 3.2e9;
+    VulnLog log;
+    for (int i = 0; i < 1000; ++i)
+        log.record(VulnClass::CopProtected4, residency);
+
+    std::printf("Scrubbing sweep: cold COP-protected data "
+                "(1h residency, 5000 FIT/Mbit)\n\n");
+    std::printf("%-22s %22s %14s\n", "scrub interval",
+                "expected uncorrected", "vs no scrub");
+    std::printf("%s\n", std::string(60, '-').c_str());
+
+    ReliabilityParams params;
+    const double baseline =
+        ErrorRateModel(params).evaluate(log).uncorrected;
+
+    struct Point
+    {
+        const char *label;
+        double seconds;
+    };
+    static const Point points[] = {
+        {"disabled", 0},    {"1 hour", 3600},
+        {"10 minutes", 600}, {"1 minute", 60},
+        {"1 second", 1},
+    };
+    for (const Point &pt : points) {
+        params.scrubIntervalCycles = pt.seconds * params.coreGHz * 1e9;
+        const double rate =
+            ErrorRateModel(params).evaluate(log).uncorrected;
+        std::printf("%-22s %22.3e %13.1fx\n", pt.label, rate,
+                    baseline / (rate > 0 ? rate : baseline));
+    }
+    std::printf("\nDouble-error probability scales with the square of "
+                "the accumulation window,\nso an S-times shorter window "
+                "cuts the uncorrected rate ~S-fold over a fixed\n"
+                "residency (T/S windows of S^2 risk).\n");
+    return 0;
+}

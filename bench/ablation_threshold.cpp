@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation of the decoder's valid-code-word threshold (Section 3.1's
+ * discussion): threshold 2 recovers two-errors-in-different-words at
+ * the cost of orders of magnitude more aliases; threshold 4 has no
+ * aliases among damaged blocks but cannot even tolerate one error.
+ */
+
+#include "bench_util.hpp"
+#include "core/codec.hpp"
+#include "reliability/fault_injector.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    std::printf("Ablation: decoder valid-code-word threshold "
+                "(4-byte COP configuration)\n\n");
+    std::printf("%-10s %16s %18s %18s\n", "threshold",
+                "alias rate", "1-flip corrected", "2-flip (2 words)");
+    std::printf("%s\n", std::string(66, '-').c_str());
+
+    Rng rng(11);
+    for (const unsigned threshold : {2u, 3u, 4u}) {
+        CopConfig cfg = CopConfig::fourByte();
+        cfg.threshold = threshold;
+        const CopCodec codec(cfg);
+
+        // Alias rate over random (incompressible-like) blocks.
+        constexpr int kBlocks = 400000;
+        u64 aliases = 0;
+        for (int i = 0; i < kBlocks; ++i) {
+            CacheBlock b;
+            for (unsigned w = 0; w < 8; ++w)
+                b.setWord64(w, rng.next());
+            aliases += codec.isAlias(b);
+        }
+
+        // Correction behaviour on a protected block.
+        Rng data_rng(3);
+        CacheBlock data;
+        const u64 base = 0x0012340000000000ULL;
+        for (unsigned w = 0; w < 8; ++w)
+            data.setWord64(w, base + data_rng.below(1u << 20));
+        const CopEncodeResult enc = codec.encode(data);
+        COP_ASSERT(enc.isProtected());
+
+        u64 one_ok = 0, two_ok = 0;
+        constexpr int kTrials = 4000;
+        for (int t = 0; t < kTrials; ++t) {
+            CacheBlock s1 = enc.stored;
+            s1.flipBit(static_cast<unsigned>(data_rng.below(512)));
+            one_ok += codec.decode(s1).data == data;
+
+            CacheBlock s2 = enc.stored;
+            const unsigned w1 = data_rng.below(4);
+            unsigned w2 = data_rng.below(4);
+            while (w2 == w1)
+                w2 = data_rng.below(4);
+            s2.flipBit(w1 * 128 + data_rng.below(128));
+            s2.flipBit(w2 * 128 + data_rng.below(128));
+            two_ok += codec.decode(s2).data == data;
+        }
+
+        std::printf("%-10u %15.5f%% %17.1f%% %17.1f%%\n", threshold,
+                    100.0 * aliases / kBlocks,
+                    100.0 * one_ok / kTrials, 100.0 * two_ok / kTrials);
+    }
+
+    std::printf("\nThreshold 3 (the paper's choice) is the only point "
+                "with both ~zero aliases\nand full single-error "
+                "correction; threshold 2 fixes split double errors but\n"
+                "multiplies aliases by orders of magnitude; threshold 4 "
+                "cannot correct at all.\n");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: fixed-width
+ * table printing, averages, and block sampling from workload profiles.
+ */
+
+#ifndef COP_BENCH_BENCH_UTIL_HPP
+#define COP_BENCH_BENCH_UTIL_HPP
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.hpp"
+#include "workloads/trace_gen.hpp"
+
+namespace cop::bench {
+
+/** Blocks sampled per benchmark for compressibility experiments. */
+inline constexpr unsigned kSampleBlocks = 20000;
+
+/** Draw the standard block sample for a profile. */
+inline std::vector<CacheBlock>
+sampleFor(const WorkloadProfile &profile, u64 seed = 1)
+{
+    const BlockContentPool pool(profile);
+    return pool.sample(kSampleBlocks, seed);
+}
+
+/** Fraction of blocks a compressor fits into @p budget bits. */
+inline double
+fractionCompressible(const std::vector<CacheBlock> &blocks,
+                     const BlockCompressor &comp, unsigned budget)
+{
+    unsigned ok = 0;
+    for (const auto &b : blocks)
+        ok += comp.canCompress(b, budget);
+    return static_cast<double>(ok) / blocks.size();
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0;
+    double s = 0;
+    for (const double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+/** Geometric mean. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0;
+    double s = 0;
+    for (const double x : v)
+        s += std::log(x);
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+/** Print a table header: benchmark column plus named value columns. */
+inline void
+printHeader(const char *title, const std::vector<std::string> &columns)
+{
+    std::printf("%s\n", title);
+    std::printf("%-16s", "benchmark");
+    for (const auto &c : columns)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+    for (unsigned i = 0; i < 16 + columns.size() * 13; ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+/** Print one row of percentages. */
+inline void
+printPctRow(const std::string &name, const std::vector<double> &values)
+{
+    std::printf("%-16s", name.c_str());
+    for (const double v : values)
+        std::printf(" %11.1f%%", v * 100.0);
+    std::printf("\n");
+}
+
+/** Print one row of raw doubles. */
+inline void
+printRow(const std::string &name, const std::vector<double> &values,
+         const char *fmt = " %12.3f")
+{
+    std::printf("%-16s", name.c_str());
+    for (const double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+/** Per-suite and overall averaging over (profile, row) pairs. */
+struct SuiteAverager
+{
+    std::vector<double> specInt, specFp, parsec, all;
+    unsigned columns = 0;
+    std::vector<std::vector<double>> intRows, fpRows, parsecRows, allRows;
+
+    void
+    add(const WorkloadProfile &p, const std::vector<double> &row)
+    {
+        allRows.push_back(row);
+        switch (p.suite) {
+          case Suite::SpecInt: intRows.push_back(row); break;
+          case Suite::SpecFp: fpRows.push_back(row); break;
+          case Suite::Parsec: parsecRows.push_back(row); break;
+        }
+    }
+
+    static std::vector<double>
+    average(const std::vector<std::vector<double>> &rows)
+    {
+        if (rows.empty())
+            return {};
+        std::vector<double> avg(rows[0].size(), 0.0);
+        for (const auto &row : rows) {
+            for (size_t i = 0; i < row.size(); ++i)
+                avg[i] += row[i];
+        }
+        for (double &v : avg)
+            v /= static_cast<double>(rows.size());
+        return avg;
+    }
+};
+
+} // namespace cop::bench
+
+#endif // COP_BENCH_BENCH_UTIL_HPP

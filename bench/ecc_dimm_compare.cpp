@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Section 4's COP-ER vs ECC-DIMM comparison: with uncorrectable errors
+ * dominated by double-bit hits in one code word, COP-ER's wide
+ * (523,512) code loses to the ECC DIMM's eight (72,64) words by ~6x.
+ * Reproduced twice: analytically from the error model and empirically
+ * by Monte-Carlo fault injection through the real decoders.
+ */
+
+#include "reliability/error_model.hpp"
+#include "reliability/fault_injector.hpp"
+#include "workloads/trace_gen.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    // ------------------------------------------------------------------
+    // Analytic ratio.
+    // ------------------------------------------------------------------
+    const ErrorRateModel model;
+    std::printf("COP-ER vs ECC DIMM uncorrectable-error comparison\n\n");
+    std::printf("Analytic (double-error-in-one-word dominates):\n");
+    std::printf("  word-width argument: 523^2 / (8 * 72^2) = %.2f\n",
+                523.0 * 523.0 / (8 * 72.0 * 72.0));
+    std::printf("  error-model ratio at equal exposure: %.2f\n\n",
+                model.copErVsEccDimmRatio(1e12));
+
+    // ------------------------------------------------------------------
+    // Monte-Carlo: inject 2 flips, measure uncorrected fractions.
+    // ------------------------------------------------------------------
+    const CopCodec codec(CopConfig::fourByte());
+    const CoperCodec coper(codec);
+    FaultInjector injector(2024);
+    Rng rng(7);
+
+    // Incompressible data (the class COP-ER stores via entries).
+    CacheBlock data;
+    do {
+        for (unsigned w = 0; w < 8; ++w)
+            data.setWord64(w, rng.next());
+    } while (codec.encode(data).status != EncodeStatus::Unprotected);
+
+    constexpr u64 kTrials = 200000;
+    InjectionOutcome coper_out, dimm_out;
+    coper_out = injector.injectCopEr(coper, data, 2, kTrials);
+    dimm_out = injector.injectEccDimm(data, 2, kTrials);
+
+    std::printf("Monte-Carlo, 2 random flips per block, %llu trials:\n",
+                static_cast<unsigned long long>(kTrials));
+    std::printf("  %-10s %12s %12s %12s %12s\n", "scheme", "corrected",
+                "benign", "detected", "silent");
+    std::printf("  %-10s %12llu %12llu %12llu %12llu\n", "COP-ER",
+                (unsigned long long)coper_out.corrected,
+                (unsigned long long)coper_out.benign,
+                (unsigned long long)coper_out.detected,
+                (unsigned long long)coper_out.silent);
+    std::printf("  %-10s %12llu %12llu %12llu %12llu\n", "ECC DIMM",
+                (unsigned long long)dimm_out.corrected,
+                (unsigned long long)dimm_out.benign,
+                (unsigned long long)dimm_out.detected,
+                (unsigned long long)dimm_out.silent);
+
+    // Note: the ECC-DIMM image has 576 bits vs COP-ER's 512 in the data
+    // block, so per-flip-pair rates need no exposure scaling here; the
+    // ratio of uncorrected fractions is the headline number.
+    const double ratio = coper_out.uncorrectedRate() /
+                         (dimm_out.uncorrectedRate() + 1e-12);
+    std::printf("\n  uncorrected ratio (COP-ER / ECC DIMM) = %.2f "
+                "(paper: ~6x)\n", ratio);
+    std::printf("  ...both schemes still correct all single-bit errors; "
+                "vs unprotected DRAM\n  either reduces the error rate "
+                "by orders of magnitude.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Field failure-mode study (paper Section 4's discussion of Sridharan
+ * & Liberty's data): fraction of each failure mode fully recovered by
+ * each scheme, Monte-Carlo through the real decoders. Quantifies the
+ * paper's qualitative claims — single-bit and single-column failures
+ * are corrected by SECDED/COP alike; same-word multi-bit and row
+ * failures defeat both; only the chipkill extension absorbs a dead
+ * chip.
+ */
+
+#include "reliability/failure_modes.hpp"
+#include "reliability/fault_injector.hpp"
+#include "workloads/block_gen.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    constexpr u64 kTrials = 4000;
+    FaultInjector injector(0x57CDu);
+    Rng rng(1);
+    BlockGenParams params;
+
+    // Compressible data for COP/chipkill (19+ shared MSBs — chipkill's
+    // deep budget is out of reach for FP mantissas), incompressible
+    // for COP-ER.
+    CacheBlock fp;
+    for (unsigned w = 0; w < 8; ++w)
+        fp.setWord64(w, 0x0000123400000000ULL + rng.below(1u << 24));
+    CacheBlock raw = generateBlock(BlockCategory::Random, params, rng);
+    const CopCodec cop4(CopConfig::fourByte());
+    while (cop4.encode(raw).status != EncodeStatus::Unprotected)
+        raw = generateBlock(BlockCategory::Random, params, rng);
+    const CopCodec cop8(CopConfig::eightByte());
+    const CoperCodec coper(cop4);
+    const ChipkillCodec chipkill;
+
+    std::printf("Failure-mode study: %% of events fully recovered "
+                "(%llu trials/cell)\n",
+                static_cast<unsigned long long>(kTrials));
+    std::printf("field fractions after Sridharan & Liberty (paper "
+                "Section 4)\n\n");
+    std::printf("%-18s %6s %9s %8s %8s %8s %9s\n", "mode", "field",
+                "ECC DIMM", "COP-4B", "COP-8B", "COP-ER", "chipkill");
+    std::printf("%s\n", std::string(72, '-').c_str());
+
+    for (unsigned m = 0; m < kFailureModes; ++m) {
+        const auto mode = static_cast<FailureMode>(m);
+        const FaultInjector::FlipGen gen =
+            [mode](Rng &r, std::vector<unsigned> &bits) {
+                generateFailureFlips(mode, r, bits);
+            };
+        auto recovered = [](const InjectionOutcome &o) {
+            return 100.0 * (o.benign + o.corrected) / o.trials;
+        };
+
+        const double dimm =
+            recovered(injector.injectEccDimmPattern(raw, gen, kTrials));
+        const double c4 =
+            recovered(injector.injectCopPattern(cop4, fp, gen, kTrials));
+        const double c8 =
+            recovered(injector.injectCopPattern(cop8, fp, gen, kTrials));
+        const double er = recovered(
+            injector.injectCopErPattern(coper, raw, gen, kTrials));
+        const double ck = recovered(
+            injector.injectChipkillPattern(chipkill, fp, gen, kTrials));
+
+        std::printf("%-18s %5.1f%% %8.1f%% %7.1f%% %7.1f%% %7.1f%% "
+                    "%8.1f%%\n",
+                    failureModeName(mode),
+                    100 * failureModeFieldFraction(mode), dimm, c4, c8,
+                    er, ck);
+    }
+
+    std::printf("\nReading: SECDED-class schemes (ECC DIMM, COP, "
+                "COP-ER) recover single-bit and\nsingle-column events "
+                "and lose same-word/row events — the paper's premise "
+                "for\nusing a single-bit failure model. Only the "
+                "chipkill extension survives a dead\nchip. (COP "
+                "protects its compressible majority; its "
+                "incompressible residue is\nthe Figure 10 gap.)\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 4 reproduction: compressibility improvement of MSB compression
+ * on SPECfp 2006 when the 5-bit comparison is shifted by one bit to
+ * skip the IEEE-754 sign bit. Mixed-sign floating-point data with
+ * similar exponents compresses only under the shifted comparison.
+ */
+
+#include "bench_util.hpp"
+#include "compress/msb.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    const MsbCompressor unshifted(5, false);
+    const MsbCompressor shifted(5, true);
+    constexpr unsigned kBudget = 478; // free 4 bytes + 2 tag bits
+
+    bench::printHeader(
+        "Figure 4: MSB compressibility, unshifted vs shifted comparison "
+        "(4 bytes freed)",
+        {"Unshifted", "Shifted", "Gain"});
+
+    std::vector<double> col_unshift, col_shift;
+    for (const auto *p : WorkloadRegistry::specFpFigure4()) {
+        const auto blocks = bench::sampleFor(*p);
+        const double u =
+            bench::fractionCompressible(blocks, unshifted, kBudget);
+        const double s =
+            bench::fractionCompressible(blocks, shifted, kBudget);
+        bench::printPctRow(p->name, {u, s, s - u});
+        col_unshift.push_back(u);
+        col_shift.push_back(s);
+    }
+    const double mu = bench::mean(col_unshift);
+    const double ms = bench::mean(col_shift);
+    std::printf("%s\n", std::string(16 + 3 * 13, '-').c_str());
+    bench::printPctRow("Average", {mu, ms, ms - mu});
+    std::printf("\nPaper: shifting the comparison improves SPECfp "
+                "compressibility by ~15%%.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 8 reproduction: fraction of accessed blocks compressible when
+ * freeing 8 bytes per 64-byte block — MSB (10-bit shifted compare),
+ * RLE, FPC, and the combined MSB+RLE scheme, for the Table 2
+ * memory-intensive benchmarks plus suite averages. (TXT cannot free 8
+ * bytes and is absent, as in the paper.)
+ */
+
+#include "bench_util.hpp"
+#include "compress/combined.hpp"
+#include "compress/fpc.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    const MsbCompressor msb(10, true);
+    const RleCompressor rle;
+    const FpcCompressor fpc;
+    const CombinedCompressor combined(8);
+    const unsigned budget = combined.streamBudget(); // 446 bits
+
+    bench::printHeader(
+        "Figure 8: compressible blocks when freeing 8 bytes per block",
+        {"MSB", "RLE", "FPC", "MSB+RLE"});
+
+    bench::SuiteAverager avg;
+    for (const auto *p : WorkloadRegistry::memoryIntensive()) {
+        const auto blocks = bench::sampleFor(*p);
+        unsigned comb_ok = 0;
+        for (const auto &b : blocks)
+            comb_ok += combined.compressible(b);
+        const std::vector<double> row = {
+            bench::fractionCompressible(blocks, msb, budget),
+            bench::fractionCompressible(blocks, rle, budget),
+            bench::fractionCompressible(blocks, fpc, budget),
+            static_cast<double>(comb_ok) / blocks.size(),
+        };
+        bench::printPctRow(p->name, row);
+        avg.add(*p, row);
+    }
+
+    std::printf("%s\n", std::string(16 + 4 * 13, '-').c_str());
+    bench::printPctRow("SPEC2006",
+                       bench::SuiteAverager::average([&] {
+                           auto rows = avg.intRows;
+                           rows.insert(rows.end(), avg.fpRows.begin(),
+                                       avg.fpRows.end());
+                           return rows;
+                       }()));
+    bench::printPctRow("PARSEC",
+                       bench::SuiteAverager::average(avg.parsecRows));
+    bench::printPctRow("Average",
+                       bench::SuiteAverager::average(avg.allRows));
+    return 0;
+}

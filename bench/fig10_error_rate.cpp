@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 10 reproduction: reduction in DRAM soft-error rate for COP
+ * with 8-byte ECC, COP with 4-byte ECC, and COP-ER (4-byte), relative
+ * to an unprotected non-ECC DIMM. Methodology as in the paper: a
+ * PARMA-style vulnerability clock per block (write -> next read),
+ * 5000 FIT/Mbit raw rate, evaluated over full-system simulations of
+ * the Table 2 benchmarks.
+ */
+
+#include "reliability/error_model.hpp"
+#include "sim_util.hpp"
+
+using namespace cop;
+
+int
+main()
+{
+    const ErrorRateModel model;
+
+    bench::printHeader(
+        "Figure 10: reduction in soft-error rate vs unprotected DRAM",
+        {"COP 8-byte", "COP 4-byte", "COP-ER 4B"});
+
+    bench::SuiteAverager avg;
+    for (const auto *p : WorkloadRegistry::memoryIntensive()) {
+        std::vector<double> row;
+        for (const ControllerKind kind :
+             {ControllerKind::Cop8, ControllerKind::Cop4,
+              ControllerKind::CopEr}) {
+            const SystemResults r = bench::runSystem(*p, kind);
+            row.push_back(model.evaluate(r.vuln).reduction());
+        }
+        bench::printPctRow(p->name, row);
+        avg.add(*p, row);
+    }
+
+    std::printf("%s\n", std::string(16 + 3 * 13, '-').c_str());
+    {
+        auto spec = avg.intRows;
+        spec.insert(spec.end(), avg.fpRows.begin(), avg.fpRows.end());
+        bench::printPctRow("SPEC2006",
+                           bench::SuiteAverager::average(spec));
+    }
+    bench::printPctRow("PARSEC",
+                       bench::SuiteAverager::average(avg.parsecRows));
+    bench::printPctRow("Average",
+                       bench::SuiteAverager::average(avg.allRows));
+    std::printf("\nPaper: COP 4-byte reduces the error rate by 93%% on "
+                "average; COP-ER is ~100%%\n(all single-bit errors "
+                "corrected). The 4-byte version beats 8-byte because\n"
+                "less required compression protects more blocks.\n");
+    return 0;
+}

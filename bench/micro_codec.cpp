@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the software codec: per-scheme
+ * compression/decompression, SECDED syndrome generation, full COP
+ * encode/decode, and the COP-ER reconstruction path. These are
+ * software-throughput proxies for the "simple hardware" claims of
+ * Sections 3.1-3.2 — the relative ordering (MSB < RLE < FPC work)
+ * mirrors the relative logic complexity.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compress/bdi.hpp"
+#include "compress/combined.hpp"
+#include "compress/fpc.hpp"
+#include "core/coper_codec.hpp"
+#include "workloads/block_gen.hpp"
+
+namespace cop {
+namespace {
+
+std::vector<CacheBlock>
+blocksOf(BlockCategory c, unsigned n)
+{
+    Rng rng(42);
+    BlockGenParams params;
+    std::vector<CacheBlock> out;
+    out.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        out.push_back(generateBlock(c, params, rng));
+    return out;
+}
+
+void
+BM_SecdedSyndrome128(benchmark::State &state)
+{
+    const auto blocks = blocksOf(BlockCategory::Random, 256);
+    const HsiaoCode &code = codes::full128();
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &b = blocks[i++ % blocks.size()];
+        for (unsigned s = 0; s < 4; ++s) {
+            benchmark::DoNotOptimize(
+                code.syndrome(b.bytes().subspan(s * 16, 16)));
+        }
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kBlockBytes);
+}
+BENCHMARK(BM_SecdedSyndrome128);
+
+void
+BM_SecdedSyndromeWide523(benchmark::State &state)
+{
+    Rng rng(1);
+    std::array<u8, 66> cw{};
+    for (auto &b : cw)
+        b = static_cast<u8>(rng.next());
+    cw[65] &= 0x07;
+    const HsiaoCode &code = codes::wide523();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.syndrome(cw));
+}
+BENCHMARK(BM_SecdedSyndromeWide523);
+
+template <typename Compressor, BlockCategory Cat, unsigned Budget>
+void
+BM_Compress(benchmark::State &state)
+{
+    const Compressor comp;
+    const auto blocks = blocksOf(Cat, 256);
+    std::array<u8, kBlockBytes + 8> buf{};
+    size_t i = 0;
+    for (auto _ : state) {
+        buf.fill(0);
+        BitWriter writer(buf);
+        benchmark::DoNotOptimize(
+            comp.compress(blocks[i++ % blocks.size()], Budget, writer));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kBlockBytes);
+}
+BENCHMARK(BM_Compress<RleCompressor, BlockCategory::SmallInt64, 478>)
+    ->Name("BM_CompressRLE");
+BENCHMARK(BM_Compress<FpcCompressor, BlockCategory::SmallInt32, 560>)
+    ->Name("BM_CompressFPC");
+BENCHMARK(BM_Compress<BdiCompressor, BlockCategory::Pointer, 478>)
+    ->Name("BM_CompressBDI");
+BENCHMARK(BM_Compress<TxtCompressor, BlockCategory::Text, 478>)
+    ->Name("BM_CompressTXT");
+
+void
+BM_CompressMSB(benchmark::State &state)
+{
+    const MsbCompressor comp(5, true);
+    const auto blocks = blocksOf(BlockCategory::FpSimilar, 256);
+    std::array<u8, kBlockBytes + 8> buf{};
+    size_t i = 0;
+    for (auto _ : state) {
+        buf.fill(0);
+        BitWriter writer(buf);
+        benchmark::DoNotOptimize(
+            comp.compress(blocks[i++ % blocks.size()], 478, writer));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kBlockBytes);
+}
+BENCHMARK(BM_CompressMSB);
+
+void
+BM_CopEncode(benchmark::State &state)
+{
+    const CopCodec codec(CopConfig::fourByte());
+    const auto blocks = blocksOf(BlockCategory::FpSimilar, 256);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            codec.encode(blocks[i++ % blocks.size()]));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kBlockBytes);
+}
+BENCHMARK(BM_CopEncode);
+
+void
+BM_CopDecode(benchmark::State &state)
+{
+    const CopCodec codec(CopConfig::fourByte());
+    const auto blocks = blocksOf(BlockCategory::FpSimilar, 256);
+    std::vector<CacheBlock> stored;
+    for (const auto &b : blocks)
+        stored.push_back(codec.encode(b).stored);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            codec.decode(stored[i++ % stored.size()]));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kBlockBytes);
+}
+BENCHMARK(BM_CopDecode);
+
+void
+BM_CopDecodeRawPassThrough(benchmark::State &state)
+{
+    const CopCodec codec(CopConfig::fourByte());
+    const auto blocks = blocksOf(BlockCategory::Random, 256);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            codec.decode(blocks[i++ % blocks.size()]));
+    }
+}
+BENCHMARK(BM_CopDecodeRawPassThrough);
+
+void
+BM_CoperReconstruct(benchmark::State &state)
+{
+    const CopCodec codec(CopConfig::fourByte());
+    const CoperCodec coper(codec);
+    const auto blocks = blocksOf(BlockCategory::Random, 64);
+    std::vector<std::pair<CacheBlock, EccEntry>> stored;
+    for (const auto &b : blocks) {
+        const auto enc = coper.encodeIncompressible(b, 123);
+        stored.push_back(
+            {enc.stored, EccEntry{true, enc.displaced, enc.check}});
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[img, entry] = stored[i++ % stored.size()];
+        benchmark::DoNotOptimize(coper.reconstruct(img, entry));
+    }
+}
+BENCHMARK(BM_CoperReconstruct);
+
+void
+BM_AliasCheck(benchmark::State &state)
+{
+    const CopCodec codec(CopConfig::fourByte());
+    const auto blocks = blocksOf(BlockCategory::Random, 256);
+    size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(codec.isAlias(blocks[i++ % blocks.size()]));
+}
+BENCHMARK(BM_AliasCheck);
+
+} // namespace
+} // namespace cop
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Compressibility explorer: for any benchmark profile in the registry
+ * (or all of them), show how each compression scheme performs at both
+ * COP budgets and what the block population looks like by category.
+ *
+ * Usage:
+ *   ./build/examples/compressibility_explorer              # all profiles
+ *   ./build/examples/compressibility_explorer mcf bwaves   # specific ones
+ *   ./build/examples/compressibility_explorer --profile f  # custom file
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "compress/combined.hpp"
+#include "compress/fpc.hpp"
+#include "workloads/profile_io.hpp"
+#include "workloads/trace_gen.hpp"
+
+using namespace cop;
+
+namespace {
+
+void
+explore(const WorkloadProfile &profile)
+{
+    constexpr unsigned kBlocks = 10000;
+    const BlockContentPool pool(profile);
+    const auto blocks = pool.sample(kBlocks, 17);
+
+    std::printf("=== %s (%s%s) ===\n", profile.name.c_str(),
+                suiteName(profile.suite),
+                profile.memoryIntensive ? ", Table 2" : "");
+
+    // Category census.
+    std::printf("  mix:");
+    for (unsigned c = 0; c < kBlockCategories; ++c) {
+        const double w = profile.mix.weight[c];
+        if (w > 0) {
+            std::printf(" %s=%.0f%%",
+                        blockCategoryName(static_cast<BlockCategory>(c)),
+                        w * 100);
+        }
+    }
+    std::printf("\n");
+
+    const TxtCompressor txt;
+    const RleCompressor rle;
+    const FpcCompressor fpc;
+    for (const unsigned check_bytes : {4u, 8u}) {
+        const CombinedCompressor combined(check_bytes);
+        const MsbCompressor msb(check_bytes == 4 ? 5 : 10, true);
+        const unsigned budget = combined.streamBudget();
+        unsigned n_txt = 0, n_msb = 0, n_rle = 0, n_fpc = 0, n_comb = 0;
+        for (const auto &b : blocks) {
+            n_txt += check_bytes == 4 && txt.canCompress(b, budget);
+            n_msb += msb.canCompress(b, budget);
+            n_rle += rle.canCompress(b, budget);
+            n_fpc += fpc.canCompress(b, budget);
+            n_comb += combined.compressible(b);
+        }
+        std::printf("  %u-byte ECC: TXT %5.1f%%  MSB %5.1f%%  RLE %5.1f%%"
+                    "  FPC %5.1f%%  combined %5.1f%%\n",
+                    check_bytes, 100.0 * n_txt / kBlocks,
+                    100.0 * n_msb / kBlocks, 100.0 * n_rle / kBlocks,
+                    100.0 * n_fpc / kBlocks, 100.0 * n_comb / kBlocks);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 2 && std::strcmp(argv[1], "--profile") == 0) {
+        for (int i = 2; i < argc; ++i)
+            explore(loadProfile(argv[i]));
+        return 0;
+    }
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            explore(WorkloadRegistry::byName(argv[i]));
+        return 0;
+    }
+    for (const auto &p : WorkloadRegistry::all())
+        explore(p);
+    return 0;
+}

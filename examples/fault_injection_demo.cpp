@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fault-injection campaign: sweep 1..4 simultaneous bit flips against
+ * every protection scheme and print the outcome matrix (benign /
+ * corrected / detected / silent). Shows exactly where each design's
+ * correction envelope ends: COP-4B survives one flip, COP-8B survives
+ * split doubles, COP-ER and the wide code detect doubles, and
+ * unprotected DRAM silently corrupts on everything.
+ *
+ * Usage: ./build/examples/fault_injection_demo [trials-per-cell]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "reliability/fault_injector.hpp"
+#include "workloads/block_gen.hpp"
+
+using namespace cop;
+
+namespace {
+
+void
+printRow(const char *scheme, unsigned flips,
+         const InjectionOutcome &out)
+{
+    std::printf("  %-10s %5u %10.2f%% %10.2f%% %10.2f%% %10.2f%%\n",
+                scheme, flips,
+                100.0 * out.benign / out.trials,
+                100.0 * out.corrected / out.trials,
+                100.0 * out.detected / out.trials,
+                100.0 * out.silent / out.trials);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const u64 trials = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                : 20000;
+
+    const CopCodec cop4(CopConfig::fourByte());
+    const CopCodec cop8(CopConfig::eightByte());
+    const CoperCodec coper(cop4);
+    FaultInjector injector(0xBEEF);
+
+    // Compressible data for the COP schemes...
+    Rng rng(1);
+    BlockGenParams params;
+    const CacheBlock fp_data =
+        generateBlock(BlockCategory::FpSimilar, params, rng);
+    // ...and incompressible data for COP-ER / ECC DIMM / unprotected.
+    CacheBlock raw_data = generateBlock(BlockCategory::Random, params, rng);
+    while (cop4.encode(raw_data).status != EncodeStatus::Unprotected)
+        raw_data = generateBlock(BlockCategory::Random, params, rng);
+
+    std::printf("Fault injection, %llu trials per cell\n",
+                static_cast<unsigned long long>(trials));
+    std::printf("  %-10s %5s %11s %11s %11s %11s\n", "scheme", "flips",
+                "benign", "corrected", "detected", "silent");
+    std::printf("  %s\n", std::string(64, '-').c_str());
+
+    for (unsigned flips = 1; flips <= 4; ++flips) {
+        printRow("Unprot.", flips,
+                 injector.injectUnprotected(raw_data, flips, trials));
+        printRow("ECC DIMM", flips,
+                 injector.injectEccDimm(raw_data, flips, trials));
+        printRow("COP-4B", flips,
+                 injector.injectCop(cop4, fp_data, flips, trials));
+        printRow("COP-8B", flips,
+                 injector.injectCop(cop8, fp_data, flips, trials));
+        printRow("COP-ER", flips,
+                 injector.injectCopEr(coper, raw_data, flips, trials));
+        std::printf("  %s\n", std::string(64, '-').c_str());
+    }
+
+    std::printf("\nReading the table: 'silent' is the dangerous row — "
+                "COP-4B only goes silent\nwhen two errors corrupt "
+                "different code words (the decoder then mistakes the\n"
+                "block for raw data, Section 3.1); COP-8B corrects "
+                "those; COP-ER detects\neverything it cannot correct.\n");
+    return 0;
+}

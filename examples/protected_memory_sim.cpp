@@ -1,0 +1,79 @@
+/**
+ * @file
+ * End-to-end system demo: run one benchmark through the full simulator
+ * under every protection scheme and print a side-by-side summary —
+ * IPC, DRAM traffic, compressibility, ECC-region behaviour, and the
+ * analytic soft-error-rate reduction. A one-screen tour of everything
+ * the library models.
+ *
+ * Usage: ./build/examples/protected_memory_sim [benchmark] [epochs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "reliability/error_model.hpp"
+#include "sim/system.hpp"
+
+using namespace cop;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "mcf";
+    const u64 epochs = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                : 3000;
+    const WorkloadProfile &profile = WorkloadRegistry::byName(name);
+    const ErrorRateModel model;
+
+    std::printf("Benchmark %s: 4 cores, 4MB shared L3, DDR3-1600 x2 "
+                "channels, %llu epochs/core\n\n",
+                profile.name.c_str(),
+                static_cast<unsigned long long>(epochs));
+    std::printf("%-10s %8s %9s %10s %10s %11s %10s\n", "scheme", "IPC",
+                "rel.", "DRAM acc", "row hit", "cmp writes",
+                "SER redu");
+    std::printf("%s\n", std::string(74, '-').c_str());
+
+    double unprot_ipc = 0;
+    for (const ControllerKind kind :
+         {ControllerKind::Unprotected, ControllerKind::EccDimm,
+          ControllerKind::EccRegion, ControllerKind::Cop4,
+          ControllerKind::Cop8, ControllerKind::CopEr}) {
+        SystemConfig cfg;
+        cfg.cores = 4;
+        cfg.kind = kind;
+        cfg.epochsPerCore = epochs;
+        System sys(profile, cfg);
+        const SystemResults r = sys.run();
+        if (kind == ControllerKind::Unprotected)
+            unprot_ipc = r.ipc;
+
+        const u64 writes = r.mem.protectedWrites + r.mem.unprotectedWrites;
+        const double cmp_frac =
+            writes ? 100.0 * r.mem.protectedWrites / writes : 0.0;
+        const double reduction =
+            100.0 * model.evaluate(r.vuln).reduction();
+        std::printf("%-10s %8.3f %8.1f%% %10llu %9.1f%% %10.1f%% "
+                    "%9.1f%%\n",
+                    controllerKindName(kind), r.ipc,
+                    100.0 * r.ipc / unprot_ipc,
+                    static_cast<unsigned long long>(r.dram.reads +
+                                                    r.dram.writes),
+                    100.0 * r.dram.rowHitRate(), cmp_frac, reduction);
+
+        if (kind == ControllerKind::CopEr) {
+            std::printf("\nCOP-ER detail: %llu ECC entries live, "
+                        "%.1f KB region (vs %.1f KB for a full\n"
+                        "2-byte-per-block region over the %llu-block "
+                        "touched footprint)\n",
+                        static_cast<unsigned long long>(
+                            r.everUncompressedBlocks),
+                        r.eccRegionBytesNoDealloc / 1024.0,
+                        r.touchedBlocks * 2 / 1024.0,
+                        static_cast<unsigned long long>(
+                            r.touchedBlocks));
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,210 @@
+#include "cache/set_assoc_cache.hpp"
+
+#include <algorithm>
+
+namespace cop {
+
+SetAssocCache::SetAssocCache(const CacheConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    sets_.resize(cfg_.sets());
+    for (auto &set : sets_)
+        set.ways.resize(cfg_.ways);
+}
+
+u64
+SetAssocCache::setIndex(Addr block_addr) const
+{
+    return (block_addr / kBlockBytes) & (cfg_.sets() - 1);
+}
+
+SetAssocCache::Line *
+SetAssocCache::lookup(Addr block_addr)
+{
+    Set &set = sets_[setIndex(block_addr)];
+    for (auto &line : set.ways) {
+        if (line.valid && line.tag == block_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::lookup(Addr block_addr) const
+{
+    const Set &set = sets_[setIndex(block_addr)];
+    for (const auto &line : set.ways) {
+        if (line.valid && line.tag == block_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+bool
+SetAssocCache::access(Addr block_addr, bool is_write)
+{
+    ++clock_;
+    if (Line *line = lookup(block_addr)) {
+        line->lru = clock_;
+        line->state.dirty |= is_write;
+        if (is_write && line->state.alias) {
+            // A store changed the content; whether it still aliases is
+            // re-decided by the encoder at the next eviction attempt.
+            line->state.alias = false;
+            --stats_.aliasPinned;
+        }
+        ++stats_.hits;
+        return true;
+    }
+    // Spill list (overflowed pinned set): a hit here models following
+    // the per-set overflow pointer into DRAM.
+    Set &set = sets_[setIndex(block_addr)];
+    for (auto &[addr, state] : set.spill) {
+        if (addr == block_addr) {
+            state.dirty |= is_write;
+            ++stats_.hits;
+            ++stats_.spillHits;
+            return true;
+        }
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+SetAssocCache::probe(Addr block_addr) const
+{
+    if (lookup(block_addr) != nullptr)
+        return true;
+    const Set &set = sets_[setIndex(block_addr)];
+    for (const auto &[addr, state] : set.spill) {
+        if (addr == block_addr)
+            return true;
+    }
+    return false;
+}
+
+CacheEviction
+SetAssocCache::insert(Addr block_addr, bool dirty,
+                      const EvictFilter &can_evict)
+{
+    ++clock_;
+    Set &set = sets_[setIndex(block_addr)];
+    COP_ASSERT(lookup(block_addr) == nullptr);
+
+    // Victim selection: invalid way first, then LRU among lines that
+    // are not alias-pinned. A dirty candidate the filter rejects is
+    // itself an alias: pin it and move on to the next-LRU line.
+    Line *victim = nullptr;
+    for (auto &line : set.ways) {
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+    }
+    while (victim == nullptr) {
+        Line *candidate = nullptr;
+        for (auto &line : set.ways) {
+            if (line.state.alias)
+                continue;
+            if (candidate == nullptr || line.lru < candidate->lru)
+                candidate = &line;
+        }
+        if (candidate == nullptr)
+            break; // every way pinned
+        if (can_evict && candidate->state.dirty &&
+            !can_evict(candidate->tag, candidate->state)) {
+            candidate->state.alias = true;
+            ++stats_.aliasPinned;
+            continue;
+        }
+        victim = candidate;
+    }
+
+    CacheEviction evicted;
+    if (victim == nullptr) {
+        // Every way pinned: overflow the set (Section 3.1's linked-list
+        // spill). Exceedingly rare; correctness only.
+        ++stats_.setOverflows;
+        set.spill.push_back(
+            {block_addr, CacheLineState{dirty, false, false}});
+        return evicted;
+    }
+
+    if (victim->valid) {
+        ++stats_.evictions;
+        if (victim->state.dirty)
+            ++stats_.dirtyEvictions;
+        evicted.valid = true;
+        evicted.addr = victim->tag;
+        evicted.state = victim->state;
+    }
+
+    victim->valid = true;
+    victim->tag = block_addr;
+    victim->lru = clock_;
+    victim->state = CacheLineState{dirty, false, false};
+    return evicted;
+}
+
+CacheLineState *
+SetAssocCache::findState(Addr block_addr)
+{
+    if (Line *line = lookup(block_addr))
+        return &line->state;
+    Set &set = sets_[setIndex(block_addr)];
+    for (auto &[addr, state] : set.spill) {
+        if (addr == block_addr)
+            return &state;
+    }
+    return nullptr;
+}
+
+void
+SetAssocCache::setAlias(Addr block_addr, bool alias)
+{
+    CacheLineState *state = findState(block_addr);
+    COP_ASSERT(state != nullptr);
+    if (alias && !state->alias)
+        ++stats_.aliasPinned;
+    else if (!alias && state->alias)
+        --stats_.aliasPinned;
+    state->alias = alias;
+}
+
+void
+SetAssocCache::invalidate(Addr block_addr)
+{
+    if (Line *line = lookup(block_addr)) {
+        if (line->state.alias)
+            --stats_.aliasPinned;
+        *line = Line{};
+        return;
+    }
+    Set &set = sets_[setIndex(block_addr)];
+    std::erase_if(set.spill,
+                  [&](const auto &e) { return e.first == block_addr; });
+}
+
+std::vector<CacheEviction>
+SetAssocCache::drainDirty()
+{
+    std::vector<CacheEviction> drained;
+    for (auto &set : sets_) {
+        for (auto &line : set.ways) {
+            if (line.valid && line.state.dirty) {
+                drained.push_back({true, line.tag, line.state});
+                line.state.dirty = false;
+            }
+        }
+        for (auto &[addr, state] : set.spill) {
+            if (state.dirty) {
+                drained.push_back({true, addr, state});
+                state.dirty = false;
+            }
+        }
+    }
+    return drained;
+}
+
+} // namespace cop

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Bit-level utilities: single-bit access over byte buffers (LSB-first
+ * addressing) and sequential bit-stream reader/writer used by every
+ * compression codec and ECC code in the repository.
+ *
+ * Bit addressing convention: bit index i lives in byte i / 8, at position
+ * i % 8 counted from the least-significant bit. All multi-bit fields are
+ * written least-significant-bit first. The convention is normative for the
+ * on-"DRAM" formats described in DESIGN.md section 4.
+ */
+
+#ifndef COP_COMMON_BITS_HPP
+#define COP_COMMON_BITS_HPP
+
+#include <bit>
+#include <cstring>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace cop {
+
+/** Read bit @p idx (LSB-first) from a byte buffer. */
+inline bool
+getBit(std::span<const u8> buf, unsigned idx)
+{
+    return (buf[idx / 8] >> (idx % 8)) & 1u;
+}
+
+/** Set bit @p idx (LSB-first) in a byte buffer to @p value. */
+inline void
+setBit(std::span<u8> buf, unsigned idx, bool value)
+{
+    const u8 mask = static_cast<u8>(1u << (idx % 8));
+    if (value)
+        buf[idx / 8] |= mask;
+    else
+        buf[idx / 8] &= static_cast<u8>(~mask);
+}
+
+/** Flip bit @p idx (LSB-first) in a byte buffer. */
+inline void
+flipBit(std::span<u8> buf, unsigned idx)
+{
+    buf[idx / 8] ^= static_cast<u8>(1u << (idx % 8));
+}
+
+/** Extract @p count (<= 64) bits starting at bit @p pos, LSB-first. */
+inline u64
+getBits(std::span<const u8> buf, unsigned pos, unsigned count)
+{
+    u64 value = 0;
+    for (unsigned i = 0; i < count; ++i)
+        value |= static_cast<u64>(getBit(buf, pos + i)) << i;
+    return value;
+}
+
+/** Deposit the low @p count (<= 64) bits of @p value at bit @p pos. */
+inline void
+setBits(std::span<u8> buf, unsigned pos, unsigned count, u64 value)
+{
+    for (unsigned i = 0; i < count; ++i)
+        setBit(buf, pos + i, (value >> i) & 1u);
+}
+
+/**
+ * Copy @p count bits from @p src starting at bit @p src_pos into @p dst
+ * starting at bit @p dst_pos (LSB-first addressing on both sides).
+ */
+inline void
+copyBits(std::span<const u8> src, unsigned src_pos, std::span<u8> dst,
+         unsigned dst_pos, unsigned count)
+{
+    while (count > 0) {
+        const unsigned chunk = count < 64 ? count : 64;
+        setBits(dst, dst_pos, chunk, getBits(src, src_pos, chunk));
+        src_pos += chunk;
+        dst_pos += chunk;
+        count -= chunk;
+    }
+}
+
+/** Parity (XOR of all bits) of a 64-bit word. */
+inline bool
+parity64(u64 v)
+{
+    return std::popcount(v) & 1u;
+}
+
+/**
+ * Sequential bit writer over a caller-owned byte buffer. The buffer must be
+ * zero-initialised by the caller; the writer only ORs bits in. Fixed-size
+ * codec outputs (e.g. a 60-byte compressed payload) use this to assemble
+ * their bit streams.
+ */
+class BitWriter
+{
+  public:
+    explicit BitWriter(std::span<u8> buf) : buf_(buf), pos_(0) {}
+
+    /** Append the low @p count bits of @p value. */
+    void
+    write(u64 value, unsigned count)
+    {
+        COP_ASSERT(pos_ + count <= buf_.size() * 8);
+        setBits(buf_, pos_, count, value);
+        pos_ += count;
+    }
+
+    /** Bits written so far. */
+    unsigned bitPos() const { return pos_; }
+
+    /** Remaining capacity in bits. */
+    unsigned
+    bitsLeft() const
+    {
+        return static_cast<unsigned>(buf_.size() * 8) - pos_;
+    }
+
+  private:
+    std::span<u8> buf_;
+    unsigned pos_;
+};
+
+/**
+ * Sequential bit reader over a byte buffer; the mirror of BitWriter.
+ */
+class BitReader
+{
+  public:
+    explicit BitReader(std::span<const u8> buf) : buf_(buf), pos_(0) {}
+
+    /** Consume and return @p count bits. */
+    u64
+    read(unsigned count)
+    {
+        COP_ASSERT(pos_ + count <= buf_.size() * 8);
+        const u64 value = getBits(buf_, pos_, count);
+        pos_ += count;
+        return value;
+    }
+
+    /** Bits consumed so far. */
+    unsigned bitPos() const { return pos_; }
+
+    /** Bits remaining in the underlying buffer. */
+    unsigned
+    bitsLeft() const
+    {
+        return static_cast<unsigned>(buf_.size() * 8) - pos_;
+    }
+
+  private:
+    std::span<const u8> buf_;
+    unsigned pos_;
+};
+
+} // namespace cop
+
+#endif // COP_COMMON_BITS_HPP

@@ -1,0 +1,21 @@
+#include "common/cache_block.hpp"
+
+#include <cstdio>
+
+namespace cop {
+
+std::string
+CacheBlock::toHex() const
+{
+    std::string out;
+    out.reserve(kBlockBytes * 3 + 8);
+    char tmp[4];
+    for (unsigned i = 0; i < kBlockBytes; ++i) {
+        std::snprintf(tmp, sizeof(tmp), "%02x", bytes_[i]);
+        out += tmp;
+        out += ((i + 1) % 16 == 0) ? '\n' : ' ';
+    }
+    return out;
+}
+
+} // namespace cop

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * CacheBlock: the 64-byte value type every layer of the COP stack operates
+ * on — compression codecs, ECC codes, the DRAM image, caches and the fault
+ * injector all move CacheBlocks around.
+ */
+
+#ifndef COP_COMMON_CACHE_BLOCK_HPP
+#define COP_COMMON_CACHE_BLOCK_HPP
+
+#include <array>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace cop {
+
+/**
+ * A 64-byte memory block. Plain value semantics; cheap to copy. Word
+ * accessors use the native little-endian layout, matching how a memory
+ * controller would slice a burst into words.
+ */
+class CacheBlock
+{
+  public:
+    /** Zero-filled block. */
+    CacheBlock() : bytes_{} {}
+
+    /** Block initialised from exactly 64 bytes. */
+    explicit CacheBlock(std::span<const u8> src)
+        : bytes_{}
+    {
+        COP_ASSERT(src.size() == kBlockBytes);
+        std::memcpy(bytes_.data(), src.data(), kBlockBytes);
+    }
+
+    /** Block with every byte set to @p fill. */
+    static CacheBlock
+    filled(u8 fill)
+    {
+        CacheBlock b;
+        b.bytes_.fill(fill);
+        return b;
+    }
+
+    std::span<u8> bytes() { return bytes_; }
+    std::span<const u8> bytes() const { return bytes_; }
+    u8 *data() { return bytes_.data(); }
+    const u8 *data() const { return bytes_.data(); }
+
+    u8 byte(unsigned i) const { return bytes_[i]; }
+    void setByte(unsigned i, u8 v) { bytes_[i] = v; }
+
+    /** Read the i-th 16-bit little-endian word (i in [0, 32)). */
+    u16
+    word16(unsigned i) const
+    {
+        u16 v;
+        std::memcpy(&v, bytes_.data() + i * 2, 2);
+        return v;
+    }
+
+    /** Read the i-th 32-bit little-endian word (i in [0, 16)). */
+    u32
+    word32(unsigned i) const
+    {
+        u32 v;
+        std::memcpy(&v, bytes_.data() + i * 4, 4);
+        return v;
+    }
+
+    void
+    setWord32(unsigned i, u32 v)
+    {
+        std::memcpy(bytes_.data() + i * 4, &v, 4);
+    }
+
+    /** Read the i-th 64-bit little-endian word (i in [0, 8)). */
+    u64
+    word64(unsigned i) const
+    {
+        u64 v;
+        std::memcpy(&v, bytes_.data() + i * 8, 8);
+        return v;
+    }
+
+    void
+    setWord64(unsigned i, u64 v)
+    {
+        std::memcpy(bytes_.data() + i * 8, &v, 8);
+    }
+
+    bool getBit(unsigned idx) const { return cop::getBit(bytes_, idx); }
+    void setBitAt(unsigned idx, bool v) { cop::setBit(bytes_, idx, v); }
+
+    /** Flip a single bit — the fault injector's primitive. */
+    void flipBit(unsigned idx) { cop::flipBit(bytes_, idx); }
+
+    /** XOR another block into this one (used by the static hash). */
+    CacheBlock &
+    operator^=(const CacheBlock &other)
+    {
+        for (unsigned i = 0; i < kBlockBytes; ++i)
+            bytes_[i] ^= other.bytes_[i];
+        return *this;
+    }
+
+    bool
+    operator==(const CacheBlock &other) const
+    {
+        return bytes_ == other.bytes_;
+    }
+
+    bool isZero() const { return *this == CacheBlock(); }
+
+    /** Hex dump, 16 bytes per line, for diagnostics. */
+    std::string toHex() const;
+
+  private:
+    alignas(8) std::array<u8, kBlockBytes> bytes_;
+};
+
+} // namespace cop
+
+#endif // COP_COMMON_CACHE_BLOCK_HPP

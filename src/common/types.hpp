@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental scalar types and error-reporting helpers shared by every
+ * module in the COP reproduction.
+ */
+
+#ifndef COP_COMMON_TYPES_HPP
+#define COP_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cop {
+
+/** Physical byte address within the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** Simulated core-clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated instruction count. */
+using InstCount = std::uint64_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/** Size of every memory block handled by COP, in bytes (one cache line). */
+inline constexpr unsigned kBlockBytes = 64;
+
+/** Size of every memory block in bits. */
+inline constexpr unsigned kBlockBits = kBlockBytes * 8;
+
+/**
+ * Abort the process due to an internal invariant violation (a bug in the
+ * simulator itself, never a user error). Mirrors gem5's panic().
+ */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+/**
+ * Exit due to an unusable configuration supplied by the caller (a user
+ * error, not a simulator bug). Mirrors gem5's fatal().
+ */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+#define COP_PANIC(msg) ::cop::panicImpl(__FILE__, __LINE__, (msg))
+#define COP_FATAL(msg) ::cop::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Assert an invariant that must hold regardless of user input. */
+#define COP_ASSERT(cond)                                                    \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            COP_PANIC(std::string("assertion failed: ") + #cond);          \
+    } while (0)
+
+} // namespace cop
+
+#endif // COP_COMMON_TYPES_HPP

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Abstract interface for 64-byte block compressors. COP's compressors
+ * differ from conventional cache/memory compression in their goal: they
+ * only need to free a handful of bytes per block (just enough for inline
+ * ECC check bits), so the interface is budget-driven — "fit this block in
+ * at most N bits" — rather than "compress as hard as you can".
+ */
+
+#ifndef COP_COMPRESS_COMPRESSOR_HPP
+#define COP_COMPRESS_COMPRESSOR_HPP
+
+#include "common/bits.hpp"
+#include "common/cache_block.hpp"
+#include "common/types.hpp"
+
+namespace cop {
+
+/**
+ * Identifier stored in the 2-bit scheme tag of every compressed COP block
+ * (Section 3.2 of the paper budgets 2 extra bits for exactly this).
+ * Values 0-2 are the tags that appear on "DRAM"; Fpc and Bdi exist only
+ * as standalone comparison baselines and are never tagged.
+ */
+enum class SchemeId : u8 {
+    Msb = 0,
+    Rle = 1,
+    Txt = 2,
+    Fpc = 3,
+    Bdi = 4,
+};
+
+/** Number of tag bits in a combined-scheme compressed payload. */
+inline constexpr unsigned kSchemeTagBits = 2;
+
+/**
+ * A block compressor. Implementations are stateless and thread-compatible;
+ * all methods are const.
+ */
+class BlockCompressor
+{
+  public:
+    virtual ~BlockCompressor() = default;
+
+    /** Human-readable scheme name (appears in bench output). */
+    virtual const char *name() const = 0;
+
+    /** Scheme identifier. */
+    virtual SchemeId id() const = 0;
+
+    /**
+     * Smallest compressed size, in bits, this scheme can achieve for
+     * @p block, or -1 if the scheme cannot represent the block at all.
+     * Used by the ratio-sweep experiments (Figure 1).
+     */
+    virtual int compressedBits(const CacheBlock &block) const = 0;
+
+    /**
+     * Compress @p block into @p out, producing at most @p budget_bits
+     * bits. Budget-aware schemes (RLE) may emit exactly as much
+     * compression as the budget requires and no more, mirroring the
+     * paper's minimal-run encoding.
+     *
+     * @return false (and writes nothing) if the block does not fit.
+     */
+    virtual bool compress(const CacheBlock &block, unsigned budget_bits,
+                          BitWriter &out) const = 0;
+
+    /**
+     * Decompress a stream previously produced by compress() with the same
+     * @p budget_bits.
+     */
+    virtual void decompress(BitReader &in, unsigned budget_bits,
+                            CacheBlock &out) const = 0;
+
+    /** True iff the block fits the budget under this scheme. */
+    bool
+    canCompress(const CacheBlock &block, unsigned budget_bits) const
+    {
+        const int n = compressedBits(block);
+        return n >= 0 && static_cast<unsigned>(n) <= budget_bits;
+    }
+};
+
+} // namespace cop
+
+#endif // COP_COMPRESS_COMPRESSOR_HPP

@@ -1,0 +1,140 @@
+#include "compress/fpc.hpp"
+
+namespace cop {
+
+namespace {
+
+/** True iff @p v is a sign extension of its low @p bits bits. */
+bool
+isSignExt(u32 v, unsigned bits)
+{
+    const auto s = static_cast<std::int32_t>(v);
+    const std::int32_t lo = -(1 << (bits - 1));
+    const std::int32_t hi = (1 << (bits - 1)) - 1;
+    return s >= lo && s <= hi;
+}
+
+} // namespace
+
+FpcPattern
+FpcCompressor::classify(u32 word)
+{
+    if (word == 0)
+        return FpcPattern::ZeroWord;
+    if (isSignExt(word, 4))
+        return FpcPattern::SignExt4;
+    if (isSignExt(word, 8))
+        return FpcPattern::SignExt8;
+    const u8 b0 = word & 0xFF;
+    if (b0 == ((word >> 8) & 0xFF) && b0 == ((word >> 16) & 0xFF) &&
+        b0 == ((word >> 24) & 0xFF)) {
+        return FpcPattern::RepeatedByte;
+    }
+    if (isSignExt(word, 16))
+        return FpcPattern::SignExt16;
+    if ((word & 0xFFFF) == 0)
+        return FpcPattern::ZeroLowHalf;
+    const u16 lo_half = word & 0xFFFF;
+    const u16 hi_half = word >> 16;
+    if (isSignExt(lo_half | (lo_half & 0x8000 ? 0xFFFF0000u : 0), 8) &&
+        isSignExt(hi_half | (hi_half & 0x8000 ? 0xFFFF0000u : 0), 8)) {
+        return FpcPattern::TwoSignExt8;
+    }
+    return FpcPattern::Uncompressed;
+}
+
+unsigned
+FpcCompressor::payloadBits(FpcPattern p)
+{
+    switch (p) {
+      case FpcPattern::ZeroWord: return 0;
+      case FpcPattern::SignExt4: return 4;
+      case FpcPattern::SignExt8: return 8;
+      case FpcPattern::SignExt16: return 16;
+      case FpcPattern::ZeroLowHalf: return 16;
+      case FpcPattern::TwoSignExt8: return 16;
+      case FpcPattern::RepeatedByte: return 8;
+      case FpcPattern::Uncompressed: return 32;
+    }
+    COP_PANIC("bad FPC pattern");
+}
+
+u32
+FpcCompressor::extractPayload(u32 word, FpcPattern p)
+{
+    switch (p) {
+      case FpcPattern::ZeroWord: return 0;
+      case FpcPattern::SignExt4: return word & 0xF;
+      case FpcPattern::SignExt8: return word & 0xFF;
+      case FpcPattern::SignExt16: return word & 0xFFFF;
+      case FpcPattern::ZeroLowHalf: return word >> 16;
+      case FpcPattern::TwoSignExt8:
+        return (word & 0xFF) | (((word >> 16) & 0xFF) << 8);
+      case FpcPattern::RepeatedByte: return word & 0xFF;
+      case FpcPattern::Uncompressed: return word;
+    }
+    COP_PANIC("bad FPC pattern");
+}
+
+u32
+FpcCompressor::expand(u32 payload, FpcPattern p)
+{
+    auto sext = [](u32 v, unsigned bits) -> u32 {
+        const u32 sign = 1u << (bits - 1);
+        return (v ^ sign) - sign;
+    };
+    switch (p) {
+      case FpcPattern::ZeroWord: return 0;
+      case FpcPattern::SignExt4: return sext(payload, 4);
+      case FpcPattern::SignExt8: return sext(payload, 8);
+      case FpcPattern::SignExt16: return sext(payload, 16);
+      case FpcPattern::ZeroLowHalf: return payload << 16;
+      case FpcPattern::TwoSignExt8: {
+        const u32 lo = sext(payload & 0xFF, 8) & 0xFFFF;
+        const u32 hi = sext((payload >> 8) & 0xFF, 8) & 0xFFFF;
+        return lo | (hi << 16);
+      }
+      case FpcPattern::RepeatedByte:
+        return payload * 0x01010101u;
+      case FpcPattern::Uncompressed: return payload;
+    }
+    COP_PANIC("bad FPC pattern");
+}
+
+int
+FpcCompressor::compressedBits(const CacheBlock &block) const
+{
+    unsigned bits = 0;
+    for (unsigned w = 0; w < 16; ++w)
+        bits += 3 + payloadBits(classify(block.word32(w)));
+    return static_cast<int>(bits);
+}
+
+bool
+FpcCompressor::compress(const CacheBlock &block, unsigned budget_bits,
+                        BitWriter &out) const
+{
+    if (!canCompress(block, budget_bits))
+        return false;
+    for (unsigned w = 0; w < 16; ++w) {
+        const u32 word = block.word32(w);
+        const FpcPattern p = classify(word);
+        out.write(static_cast<u64>(p), 3);
+        out.write(extractPayload(word, p), payloadBits(p));
+    }
+    return true;
+}
+
+void
+FpcCompressor::decompress(BitReader &in, unsigned budget_bits,
+                          CacheBlock &out) const
+{
+    (void)budget_bits;
+    for (unsigned w = 0; w < 16; ++w) {
+        const auto p = static_cast<FpcPattern>(in.read(3));
+        const u32 payload = static_cast<u32>(in.read(payloadBits(p)));
+        out.setWord32(w, expand(payload, p));
+    }
+}
+
+} // namespace cop

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Frequent Pattern Compression (Alameldeen & Wood 2004), the comparison
+ * baseline of paper Sections 3.2 and 4 (Figures 1, 8, 9). Each 32-bit
+ * word carries a 3-bit prefix encoding one of eight patterns, so a block
+ * always pays 48 bits of metadata — the fixed overhead that makes FPC
+ * inferior to RLE/MSB for COP's low-compression-ratio use case.
+ */
+
+#ifndef COP_COMPRESS_FPC_HPP
+#define COP_COMPRESS_FPC_HPP
+
+#include "compress/compressor.hpp"
+
+namespace cop {
+
+/**
+ * FPC word patterns. One 3-bit prefix per 32-bit word; the payload size
+ * is pattern-dependent. We use the classic per-word formulation (the
+ * paper's accounting: "a 3-bit prefix per 32-bit word, thus ... 48 bits
+ * of metadata per block"), without zero-run aggregation.
+ */
+enum class FpcPattern : u8 {
+    ZeroWord = 0,      ///< 0 payload bits.
+    SignExt4 = 1,      ///< 4 payload bits.
+    SignExt8 = 2,      ///< 8 payload bits.
+    SignExt16 = 3,     ///< 16 payload bits.
+    ZeroLowHalf = 4,   ///< Halfword padded with zeros; 16 payload bits.
+    TwoSignExt8 = 5,   ///< Two halfwords, each a sign-extended byte; 16.
+    RepeatedByte = 6,  ///< 8 payload bits.
+    Uncompressed = 7,  ///< 32 payload bits.
+};
+
+/** FPC block compressor (16 x 32-bit words). */
+class FpcCompressor : public BlockCompressor
+{
+  public:
+    FpcCompressor() = default;
+
+    const char *name() const override { return "FPC"; }
+    SchemeId id() const override { return SchemeId::Fpc; }
+    int compressedBits(const CacheBlock &block) const override;
+    bool compress(const CacheBlock &block, unsigned budget_bits,
+                  BitWriter &out) const override;
+    void decompress(BitReader &in, unsigned budget_bits,
+                    CacheBlock &out) const override;
+
+    /** Best (smallest-payload) pattern for one word — exposed for tests. */
+    static FpcPattern classify(u32 word);
+    /** Payload size in bits for a pattern. */
+    static unsigned payloadBits(FpcPattern p);
+
+  private:
+    static u32 extractPayload(u32 word, FpcPattern p);
+    static u32 expand(u32 payload, FpcPattern p);
+};
+
+} // namespace cop
+
+#endif // COP_COMPRESS_FPC_HPP

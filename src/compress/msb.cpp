@@ -1,0 +1,98 @@
+#include "compress/msb.hpp"
+
+#include <cstdio>
+
+namespace cop {
+
+MsbCompressor::MsbCompressor(unsigned elide_bits, bool shifted)
+    : elide_(elide_bits), shifted_(shifted)
+{
+    COP_ASSERT(elide_ >= 1 && elide_ <= 32);
+    std::snprintf(name_, sizeof(name_), "MSB%u%s", elide_,
+                  shifted_ ? "s" : "u");
+}
+
+unsigned
+MsbCompressor::fieldShift() const
+{
+    // Shifted comparison ignores the sign bit (bit 63): the field spans
+    // bits [62, 63 - elide_]; unshifted spans [63, 64 - elide_].
+    return (shifted_ ? 63u : 64u) - elide_;
+}
+
+u64
+MsbCompressor::fieldMask() const
+{
+    const u64 ones = (elide_ == 64) ? ~0ULL : ((1ULL << elide_) - 1);
+    return ones << fieldShift();
+}
+
+bool
+MsbCompressor::matches(const CacheBlock &block) const
+{
+    const u64 mask = fieldMask();
+    const u64 ref = block.word64(0) & mask;
+    for (unsigned w = 1; w < 8; ++w) {
+        if ((block.word64(w) & mask) != ref)
+            return false;
+    }
+    return true;
+}
+
+int
+MsbCompressor::compressedBits(const CacheBlock &block) const
+{
+    if (!matches(block))
+        return -1;
+    return static_cast<int>(kBlockBits - 7 * elide_);
+}
+
+bool
+MsbCompressor::compress(const CacheBlock &block, unsigned budget_bits,
+                        BitWriter &out) const
+{
+    if (!canCompress(block, budget_bits))
+        return false;
+
+    const unsigned shift = fieldShift();
+    const u64 low_mask = (shift == 0) ? 0 : ((1ULL << shift) - 1);
+
+    out.write(block.word64(0), 64);
+    for (unsigned w = 1; w < 8; ++w) {
+        const u64 v = block.word64(w);
+        // Remaining bits: [shift-1, 0] plus anything above the field
+        // (only the sign bit, and only in shifted mode).
+        u64 packed = v & low_mask;
+        unsigned packed_bits = shift;
+        if (shifted_) {
+            packed |= (v >> 63) << shift;
+            packed_bits += 1;
+        }
+        out.write(packed, packed_bits);
+    }
+    return true;
+}
+
+void
+MsbCompressor::decompress(BitReader &in, unsigned budget_bits,
+                          CacheBlock &out) const
+{
+    (void)budget_bits;
+    const unsigned shift = fieldShift();
+    const u64 mask = fieldMask();
+    const u64 low_mask = (shift == 0) ? 0 : ((1ULL << shift) - 1);
+
+    const u64 word0 = in.read(64);
+    const u64 field = word0 & mask;
+    out.setWord64(0, word0);
+    for (unsigned w = 1; w < 8; ++w) {
+        unsigned packed_bits = shift + (shifted_ ? 1 : 0);
+        const u64 packed = in.read(packed_bits);
+        u64 v = (packed & low_mask) | field;
+        if (shifted_)
+            v |= ((packed >> shift) & 1ULL) << 63;
+        out.setWord64(w, v);
+    }
+}
+
+} // namespace cop

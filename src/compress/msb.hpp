@@ -1,0 +1,62 @@
+/**
+ * @file
+ * MSB compression (paper Section 3.2.1): a BDI-inspired scheme that
+ * removes redundant most-significant bits shared by the eight 8-byte
+ * words of a block. Far cheaper than BDI in hardware (no adders) yet
+ * effective for both integer and floating-point data; the "shifted"
+ * variant skips the IEEE-754 sign bit so FP values of mixed sign with
+ * similar exponents still compress (Figure 4).
+ */
+
+#ifndef COP_COMPRESS_MSB_HPP
+#define COP_COMPRESS_MSB_HPP
+
+#include "compress/compressor.hpp"
+
+namespace cop {
+
+/**
+ * MSB compressor.
+ *
+ * Stream layout: word 0 in full (64 bits), then words 1..7 each with the
+ * compared field elided (64 - elideBits bits each). Total size is
+ * 512 - 7 * elideBits: 477 bits for the 4-byte ECC configuration
+ * (elide 5) and 442 bits for the 8-byte configuration (elide 10).
+ */
+class MsbCompressor : public BlockCompressor
+{
+  public:
+    /**
+     * @param elide_bits Number of shared MSBs removed from words 1..7
+     *                   (5 for the 4-byte config, 10 for 8-byte).
+     * @param shifted    Skip the sign bit (bit 63) in the comparison.
+     */
+    explicit MsbCompressor(unsigned elide_bits = 5, bool shifted = true);
+
+    const char *name() const override { return name_; }
+    SchemeId id() const override { return SchemeId::Msb; }
+    int compressedBits(const CacheBlock &block) const override;
+    bool compress(const CacheBlock &block, unsigned budget_bits,
+                  BitWriter &out) const override;
+    void decompress(BitReader &in, unsigned budget_bits,
+                    CacheBlock &out) const override;
+
+    unsigned elideBits() const { return elide_; }
+    bool shifted() const { return shifted_; }
+
+  private:
+    /** Mask selecting the compared field within a 64-bit word. */
+    u64 fieldMask() const;
+    /** Lowest bit position of the compared field. */
+    unsigned fieldShift() const;
+    /** True iff all eight words agree on the compared field. */
+    bool matches(const CacheBlock &block) const;
+
+    unsigned elide_;
+    bool shifted_;
+    char name_[24];
+};
+
+} // namespace cop
+
+#endif // COP_COMPRESS_MSB_HPP

@@ -1,0 +1,122 @@
+#include "compress/rle.hpp"
+
+namespace cop {
+
+std::vector<RleRun>
+RleCompressor::findRuns(const CacheBlock &block)
+{
+    std::vector<RleRun> runs;
+    const auto bytes = block.bytes();
+    unsigned w = 0;
+    while (w < kBlockBytes / 2) {
+        const unsigned off = w * 2;
+        const u8 v = bytes[off];
+        if ((v == 0x00 || v == 0xFF) && bytes[off + 1] == v) {
+            unsigned len = 2;
+            if (off + 2 < kBlockBytes && bytes[off + 2] == v)
+                len = 3;
+            runs.push_back({v, len, off});
+            // A 3-byte run spills one byte into the next 16-bit word, so
+            // the following candidate offset skips that word entirely.
+            w += (len == 3) ? 2 : 1;
+        } else {
+            ++w;
+        }
+    }
+    return runs;
+}
+
+int
+RleCompressor::compressedBits(const CacheBlock &block) const
+{
+    unsigned freed = 0;
+    for (const auto &run : findRuns(block))
+        freed += freedBits(run);
+    if (freed == 0)
+        return -1;
+    return static_cast<int>(kBlockBits - freed);
+}
+
+bool
+RleCompressor::compress(const CacheBlock &block, unsigned budget_bits,
+                        BitWriter &out) const
+{
+    COP_ASSERT(budget_bits < kBlockBits);
+    const unsigned need = kBlockBits - budget_bits;
+
+    // Select the minimal prefix of runs (in address order) that frees
+    // enough bits. Encoding more runs than needed would change where the
+    // decoder believes the metadata ends.
+    std::vector<RleRun> all = findRuns(block);
+    std::vector<RleRun> used;
+    unsigned freed = 0;
+    for (const auto &run : all) {
+        if (freed >= need)
+            break;
+        used.push_back(run);
+        freed += freedBits(run);
+    }
+    if (freed < need)
+        return false;
+
+    for (const auto &run : used) {
+        out.write(run.value == 0xFF ? 1 : 0, 1);
+        out.write(run.length == 3 ? 1 : 0, 1);
+        out.write(run.offset / 2, 5);
+    }
+    // Literal data: every byte not covered by an encoded run.
+    std::vector<bool> covered(kBlockBytes, false);
+    for (const auto &run : used) {
+        for (unsigned i = 0; i < run.length; ++i)
+            covered[run.offset + i] = true;
+    }
+    for (unsigned i = 0; i < kBlockBytes; ++i) {
+        if (!covered[i])
+            out.write(block.byte(i), 8);
+    }
+    return true;
+}
+
+void
+RleCompressor::decompress(BitReader &in, unsigned budget_bits,
+                          CacheBlock &out) const
+{
+    COP_ASSERT(budget_bits < kBlockBits);
+    const unsigned need = kBlockBits - budget_bits;
+
+    // Metadata is self-delimiting: keep reading 7-bit descriptors until
+    // the bits they free reach the ECC requirement (Section 3.2.3).
+    //
+    // The stream may be garbage — the COP decoder decompresses even when
+    // a code word was flagged uncorrectable (the data is lost either
+    // way) — so every read is bounds-checked; malformed input yields a
+    // well-defined (if meaningless) block instead of tripping asserts.
+    std::vector<RleRun> runs;
+    unsigned freed = 0;
+    while (freed < need && in.bitsLeft() >= kMetaBits) {
+        RleRun run;
+        run.value = in.read(1) ? 0xFF : 0x00;
+        run.length = in.read(1) ? 3 : 2;
+        run.offset = static_cast<unsigned>(in.read(5)) * 2;
+        freed += freedBits(run);
+        if (run.offset + run.length <= kBlockBytes)
+            runs.push_back(run);
+    }
+
+    std::vector<bool> covered(kBlockBytes, false);
+    for (const auto &run : runs) {
+        for (unsigned i = 0; i < run.length; ++i) {
+            out.setByte(run.offset + i, run.value);
+            covered[run.offset + i] = true;
+        }
+    }
+    for (unsigned i = 0; i < kBlockBytes; ++i) {
+        if (!covered[i]) {
+            out.setByte(i, in.bitsLeft() >= 8
+                               ? static_cast<u8>(in.read(8))
+                               : 0);
+        }
+    }
+}
+
+} // namespace cop

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Run-length encoding tuned for COP (paper Section 3.2.3, Figure 5).
+ * Extracts short runs of 0x00 or 0xFF bytes; each run costs exactly 7
+ * bits of metadata (1 value bit, 1 length bit, 5-bit 16-bit-word offset),
+ * so freeing the 34 bits the 4-byte ECC configuration needs takes only
+ * two 3-byte runs, four 2-byte runs, or a mix. Only the minimum number
+ * of runs is encoded; the metadata stream is self-delimiting because the
+ * decoder stops reading run descriptors once enough bits have been freed.
+ */
+
+#ifndef COP_COMPRESS_RLE_HPP
+#define COP_COMPRESS_RLE_HPP
+
+#include <vector>
+
+#include "compress/compressor.hpp"
+
+namespace cop {
+
+/** One run found in a block: @p offset is a byte offset (even). */
+struct RleRun
+{
+    u8 value;        ///< 0x00 or 0xFF.
+    unsigned length; ///< 2 or 3 bytes.
+    unsigned offset; ///< Starting byte (always 16-bit aligned).
+};
+
+/**
+ * RLE compressor. Runs start at 16-bit word boundaries (so the 5-bit
+ * offset field can address all 32 positions in a 64-byte block) and never
+ * overlap; the encoder scans in address order and prefers 3-byte runs.
+ */
+class RleCompressor : public BlockCompressor
+{
+  public:
+    RleCompressor() = default;
+
+    const char *name() const override { return "RLE"; }
+    SchemeId id() const override { return SchemeId::Rle; }
+    int compressedBits(const CacheBlock &block) const override;
+    bool compress(const CacheBlock &block, unsigned budget_bits,
+                  BitWriter &out) const override;
+    void decompress(BitReader &in, unsigned budget_bits,
+                    CacheBlock &out) const override;
+
+    /** All non-overlapping runs, greedy scan — exposed for tests. */
+    static std::vector<RleRun> findRuns(const CacheBlock &block);
+
+    /** Bits freed by one run: run bits minus 7 metadata bits. */
+    static unsigned freedBits(const RleRun &run) { return run.length * 8 - 7; }
+
+  private:
+    static constexpr unsigned kMetaBits = 7;
+};
+
+} // namespace cop
+
+#endif // COP_COMPRESS_RLE_HPP

@@ -1,0 +1,35 @@
+#include "compress/txt.hpp"
+
+namespace cop {
+
+int
+TxtCompressor::compressedBits(const CacheBlock &block) const
+{
+    for (unsigned i = 0; i < kBlockBytes; ++i) {
+        if (block.byte(i) & 0x80)
+            return -1;
+    }
+    return static_cast<int>(kBlockBytes * 7);
+}
+
+bool
+TxtCompressor::compress(const CacheBlock &block, unsigned budget_bits,
+                        BitWriter &out) const
+{
+    if (!canCompress(block, budget_bits))
+        return false;
+    for (unsigned i = 0; i < kBlockBytes; ++i)
+        out.write(block.byte(i) & 0x7F, 7);
+    return true;
+}
+
+void
+TxtCompressor::decompress(BitReader &in, unsigned budget_bits,
+                          CacheBlock &out) const
+{
+    (void)budget_bits;
+    for (unsigned i = 0; i < kBlockBytes; ++i)
+        out.setByte(i, static_cast<u8>(in.read(7)));
+}
+
+} // namespace cop

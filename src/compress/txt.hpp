@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Text compression (paper Section 3.2.4): if every byte of a block is an
+ * ASCII character (MSB zero — which also covers the zero padding bytes of
+ * UTF-16-encoded ASCII), the 64 most-significant bits can be elided,
+ * compressing the block to 448 bits. That fits the 4-byte ECC budget
+ * (478 bits) but not the 8-byte budget (446 bits), so TXT participates
+ * only in the 4-byte combined scheme — exactly as in the paper, where TXT
+ * appears in Figure 9 but not Figure 8.
+ */
+
+#ifndef COP_COMPRESS_TXT_HPP
+#define COP_COMPRESS_TXT_HPP
+
+#include "compress/compressor.hpp"
+
+namespace cop {
+
+/** ASCII MSB-elision compressor: 64 x 7-bit characters. */
+class TxtCompressor : public BlockCompressor
+{
+  public:
+    TxtCompressor() = default;
+
+    const char *name() const override { return "TXT"; }
+    SchemeId id() const override { return SchemeId::Txt; }
+    int compressedBits(const CacheBlock &block) const override;
+    bool compress(const CacheBlock &block, unsigned budget_bits,
+                  BitWriter &out) const override;
+    void decompress(BitReader &in, unsigned budget_bits,
+                    CacheBlock &out) const override;
+};
+
+} // namespace cop
+
+#endif // COP_COMPRESS_TXT_HPP

@@ -1,0 +1,152 @@
+#include "core/chipkill_codec.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace cop {
+
+ChipkillCodec::ChipkillCodec(const ChipkillConfig &cfg)
+    : cfg_(cfg), rs_(ChipkillConfig::kPayloadPerBeat),
+      msb_(19, true), rle_()
+{
+    if (cfg_.threshold < 2 || cfg_.threshold > ChipkillConfig::kBeats)
+        COP_FATAL("chipkill threshold must be in [2, 8]");
+}
+
+void
+ChipkillCodec::applyHash(CacheBlock &block) const
+{
+    if (cfg_.useStaticHash)
+        block ^= staticHashBlock();
+}
+
+std::optional<SchemeId>
+ChipkillCodec::compressPayload(const CacheBlock &data,
+                               std::span<u8> payload) const
+{
+    constexpr unsigned budget = ChipkillConfig::kStreamBudget;
+    const BlockCompressor *schemes[] = {&msb_, &rle_};
+    for (const BlockCompressor *scheme : schemes) {
+        if (!scheme->canCompress(data, budget))
+            continue;
+        std::memset(payload.data(), 0, payload.size());
+        BitWriter writer(payload);
+        writer.write(static_cast<u64>(scheme->id()), kSchemeTagBits);
+        const bool ok = scheme->compress(data, budget, writer);
+        COP_ASSERT(ok);
+        return scheme->id();
+    }
+    return std::nullopt;
+}
+
+bool
+ChipkillCodec::compressible(const CacheBlock &data) const
+{
+    return msb_.canCompress(data, ChipkillConfig::kStreamBudget) ||
+           rle_.canCompress(data, ChipkillConfig::kStreamBudget);
+}
+
+CopEncodeResult
+ChipkillCodec::encode(const CacheBlock &data) const
+{
+    CopEncodeResult result;
+
+    std::array<u8, ChipkillConfig::kPayloadBits / 8> payload{};
+    const auto scheme = compressPayload(data, payload);
+    if (!scheme) {
+        if (isAlias(data)) {
+            result.status = EncodeStatus::AliasRejected;
+            result.stored = data;
+            return result;
+        }
+        result.status = EncodeStatus::Unprotected;
+        result.stored = data;
+        return result;
+    }
+
+    result.status = EncodeStatus::Protected;
+    result.scheme = *scheme;
+    for (unsigned beat = 0; beat < ChipkillConfig::kBeats; ++beat) {
+        std::array<u8, 8> word{};
+        std::memcpy(word.data(),
+                    payload.data() +
+                        beat * ChipkillConfig::kPayloadPerBeat,
+                    ChipkillConfig::kPayloadPerBeat);
+        rs_.encode(word);
+        std::memcpy(result.stored.data() + beat * 8, word.data(), 8);
+    }
+    applyHash(result.stored);
+    return result;
+}
+
+unsigned
+ChipkillCodec::countConsistentBeats(const CacheBlock &stored) const
+{
+    CacheBlock unhashed = stored;
+    applyHash(unhashed);
+    unsigned consistent = 0;
+    for (unsigned beat = 0; beat < ChipkillConfig::kBeats; ++beat) {
+        std::array<u8, 8> word;
+        std::memcpy(word.data(), unhashed.data() + beat * 8, 8);
+        const EccResult r = rs_.decode(word);
+        consistent += !r.uncorrectable();
+    }
+    return consistent;
+}
+
+ChipkillDecodeResult
+ChipkillCodec::decode(const CacheBlock &stored) const
+{
+    ChipkillDecodeResult result;
+
+    CacheBlock unhashed = stored;
+    applyHash(unhashed);
+
+    std::array<u8, ChipkillConfig::kPayloadBits / 8> payload{};
+    std::array<bool, ChipkillConfig::kBeats> bad{};
+    for (unsigned beat = 0; beat < ChipkillConfig::kBeats; ++beat) {
+        std::array<u8, 8> word;
+        std::memcpy(word.data(), unhashed.data() + beat * 8, 8);
+        const EccResult r = rs_.decode(word);
+        if (r.uncorrectable()) {
+            bad[beat] = true;
+        } else {
+            ++result.consistentBeats;
+            result.correctedSymbols += r.corrected();
+        }
+        std::memcpy(payload.data() +
+                        beat * ChipkillConfig::kPayloadPerBeat,
+                    word.data(), ChipkillConfig::kPayloadPerBeat);
+    }
+
+    if (result.consistentBeats < cfg_.threshold) {
+        result.compressed = false;
+        result.correctedSymbols = 0;
+        result.data = stored; // raw pass-through, un-hashed
+        return result;
+    }
+
+    result.compressed = true;
+    for (const bool b : bad)
+        result.detectedUncorrectable |= b;
+
+    BitReader reader(payload);
+    const auto tag = static_cast<SchemeId>(reader.read(kSchemeTagBits));
+    const BlockCompressor *scheme =
+        tag == SchemeId::Msb
+            ? static_cast<const BlockCompressor *>(&msb_)
+            : (tag == SchemeId::Rle
+                   ? static_cast<const BlockCompressor *>(&rle_)
+                   : nullptr);
+    if (scheme == nullptr) {
+        // Only reachable with an uncorrectable beat mangling the tag.
+        result.detectedUncorrectable = true;
+        result.data = CacheBlock();
+        return result;
+    }
+    scheme->decompress(reader, ChipkillConfig::kStreamBudget,
+                       result.data);
+    return result;
+}
+
+} // namespace cop

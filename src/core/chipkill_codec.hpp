@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Chipkill-COP: the extension the paper's conclusion sketches as
+ * future work ("naturally extended to provide even greater resilience
+ * (e.g. chipkill support)"). The same compress-then-protect-inline
+ * recipe, with the ECC budget raised from 4 to 16 bytes and the SECDED
+ * words replaced by Reed-Solomon words aligned to the DIMM's chip
+ * geometry:
+ *
+ *  - a x8 rank delivers one byte per chip per burst beat, so beat b of
+ *    a 64-byte block is bytes [8b, 8b+8) with byte i coming from chip i;
+ *  - each beat is stored as an RS(8,6) word over GF(256): 6 payload
+ *    bytes + 2 check bytes, correcting any single symbol — i.e. the
+ *    failure of any single chip corrupts one symbol per beat and every
+ *    beat self-corrects;
+ *  - compression must free 16 bytes + 2 tag bits (stream budget 382
+ *    bits), so only MSB (19-bit elide) and RLE participate;
+ *  - compressed-vs-raw detection generalises COP's valid-code-word
+ *    count: a beat is *consistent* if its RS word is valid or within
+ *    single-symbol correction; >= 6 consistent beats => compressed.
+ *    This survives a whole-chip failure (all beats remain consistent)
+ *    while a raw beat is consistent with probability ~2^-5, making
+ *    8-beat aliases (~2.4e-8) rarer than original COP's.
+ */
+
+#ifndef COP_CORE_CHIPKILL_CODEC_HPP
+#define COP_CORE_CHIPKILL_CODEC_HPP
+
+#include <optional>
+
+#include "compress/msb.hpp"
+#include "compress/rle.hpp"
+#include "core/codec.hpp"
+#include "ecc/reed_solomon.hpp"
+
+namespace cop {
+
+/** Chipkill-COP configuration. */
+struct ChipkillConfig
+{
+    /** Consistent beats required to treat a block as compressed. */
+    unsigned threshold = 6;
+    bool useStaticHash = true;
+
+    /** Burst beats per block (x8 rank, 64-bit bus). */
+    static constexpr unsigned kBeats = 8;
+    /** Chips per rank == symbols per beat. */
+    static constexpr unsigned kChips = 8;
+    /** Payload bytes per beat (2 RS check symbols). */
+    static constexpr unsigned kPayloadPerBeat = 6;
+    /** Total payload bits: 8 beats x 6 bytes = 384 (2 tag + 382). */
+    static constexpr unsigned kPayloadBits =
+        kBeats * kPayloadPerBeat * 8;
+    /** Compression budget after the scheme tag. */
+    static constexpr unsigned kStreamBudget =
+        kPayloadBits - kSchemeTagBits;
+};
+
+/** Result of a chipkill-COP decode. */
+struct ChipkillDecodeResult
+{
+    bool compressed = false;
+    CacheBlock data;
+    /** Beats that were valid or single-symbol-correctable. */
+    unsigned consistentBeats = 0;
+    /** RS symbol corrections applied across all beats. */
+    unsigned correctedSymbols = 0;
+    /** Some beat had >= 2 symbol errors: detected data loss. */
+    bool detectedUncorrectable = false;
+};
+
+/**
+ * The chipkill-COP encoder/decoder. Same contract as CopCodec, with
+ * the correction envelope widened to any single-chip failure of a
+ * protected block.
+ */
+class ChipkillCodec
+{
+  public:
+    explicit ChipkillCodec(const ChipkillConfig &cfg = ChipkillConfig{});
+
+    const ChipkillConfig &config() const { return cfg_; }
+
+    /** Compress + RS-protect, or pass raw / reject aliases. */
+    CopEncodeResult encode(const CacheBlock &data) const;
+
+    /** Count valid-or-correctable beats, correct, decompress. */
+    ChipkillDecodeResult decode(const CacheBlock &stored) const;
+
+    /** Beats a raw block would present as consistent. */
+    unsigned countConsistentBeats(const CacheBlock &stored) const;
+
+    bool
+    isAlias(const CacheBlock &raw) const
+    {
+        return countConsistentBeats(raw) >= cfg_.threshold;
+    }
+
+    /** Can this block shed 16 bytes + tag under MSB19/RLE? */
+    bool compressible(const CacheBlock &data) const;
+
+    const RsCode &code() const { return rs_; }
+
+  private:
+    void applyHash(CacheBlock &block) const;
+    /** Try the schemes in tag order; returns scheme id on success. */
+    std::optional<SchemeId> compressPayload(const CacheBlock &data,
+                                            std::span<u8> payload) const;
+
+    ChipkillConfig cfg_;
+    RsCode rs_;
+    MsbCompressor msb_;
+    RleCompressor rle_;
+};
+
+} // namespace cop
+
+#endif // COP_CORE_CHIPKILL_CODEC_HPP

@@ -1,0 +1,73 @@
+#include "core/coper_codec.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace cop {
+
+namespace {
+
+/** Codeword buffer for the (523,512) wide code: 66 bytes. */
+using WideBuf = std::array<u8, 66>;
+
+void
+fillWideData(WideBuf &buf, const CacheBlock &data)
+{
+    buf.fill(0);
+    std::memcpy(buf.data(), data.data(), kBlockBytes);
+}
+
+} // namespace
+
+CoperCodec::CoperCodec(const CopCodec &base) : base_(base)
+{
+    if (base.config().checkBytes != 4)
+        COP_FATAL("COP-ER is defined on the 4-byte COP configuration");
+}
+
+u16
+CoperCodec::wideCheck(const CacheBlock &data)
+{
+    WideBuf buf;
+    fillWideData(buf, data);
+    codes::wide523().encode(buf);
+    return static_cast<u16>(getBits(buf, 512, 11));
+}
+
+CoperEncodeResult
+CoperCodec::encodeIncompressible(const CacheBlock &data,
+                                 u32 entry_index) const
+{
+    CoperEncodeResult result;
+    result.check = wideCheck(data);
+    result.stored = data;
+    result.displaced = PointerCodec::embedField(
+        result.stored, PointerCodec::encodeField(entry_index));
+    result.aliasFree = !base_.isAlias(result.stored);
+    return result;
+}
+
+CoperDecodeResult
+CoperCodec::reconstruct(const CacheBlock &stored,
+                        const EccEntry &entry) const
+{
+    CoperDecodeResult result;
+
+    // Restore the displaced original bits over the pointer field. Any
+    // soft error that hit the pointer field in DRAM is irrelevant now:
+    // those stored bits are discarded wholesale.
+    result.data = stored;
+    PointerCodec::embedField(result.data, entry.displaced);
+
+    // Correct the whole block with the entry's wide-code check bits.
+    WideBuf buf;
+    fillWideData(buf, result.data);
+    setBits(buf, 512, 11, entry.check);
+    result.blockEcc = codes::wide523().decode(buf);
+    if (result.blockEcc.corrected() && result.blockEcc.bitIndex < 512) {
+        std::memcpy(result.data.data(), buf.data(), kBlockBytes);
+    }
+    return result;
+}
+
+} // namespace cop

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * CoperCodec — the COP-ER block transformations of paper Section 3.3:
+ * how an incompressible block is stored (34 bits displaced by a
+ * SEC-protected pointer to an ECC-region entry) and how it is read back
+ * (pointer corrected, displaced data restored, whole block corrected by
+ * the entry's wide (523,512) code). Allocation policy and DRAM traffic
+ * live in the CopErController; this class is pure data transformation.
+ */
+
+#ifndef COP_CORE_COPER_CODEC_HPP
+#define COP_CORE_COPER_CODEC_HPP
+
+#include "core/codec.hpp"
+#include "core/ecc_region.hpp"
+#include "core/pointer_codec.hpp"
+
+namespace cop {
+
+/** Stored image + ECC-entry payload for one incompressible block. */
+struct CoperEncodeResult
+{
+    /** Block image to write to DRAM (pointer embedded). */
+    CacheBlock stored;
+    /** The 34 original bits the pointer displaced (goes in the entry). */
+    u64 displaced = 0;
+    /** (523,512) check bits over the original block (goes in the entry). */
+    u16 check = 0;
+    /**
+     * True when the stored image does not alias (i.e. the COP decoder
+     * will correctly see it as uncompressed). When false the caller must
+     * retry with a different entry index (Section 3.3's de-aliasing).
+     */
+    bool aliasFree = true;
+};
+
+/** Result of reconstructing an incompressible block from its entry. */
+struct CoperDecodeResult
+{
+    /** Reconstructed (and corrected) application data. */
+    CacheBlock data;
+    /** ECC outcome of the wide (523,512) whole-block code. */
+    EccResult blockEcc;
+};
+
+/**
+ * COP-ER encode/decode for incompressible blocks. Defined only for the
+ * 4-byte COP configuration (the one the paper evaluates COP-ER on).
+ */
+class CoperCodec
+{
+  public:
+    explicit CoperCodec(const CopCodec &base);
+
+    const CopCodec &base() const { return base_; }
+
+    /** (523,512) check bits over a raw block. */
+    static u16 wideCheck(const CacheBlock &data);
+
+    /**
+     * Build the stored image of an incompressible block for entry
+     * @p entry_index, reporting whether the image is alias-free.
+     */
+    CoperEncodeResult encodeIncompressible(const CacheBlock &data,
+                                           u32 entry_index) const;
+
+    /**
+     * Extract and correct the embedded pointer from a stored
+     * incompressible block (the first step of the read path, after the
+     * COP decoder classified the block as uncompressed).
+     */
+    PointerDecodeResult
+    extractPointer(const CacheBlock &stored) const
+    {
+        return PointerCodec::decodeField(PointerCodec::extractField(stored));
+    }
+
+    /**
+     * Restore the displaced bits from @p entry and correct the whole
+     * block with the entry's check bits.
+     */
+    CoperDecodeResult reconstruct(const CacheBlock &stored,
+                                  const EccEntry &entry) const;
+
+  private:
+    const CopCodec &base_;
+};
+
+} // namespace cop
+
+#endif // COP_CORE_COPER_CODEC_HPP

@@ -1,0 +1,153 @@
+#include "core/ecc_region.hpp"
+
+namespace cop {
+
+u16
+EccRegion::blockCount(u64 entry_block) const
+{
+    if (entry_block >= block_valid_count_.size())
+        return 0;
+    return block_valid_count_[entry_block];
+}
+
+bool
+EccRegion::l3BlockHasSpace(u64 l3) const
+{
+    if (l3 >= l3_full_count_.size())
+        return true; // virgin territory: everything free
+    return l3_full_count_[l3] < kValidBitsPerBlock;
+}
+
+u32
+EccRegion::allocate()
+{
+    ++stats_.allocs;
+    last_touches_ = {};
+
+    // Step 1: the MRU L3 valid-bit block (one tree-block read).
+    u64 l3 = mru_l3_;
+    last_touches_.treeBlockReads += 1;
+    if (!l3BlockHasSpace(l3)) {
+        // Step 2: hierarchy walk — L1 and L2 reads locate the first L3
+        // block with a zero bit (Section 3.3 / Figure 7). The functional
+        // search is first-fit by index.
+        ++stats_.hierarchyWalks;
+        last_touches_.treeBlockReads += 2; // L1 + L2
+        l3 = 0;
+        while (!l3BlockHasSpace(l3))
+            ++l3;
+        last_touches_.treeBlockReads += 1; // the located L3 block
+        mru_l3_ = l3;
+    }
+
+    // Step 3: find a non-full entry block under this L3 block.
+    const u64 first_block = l3 * kValidBitsPerBlock;
+    u64 entry_block = first_block;
+    while (blockCount(entry_block) >= kEntriesPerBlock)
+        ++entry_block;
+    COP_ASSERT(entry_block < first_block + kValidBitsPerBlock);
+
+    // Step 4: claim the first invalid slot in that entry block.
+    const u64 needed = (entry_block + 1) * kEntriesPerBlock;
+    if (entries_.size() < needed) {
+        entries_.resize(needed);
+        block_valid_count_.resize(entry_block + 1, 0);
+    }
+    u32 index = 0;
+    bool found = false;
+    for (unsigned slot = 0; slot < kEntriesPerBlock; ++slot) {
+        const u64 candidate = entry_block * kEntriesPerBlock + slot;
+        if (!entries_[candidate].valid) {
+            index = static_cast<u32>(candidate);
+            found = true;
+            break;
+        }
+    }
+    COP_ASSERT(found);
+
+    entries_[index].valid = true;
+    ++block_valid_count_[entry_block];
+    ++valid_entries_;
+    if (index + 1 > high_water_)
+        high_water_ = index + 1;
+
+    // The entry block itself is written by the caller; tree updates only
+    // happen when the block transitions to full.
+    if (block_valid_count_[entry_block] == kEntriesPerBlock) {
+        if (l3_full_count_.size() <= l3)
+            l3_full_count_.resize(l3 + 1, 0);
+        ++l3_full_count_[l3];
+        last_touches_.treeBlockWrites += 1; // L3 bit set
+        if (l3_full_count_[l3] == kValidBitsPerBlock)
+            last_touches_.treeBlockWrites += 1; // L2 bit set
+    }
+    return index;
+}
+
+void
+EccRegion::free(u32 index)
+{
+    ++stats_.frees;
+    last_touches_ = {};
+    COP_ASSERT(index < entries_.size() && entries_[index].valid);
+
+    const u64 entry_block = index / kEntriesPerBlock;
+    const u64 l3 = entry_block / kValidBitsPerBlock;
+    const bool was_full =
+        block_valid_count_[entry_block] == kEntriesPerBlock;
+
+    entries_[index] = EccEntry{};
+    --block_valid_count_[entry_block];
+    --valid_entries_;
+
+    if (was_full) {
+        COP_ASSERT(l3 < l3_full_count_.size() && l3_full_count_[l3] > 0);
+        const bool l3_was_full = l3_full_count_[l3] == kValidBitsPerBlock;
+        --l3_full_count_[l3];
+        last_touches_.treeBlockWrites += 1; // L3 bit cleared
+        if (l3_was_full)
+            last_touches_.treeBlockWrites += 1; // L2 bit cleared
+    }
+}
+
+bool
+EccRegion::valid(u32 index) const
+{
+    return index < entries_.size() && entries_[index].valid;
+}
+
+EccEntry &
+EccRegion::entryAt(u32 index)
+{
+    COP_ASSERT(index < entries_.size());
+    return entries_[index];
+}
+
+const EccEntry &
+EccRegion::entryAt(u32 index) const
+{
+    COP_ASSERT(index < entries_.size());
+    return entries_[index];
+}
+
+u64
+EccRegion::storageBlocksForEntries(u64 entries)
+{
+    if (entries == 0)
+        return 0;
+    const u64 entry_blocks =
+        (entries + kEntriesPerBlock - 1) / kEntriesPerBlock;
+    const u64 l3 =
+        (entry_blocks + kValidBitsPerBlock - 1) / kValidBitsPerBlock;
+    const u64 l2 = (l3 + kValidBitsPerBlock - 1) / kValidBitsPerBlock;
+    const u64 l1 = (l2 + kValidBitsPerBlock - 1) / kValidBitsPerBlock;
+    return entry_blocks + l3 + l2 + l1;
+}
+
+u64
+EccRegion::storageBlocksHighWater() const
+{
+    return storageBlocksForEntries(high_water_);
+}
+
+} // namespace cop

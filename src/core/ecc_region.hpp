@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The COP-ER ECC region (paper Section 3.3, Figures 6 and 7): a
+ * dynamically growing pool of 46-bit entries — valid bit, the 34 bits of
+ * data displaced by the pointer, and 11 (523,512) check bits protecting
+ * the whole original block — packed 11 entries per 64-byte block, with a
+ * three-level valid-bit tree (501 valid bits + 11 parity per tree block)
+ * that lets the controller find a free entry without an exhaustive scan.
+ */
+
+#ifndef COP_CORE_ECC_REGION_HPP
+#define COP_CORE_ECC_REGION_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cop {
+
+/** One ECC-region entry (Figure 6: V | displaced data | ECC). */
+struct EccEntry
+{
+    bool valid = false;
+    /** The 34 bits displaced from the incompressible block. */
+    u64 displaced = 0;
+    /** 11 check bits of the (523,512) code over the original block. */
+    u16 check = 0;
+};
+
+/**
+ * Functional model of the ECC region and its valid-bit hierarchy. Pure
+ * bookkeeping — the memory-controller layer translates the access counts
+ * reported here into DRAM traffic and charges latency.
+ *
+ * Geometry: 11 entries per ECC-entry block; each L3 valid-bit block
+ * tracks fullness of 501 entry blocks; each L2 block tracks 501 L3
+ * blocks; one L1 level on top. The controller keeps an MRU pointer to
+ * the L3 block it last allocated from (Section 3.3).
+ */
+class EccRegion
+{
+  public:
+    static constexpr unsigned kEntriesPerBlock = 11;
+    static constexpr unsigned kEntryBits = 46;
+    static constexpr unsigned kValidBitsPerBlock = 501;
+
+    /** Access-count record of the most recent allocate()/free(). */
+    struct TouchRecord
+    {
+        /** Valid-bit tree blocks read (L3 scan + any L1/L2 walk). */
+        unsigned treeBlockReads = 0;
+        /** Valid-bit tree blocks written (fullness bit updates). */
+        unsigned treeBlockWrites = 0;
+    };
+
+    /** Lifetime statistics. */
+    struct Stats
+    {
+        u64 allocs = 0;
+        u64 frees = 0;
+        u64 hierarchyWalks = 0; ///< Allocations that left the MRU L3 block.
+    };
+
+    EccRegion() = default;
+
+    /**
+     * Allocate a free entry (marks it valid) using the MRU-L3 /
+     * tree-walk policy and return its index.
+     */
+    u32 allocate();
+
+    /** Invalidate an entry, returning it to the free pool. */
+    void free(u32 index);
+
+    /** Is this entry currently valid? */
+    bool valid(u32 index) const;
+
+    /** Entry payload access (entry must be within the grown region). */
+    EccEntry &entryAt(u32 index);
+    const EccEntry &entryAt(u32 index) const;
+
+    /** Currently valid entries. */
+    u64 validEntries() const { return valid_entries_; }
+    /** Highest entry count ever reached (entries are packed low-first). */
+    u64 highWaterEntries() const { return high_water_; }
+
+    /** Entry blocks backing the high-water mark. */
+    u64
+    entryBlocksHighWater() const
+    {
+        return (high_water_ + kEntriesPerBlock - 1) / kEntriesPerBlock;
+    }
+
+    /**
+     * Total 64-byte blocks of DRAM the region occupies at high water,
+     * including the valid-bit tree (Figure 6's full layout).
+     */
+    u64 storageBlocksHighWater() const;
+
+    /**
+     * Region blocks (entries + valid-bit tree) needed for @p entries
+     * ECC entries — Figure 12's no-deallocation storage accounting.
+     */
+    static u64 storageBlocksForEntries(u64 entries);
+
+    /** Access counts of the most recent allocate()/free(). */
+    const TouchRecord &lastTouches() const { return last_touches_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    /** Entry blocks covered by L3 valid-bit block @p l3. */
+    bool l3BlockHasSpace(u64 l3) const;
+    /** Per-entry-block count of valid entries (grows on demand). */
+    u16 blockCount(u64 entry_block) const;
+
+    std::vector<EccEntry> entries_;
+    /** valid-entry count per entry block (parallel to entries_/11). */
+    std::vector<u16> block_valid_count_;
+    /** full-entry-block count per L3 valid-bit block. */
+    std::vector<u16> l3_full_count_;
+    u64 mru_l3_ = 0;
+    u64 valid_entries_ = 0;
+    u64 high_water_ = 0;
+    TouchRecord last_touches_;
+    Stats stats_;
+};
+
+} // namespace cop
+
+#endif // COP_CORE_ECC_REGION_HPP

@@ -1,0 +1,59 @@
+#include "core/pointer_codec.hpp"
+
+#include <array>
+
+namespace cop {
+
+u64
+PointerCodec::encodeField(u32 entry_index)
+{
+    COP_ASSERT(entry_index <= kMaxIndex);
+    std::array<u8, 8> buf{};
+    setBits(buf, 0, kIndexBits, entry_index);
+    codes::pointer34().encode(buf);
+    return getBits(buf, 0, kFieldBits);
+}
+
+PointerDecodeResult
+PointerCodec::decodeField(u64 field)
+{
+    std::array<u8, 8> buf{};
+    setBits(buf, 0, kFieldBits, field);
+    PointerDecodeResult result;
+    result.ecc = codes::pointer34().decode(buf);
+    result.entryIndex = static_cast<u32>(getBits(buf, 0, kIndexBits));
+    return result;
+}
+
+u64
+PointerCodec::embedField(CacheBlock &block, u64 field)
+{
+    u64 displaced = 0;
+    unsigned consumed = 0;
+    for (unsigned s = 0; s < 4; ++s) {
+        const unsigned width = kScatterWidth[s];
+        displaced |= getBits(block.bytes(), kScatterOffset[s], width)
+                     << consumed;
+        setBits(block.bytes(), kScatterOffset[s], width,
+                (field >> consumed) & ((1ULL << width) - 1));
+        consumed += width;
+    }
+    COP_ASSERT(consumed == kFieldBits);
+    return displaced;
+}
+
+u64
+PointerCodec::extractField(const CacheBlock &block)
+{
+    u64 field = 0;
+    unsigned consumed = 0;
+    for (unsigned s = 0; s < 4; ++s) {
+        const unsigned width = kScatterWidth[s];
+        field |= getBits(block.bytes(), kScatterOffset[s], width)
+                 << consumed;
+        consumed += width;
+    }
+    return field;
+}
+
+} // namespace cop

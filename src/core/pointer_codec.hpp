@@ -1,0 +1,68 @@
+/**
+ * @file
+ * COP-ER pointer handling (paper Section 3.3, Figure 6): every
+ * incompressible block stored under COP-ER has 34 bits displaced — a
+ * 28-bit ECC-region entry index plus 6 SEC check bits — and those 34 bits
+ * are scattered across all four code-word segments. Scattering matters:
+ * because the pointer overlaps every code word the decoder examines,
+ * choosing a different entry index perturbs all four syndromes, which is
+ * what lets the allocator steer an incompressible block away from being
+ * an alias.
+ */
+
+#ifndef COP_CORE_POINTER_CODEC_HPP
+#define COP_CORE_POINTER_CODEC_HPP
+
+#include "common/cache_block.hpp"
+#include "ecc/secded.hpp"
+
+namespace cop {
+
+/** Result of extracting + correcting an embedded COP-ER pointer. */
+struct PointerDecodeResult
+{
+    /** Corrected entry index. */
+    u32 entryIndex = 0;
+    /** ECC outcome on the 34-bit pointer field. */
+    EccResult ecc;
+};
+
+/**
+ * Encoder/decoder for the 34-bit displaced pointer field. Stateless.
+ *
+ * Field layout (34 bits): entry index bits [0, 28), SEC check bits
+ * [28, 34) — the (34,28) Hamming code from ecc::codes::pointer34().
+ * Scatter layout: 9 bits at the head of segments 0 and 1, 8 bits at the
+ * head of segments 2 and 3 (block bit offsets 0, 128, 256, 384), for the
+ * 4-byte COP configuration COP-ER is defined on.
+ */
+class PointerCodec
+{
+  public:
+    static constexpr unsigned kIndexBits = 28;
+    static constexpr unsigned kCheckBits = 6;
+    static constexpr unsigned kFieldBits = kIndexBits + kCheckBits;
+    /** Largest encodable ECC-region entry index. */
+    static constexpr u32 kMaxIndex = (1u << kIndexBits) - 1;
+
+    /** Build the protected 34-bit field for an entry index. */
+    static u64 encodeField(u32 entry_index);
+
+    /** Correct and extract the entry index from a 34-bit field. */
+    static PointerDecodeResult decodeField(u64 field);
+
+    /** Scatter a 34-bit field into a block (returns displaced bits). */
+    static u64 embedField(CacheBlock &block, u64 field);
+
+    /** Gather the scattered 34-bit field from a block. */
+    static u64 extractField(const CacheBlock &block);
+
+    /** Bits-per-segment scatter widths. */
+    static constexpr unsigned kScatterWidth[4] = {9, 9, 8, 8};
+    /** Block bit offset of each scatter slice. */
+    static constexpr unsigned kScatterOffset[4] = {0, 128, 256, 384};
+};
+
+} // namespace cop
+
+#endif // COP_CORE_POINTER_CODEC_HPP

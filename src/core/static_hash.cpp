@@ -1,0 +1,22 @@
+#include "core/static_hash.hpp"
+
+#include "common/rng.hpp"
+
+namespace cop {
+
+const CacheBlock &
+staticHashBlock()
+{
+    static const CacheBlock hash = [] {
+        // Pinned seed: the hash is a hard-wired constant of the "memory
+        // controller", not a per-run random value.
+        Rng rng(0xC0DEC0DEC0DEC0DEULL);
+        CacheBlock b;
+        for (unsigned w = 0; w < 8; ++w)
+            b.setWord64(w, rng.next());
+        return b;
+    }();
+    return hash;
+}
+
+} // namespace cop

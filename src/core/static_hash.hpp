@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The static hash of paper Section 3.1: a fixed 64-byte pattern XORed
+ * into every compressed/protected block after ECC encoding (and removed
+ * before decoding). Each 128-bit (or 64-bit) segment gets a *different*
+ * hash value, so application data consisting of one repeated value cannot
+ * produce several identical valid code words and masquerade as a
+ * compressed block.
+ */
+
+#ifndef COP_CORE_STATIC_HASH_HPP
+#define COP_CORE_STATIC_HASH_HPP
+
+#include "common/cache_block.hpp"
+
+namespace cop {
+
+/**
+ * The process-wide static hash block. The values are arbitrary but fixed
+ * (generated once from a pinned xoshiro seed), as they would be hard-wired
+ * in the memory controller; determinism keeps DRAM images comparable
+ * across runs.
+ */
+const CacheBlock &staticHashBlock();
+
+} // namespace cop
+
+#endif // COP_CORE_STATIC_HASH_HPP

@@ -1,0 +1,140 @@
+#include "dram/dram_system.hpp"
+
+#include <algorithm>
+
+namespace cop {
+
+DramSystem::DramSystem(const DramConfig &cfg) : cfg_(cfg), map_(cfg)
+{
+    cfg_.validate();
+    channels_.resize(cfg_.channels);
+    for (auto &ch : channels_) {
+        ch.banks.resize(
+            static_cast<size_t>(cfg_.ranksPerChannel) * cfg_.banksPerRank);
+        ch.ranks.resize(cfg_.ranksPerChannel);
+    }
+}
+
+DramSystem::Bank &
+DramSystem::bankAt(const DramLocation &loc)
+{
+    return channels_[loc.channel]
+        .banks[static_cast<size_t>(loc.rank) * cfg_.banksPerRank + loc.bank];
+}
+
+DramSystem::Rank &
+DramSystem::rankAt(const DramLocation &loc)
+{
+    return channels_[loc.channel].ranks[loc.rank];
+}
+
+Cycle
+DramSystem::adjustForRefresh(Cycle cycle)
+{
+    if (!cfg_.refreshEnabled)
+        return cycle;
+    // All-bank refresh every tREFI; a command landing inside the tRFC
+    // window slips to its end.
+    const Cycle phase = cycle % cfg_.tREFI;
+    if (phase < cfg_.tRFC) {
+        ++stats_.refreshStalls;
+        return cycle - phase + cfg_.tRFC;
+    }
+    return cycle;
+}
+
+Cycle
+DramSystem::bankReadyHint(Addr addr) const
+{
+    const DramLocation loc = map_.decode(addr);
+    const Bank &bank =
+        channels_[loc.channel]
+            .banks[static_cast<size_t>(loc.rank) * cfg_.banksPerRank +
+                   loc.bank];
+    return bank.rowOpen && bank.openRow == loc.row ? bank.casReady
+                                                   : bank.actReady;
+}
+
+DramResult
+DramSystem::access(const DramRequest &req)
+{
+    const DramLocation loc = map_.decode(req.addr);
+    Channel &channel = channels_[loc.channel];
+    Bank &bank = bankAt(loc);
+    Rank &rank = rankAt(loc);
+
+    DramResult result;
+    Cycle cas; // cycle the column command issues
+
+    if (bank.rowOpen && bank.openRow == loc.row) {
+        // Row hit: column access only.
+        result.rowHit = true;
+        ++stats_.rowHits;
+        cas = std::max(req.arrival, bank.casReady);
+    } else {
+        // Need an activate; maybe a precharge first.
+        Cycle act_earliest;
+        if (bank.rowOpen) {
+            result.rowConflict = true;
+            ++stats_.rowConflicts;
+            const Cycle pre = std::max(req.arrival, bank.preReady);
+            act_earliest = pre + cfg_.tRP;
+        } else {
+            ++stats_.rowMisses;
+            act_earliest = std::max(req.arrival, bank.actReady);
+        }
+        // Per-rank activate constraints: tRRD and the 4-activate window
+        // (only binding once enough prior activates exist).
+        if (rank.actCount >= 1)
+            act_earliest = std::max(act_earliest, rank.lastAct + cfg_.tRRD);
+        if (rank.actCount >= 4) {
+            act_earliest = std::max(
+                act_earliest, rank.lastActs[rank.actPtr] + cfg_.tFAW);
+        }
+        const Cycle act = adjustForRefresh(act_earliest);
+
+        rank.lastActs[rank.actPtr] = act;
+        rank.actPtr = (rank.actPtr + 1) % 4;
+        ++rank.actCount;
+        rank.lastAct = act;
+
+        bank.rowOpen = true;
+        bank.openRow = loc.row;
+        bank.casReady = act + cfg_.tRCD;
+        bank.preReady = act + cfg_.tRAS;
+        cas = bank.casReady;
+        cas = std::max(cas, req.arrival);
+    }
+
+    // Data transfer on the shared channel bus.
+    const Cycle cas_to_data = req.isWrite ? cfg_.tCWL : cfg_.tCL;
+    Cycle data = std::max(cas + cas_to_data, channel.busFree);
+    channel.busFree = data + cfg_.tBURST;
+    result.complete = data + cfg_.tBURST;
+
+    // Back-annotate bank state.
+    const Cycle effective_cas = data - cas_to_data;
+    bank.casReady = std::max(bank.casReady, effective_cas + cfg_.tCCD);
+    if (req.isWrite) {
+        ++stats_.writes;
+        bank.preReady =
+            std::max(bank.preReady, result.complete + cfg_.tWR);
+    } else {
+        ++stats_.reads;
+        bank.preReady =
+            std::max(bank.preReady, effective_cas + cfg_.tRTP);
+        stats_.totalReadLatency += result.complete - req.arrival;
+    }
+    if (cfg_.rowPolicy == RowPolicy::Closed) {
+        // Auto-precharge: the row closes as soon as timing allows, and
+        // the next access to this bank must re-activate.
+        bank.rowOpen = false;
+        bank.actReady = std::max(bank.actReady, bank.preReady + cfg_.tRP);
+    } else {
+        bank.actReady = std::max(bank.actReady, bank.preReady + cfg_.tRP);
+    }
+
+    return result;
+}
+
+} // namespace cop

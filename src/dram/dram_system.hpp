@@ -1,0 +1,128 @@
+/**
+ * @file
+ * DramSystem: a DRAMSim2-inspired timing model of the Table 1 memory
+ * system. Reservation-based rather than event-driven: each access is
+ * scheduled against per-bank row-buffer state, per-rank activate
+ * windows, and the per-channel data bus, in submission order. The model
+ * captures the first-order effects COP's evaluation depends on — row
+ * hits vs misses/conflicts, bank- and channel-level parallelism, bus
+ * serialisation, and the extra contention ECC-region traffic creates.
+ */
+
+#ifndef COP_DRAM_DRAM_SYSTEM_HPP
+#define COP_DRAM_DRAM_SYSTEM_HPP
+
+#include <array>
+#include <vector>
+
+#include "dram/config.hpp"
+
+namespace cop {
+
+/** One memory request presented to the DRAM system. */
+struct DramRequest
+{
+    Addr addr = 0;
+    bool isWrite = false;
+    Cycle arrival = 0;
+};
+
+/** Timing outcome of one request. */
+struct DramResult
+{
+    /** Cycle at which the last data beat transfers. */
+    Cycle complete = 0;
+    /** The access hit an open row. */
+    bool rowHit = false;
+    /** The access had to close another row first (conflict). */
+    bool rowConflict = false;
+};
+
+/** Aggregate DRAM statistics. */
+struct DramStats
+{
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 rowHits = 0;
+    u64 rowMisses = 0;
+    u64 rowConflicts = 0;
+    u64 refreshStalls = 0;
+    Cycle totalReadLatency = 0;
+
+    double
+    rowHitRate() const
+    {
+        const u64 n = rowHits + rowMisses + rowConflicts;
+        return n ? static_cast<double>(rowHits) / n : 0.0;
+    }
+
+    double
+    avgReadLatency() const
+    {
+        return reads ? static_cast<double>(totalReadLatency) / reads : 0.0;
+    }
+};
+
+/**
+ * The DRAM timing model. Open-row policy (rows stay open until a
+ * conflicting activate), per-rank tRRD/tFAW tracking, optional refresh.
+ *
+ * Requests must be submitted in non-decreasing arrival order per
+ * channel for the reservation model to be meaningful; the simulator's
+ * global-clock scheduler guarantees this.
+ */
+class DramSystem
+{
+  public:
+    explicit DramSystem(const DramConfig &cfg = DramConfig{});
+
+    /** Schedule one access; returns its completion time. */
+    DramResult access(const DramRequest &req);
+
+    const DramConfig &config() const { return cfg_; }
+    const DramStats &stats() const { return stats_; }
+    void resetStats() { stats_ = DramStats{}; }
+
+    /** Earliest cycle the addressed bank could start a new activate. */
+    Cycle bankReadyHint(Addr addr) const;
+
+  private:
+    struct Bank
+    {
+        bool rowOpen = false;
+        u64 openRow = 0;
+        Cycle casReady = 0; ///< Earliest next CAS.
+        Cycle preReady = 0; ///< Earliest next PRE (tRAS/tWR respected).
+        Cycle actReady = 0; ///< Earliest next ACT (after PRE done).
+    };
+
+    struct Rank
+    {
+        std::array<Cycle, 4> lastActs{}; ///< Rolling window for tFAW.
+        unsigned actPtr = 0;
+        u64 actCount = 0; ///< Activates issued so far (guards the window).
+        Cycle lastAct = 0;
+    };
+
+    struct Channel
+    {
+        std::vector<Bank> banks;  ///< ranksPerChannel * banksPerRank.
+        std::vector<Rank> ranks;
+        Cycle busFree = 0;
+    };
+
+    Bank &bankAt(const DramLocation &loc);
+    Rank &rankAt(const DramLocation &loc);
+
+    /** Delay @p cycle past any refresh window it lands in. */
+    Cycle adjustForRefresh(Cycle cycle);
+
+    DramConfig cfg_;
+    AddressMap map_;
+    std::vector<Channel> channels_;
+    DramStats stats_;
+};
+
+} // namespace cop
+
+#endif // COP_DRAM_DRAM_SYSTEM_HPP

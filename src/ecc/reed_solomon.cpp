@@ -1,0 +1,133 @@
+#include "ecc/reed_solomon.hpp"
+
+namespace cop {
+
+struct Gf256::Tables
+{
+    std::array<u8, 512> exp{};
+    std::array<unsigned, 256> log{};
+
+    Tables()
+    {
+        u8 x = 1;
+        for (unsigned e = 0; e < 255; ++e) {
+            exp[e] = x;
+            log[x] = e;
+            // multiply by alpha = 0x03 = x + 1: x*3 = (x<<1) ^ x.
+            const u8 hi = static_cast<u8>(x & 0x80);
+            u8 doubled = static_cast<u8>(x << 1);
+            if (hi)
+                doubled ^= 0x1B; // reduce modulo 0x11B
+            x = static_cast<u8>(doubled ^ x);
+        }
+        for (unsigned e = 255; e < 512; ++e)
+            exp[e] = exp[e - 255];
+    }
+};
+
+const Gf256::Tables &
+Gf256::tables()
+{
+    static const Tables t;
+    return t;
+}
+
+u8
+Gf256::mul(u8 a, u8 b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+}
+
+u8
+Gf256::inv(u8 a)
+{
+    COP_ASSERT(a != 0);
+    const Tables &t = tables();
+    return t.exp[255 - t.log[a]];
+}
+
+u8
+Gf256::exp(unsigned e)
+{
+    return tables().exp[e % 255];
+}
+
+unsigned
+Gf256::log(u8 a)
+{
+    COP_ASSERT(a != 0);
+    return tables().log[a];
+}
+
+RsCode::RsCode(unsigned data_symbols) : k_(data_symbols)
+{
+    // Positions must have distinct alpha powers.
+    COP_ASSERT(k_ >= 1 && k_ + 2 <= 255);
+}
+
+void
+RsCode::syndromes(std::span<const u8> codeword, u8 &s0, u8 &s1) const
+{
+    s0 = 0;
+    s1 = 0;
+    for (unsigned i = 0; i < codeSymbols(); ++i) {
+        s0 = static_cast<u8>(s0 ^ codeword[i]);
+        s1 = static_cast<u8>(s1 ^ Gf256::mul(codeword[i], Gf256::exp(i)));
+    }
+}
+
+void
+RsCode::encode(std::span<u8> codeword) const
+{
+    COP_ASSERT(codeword.size() >= codeSymbols());
+    // Solve for c0 at position k and c1 at position k+1:
+    //   c0 ^ c1 = A        (from S0)
+    //   a^k c0 ^ a^{k+1} c1 = B  (from S1)
+    u8 a = 0, b = 0;
+    for (unsigned i = 0; i < k_; ++i) {
+        a = static_cast<u8>(a ^ codeword[i]);
+        b = static_cast<u8>(b ^ Gf256::mul(codeword[i], Gf256::exp(i)));
+    }
+    const u8 ak = Gf256::exp(k_);
+    const u8 ak1 = Gf256::exp(k_ + 1);
+    // c1 = (B ^ a^k * A) / (a^k ^ a^{k+1}); c0 = A ^ c1.
+    const u8 denom = static_cast<u8>(ak ^ ak1);
+    const u8 c1 = Gf256::mul(static_cast<u8>(b ^ Gf256::mul(ak, a)),
+                             Gf256::inv(denom));
+    const u8 c0 = static_cast<u8>(a ^ c1);
+    codeword[k_] = c0;
+    codeword[k_ + 1] = c1;
+}
+
+bool
+RsCode::isValidCodeword(std::span<const u8> codeword) const
+{
+    u8 s0, s1;
+    syndromes(codeword, s0, s1);
+    return s0 == 0 && s1 == 0;
+}
+
+EccResult
+RsCode::decode(std::span<u8> codeword) const
+{
+    u8 s0, s1;
+    syndromes(codeword, s0, s1);
+    if (s0 == 0 && s1 == 0)
+        return {EccStatus::Ok, -1, false};
+    if (s0 == 0 || s1 == 0) {
+        // A single error at position p with magnitude m gives s0 = m,
+        // s1 = m * a^p — neither can be zero alone.
+        return {EccStatus::Uncorrectable, -1, false};
+    }
+    const unsigned pos_log =
+        (Gf256::log(s1) + 255 - Gf256::log(s0)) % 255;
+    if (pos_log >= codeSymbols())
+        return {EccStatus::Uncorrectable, -1, false};
+    codeword[pos_log] = static_cast<u8>(codeword[pos_log] ^ s0);
+    return {EccStatus::Corrected, static_cast<int>(pos_log), false};
+}
+
+} // namespace cop

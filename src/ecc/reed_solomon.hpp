@@ -1,0 +1,83 @@
+/**
+ * @file
+ * GF(256) arithmetic and a single-symbol-correcting Reed-Solomon code,
+ * the substrate for the chipkill extension the paper leaves as future
+ * work ("The proposed approach can be naturally extended to provide
+ * even greater resilience (e.g. chipkill support)", Section 5).
+ *
+ * On a x8 DIMM each burst beat delivers one byte per chip, so a chip
+ * failure corrupts exactly one byte-symbol of every beat. An RS code
+ * with two check symbols per beat corrects any single symbol error —
+ * i.e. the failure of any one chip — which is precisely chipkill-
+ * correct for x8 devices.
+ */
+
+#ifndef COP_ECC_REED_SOLOMON_HPP
+#define COP_ECC_REED_SOLOMON_HPP
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+#include "ecc/secded.hpp"
+
+namespace cop {
+
+/** GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11B). */
+class Gf256
+{
+  public:
+    /** Field multiply. */
+    static u8 mul(u8 a, u8 b);
+    /** Multiplicative inverse (a != 0). */
+    static u8 inv(u8 a);
+    /** alpha^e for the generator alpha = 0x03. */
+    static u8 exp(unsigned e);
+    /** Discrete log base alpha (a != 0). */
+    static unsigned log(u8 a);
+
+  private:
+    struct Tables;
+    static const Tables &tables();
+};
+
+/**
+ * RS(k+2, k) over GF(256): k data symbols, 2 check symbols, corrects
+ * any single symbol error and detects double symbol errors (with the
+ * usual RS miscorrection caveat for >2).
+ *
+ * Codeword layout: data symbols d_0..d_{k-1} followed by check symbols
+ * c_0, c_1 chosen so that both syndromes vanish:
+ *   S0 = sum(all symbols) = 0
+ *   S1 = sum(symbol_i * alpha^i) = 0.
+ */
+class RsCode
+{
+  public:
+    explicit RsCode(unsigned data_symbols);
+
+    unsigned dataSymbols() const { return k_; }
+    unsigned codeSymbols() const { return k_ + 2; }
+
+    /** Compute and place the two check symbols. */
+    void encode(std::span<u8> codeword) const;
+
+    /** Both syndromes zero? */
+    bool isValidCodeword(std::span<const u8> codeword) const;
+
+    /**
+     * Decode in place.
+     * @return Ok, Corrected (bitIndex = symbol position), or
+     *         Uncorrectable.
+     */
+    EccResult decode(std::span<u8> codeword) const;
+
+  private:
+    void syndromes(std::span<const u8> codeword, u8 &s0, u8 &s1) const;
+
+    unsigned k_;
+};
+
+} // namespace cop
+
+#endif // COP_ECC_REED_SOLOMON_HPP

@@ -1,0 +1,209 @@
+#include "ecc/secded.hpp"
+
+#include <bit>
+
+namespace cop {
+
+namespace {
+
+/**
+ * Enumerate candidate data columns for a Hsiao code: odd weight >= 3,
+ * ordered by weight then value, so code construction is deterministic.
+ */
+std::vector<u32>
+hsiaoDataColumns(unsigned r, unsigned count)
+{
+    std::vector<u32> cols;
+    cols.reserve(count);
+    for (unsigned weight = 3; weight <= r && cols.size() < count;
+         weight += 2) {
+        for (u32 v = 0; v < (1u << r) && cols.size() < count; ++v) {
+            if (static_cast<unsigned>(std::popcount(v)) == weight)
+                cols.push_back(v);
+        }
+    }
+    return cols;
+}
+
+} // namespace
+
+HsiaoCode::HsiaoCode(unsigned data_bits, unsigned check_bits)
+    : k_(data_bits), r_(check_bits), n_(data_bits + check_bits)
+{
+    COP_ASSERT(r_ >= 3 && r_ <= 16);
+    auto data_cols = hsiaoDataColumns(r_, k_);
+    if (data_cols.size() < k_) {
+        COP_FATAL("Hsiao(" + std::to_string(n_) + "," + std::to_string(k_) +
+                  ") impossible: not enough odd-weight columns");
+    }
+    columns_ = std::move(data_cols);
+    for (unsigned i = 0; i < r_; ++i)
+        columns_.push_back(1u << i);
+    buildTables();
+}
+
+void
+HsiaoCode::buildTables()
+{
+    synToBit_.assign(1u << r_, -1);
+    for (unsigned i = 0; i < n_; ++i) {
+        COP_ASSERT(synToBit_[columns_[i]] == -1);
+        synToBit_[columns_[i]] = static_cast<int>(i);
+    }
+
+    const unsigned num_bytes = codeBytes();
+    byteSyn_.assign(static_cast<size_t>(num_bytes) * 256, 0);
+    for (unsigned p = 0; p < num_bytes; ++p) {
+        for (unsigned v = 0; v < 256; ++v) {
+            u32 s = 0;
+            for (unsigned b = 0; b < 8; ++b) {
+                const unsigned idx = p * 8 + b;
+                if ((v >> b & 1u) && idx < n_)
+                    s ^= columns_[idx];
+            }
+            byteSyn_[static_cast<size_t>(p) * 256 + v] = s;
+        }
+    }
+}
+
+void
+HsiaoCode::encode(std::span<u8> codeword) const
+{
+    COP_ASSERT(codeword.size() >= codeBytes());
+    // Zero the check-bit field, then the syndrome of the remaining data
+    // bits is exactly the check-bit vector (check columns are unit
+    // vectors, so setting check bits equal to the data syndrome zeroes
+    // the total syndrome).
+    setBits(codeword, k_, r_, 0);
+    const u32 s = syndrome(codeword);
+    setBits(codeword, k_, r_, s);
+}
+
+u32
+HsiaoCode::syndrome(std::span<const u8> codeword) const
+{
+    u32 s = 0;
+    const unsigned num_bytes = codeBytes();
+    const u32 *table = byteSyn_.data();
+    for (unsigned p = 0; p < num_bytes; ++p)
+        s ^= table[static_cast<size_t>(p) * 256 + codeword[p]];
+    return s;
+}
+
+EccResult
+HsiaoCode::decode(std::span<u8> codeword) const
+{
+    const u32 s = syndrome(codeword);
+    if (s == 0)
+        return {EccStatus::Ok, -1, false};
+
+    const int bit = synToBit_[s];
+    if (bit >= 0) {
+        flipBit(codeword, static_cast<unsigned>(bit));
+        return {EccStatus::Corrected, bit, false};
+    }
+    const bool even = (std::popcount(s) % 2) == 0;
+    return {EccStatus::Uncorrectable, -1, even};
+}
+
+HammingCode::HammingCode(unsigned data_bits, unsigned check_bits)
+    : k_(data_bits), r_(check_bits), n_(data_bits + check_bits)
+{
+    COP_ASSERT(r_ >= 2 && r_ <= 16);
+    columns_.reserve(n_);
+    for (u32 v = 3; v < (1u << r_) && columns_.size() < k_; ++v) {
+        if (std::popcount(v) >= 2)
+            columns_.push_back(v);
+    }
+    if (columns_.size() < k_) {
+        COP_FATAL("Hamming(" + std::to_string(n_) + "," +
+                  std::to_string(k_) + ") impossible");
+    }
+    for (unsigned i = 0; i < r_; ++i)
+        columns_.push_back(1u << i);
+
+    synToBit_.assign(1u << r_, -1);
+    for (unsigned i = 0; i < n_; ++i)
+        synToBit_[columns_[i]] = static_cast<int>(i);
+}
+
+void
+HammingCode::encode(std::span<u8> codeword) const
+{
+    setBits(codeword, k_, r_, 0);
+    const u32 s = syndrome(codeword);
+    setBits(codeword, k_, r_, s);
+}
+
+u32
+HammingCode::syndrome(std::span<const u8> codeword) const
+{
+    u32 s = 0;
+    for (unsigned i = 0; i < n_; ++i) {
+        if (getBit(codeword, i))
+            s ^= columns_[i];
+    }
+    return s;
+}
+
+EccResult
+HammingCode::decode(std::span<u8> codeword) const
+{
+    const u32 s = syndrome(codeword);
+    if (s == 0)
+        return {EccStatus::Ok, -1, false};
+    const int bit = synToBit_[s];
+    if (bit >= 0) {
+        flipBit(codeword, static_cast<unsigned>(bit));
+        return {EccStatus::Corrected, bit, false};
+    }
+    return {EccStatus::Uncorrectable, -1, false};
+}
+
+namespace codes {
+
+const HsiaoCode &
+dimm72()
+{
+    static const HsiaoCode code(64, 8);
+    return code;
+}
+
+const HsiaoCode &
+full128()
+{
+    static const HsiaoCode code(120, 8);
+    return code;
+}
+
+const HsiaoCode &
+short64()
+{
+    static const HsiaoCode code(56, 8);
+    return code;
+}
+
+const HsiaoCode &
+wide523()
+{
+    static const HsiaoCode code(512, 11);
+    return code;
+}
+
+const HsiaoCode &
+validBits512()
+{
+    static const HsiaoCode code(501, 11);
+    return code;
+}
+
+const HammingCode &
+pointer34()
+{
+    static const HammingCode code(28, 6);
+    return code;
+}
+
+} // namespace codes
+
+} // namespace cop

@@ -1,0 +1,136 @@
+#include "mem/controller.hpp"
+
+namespace cop {
+
+const char *
+vulnClassName(VulnClass c)
+{
+    switch (c) {
+      case VulnClass::Unprotected: return "unprotected";
+      case VulnClass::CopProtected4: return "cop4";
+      case VulnClass::CopProtected8: return "cop8";
+      case VulnClass::CopErUncompressed: return "coper-entry";
+      case VulnClass::EccDimm: return "ecc-dimm";
+      case VulnClass::WideCode: return "wide-code";
+      case VulnClass::kCount: break;
+    }
+    COP_PANIC("bad vuln class");
+}
+
+MemoryController::MemoryController(DramSystem &dram, ContentSource content)
+    : dram_(dram), content_(std::move(content))
+{
+    COP_ASSERT(content_ != nullptr);
+}
+
+Cycle
+MemoryController::dramRead(Addr addr, Cycle now)
+{
+    ++stats_.reads;
+    return dram_.access({addr, false, now}).complete;
+}
+
+Cycle
+MemoryController::dramWrite(Addr addr, Cycle now)
+{
+    ++stats_.writes;
+    return dram_.access({addr, true, now}).complete;
+}
+
+const CacheBlock &
+MemoryController::storedImage(
+    Addr addr, const std::function<CacheBlock(const CacheBlock &)> &init)
+{
+    auto it = image_.find(addr);
+    if (it == image_.end())
+        it = image_.emplace(addr, init(content_(addr))).first;
+    return it->second;
+}
+
+CacheBlock *
+MemoryController::imageOf(Addr addr)
+{
+    auto it = image_.find(addr);
+    return it == image_.end() ? nullptr : &it->second;
+}
+
+void
+MemoryController::setImage(Addr addr, const CacheBlock &stored)
+{
+    image_[addr] = stored;
+}
+
+void
+MemoryController::logVuln(VulnClass cls, Addr addr, Cycle now)
+{
+    Cycle since = 0;
+    if (auto it = lastWrite_.find(addr); it != lastWrite_.end())
+        since = it->second;
+    vuln_.record(cls, now >= since ? now - since : 0);
+}
+
+void
+MemoryController::noteWrite(Addr addr, Cycle now)
+{
+    lastWrite_[addr] = now;
+}
+
+// ---------------------------------------------------------------------
+// UnprotectedController
+// ---------------------------------------------------------------------
+
+MemReadResult
+UnprotectedController::read(Addr addr, Cycle now)
+{
+    MemReadResult result;
+    result.complete = dramRead(addr, now);
+    result.dramAccesses = 1;
+    result.data =
+        storedImage(addr, [](const CacheBlock &data) { return data; });
+    logVuln(VulnClass::Unprotected, addr, now);
+    return result;
+}
+
+MemWriteResult
+UnprotectedController::writeback(Addr addr, const CacheBlock &data,
+                                 Cycle now, bool was_uncompressed)
+{
+    (void)was_uncompressed;
+    MemWriteResult result;
+    result.complete = dramWrite(addr, now);
+    result.dramAccesses = 1;
+    setImage(addr, data);
+    noteWrite(addr, now);
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// EccDimmController
+// ---------------------------------------------------------------------
+
+MemReadResult
+EccDimmController::read(Addr addr, Cycle now)
+{
+    MemReadResult result;
+    result.complete = dramRead(addr, now);
+    result.dramAccesses = 1;
+    result.data =
+        storedImage(addr, [](const CacheBlock &data) { return data; });
+    logVuln(VulnClass::EccDimm, addr, now);
+    return result;
+}
+
+MemWriteResult
+EccDimmController::writeback(Addr addr, const CacheBlock &data, Cycle now,
+                             bool was_uncompressed)
+{
+    (void)was_uncompressed;
+    MemWriteResult result;
+    result.complete = dramWrite(addr, now);
+    result.dramAccesses = 1;
+    setImage(addr, data);
+    noteWrite(addr, now);
+    return result;
+}
+
+} // namespace cop

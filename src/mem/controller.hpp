@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Memory-controller models. One abstract interface, five implementations
+ * matching the paper's Figure 10/11 configurations:
+ *
+ *  - UnprotectedController — plain non-ECC DIMM (perf + reliability
+ *    baseline "Unprot.");
+ *  - EccDimmController — conventional (72,64) SECDED ECC DIMM
+ *    (reliability reference for the 6x comparison in Section 4);
+ *  - EccRegionController — the paper's "ECC Reg." baseline: a
+ *    Virtualized-ECC-style contiguous region with a 2-byte entry per
+ *    data block and a wide (523,512) code;
+ *  - CopController — COP proper (compress + inline ECC, alias
+ *    rejection);
+ *  - CopErController — COP-ER (COP plus the pointer-indexed ECC region
+ *    for incompressible blocks). Lives in coper_controller.hpp.
+ *
+ * Controllers are also the reliability observation point: every read
+ * from DRAM logs (protection class, residency time) pairs that the
+ * PARMA-style model in src/reliability converts into error rates.
+ */
+
+#ifndef COP_MEM_CONTROLLER_HPP
+#define COP_MEM_CONTROLLER_HPP
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/cache_block.hpp"
+#include "dram/dram_system.hpp"
+#include "mem/vuln_log.hpp"
+
+namespace cop {
+
+/** Result of a block read from main memory. */
+struct MemReadResult
+{
+    /** Cycle the decoded data is available to the LLC. */
+    Cycle complete = 0;
+    /** Decoded application data. */
+    CacheBlock data;
+    /** Block was stored uncompressed (drives the LLC COP-ER bit). */
+    bool wasUncompressed = false;
+    /**
+     * First touch of a block whose content is an incompressible alias:
+     * the block can never have been in DRAM, so the LLC must pin it
+     * immediately (vanishingly rare; correctness only).
+     */
+    bool aliasPinned = false;
+    /** DRAM accesses this read performed (data + any metadata). */
+    unsigned dramAccesses = 0;
+    /** The decoder detected an uncorrectable error. */
+    bool detectedUncorrectable = false;
+};
+
+/** Result of a writeback to main memory. */
+struct MemWriteResult
+{
+    Cycle complete = 0;
+    /**
+     * The block is an incompressible alias and was NOT written; the LLC
+     * must keep the line with its alias bit set (paper Section 3.1).
+     */
+    bool aliasRejected = false;
+    unsigned dramAccesses = 0;
+};
+
+/** Aggregate controller statistics. */
+struct MemStats
+{
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 protectedWrites = 0;   ///< Compressed + inline ECC.
+    u64 unprotectedWrites = 0; ///< Raw (incompressible).
+    u64 aliasRejects = 0;
+    u64 metaReads = 0;  ///< ECC-region / tree DRAM reads.
+    u64 metaWrites = 0; ///< ECC-region / tree DRAM writes.
+    u64 metaCacheHits = 0;
+    u64 metaCacheMisses = 0;
+    std::array<u64, 3> schemeWrites{}; ///< Per SchemeId (MSB/RLE/TXT).
+};
+
+/**
+ * Abstract memory controller. Subclasses implement the encode/decode
+ * policy; this base supplies the DRAM channel, the stored-image
+ * functional state, first-touch initialisation, and vulnerability
+ * logging.
+ */
+class MemoryController
+{
+  public:
+    /** Supplies the initial (pre-trace) content of any block. */
+    using ContentSource = std::function<CacheBlock(Addr)>;
+
+    MemoryController(DramSystem &dram, ContentSource content);
+    virtual ~MemoryController() = default;
+
+    MemoryController(const MemoryController &) = delete;
+    MemoryController &operator=(const MemoryController &) = delete;
+
+    virtual const char *name() const = 0;
+
+    /** Read one block (LLC miss fill). */
+    virtual MemReadResult read(Addr addr, Cycle now) = 0;
+
+    /**
+     * Write one block back (dirty LLC eviction).
+     * @param was_uncompressed the LLC's COP-ER state bit for the line.
+     */
+    virtual MemWriteResult writeback(Addr addr, const CacheBlock &data,
+                                     Cycle now,
+                                     bool was_uncompressed = false) = 0;
+
+    /**
+     * Would this content be rejected as an incompressible alias? Used
+     * by the LLC victim filter before it commits to an eviction.
+     */
+    virtual bool
+    wouldAliasReject(const CacheBlock &data) const
+    {
+        (void)data;
+        return false;
+    }
+
+    DramSystem &dram() { return dram_; }
+    const MemStats &stats() const { return stats_; }
+    const VulnLog &vulnLog() const { return vuln_; }
+    VulnLog &vulnLog() { return vuln_; }
+
+    /** Direct access to the stored DRAM image (fault injection). */
+    CacheBlock *imageOf(Addr addr);
+    /** Overwrite the stored image (fault injection). */
+    void setImage(Addr addr, const CacheBlock &stored);
+    /** Distinct blocks with a stored image (touched footprint). */
+    u64 imageBlockCount() const { return image_.size(); }
+
+  protected:
+    /** Schedule a DRAM read of @p addr; bumps stats. */
+    Cycle dramRead(Addr addr, Cycle now);
+    /** Schedule a DRAM write of @p addr; bumps stats. */
+    Cycle dramWrite(Addr addr, Cycle now);
+
+    /** Initial application content of a block. */
+    CacheBlock initialContent(Addr addr) const { return content_(addr); }
+
+    /**
+     * Fetch the stored image, initialising it on first touch via
+     * @p init (which maps application data to a stored image).
+     */
+    const CacheBlock &
+    storedImage(Addr addr,
+                const std::function<CacheBlock(const CacheBlock &)> &init);
+
+    /** Record a read-from-DRAM reliability observation. */
+    void logVuln(VulnClass cls, Addr addr, Cycle now);
+    /** Record a write (resets the vulnerability clock). */
+    void noteWrite(Addr addr, Cycle now);
+
+    DramSystem &dram_;
+    ContentSource content_;
+    MemStats stats_;
+    VulnLog vuln_;
+    std::unordered_map<Addr, CacheBlock> image_;
+    std::unordered_map<Addr, Cycle> lastWrite_;
+};
+
+/** Plain non-ECC DIMM: no protection, no overheads. */
+class UnprotectedController : public MemoryController
+{
+  public:
+    using MemoryController::MemoryController;
+
+    const char *name() const override { return "Unprot."; }
+    MemReadResult read(Addr addr, Cycle now) override;
+    MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
+                             bool was_uncompressed) override;
+};
+
+/**
+ * Conventional ECC DIMM: (72,64) SECDED on a 9th chip. Identical timing
+ * to the unprotected case (check bits travel with the data); differs
+ * only in the reliability class it logs.
+ */
+class EccDimmController : public MemoryController
+{
+  public:
+    using MemoryController::MemoryController;
+
+    const char *name() const override { return "ECC DIMM"; }
+    MemReadResult read(Addr addr, Cycle now) override;
+    MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
+                             bool was_uncompressed) override;
+};
+
+} // namespace cop
+
+#endif // COP_MEM_CONTROLLER_HPP

@@ -1,0 +1,83 @@
+#include "mem/cop_controller.hpp"
+
+namespace cop {
+
+CopController::CopController(DramSystem &dram, ContentSource content,
+                             const CopConfig &cfg, Cycle decode_latency)
+    : MemoryController(dram, std::move(content)), codec_(cfg),
+      decodeLatency_(decode_latency)
+{
+}
+
+MemReadResult
+CopController::read(Addr addr, Cycle now)
+{
+    MemReadResult result;
+
+    // First touch: the block was written to DRAM before the trace window
+    // through the same encoder.
+    auto it = image_.find(addr);
+    if (it == image_.end()) {
+        const CacheBlock data = initialContent(addr);
+        const CopEncodeResult enc = codec_.encode(data);
+        if (enc.status == EncodeStatus::AliasRejected) {
+            // Incompressible alias: it can never have reached DRAM; it
+            // materialises pinned in the LLC (Section 3.1). Exceedingly
+            // rare — correctness machinery only.
+            result.aliasPinned = true;
+            result.data = data;
+            result.complete = dramRead(addr, now) + decodeLatency_;
+            result.dramAccesses = 1;
+            return result;
+        }
+        it = image_.emplace(addr, enc.stored).first;
+    }
+
+    const Cycle data_done = dramRead(addr, now);
+    const CopDecodeResult dec = codec_.decode(it->second);
+    result.complete = data_done + decodeLatency_;
+    result.dramAccesses = 1;
+    result.data = dec.data;
+    result.wasUncompressed = !dec.compressed;
+    result.detectedUncorrectable = dec.detectedUncorrectable;
+    logVuln(dec.compressed ? protectedClass() : VulnClass::Unprotected,
+            addr, now);
+    return result;
+}
+
+MemWriteResult
+CopController::writeback(Addr addr, const CacheBlock &data, Cycle now,
+                         bool was_uncompressed)
+{
+    (void)was_uncompressed;
+    MemWriteResult result;
+
+    const CopEncodeResult enc = codec_.encode(data);
+    switch (enc.status) {
+      case EncodeStatus::AliasRejected:
+        ++stats_.aliasRejects;
+        result.aliasRejected = true;
+        return result;
+      case EncodeStatus::Protected:
+        ++stats_.protectedWrites;
+        ++stats_.schemeWrites[static_cast<unsigned>(enc.scheme)];
+        break;
+      case EncodeStatus::Unprotected:
+        ++stats_.unprotectedWrites;
+        break;
+    }
+
+    result.complete = dramWrite(addr, now);
+    result.dramAccesses = 1;
+    setImage(addr, enc.stored);
+    noteWrite(addr, now);
+    return result;
+}
+
+bool
+CopController::wouldAliasReject(const CacheBlock &data) const
+{
+    return !codec_.compressor().compressible(data) && codec_.isAlias(data);
+}
+
+} // namespace cop

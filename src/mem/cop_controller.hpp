@@ -1,0 +1,52 @@
+/**
+ * @file
+ * CopController: main memory protected by COP (paper Sections 3.1-3.2).
+ * Writebacks are compressed and protected when possible; incompressible
+ * blocks are stored raw; incompressible aliases are rejected and stay
+ * pinned in the LLC. Reads run the Figure 2 decoder with the paper's
+ * 4-cycle decode/decompress latency adder.
+ */
+
+#ifndef COP_MEM_COP_CONTROLLER_HPP
+#define COP_MEM_COP_CONTROLLER_HPP
+
+#include "core/codec.hpp"
+#include "mem/controller.hpp"
+
+namespace cop {
+
+/** COP memory controller. */
+class CopController : public MemoryController
+{
+  public:
+    CopController(DramSystem &dram, ContentSource content,
+                  const CopConfig &cfg = CopConfig::fourByte(),
+                  Cycle decode_latency = 4);
+
+    const char *name() const override
+    {
+        return codec_.config().checkBytes == 4 ? "COP-4B" : "COP-8B";
+    }
+
+    MemReadResult read(Addr addr, Cycle now) override;
+    MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
+                             bool was_uncompressed) override;
+    bool wouldAliasReject(const CacheBlock &data) const override;
+
+    const CopCodec &codec() const { return codec_; }
+
+  protected:
+    VulnClass
+    protectedClass() const
+    {
+        return codec_.config().checkBytes == 4 ? VulnClass::CopProtected4
+                                               : VulnClass::CopProtected8;
+    }
+
+    CopCodec codec_;
+    Cycle decodeLatency_;
+};
+
+} // namespace cop
+
+#endif // COP_MEM_COP_CONTROLLER_HPP

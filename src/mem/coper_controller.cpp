@@ -1,0 +1,199 @@
+#include "mem/coper_controller.hpp"
+
+namespace cop {
+
+CopErController::CopErController(DramSystem &dram, ContentSource content,
+                                 Cycle decode_latency,
+                                 u64 meta_cache_bytes)
+    : MemoryController(dram, std::move(content)),
+      codec_(CopConfig::fourByte()), coper_(codec_),
+      meta_(meta_cache_bytes), decodeLatency_(decode_latency)
+{
+}
+
+void
+CopErController::chargeTreeTouches(Cycle now)
+{
+    const EccRegion::TouchRecord &touches = region_.lastTouches();
+    for (unsigned i = 0; i < touches.treeBlockReads; ++i) {
+        ++stats_.metaReads;
+        dramRead(memlayout::kTreeBase + (treeAddrSalt_++ % 64) *
+                                            kBlockBytes,
+                 now);
+    }
+    for (unsigned i = 0; i < touches.treeBlockWrites; ++i) {
+        ++stats_.metaWrites;
+        dramWrite(memlayout::kTreeBase + (treeAddrSalt_++ % 64) *
+                                             kBlockBytes,
+                  now);
+    }
+}
+
+Cycle
+CopErController::entryAccess(u32 entry_index, Cycle now, bool dirty)
+{
+    const Addr addr = entryBlockAddr(entry_index);
+    const MetaCache::Access acc = meta_.access(addr, dirty);
+    if (acc.hit) {
+        ++stats_.metaCacheHits;
+        return now;
+    }
+    ++stats_.metaCacheMisses;
+    if (acc.evictedDirty) {
+        ++stats_.metaWrites;
+        dramWrite(acc.evictedAddr, now);
+    }
+    ++stats_.metaReads;
+    return dramRead(addr, now);
+}
+
+u32
+CopErController::pointerOf(const CacheBlock &stored) const
+{
+    return coper_.extractPointer(stored).entryIndex;
+}
+
+CacheBlock
+CopErController::storeIncompressible(Addr addr, const CacheBlock &data,
+                                     Cycle now, bool reuse_existing,
+                                     u32 reuse_index)
+{
+    everIncompressible_.insert(addr);
+    u32 index;
+    if (reuse_existing) {
+        ++erStats_.entryReuses;
+        index = reuse_index;
+    } else {
+        ++erStats_.entryAllocs;
+        index = region_.allocate();
+        chargeTreeTouches(now);
+    }
+
+    CoperEncodeResult enc = coper_.encodeIncompressible(data, index);
+    // De-aliasing by entry re-selection (Section 3.3): if the pointer
+    // bits happen to make the stored image look compressed, pick a
+    // different entry. The alias probability is ~2e-7 per attempt, so
+    // this loop essentially never iterates.
+    unsigned attempts = 0;
+    while (!enc.aliasFree && attempts < 64) {
+        ++attempts;
+        ++erStats_.deAliasRetries;
+        const u32 next = region_.allocate();
+        chargeTreeTouches(now);
+        region_.free(index);
+        index = next;
+        enc = coper_.encodeIncompressible(data, index);
+    }
+    if (!enc.aliasFree)
+        COP_PANIC("COP-ER failed to de-alias a block after 64 entries");
+
+    EccEntry &entry = region_.entryAt(index);
+    entry.valid = true;
+    entry.displaced = enc.displaced;
+    entry.check = enc.check;
+    entryAccess(index, now, true);
+    return enc.stored;
+}
+
+MemReadResult
+CopErController::read(Addr addr, Cycle now)
+{
+    // First touch: initial memory was stored through the same encoder.
+    if (image_.find(addr) == image_.end()) {
+        const CacheBlock data = initialContent(addr);
+        const CopEncodeResult enc = codec_.encode(data);
+        if (enc.status == EncodeStatus::Protected) {
+            setImage(addr, enc.stored);
+        } else {
+            setImage(addr, storeIncompressible(addr, data, now, false, 0));
+        }
+    }
+
+    MemReadResult result;
+    const CacheBlock &stored = *imageOf(addr);
+    const Cycle data_done = dramRead(addr, now);
+    result.dramAccesses = 1;
+
+    const CopDecodeResult dec = codec_.decode(stored);
+    if (dec.compressed) {
+        result.complete = data_done + decodeLatency_;
+        result.data = dec.data;
+        result.detectedUncorrectable = dec.detectedUncorrectable;
+        logVuln(VulnClass::CopProtected4, addr, now);
+        return result;
+    }
+
+    // Uncompressed: chase the embedded pointer to the ECC entry. The
+    // entry fetch serialises behind the data (the pointer is in the
+    // data), then the block is reconstructed and checked.
+    result.wasUncompressed = true;
+    const PointerDecodeResult ptr = coper_.extractPointer(stored);
+    if (ptr.ecc.uncorrectable() || !region_.valid(ptr.entryIndex)) {
+        // Pointer destroyed by a multi-bit error: detected, data lost.
+        result.complete = data_done + decodeLatency_;
+        result.data = dec.data;
+        result.detectedUncorrectable = true;
+        logVuln(VulnClass::CopErUncompressed, addr, now);
+        return result;
+    }
+    const Cycle meta_done = entryAccess(ptr.entryIndex, data_done, false);
+    ++result.dramAccesses;
+    const CoperDecodeResult rec =
+        coper_.reconstruct(stored, region_.entryAt(ptr.entryIndex));
+    result.complete = std::max(data_done, meta_done) + decodeLatency_;
+    result.data = rec.data;
+    result.detectedUncorrectable = rec.blockEcc.uncorrectable();
+    logVuln(VulnClass::CopErUncompressed, addr, now);
+    return result;
+}
+
+MemWriteResult
+CopErController::writeback(Addr addr, const CacheBlock &data, Cycle now,
+                           bool was_uncompressed)
+{
+    MemWriteResult result;
+
+    // Locate any existing entry: the pointer is read back from the old
+    // stored image in memory (Section 3.3: "the pointer to the ECC
+    // entry is read from memory").
+    u32 old_index = 0;
+    bool have_old = false;
+    if (was_uncompressed) {
+        if (const CacheBlock *old = imageOf(addr)) {
+            ++erStats_.pointerReads;
+            dramRead(addr, now);
+            old_index = pointerOf(*old);
+            have_old = region_.valid(old_index);
+        }
+    }
+
+    const CopEncodeResult enc = codec_.encode(data);
+    const bool compressible = enc.status == EncodeStatus::Protected;
+    // (EncodeStatus::AliasRejected also means incompressible; COP-ER
+    // stores such blocks through the de-aliasing entry path.)
+
+    if (compressible) {
+        ++stats_.protectedWrites;
+        ++stats_.schemeWrites[static_cast<unsigned>(enc.scheme)];
+        if (have_old) {
+            // The block became compressible: invalidate its entry (a
+            // read-modify-write of the entry block's valid bit).
+            ++erStats_.entryFrees;
+            region_.free(old_index);
+            chargeTreeTouches(now);
+            entryAccess(old_index, now, true);
+        }
+        setImage(addr, enc.stored);
+    } else {
+        ++stats_.unprotectedWrites;
+        setImage(addr, storeIncompressible(addr, data, now, have_old,
+                                           old_index));
+    }
+
+    result.complete = dramWrite(addr, now);
+    result.dramAccesses = 1;
+    noteWrite(addr, now);
+    return result;
+}
+
+} // namespace cop

@@ -1,0 +1,118 @@
+#include "mem/coper_naive_controller.hpp"
+
+#include <algorithm>
+
+namespace cop {
+
+CopErNaiveController::CopErNaiveController(DramSystem &dram,
+                                           ContentSource content,
+                                           Cycle decode_latency,
+                                           u64 meta_cache_bytes)
+    : MemoryController(dram, std::move(content)),
+      codec_(CopConfig::fourByte()), meta_(meta_cache_bytes),
+      decodeLatency_(decode_latency)
+{
+}
+
+Cycle
+CopErNaiveController::metaAccess(Addr data_addr, Cycle now, bool dirty)
+{
+    const Addr meta_addr = memlayout::eccRegionEntryAddr(data_addr);
+    const MetaCache::Access acc = meta_.access(meta_addr, dirty);
+    if (acc.hit) {
+        ++stats_.metaCacheHits;
+        return now;
+    }
+    ++stats_.metaCacheMisses;
+    if (acc.evictedDirty) {
+        ++stats_.metaWrites;
+        dramWrite(acc.evictedAddr, now);
+    }
+    ++stats_.metaReads;
+    return dramRead(meta_addr, now);
+}
+
+MemReadResult
+CopErNaiveController::read(Addr addr, Cycle now)
+{
+    MemReadResult result;
+
+    if (image_.find(addr) == image_.end()) {
+        const CacheBlock data = initialContent(addr);
+        const CopEncodeResult enc = codec_.encode(data);
+        if (enc.status == EncodeStatus::AliasRejected) {
+            // No pointer displacement => no de-aliasing: like plain
+            // COP, aliases stay pinned in the LLC.
+            result.aliasPinned = true;
+            result.data = data;
+            result.complete = dramRead(addr, now) + decodeLatency_;
+            result.dramAccesses = 1;
+            return result;
+        }
+        setImage(addr, enc.stored);
+    }
+
+    const CacheBlock &stored = *imageOf(addr);
+    const Cycle data_done = dramRead(addr, now);
+    result.dramAccesses = 1;
+
+    const CopDecodeResult dec = codec_.decode(stored);
+    result.data = dec.data;
+    result.detectedUncorrectable = dec.detectedUncorrectable;
+    if (dec.compressed) {
+        // Check bits travelled inline: no region access — the naive
+        // variant's entire performance win over the baseline.
+        result.complete = data_done + decodeLatency_;
+        logVuln(VulnClass::CopProtected4, addr, now);
+        return result;
+    }
+
+    // Incompressible: the wide-code check bits sit at a fixed offset in
+    // the full-size region; the lookup can overlap the data read.
+    result.wasUncompressed = true;
+    const Cycle meta_done = metaAccess(addr, now, false);
+    if (meta_done > now)
+        ++result.dramAccesses;
+    result.complete = std::max(data_done, meta_done) + decodeLatency_;
+    logVuln(VulnClass::CopErUncompressed, addr, now);
+    return result;
+}
+
+MemWriteResult
+CopErNaiveController::writeback(Addr addr, const CacheBlock &data,
+                                Cycle now, bool was_uncompressed)
+{
+    (void)was_uncompressed;
+    MemWriteResult result;
+
+    const CopEncodeResult enc = codec_.encode(data);
+    switch (enc.status) {
+      case EncodeStatus::AliasRejected:
+        ++stats_.aliasRejects;
+        result.aliasRejected = true;
+        return result;
+      case EncodeStatus::Protected:
+        ++stats_.protectedWrites;
+        ++stats_.schemeWrites[static_cast<unsigned>(enc.scheme)];
+        break;
+      case EncodeStatus::Unprotected:
+        ++stats_.unprotectedWrites;
+        // Update the block's entry in the always-reserved region.
+        metaAccess(addr, now, true);
+        break;
+    }
+
+    result.complete = dramWrite(addr, now);
+    result.dramAccesses = 1;
+    setImage(addr, enc.stored);
+    noteWrite(addr, now);
+    return result;
+}
+
+bool
+CopErNaiveController::wouldAliasReject(const CacheBlock &data) const
+{
+    return !codec_.compressor().compressible(data) && codec_.isAlias(data);
+}
+
+} // namespace cop

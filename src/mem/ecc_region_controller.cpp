@@ -1,0 +1,64 @@
+#include "mem/ecc_region_controller.hpp"
+
+#include <algorithm>
+
+namespace cop {
+
+EccRegionController::EccRegionController(DramSystem &dram,
+                                         ContentSource content,
+                                         u64 meta_cache_bytes)
+    : MemoryController(dram, std::move(content)), meta_(meta_cache_bytes)
+{
+}
+
+Cycle
+EccRegionController::metaAccess(Addr data_addr, Cycle now, bool dirty)
+{
+    const Addr meta_addr = memlayout::eccRegionEntryAddr(data_addr);
+    const MetaCache::Access acc = meta_.access(meta_addr, dirty);
+    if (acc.hit) {
+        ++stats_.metaCacheHits;
+        return now; // already on chip
+    }
+    ++stats_.metaCacheMisses;
+    if (acc.evictedDirty) {
+        ++stats_.metaWrites;
+        dramWrite(acc.evictedAddr, now);
+    }
+    ++stats_.metaReads;
+    return dramRead(meta_addr, now);
+}
+
+MemReadResult
+EccRegionController::read(Addr addr, Cycle now)
+{
+    MemReadResult result;
+    // Data and ECC reads are independent and overlap; the fill completes
+    // when both are home and the wide code has been checked.
+    const Cycle data_done = dramRead(addr, now);
+    const Cycle meta_done = metaAccess(addr, now, false);
+    result.complete = std::max(data_done, meta_done);
+    result.dramAccesses = 1 + (meta_done > now ? 1 : 0);
+    result.data =
+        storedImage(addr, [](const CacheBlock &data) { return data; });
+    logVuln(VulnClass::WideCode, addr, now);
+    return result;
+}
+
+MemWriteResult
+EccRegionController::writeback(Addr addr, const CacheBlock &data,
+                               Cycle now, bool was_uncompressed)
+{
+    (void)was_uncompressed;
+    MemWriteResult result;
+    result.complete = dramWrite(addr, now);
+    // The entry's check bits are recomputed and merged into the cached
+    // ECC block (read-modify-write; the fill is charged on a miss).
+    metaAccess(addr, now, true);
+    result.dramAccesses = 1;
+    setImage(addr, data);
+    noteWrite(addr, now);
+    return result;
+}
+
+} // namespace cop

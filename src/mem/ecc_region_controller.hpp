@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's "ECC Reg." baseline (Section 4): a Virtualized-ECC-style
+ * design that reserves a contiguous region with a 2-byte entry per data
+ * block (11 check bits of a (523,512) code plus padding to simplify
+ * addressing — "the contiguous ECC region is allocated with a 2-byte
+ * entry per data block to facilitate addressing"). Every fill needs the
+ * matching ECC block; every writeback dirties it. ECC blocks are cached.
+ */
+
+#ifndef COP_MEM_ECC_REGION_CONTROLLER_HPP
+#define COP_MEM_ECC_REGION_CONTROLLER_HPP
+
+#include "mem/controller.hpp"
+#include "mem/meta_cache.hpp"
+
+namespace cop {
+
+/** Address-space constants for metadata regions. */
+namespace memlayout {
+
+/** Base of the ECC / metadata region (disjoint from application data). */
+inline constexpr Addr kMetaBase = 1ULL << 40;
+/** Base of the COP-ER valid-bit tree blocks. */
+inline constexpr Addr kTreeBase = 1ULL << 41;
+
+/** ECC-region baseline: 2-byte entry per block, 32 entries per block. */
+inline Addr
+eccRegionEntryAddr(Addr data_addr)
+{
+    const u64 block_index = data_addr / kBlockBytes;
+    return kMetaBase + (block_index / 32) * kBlockBytes;
+}
+
+} // namespace memlayout
+
+/** The ECC-region ("Virtualized ECC"-like) baseline controller. */
+class EccRegionController : public MemoryController
+{
+  public:
+    EccRegionController(DramSystem &dram, ContentSource content,
+                        u64 meta_cache_bytes = 256 << 10);
+
+    const char *name() const override { return "ECC Reg."; }
+    MemReadResult read(Addr addr, Cycle now) override;
+    MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
+                             bool was_uncompressed) override;
+
+    const MetaCache &metaCache() const { return meta_; }
+
+    /**
+     * Bytes of ECC storage the baseline reserves for a footprint of
+     * @p blocks data blocks (2 bytes per block) — Figure 12's
+     * denominator.
+     */
+    static u64
+    storageBytesFor(u64 blocks)
+    {
+        return blocks * 2;
+    }
+
+  private:
+    /** Access an ECC metadata block; returns its completion cycle. */
+    Cycle metaAccess(Addr data_addr, Cycle now, bool dirty);
+
+    MetaCache meta_;
+};
+
+} // namespace cop
+
+#endif // COP_MEM_ECC_REGION_CONTROLLER_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Vulnerability logging: the PARMA-inspired "vulnerability clock" of
+ * paper Section 4. Every block read from DRAM was exposed to soft
+ * errors for the cycles since it was last written (or since the start
+ * of the run); which *protection class* covered it during that window
+ * decides how errors translate into corrected / detected / silent
+ * outcomes. The analytic model in src/reliability consumes these logs.
+ */
+
+#ifndef COP_MEM_VULN_LOG_HPP
+#define COP_MEM_VULN_LOG_HPP
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace cop {
+
+/** How a block was protected while resident in DRAM. */
+enum class VulnClass : u8 {
+    Unprotected = 0,   ///< Raw data; any flip is silent corruption.
+    CopProtected4,     ///< COP 4-byte config: 4 x (128,120) SECDED.
+    CopProtected8,     ///< COP 8-byte config: 8 x (64,56) SECDED.
+    CopErUncompressed, ///< COP-ER entry: (523,512) + pointer SEC.
+    EccDimm,           ///< Conventional (72,64) SECDED.
+    WideCode,          ///< ECC-region baseline: one (523,512) word.
+    kCount,
+};
+
+inline constexpr unsigned kVulnClasses =
+    static_cast<unsigned>(VulnClass::kCount);
+
+const char *vulnClassName(VulnClass c);
+
+/** Per-class accumulated exposure. */
+struct VulnLog
+{
+    struct Entry
+    {
+        u64 reads = 0;          ///< Read events observed.
+        double totalCycles = 0; ///< Sum of residency times.
+    };
+
+    std::array<Entry, kVulnClasses> byClass{};
+
+    void
+    record(VulnClass cls, Cycle residency)
+    {
+        auto &e = byClass[static_cast<unsigned>(cls)];
+        ++e.reads;
+        e.totalCycles += static_cast<double>(residency);
+    }
+
+    const Entry &
+    of(VulnClass cls) const
+    {
+        return byClass[static_cast<unsigned>(cls)];
+    }
+
+    u64
+    totalReads() const
+    {
+        u64 n = 0;
+        for (const auto &e : byClass)
+            n += e.reads;
+        return n;
+    }
+
+    double
+    totalCycles() const
+    {
+        double t = 0;
+        for (const auto &e : byClass)
+            t += e.totalCycles;
+        return t;
+    }
+};
+
+} // namespace cop
+
+#endif // COP_MEM_VULN_LOG_HPP

@@ -1,0 +1,110 @@
+#include "reliability/error_model.hpp"
+
+namespace cop {
+
+namespace {
+
+/**
+ * P(exactly 2 of @p total flipped bits share one of the words) to
+ * second order: pairs * p^2, with pairs counted per word.
+ */
+double
+doubleInOneWord(double p, unsigned word_bits, unsigned words)
+{
+    const double pairs_per_word =
+        0.5 * static_cast<double>(word_bits) * (word_bits - 1);
+    return words * pairs_per_word * p * p;
+}
+
+/** P(two flips land in two different words), second order. */
+double
+doubleAcrossWords(double p, unsigned word_bits, unsigned words)
+{
+    const double total_bits = static_cast<double>(word_bits) * words;
+    const double all_pairs = 0.5 * total_bits * (total_bits - 1);
+    return (all_pairs - doubleInOneWord(1.0, word_bits, words)) * p * p;
+}
+
+} // namespace
+
+ExposureOutcome
+ErrorRateModel::outcome(VulnClass cls, double cycles) const
+{
+    // Scrubbing caps the window in which a protected block can collect
+    // the second error of a fatal pair; unprotected data sees no
+    // benefit (there is nothing to correct at scrub time). A residency
+    // of T with interval S is T/S independent S-length windows.
+    double window_scale = 1.0;
+    if (params_.scrubIntervalCycles > 0 &&
+        cls != VulnClass::Unprotected &&
+        cycles > params_.scrubIntervalCycles) {
+        window_scale = cycles / params_.scrubIntervalCycles;
+        cycles = params_.scrubIntervalCycles;
+    }
+    const double p = params_.bitFlipProbability(cycles);
+    ExposureOutcome out;
+
+    switch (cls) {
+      case VulnClass::Unprotected:
+        out.silent = 512.0 * p;
+        break;
+      case VulnClass::EccDimm:
+        out.detected = doubleInOneWord(p, 72, 8);
+        break;
+      case VulnClass::CopProtected4:
+        out.detected = doubleInOneWord(p, 128, 4);
+        out.silent = doubleAcrossWords(p, 128, 4);
+        break;
+      case VulnClass::CopProtected8:
+        // Pairs in distinct words are corrected (threshold 5-of-8);
+        // only same-word doubles are lost, and they are detected.
+        out.detected = doubleInOneWord(p, 64, 8);
+        break;
+      case VulnClass::WideCode:
+      case VulnClass::CopErUncompressed:
+        out.detected = doubleInOneWord(p, 523, 1);
+        break;
+      case VulnClass::kCount:
+        COP_PANIC("bad vuln class");
+    }
+    out.silent *= window_scale;
+    out.detected *= window_scale;
+    return out;
+}
+
+ErrorRateReport
+ErrorRateModel::evaluate(const VulnLog &log) const
+{
+    ErrorRateReport report;
+    for (unsigned c = 0; c < kVulnClasses; ++c) {
+        const auto cls = static_cast<VulnClass>(c);
+        const VulnLog::Entry &entry = log.of(cls);
+        if (entry.reads == 0)
+            continue;
+        // The model is linear (first order) in exposure for the
+        // unprotected class and quadratic for protected ones; evaluate
+        // at the mean residency and scale by the read count. (Jensen
+        // error is negligible at these probabilities.)
+        const double mean_cycles =
+            entry.totalCycles / static_cast<double>(entry.reads);
+        const ExposureOutcome o = outcome(cls, mean_cycles);
+        const auto reads = static_cast<double>(entry.reads);
+        report.silent += o.silent * reads;
+        report.detected += o.detected * reads;
+        report.baselineUnprotected +=
+            outcome(VulnClass::Unprotected, mean_cycles).silent * reads;
+    }
+    report.uncorrected = report.silent + report.detected;
+    return report;
+}
+
+double
+ErrorRateModel::copErVsEccDimmRatio(double cycles) const
+{
+    const double coper =
+        outcome(VulnClass::CopErUncompressed, cycles).uncorrected();
+    const double dimm = outcome(VulnClass::EccDimm, cycles).uncorrected();
+    return dimm > 0 ? coper / dimm : 0.0;
+}
+
+} // namespace cop

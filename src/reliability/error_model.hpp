@@ -1,0 +1,131 @@
+/**
+ * @file
+ * PARMA-inspired analytic soft-error model (paper Section 4). Every
+ * block read from DRAM was exposed for T cycles; given the raw FIT rate
+ * (5000 FIT/Mbit, after Li et al.) the model computes, per protection
+ * class, the probability the exposure ends in a silent corruption (SDC)
+ * or a detected-uncorrectable error (DUE). Aggregated over a run's
+ * VulnLog this yields the per-benchmark error rates behind Figure 10
+ * and the COP-ER-vs-ECC-DIMM comparison of Section 4.
+ */
+
+#ifndef COP_RELIABILITY_ERROR_MODEL_HPP
+#define COP_RELIABILITY_ERROR_MODEL_HPP
+
+#include "mem/vuln_log.hpp"
+
+namespace cop {
+
+/** Physical parameters of the error model. */
+struct ReliabilityParams
+{
+    /** Raw soft-error rate per Mbit (Section 4: 5000, from [11]). */
+    double fitPerMbit = 5000.0;
+    /** Core clock, converts cycles to seconds (Table 1: 3.2 GHz). */
+    double coreGHz = 3.2;
+    /**
+     * Optional memory-scrubbing interval in cycles (0 = disabled).
+     * A scrubber reads and corrects every block periodically, so a
+     * *protected* block can accumulate errors for at most one interval
+     * before singles are cleaned out; it cannot help unprotected
+     * blocks. (Extension beyond the paper's model.)
+     */
+    double scrubIntervalCycles = 0;
+
+    /** Per-bit flip probability over @p cycles of exposure. */
+    double
+    bitFlipProbability(double cycles) const
+    {
+        // FIT = failures per 1e9 device-hours; per Mbit -> per bit.
+        const double per_bit_per_hour =
+            fitPerMbit / (1024.0 * 1024.0) * 1e-9;
+        const double hours = cycles / (coreGHz * 1e9) / 3600.0;
+        return per_bit_per_hour * hours;
+    }
+};
+
+/** Expected error outcomes of one exposure window. */
+struct ExposureOutcome
+{
+    double silent = 0;   ///< Probability of silent data corruption.
+    double detected = 0; ///< Probability of a detected, uncorrectable loss.
+
+    double uncorrected() const { return silent + detected; }
+};
+
+/** Aggregate error-rate report for one run. */
+struct ErrorRateReport
+{
+    /** Expected uncorrected errors with the run's protection. */
+    double uncorrected = 0;
+    double silent = 0;
+    double detected = 0;
+    /** Expected errors had every block been unprotected. */
+    double baselineUnprotected = 0;
+
+    /** Figure 10's metric: reduction in error rate vs no protection. */
+    double
+    reduction() const
+    {
+        return baselineUnprotected > 0
+                   ? 1.0 - uncorrected / baselineUnprotected
+                   : 0.0;
+    }
+};
+
+/**
+ * The analytic model. All probabilities use the small-rate expansion of
+ * the Poisson distribution (m = bits * lambda * T is ~1e-10 at realistic
+ * exposures), keeping second-order terms so that double-error modes —
+ * the ones that separate the schemes — are represented.
+ */
+class ErrorRateModel
+{
+  public:
+    explicit ErrorRateModel(
+        const ReliabilityParams &params = ReliabilityParams{})
+        : params_(params)
+    {
+    }
+
+    /**
+     * Outcome probabilities for one read after @p cycles of exposure
+     * under @p cls. Derivations (per 64-byte block; p = per-bit flip
+     * probability):
+     *
+     * - Unprotected: any flip is silent; P = 512 p.
+     * - EccDimm: 576 stored bits in 8 (72,64) words; singles corrected;
+     *   two flips in one word are detected (DUE).
+     * - CopProtected4: 512 bits in 4 (128,120) words; one flip
+     *   corrected; two flips in one word -> DUE; two flips in different
+     *   words leave only 2 valid code words, so the decoder hands the
+     *   block over as raw data -> silent (Section 3.1).
+     * - CopProtected8: 8 (64,56) words with a 5-of-8 threshold: flips
+     *   in up to 3 distinct words are all corrected; two flips in one
+     *   word -> DUE.
+     * - WideCode / CopErUncompressed: one (523,512) word; singles
+     *   corrected, doubles detected. (COP-ER additionally SEC-protects
+     *   the pointer, which is already inside the 523-bit word here.)
+     */
+    ExposureOutcome outcome(VulnClass cls, double cycles) const;
+
+    /** Aggregate a run's vulnerability log. */
+    ErrorRateReport evaluate(const VulnLog &log) const;
+
+    /**
+     * Ratio of COP-ER's uncorrected-error rate to a conventional ECC
+     * DIMM's for the same exposure (Section 4 reports ~6x: one wide
+     * (523,512) word suffers double hits ~523^2 / (8 * 72^2) more often
+     * than eight (72,64) words).
+     */
+    double copErVsEccDimmRatio(double cycles) const;
+
+    const ReliabilityParams &params() const { return params_; }
+
+  private:
+    ReliabilityParams params_;
+};
+
+} // namespace cop
+
+#endif // COP_RELIABILITY_ERROR_MODEL_HPP

@@ -1,0 +1,98 @@
+#include "reliability/failure_modes.hpp"
+
+#include <algorithm>
+
+namespace cop {
+
+const char *
+failureModeName(FailureMode m)
+{
+    switch (m) {
+      case FailureMode::SingleBit: return "single-bit";
+      case FailureMode::SameWordMulti: return "same-word multi";
+      case FailureMode::SingleColumn: return "single-column";
+      case FailureMode::SameRow: return "same-row burst";
+      case FailureMode::SingleChip: return "single-chip (x8)";
+      case FailureMode::kCount: break;
+    }
+    COP_PANIC("bad failure mode");
+}
+
+double
+failureModeFieldFraction(FailureMode m)
+{
+    switch (m) {
+      case FailureMode::SingleBit: return 0.497;
+      case FailureMode::SameWordMulti: return 0.025;
+      case FailureMode::SingleColumn: return 0.105;
+      case FailureMode::SameRow: return 0.127;
+      case FailureMode::SingleChip: return 0.035;
+      case FailureMode::kCount: break;
+    }
+    COP_PANIC("bad failure mode");
+}
+
+namespace {
+
+void
+pushDistinct(std::vector<unsigned> &bits, unsigned bit)
+{
+    if (std::find(bits.begin(), bits.end(), bit) == bits.end())
+        bits.push_back(bit);
+}
+
+} // namespace
+
+void
+generateFailureFlips(FailureMode m, Rng &rng,
+                     std::vector<unsigned> &bits)
+{
+    bits.clear();
+    switch (m) {
+      case FailureMode::SingleBit:
+        bits.push_back(static_cast<unsigned>(rng.below(kBlockBits)));
+        return;
+      case FailureMode::SameWordMulti: {
+        const unsigned word = rng.below(8);
+        const unsigned flips = 2 + rng.below(3); // 2..4
+        while (bits.size() < flips)
+            pushDistinct(bits,
+                         word * 64 + static_cast<unsigned>(rng.below(64)));
+        return;
+      }
+      case FailureMode::SingleColumn:
+        // A failing column strikes the same bit position of the
+        // affected blocks; per block that is one flip.
+        bits.push_back(static_cast<unsigned>(rng.below(kBlockBits)));
+        return;
+      case FailureMode::SameRow: {
+        // Peripheral/row failure: a dense burst across the block.
+        const unsigned flips = 8 + rng.below(57); // 8..64
+        while (bits.size() < flips) {
+            pushDistinct(bits,
+                         static_cast<unsigned>(rng.below(kBlockBits)));
+        }
+        return;
+      }
+      case FailureMode::SingleChip: {
+        // x8 rank: chip c supplies byte c of every 8-byte beat. Flip
+        // 1..8 bits in each of that chip's bytes.
+        const unsigned chip = rng.below(8);
+        for (unsigned beat = 0; beat < 8; ++beat) {
+            const unsigned base = (beat * 8 + chip) * 8;
+            const unsigned flips = 1 + rng.below(8);
+            std::vector<unsigned> lane;
+            while (lane.size() < flips)
+                pushDistinct(lane,
+                             base + static_cast<unsigned>(rng.below(8)));
+            bits.insert(bits.end(), lane.begin(), lane.end());
+        }
+        return;
+      }
+      case FailureMode::kCount:
+        break;
+    }
+    COP_PANIC("bad failure mode");
+}
+
+} // namespace cop

@@ -1,0 +1,270 @@
+#include "reliability/fault_injector.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cop {
+
+void
+FaultInjector::pickBits(unsigned bits, unsigned flips,
+                        std::vector<unsigned> &out)
+{
+    out.clear();
+    while (out.size() < flips) {
+        const auto bit = static_cast<unsigned>(rng_.below(bits));
+        if (std::find(out.begin(), out.end(), bit) == out.end())
+            out.push_back(bit);
+    }
+}
+
+FaultInjector::FlipGen
+FaultInjector::uniformGen(unsigned flips)
+{
+    return [flips](Rng &rng, std::vector<unsigned> &out) {
+        out.clear();
+        while (out.size() < flips) {
+            const auto bit = static_cast<unsigned>(rng.below(kBlockBits));
+            if (std::find(out.begin(), out.end(), bit) == out.end())
+                out.push_back(bit);
+        }
+    };
+}
+
+InjectionOutcome
+FaultInjector::injectCop(const CopCodec &codec, const CacheBlock &data,
+                         unsigned flips, u64 trials)
+{
+    return injectCopPattern(codec, data, uniformGen(flips), trials);
+}
+
+InjectionOutcome
+FaultInjector::injectCopPattern(const CopCodec &codec,
+                                const CacheBlock &data,
+                                const FlipGen &gen, u64 trials)
+{
+    InjectionOutcome outcome;
+    outcome.trials = trials;
+
+    const CopEncodeResult enc = codec.encode(data);
+    if (enc.status == EncodeStatus::AliasRejected)
+        COP_FATAL("cannot inject into an alias-rejected block");
+    const bool was_protected = enc.isProtected();
+
+    std::vector<unsigned> bits;
+    for (u64 t = 0; t < trials; ++t) {
+        CacheBlock stored = enc.stored;
+        gen(rng_, bits);
+        for (const unsigned b : bits)
+            stored.flipBit(b);
+
+        const CopDecodeResult dec = codec.decode(stored);
+        if (dec.data == data) {
+            if (dec.correctedWords > 0)
+                ++outcome.corrected;
+            else
+                ++outcome.benign;
+        } else if (was_protected && dec.detectedUncorrectable) {
+            ++outcome.detected;
+        } else {
+            ++outcome.silent;
+        }
+    }
+    return outcome;
+}
+
+InjectionOutcome
+FaultInjector::injectCopEr(const CoperCodec &coper, const CacheBlock &data,
+                           unsigned flips, u64 trials)
+{
+    return injectCopErPattern(coper, data, uniformGen(flips), trials);
+}
+
+InjectionOutcome
+FaultInjector::injectCopErPattern(const CoperCodec &coper,
+                                  const CacheBlock &data,
+                                  const FlipGen &gen, u64 trials)
+{
+    InjectionOutcome outcome;
+    outcome.trials = trials;
+
+    const u32 index = 0x123456;
+    const CoperEncodeResult enc =
+        coper.encodeIncompressible(data, index);
+    COP_ASSERT(enc.aliasFree);
+    EccEntry entry{true, enc.displaced, enc.check};
+
+    std::vector<unsigned> bits;
+    for (u64 t = 0; t < trials; ++t) {
+        CacheBlock stored = enc.stored;
+        gen(rng_, bits);
+        for (const unsigned b : bits)
+            stored.flipBit(b);
+
+        // Full read path: the COP decoder must still classify the block
+        // as uncompressed, the pointer must decode, and the wide code
+        // must correct.
+        const CopDecodeResult dec = coper.base().decode(stored);
+        if (dec.compressed) {
+            // Errors turned the raw block into a pseudo-compressed one:
+            // the decoder hands back decompressed garbage.
+            ++outcome.silent;
+            continue;
+        }
+        const PointerDecodeResult ptr = coper.extractPointer(stored);
+        if (ptr.ecc.uncorrectable() || ptr.entryIndex != index) {
+            ++outcome.detected;
+            continue;
+        }
+        const CoperDecodeResult rec = coper.reconstruct(stored, entry);
+        if (rec.data == data) {
+            if (rec.blockEcc.corrected() || ptr.ecc.corrected())
+                ++outcome.corrected;
+            else
+                ++outcome.benign;
+        } else if (rec.blockEcc.uncorrectable()) {
+            ++outcome.detected;
+        } else {
+            ++outcome.silent;
+        }
+    }
+    return outcome;
+}
+
+InjectionOutcome
+FaultInjector::injectEccDimm(const CacheBlock &data, unsigned flips,
+                             u64 trials)
+{
+    InjectionOutcome outcome;
+    outcome.trials = trials;
+    const HsiaoCode &code = codes::dimm72();
+
+    // Stored image: 8 words x 72 bits = 576 bits (the 9th chip).
+    std::array<std::array<u8, 9>, 8> clean{};
+    for (unsigned w = 0; w < 8; ++w) {
+        std::memcpy(clean[w].data(), data.data() + w * 8, 8);
+        code.encode(clean[w]);
+    }
+
+    std::vector<unsigned> bits;
+    for (u64 t = 0; t < trials; ++t) {
+        auto words = clean;
+        pickBits(576, flips, bits);
+        for (const unsigned b : bits)
+            flipBit(words[b / 72], b % 72);
+
+        bool wrong = false, detected = false, corrected = false;
+        for (unsigned w = 0; w < 8; ++w) {
+            const EccResult r = code.decode(words[w]);
+            corrected |= r.corrected();
+            if (r.uncorrectable())
+                detected = true;
+            if (std::memcmp(words[w].data(), clean[w].data(), 9) != 0)
+                wrong = true;
+        }
+        if (detected)
+            ++outcome.detected;
+        else if (wrong)
+            ++outcome.silent;
+        else if (corrected)
+            ++outcome.corrected;
+        else
+            ++outcome.benign;
+    }
+    return outcome;
+}
+
+InjectionOutcome
+FaultInjector::injectEccDimmPattern(const CacheBlock &data,
+                                    const FlipGen &gen, u64 trials)
+{
+    InjectionOutcome outcome;
+    outcome.trials = trials;
+    const HsiaoCode &code = codes::dimm72();
+
+    std::array<std::array<u8, 9>, 8> clean{};
+    for (unsigned w = 0; w < 8; ++w) {
+        std::memcpy(clean[w].data(), data.data() + w * 8, 8);
+        code.encode(clean[w]);
+    }
+
+    std::vector<unsigned> bits;
+    for (u64 t = 0; t < trials; ++t) {
+        auto words = clean;
+        gen(rng_, bits);
+        // Pattern positions address the 512 data bits; map each to its
+        // (72,64) word's data section.
+        for (const unsigned b : bits)
+            flipBit(words[b / 64], b % 64);
+
+        bool wrong = false, detected = false, corrected = false;
+        for (unsigned w = 0; w < 8; ++w) {
+            const EccResult r = code.decode(words[w]);
+            corrected |= r.corrected();
+            if (r.uncorrectable())
+                detected = true;
+            if (std::memcmp(words[w].data(), clean[w].data(), 9) != 0)
+                wrong = true;
+        }
+        if (detected)
+            ++outcome.detected;
+        else if (wrong)
+            ++outcome.silent;
+        else if (corrected)
+            ++outcome.corrected;
+        else
+            ++outcome.benign;
+    }
+    return outcome;
+}
+
+InjectionOutcome
+FaultInjector::injectChipkillPattern(const ChipkillCodec &codec,
+                                     const CacheBlock &data,
+                                     const FlipGen &gen, u64 trials)
+{
+    InjectionOutcome outcome;
+    outcome.trials = trials;
+
+    const CopEncodeResult enc = codec.encode(data);
+    if (enc.status == EncodeStatus::AliasRejected)
+        COP_FATAL("cannot inject into an alias-rejected block");
+    const bool was_protected = enc.isProtected();
+
+    std::vector<unsigned> bits;
+    for (u64 t = 0; t < trials; ++t) {
+        CacheBlock stored = enc.stored;
+        gen(rng_, bits);
+        for (const unsigned b : bits)
+            stored.flipBit(b);
+
+        const ChipkillDecodeResult dec = codec.decode(stored);
+        if (dec.data == data) {
+            if (dec.correctedSymbols > 0)
+                ++outcome.corrected;
+            else
+                ++outcome.benign;
+        } else if (was_protected && dec.detectedUncorrectable) {
+            ++outcome.detected;
+        } else {
+            ++outcome.silent;
+        }
+    }
+    return outcome;
+}
+
+InjectionOutcome
+FaultInjector::injectUnprotected(const CacheBlock &data, unsigned flips,
+                                 u64 trials)
+{
+    (void)data;
+    InjectionOutcome outcome;
+    outcome.trials = trials;
+    // Every nonzero flip count silently corrupts an unprotected block.
+    if (flips == 0)
+        outcome.benign = trials;
+    else
+        outcome.silent = trials;
+    return outcome;
+}
+
+} // namespace cop

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Monte-Carlo fault injection: flips real bits in real stored images
+ * and runs the real decoders, validating the analytic model end-to-end
+ * (something the paper's purely analytic methodology could not do).
+ * Used by the table3/ecc-comparison benches, the fault-injection
+ * example, and the integration tests.
+ */
+
+#ifndef COP_RELIABILITY_FAULT_INJECTOR_HPP
+#define COP_RELIABILITY_FAULT_INJECTOR_HPP
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "core/chipkill_codec.hpp"
+#include "core/coper_codec.hpp"
+#include "ecc/secded.hpp"
+
+namespace cop {
+
+/** Classified results of an injection campaign. */
+struct InjectionOutcome
+{
+    u64 trials = 0;
+    u64 benign = 0;    ///< Decoded data identical without correction.
+    u64 corrected = 0; ///< Errors repaired; data intact.
+    u64 detected = 0;  ///< Flagged uncorrectable; data lost but known.
+    u64 silent = 0;    ///< Wrong data returned with no indication.
+
+    double
+    silentRate() const
+    {
+        return trials ? static_cast<double>(silent) / trials : 0.0;
+    }
+
+    double
+    uncorrectedRate() const
+    {
+        return trials
+                   ? static_cast<double>(silent + detected) / trials
+                   : 0.0;
+    }
+
+    InjectionOutcome &
+    operator+=(const InjectionOutcome &o)
+    {
+        trials += o.trials;
+        benign += o.benign;
+        corrected += o.corrected;
+        detected += o.detected;
+        silent += o.silent;
+        return *this;
+    }
+};
+
+/**
+ * Fault-injection campaigns against each protection scheme. Each trial
+ * encodes @p data, flips @p flips distinct random bits of the stored
+ * image, decodes, and classifies the outcome.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * Produces the flip positions of one fault event (bit indices into
+     * the 512-bit stored block).
+     */
+    using FlipGen = std::function<void(Rng &, std::vector<unsigned> &)>;
+
+    explicit FaultInjector(u64 seed = 0xFau) : rng_(seed) {}
+
+    /** Inject into a COP-protected (or raw, if incompressible) block. */
+    InjectionOutcome injectCop(const CopCodec &codec,
+                               const CacheBlock &data, unsigned flips,
+                               u64 trials);
+
+    /** Inject into a COP-ER incompressible block (stored + entry). */
+    InjectionOutcome injectCopEr(const CoperCodec &coper,
+                                 const CacheBlock &data, unsigned flips,
+                                 u64 trials);
+
+    /** Inject into an ECC-DIMM block (8 x (72,64), 576 stored bits). */
+    InjectionOutcome injectEccDimm(const CacheBlock &data, unsigned flips,
+                                   u64 trials);
+
+    /** Inject into an unprotected raw block. */
+    InjectionOutcome injectUnprotected(const CacheBlock &data,
+                                       unsigned flips, u64 trials);
+
+    /**
+     * Pattern-based variants for the field failure-mode study: the
+     * generator decides where each trial's flips land (e.g. confined
+     * to one word, one chip lane, or a row burst).
+     */
+    InjectionOutcome injectCopPattern(const CopCodec &codec,
+                                      const CacheBlock &data,
+                                      const FlipGen &gen, u64 trials);
+    InjectionOutcome injectCopErPattern(const CoperCodec &coper,
+                                        const CacheBlock &data,
+                                        const FlipGen &gen, u64 trials);
+    InjectionOutcome injectEccDimmPattern(const CacheBlock &data,
+                                          const FlipGen &gen,
+                                          u64 trials);
+    InjectionOutcome injectChipkillPattern(const ChipkillCodec &codec,
+                                           const CacheBlock &data,
+                                           const FlipGen &gen,
+                                           u64 trials);
+
+    Rng &rng() { return rng_; }
+
+  private:
+    /** Choose @p flips distinct bit positions below @p bits. */
+    void pickBits(unsigned bits, unsigned flips,
+                  std::vector<unsigned> &out);
+
+    /** Uniform distinct-@p flips generator over 512 bits. */
+    FlipGen uniformGen(unsigned flips);
+
+    Rng rng_;
+};
+
+} // namespace cop
+
+#endif // COP_RELIABILITY_FAULT_INJECTOR_HPP

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Run reporting: turns a SystemResults bundle (plus the reliability and
+ * energy models) into the gem5-style sectioned text report the CLI and
+ * examples print. Pure formatting — no simulation state.
+ */
+
+#ifndef COP_SIM_REPORT_HPP
+#define COP_SIM_REPORT_HPP
+
+#include <iosfwd>
+
+#include "dram/energy.hpp"
+#include "reliability/error_model.hpp"
+#include "sim/system.hpp"
+
+namespace cop {
+
+/** Options controlling which report sections are emitted. */
+struct ReportOptions
+{
+    bool performance = true;
+    bool cache = true;
+    bool dram = true;
+    bool controller = true;
+    bool reliability = true;
+    bool energy = true;
+};
+
+/**
+ * Write a sectioned report of one run.
+ *
+ * @param results  the run to report;
+ * @param cfg      the configuration it ran under (for headers and the
+ *                 energy model's chip count);
+ * @param profile  the workload it ran;
+ * @param out      destination stream.
+ */
+void writeReport(const SystemResults &results, const SystemConfig &cfg,
+                 const WorkloadProfile &profile, std::ostream &out,
+                 const ReportOptions &options = ReportOptions{});
+
+} // namespace cop
+
+#endif // COP_SIM_REPORT_HPP

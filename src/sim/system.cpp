@@ -1,0 +1,233 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+#include "mem/coper_controller.hpp"
+#include "mem/coper_naive_controller.hpp"
+#include "mem/ecc_region_controller.hpp"
+
+namespace cop {
+
+const char *
+controllerKindName(ControllerKind k)
+{
+    switch (k) {
+      case ControllerKind::Unprotected: return "Unprot.";
+      case ControllerKind::EccDimm: return "ECC DIMM";
+      case ControllerKind::EccRegion: return "ECC Reg.";
+      case ControllerKind::Cop4: return "COP";
+      case ControllerKind::Cop8: return "COP-8B";
+      case ControllerKind::CopEr: return "COP-ER";
+      case ControllerKind::CopErNaive: return "COP-ER-nv";
+    }
+    COP_PANIC("bad controller kind");
+}
+
+std::unique_ptr<MemoryController>
+makeController(ControllerKind kind, DramSystem &dram,
+               MemoryController::ContentSource content,
+               Cycle decode_latency, u64 meta_cache_bytes)
+{
+    switch (kind) {
+      case ControllerKind::Unprotected:
+        return std::make_unique<UnprotectedController>(dram,
+                                                       std::move(content));
+      case ControllerKind::EccDimm:
+        return std::make_unique<EccDimmController>(dram,
+                                                   std::move(content));
+      case ControllerKind::EccRegion:
+        return std::make_unique<EccRegionController>(
+            dram, std::move(content), meta_cache_bytes);
+      case ControllerKind::Cop4:
+        return std::make_unique<CopController>(
+            dram, std::move(content), CopConfig::fourByte(),
+            decode_latency);
+      case ControllerKind::Cop8:
+        return std::make_unique<CopController>(
+            dram, std::move(content), CopConfig::eightByte(),
+            decode_latency);
+      case ControllerKind::CopEr:
+        return std::make_unique<CopErController>(
+            dram, std::move(content), decode_latency, meta_cache_bytes);
+      case ControllerKind::CopErNaive:
+        return std::make_unique<CopErNaiveController>(
+            dram, std::move(content), decode_latency, meta_cache_bytes);
+    }
+    COP_PANIC("bad controller kind");
+}
+
+System::System(const WorkloadProfile &profile, const SystemConfig &cfg)
+    : profile_(profile), cfg_(cfg), dram_(cfg.dram), llc_(cfg.llc)
+{
+    COP_ASSERT(cfg_.cores >= 1);
+    cores_.resize(cfg_.cores);
+    for (unsigned c = 0; c < cfg_.cores; ++c) {
+        cores_[c].gen = std::make_unique<TraceGenerator>(profile, c,
+                                                         cfg_.seedSalt);
+    }
+    controller_ = makeController(
+        cfg_.kind, dram_,
+        [this](Addr addr) { return poolFor(addr).blockFor(addr); },
+        cfg_.decodeLatency, cfg_.metaCacheBytes);
+}
+
+System::~System() = default;
+
+BlockContentPool &
+System::poolFor(Addr addr)
+{
+    if (profile_.sharedFootprint || cfg_.cores == 1)
+        return cores_[0].gen->pool();
+    const u64 region = profile_.footprintBlocks * kBlockBytes;
+    const auto core = static_cast<unsigned>(addr / region);
+    COP_ASSERT(core < cores_.size());
+    return cores_[core].gen->pool();
+}
+
+void
+System::performWriteback(const CacheEviction &ev, Cycle now)
+{
+    COP_ASSERT(ev.valid && ev.state.dirty);
+    const CacheBlock data = poolFor(ev.addr).blockFor(ev.addr);
+    const MemWriteResult wr = controller_->writeback(
+        ev.addr, data, now, ev.state.wasUncompressed);
+    // The insert-time filter already pinned true aliases; a rejection
+    // here would mean the filter and the encoder disagree.
+    COP_ASSERT(!wr.aliasRejected);
+    ++writebacks_;
+}
+
+Cycle
+System::handleMiss(Addr addr, bool is_write, Cycle now)
+{
+    ++missCount_;
+    const MemReadResult fill = controller_->read(addr, now);
+
+    if (cfg_.verifyData) {
+        const CacheBlock expect = poolFor(addr).blockFor(addr);
+        if (!(fill.data == expect) && !fill.detectedUncorrectable) {
+            COP_PANIC("memory returned wrong data for block " +
+                      std::to_string(addr));
+        }
+    }
+
+    // Track which blocks were ever resident uncompressed (Figure 12's
+    // "ever incompressible in DRAM" storage accounting).
+    if (fill.wasUncompressed)
+        everUncompressed_[addr / kBlockBytes * kBlockBytes] = true;
+
+    const SetAssocCache::EvictFilter filter =
+        [this](Addr victim, const CacheLineState &) {
+            const CacheBlock data = poolFor(victim).blockFor(victim);
+            return !controller_->wouldAliasReject(data);
+        };
+    const CacheEviction ev = llc_.insert(addr, is_write, filter);
+    if (ev.valid && ev.state.dirty)
+        performWriteback(ev, now);
+
+    if (CacheLineState *state = llc_.findState(addr)) {
+        state->wasUncompressed = fill.wasUncompressed;
+        if (fill.aliasPinned) {
+            // First touch of an incompressible alias: it only exists
+            // here, so it is dirty and pinned.
+            state->dirty = true;
+            llc_.setAlias(addr, true);
+        }
+    }
+    return fill.complete;
+}
+
+void
+System::proactiveAliasCheck(Addr addr)
+{
+    if (!cfg_.proactiveAliasCheck)
+        return;
+    if (llc_.findState(addr) == nullptr)
+        return;
+    if (controller_->wouldAliasReject(poolFor(addr).blockFor(addr)))
+        llc_.setAlias(addr, true);
+}
+
+void
+System::runEpoch(Core &core)
+{
+    const Epoch epoch = core.gen->next();
+
+    // Compute phase at the perfect-L3 IPC; the epoch's misses overlap
+    // with it and with each other (interval simulation).
+    const auto compute = static_cast<Cycle>(
+        static_cast<double>(epoch.instructions) / profile_.perfectIpc);
+    const Cycle issue = core.clock;
+    Cycle memory_done = issue;
+
+    for (const TraceAccess &access : epoch.accesses) {
+        if (llc_.access(access.addr, access.isWrite)) {
+            if (access.isWrite) {
+                poolFor(access.addr).bumpVersion(access.addr);
+                proactiveAliasCheck(access.addr);
+            }
+            continue; // hit latency is folded into the perfect-L3 IPC
+        }
+        const Cycle done = handleMiss(access.addr, access.isWrite, issue);
+        if (access.isWrite) {
+            poolFor(access.addr).bumpVersion(access.addr);
+            proactiveAliasCheck(access.addr);
+        }
+        memory_done = std::max(memory_done, done + cfg_.llc.latency);
+    }
+
+    core.clock = std::max(issue + compute, memory_done);
+    core.instructions += epoch.instructions;
+    ++core.epochsDone;
+}
+
+SystemResults
+System::run()
+{
+    // Global-time interleaving: always advance the core that is
+    // furthest behind, so DRAM sees each core's requests in a
+    // plausibly-ordered merge.
+    while (true) {
+        Core *next = nullptr;
+        for (auto &core : cores_) {
+            if (core.epochsDone >= cfg_.epochsPerCore)
+                continue;
+            if (next == nullptr || core.clock < next->clock)
+                next = &core;
+        }
+        if (next == nullptr)
+            break;
+        runEpoch(*next);
+    }
+
+    SystemResults results;
+    for (const auto &core : cores_) {
+        results.instructions += core.instructions;
+        results.cycles = std::max(results.cycles, core.clock);
+    }
+    results.ipc = results.cycles
+                      ? static_cast<double>(results.instructions) /
+                            static_cast<double>(results.cycles)
+                      : 0.0;
+    results.llcMisses = missCount_;
+    results.writebacks = writebacks_;
+    results.llc = llc_.stats();
+    results.aliasPinEvents = llc_.stats().aliasPinned;
+    results.dram = dram_.stats();
+    results.mem = controller_->stats();
+    results.vuln = controller_->vulnLog();
+    results.everUncompressedBlocks = everUncompressed_.size();
+
+    // Footprint actually touched: distinct blocks with a DRAM image.
+    results.touchedBlocks = controller_->imageBlockCount();
+    results.eccRegionBytes = 0;
+    if (auto *coper = dynamic_cast<CopErController *>(controller_.get())) {
+        results.eccRegionBytes = coper->storageBytesHighWater();
+        results.eccRegionBytesNoDealloc = coper->storageBytesNoDealloc();
+        results.everUncompressedBlocks =
+            coper->everIncompressibleBlocks();
+    }
+    return results;
+}
+
+} // namespace cop

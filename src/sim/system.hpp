@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The interval performance simulator (paper Section 4): a 4-core system
+ * with a shared L3 backed by one of the memory-controller variants over
+ * the DDR3-1600 DRAM model. Execution is epoch-structured — compute
+ * phases at the per-benchmark perfect-L3 IPC, punctuated by bursts of
+ * overlappable L3 misses whose exposed latency the memory system
+ * determines. SPEC benchmarks run in rate mode (one copy per core);
+ * PARSEC profiles share one footprint, as in the paper.
+ */
+
+#ifndef COP_SIM_SYSTEM_HPP
+#define COP_SIM_SYSTEM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc_cache.hpp"
+#include "mem/controller.hpp"
+#include "workloads/trace_gen.hpp"
+
+namespace cop {
+
+/** Which protection scheme the memory controller implements. */
+enum class ControllerKind : u8 {
+    Unprotected,
+    EccDimm,
+    EccRegion, ///< The paper's "ECC Reg." baseline.
+    Cop4,
+    Cop8,
+    CopEr,
+    CopErNaive, ///< Section 3.3's naive COP-ER (full-size region).
+};
+
+const char *controllerKindName(ControllerKind k);
+
+/** Full-system configuration (defaults reproduce Table 1). */
+struct SystemConfig
+{
+    unsigned cores = 4;
+    CacheConfig llc{4ULL << 20, 16, 34};
+    DramConfig dram{};
+    ControllerKind kind = ControllerKind::Unprotected;
+    Cycle decodeLatency = 4; ///< COP decode/decompress adder (Section 4).
+    /**
+     * Metadata cache modelling the L3 share ECC blocks occupy (the
+     * paper caches ECC metadata in the 4 MB L3; half of it is a fair
+     * steady-state share for the ECC-heavy baseline).
+     */
+    u64 metaCacheBytes = 2ULL << 20;
+    /** Epochs to simulate per core. */
+    u64 epochsPerCore = 20000;
+    /**
+     * Cross-check every fill against functional memory — an end-to-end
+     * invariant over encode -> store -> decode. Disable only for fault
+     * injection, where mismatches are the point.
+     */
+    bool verifyData = true;
+    /**
+     * Section 3.1's alternative alias policy: test every store's new
+     * content at LLC-write time and set the alias bit immediately,
+     * instead of discovering the alias at eviction.
+     */
+    bool proactiveAliasCheck = false;
+    u64 seedSalt = 0;
+};
+
+/** Aggregate results of one run. */
+struct SystemResults
+{
+    double ipc = 0; ///< Total instructions / slowest-core cycles.
+    u64 instructions = 0;
+    Cycle cycles = 0;
+    u64 llcMisses = 0;
+    u64 writebacks = 0;
+    u64 aliasPinEvents = 0;
+    CacheStats llc;
+    DramStats dram;
+    MemStats mem;
+    VulnLog vuln;
+    /** Blocks that were ever stored uncompressed in DRAM. */
+    u64 everUncompressedBlocks = 0;
+    /** Distinct data blocks touched. */
+    u64 touchedBlocks = 0;
+    /** COP-ER ECC region bytes at high water (0 for other schemes). */
+    u64 eccRegionBytes = 0;
+    /**
+     * COP-ER ECC region bytes under Figure 12's no-deallocation
+     * assumption (an entry for every ever-incompressible block).
+     */
+    u64 eccRegionBytesNoDealloc = 0;
+};
+
+/** One simulated system instance for one benchmark. */
+class System
+{
+  public:
+    System(const WorkloadProfile &profile, const SystemConfig &cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run the configured number of epochs and report. */
+    SystemResults run();
+
+    MemoryController &controller() { return *controller_; }
+    SetAssocCache &llc() { return llc_; }
+
+  private:
+    struct Core
+    {
+        std::unique_ptr<TraceGenerator> gen;
+        Cycle clock = 0;
+        u64 instructions = 0;
+        u64 epochsDone = 0;
+    };
+
+    BlockContentPool &poolFor(Addr addr);
+    void runEpoch(Core &core);
+    /** Apply the proactive alias policy to a freshly-written line. */
+    void proactiveAliasCheck(Addr addr);
+    /** Handle an L3 miss: fill from memory, install, write back victim. */
+    Cycle handleMiss(Addr addr, bool is_write, Cycle now);
+    void performWriteback(const CacheEviction &ev, Cycle now);
+
+    const WorkloadProfile &profile_;
+    SystemConfig cfg_;
+    DramSystem dram_;
+    SetAssocCache llc_;
+    std::unique_ptr<MemoryController> controller_;
+    std::vector<Core> cores_;
+    std::unordered_map<Addr, bool> everUncompressed_;
+    u64 writebacks_ = 0;
+    u64 missCount_ = 0;
+};
+
+/** Factory for the memory-controller variants. */
+std::unique_ptr<MemoryController>
+makeController(ControllerKind kind, DramSystem &dram,
+               MemoryController::ContentSource content,
+               Cycle decode_latency, u64 meta_cache_bytes);
+
+} // namespace cop
+
+#endif // COP_SIM_SYSTEM_HPP

@@ -1,0 +1,120 @@
+#include "sim/trace_io.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <unordered_set>
+
+namespace cop {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'O', 'P', 'T', 'R', 'C', '1', '\0'};
+
+template <typename T>
+void
+writeScalar(std::ostream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+bool
+readScalar(std::istream &in, T &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return in.gcount() == sizeof(value);
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(std::ostream &out) : out_(out)
+{
+    out_.write(kMagic, sizeof(kMagic));
+    writeScalar<u32>(out_, 0); // unknown count: read until EOF
+}
+
+void
+TraceWriter::write(const Epoch &epoch)
+{
+    writeScalar<u64>(out_, epoch.instructions);
+    writeScalar<u32>(out_, static_cast<u32>(epoch.accesses.size()));
+    for (const TraceAccess &access : epoch.accesses) {
+        COP_ASSERT(access.addr % kBlockBytes == 0);
+        writeScalar<u64>(out_, access.addr | (access.isWrite ? 1u : 0u));
+    }
+    ++count_;
+}
+
+TraceReader::TraceReader(std::istream &in) : in_(in)
+{
+    char magic[8];
+    in_.read(magic, sizeof(magic));
+    if (in_.gcount() != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+        COP_FATAL("not a COP trace stream (bad magic)");
+    }
+    u32 declared;
+    if (!readScalar(in_, declared))
+        COP_FATAL("truncated trace header");
+}
+
+bool
+TraceReader::read(Epoch &epoch)
+{
+    u64 instructions;
+    if (!readScalar(in_, instructions))
+        return false;
+    u32 count;
+    if (!readScalar(in_, count))
+        COP_FATAL("truncated trace epoch header");
+    epoch.instructions = instructions;
+    epoch.accesses.clear();
+    epoch.accesses.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        u64 word;
+        if (!readScalar(in_, word))
+            COP_FATAL("truncated trace access record");
+        epoch.accesses.push_back(
+            {word & ~static_cast<u64>(1), (word & 1) != 0});
+    }
+    ++count_;
+    return true;
+}
+
+TraceSummary
+summarizeTrace(std::istream &in)
+{
+    TraceReader reader(in);
+    TraceSummary summary;
+    std::unordered_set<Addr> blocks;
+    Addr prev = ~0ULL;
+    Epoch epoch;
+    while (reader.read(epoch)) {
+        ++summary.epochs;
+        summary.instructions += epoch.instructions;
+        for (const TraceAccess &access : epoch.accesses) {
+            ++summary.accesses;
+            summary.writes += access.isWrite;
+            blocks.insert(access.addr);
+            if (prev != ~0ULL && access.addr == prev + kBlockBytes)
+                ++summary.sequentialPairs;
+            prev = access.addr;
+        }
+    }
+    summary.distinctBlocks = blocks.size();
+    return summary;
+}
+
+u64
+captureTrace(const WorkloadProfile &profile, unsigned core_id,
+             u64 epochs, std::ostream &out)
+{
+    TraceGenerator gen(profile, core_id);
+    TraceWriter writer(out);
+    for (u64 i = 0; i < epochs; ++i)
+        writer.write(gen.next());
+    return writer.epochsWritten();
+}
+
+} // namespace cop

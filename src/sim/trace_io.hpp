@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Trace capture and replay. The paper's methodology is trace-driven
+ * (Pin-captured L3 reference streams); this module gives the library
+ * the same workflow: epoch streams can be serialised to a compact
+ * binary format, inspected, and replayed, so downstream users can feed
+ * their own captured traces instead of the synthetic generators.
+ *
+ * Format (little-endian):
+ *   header : magic "COPTRC1\0" (8 bytes), u32 epoch count (0 if
+ *            unknown at write time -> read until EOF)
+ *   epoch  : u64 instructions, u32 access count,
+ *            accesses as u64 words: (block address) | 1 if write
+ *            (block addresses are 64-byte aligned, so bit 0 is free).
+ */
+
+#ifndef COP_SIM_TRACE_IO_HPP
+#define COP_SIM_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "workloads/trace_gen.hpp"
+
+namespace cop {
+
+/** Serialises epochs to a binary stream. */
+class TraceWriter
+{
+  public:
+    /** Writes the header immediately. */
+    explicit TraceWriter(std::ostream &out);
+
+    /** Append one epoch. */
+    void write(const Epoch &epoch);
+
+    u64 epochsWritten() const { return count_; }
+
+  private:
+    std::ostream &out_;
+    u64 count_ = 0;
+};
+
+/** Reads epochs back; validates the header eagerly. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(std::istream &in);
+
+    /** @return false at end of stream. */
+    bool read(Epoch &epoch);
+
+    u64 epochsRead() const { return count_; }
+
+  private:
+    std::istream &in_;
+    u64 count_ = 0;
+};
+
+/** Summary statistics of a trace (the trace_tool report). */
+struct TraceSummary
+{
+    u64 epochs = 0;
+    u64 instructions = 0;
+    u64 accesses = 0;
+    u64 writes = 0;
+    u64 distinctBlocks = 0;
+    u64 sequentialPairs = 0; ///< addr == prev + 64 transitions.
+
+    double
+    writeFraction() const
+    {
+        return accesses ? static_cast<double>(writes) / accesses : 0;
+    }
+
+    double
+    accessesPerKiloInstruction() const
+    {
+        return instructions
+                   ? 1000.0 * static_cast<double>(accesses) / instructions
+                   : 0;
+    }
+};
+
+/** Scan a trace stream and summarise it. */
+TraceSummary summarizeTrace(std::istream &in);
+
+/** Capture @p epochs epochs of a synthetic workload to @p out. */
+u64 captureTrace(const WorkloadProfile &profile, unsigned core_id,
+                 u64 epochs, std::ostream &out);
+
+} // namespace cop
+
+#endif // COP_SIM_TRACE_IO_HPP

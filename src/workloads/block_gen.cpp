@@ -1,0 +1,181 @@
+#include "workloads/block_gen.hpp"
+
+#include <array>
+#include <utility>
+
+namespace cop {
+
+const char *
+blockCategoryName(BlockCategory c)
+{
+    switch (c) {
+      case BlockCategory::Zero: return "zero";
+      case BlockCategory::SmallInt64: return "int64";
+      case BlockCategory::SmallInt32: return "int32";
+      case BlockCategory::FpSimilar: return "fp";
+      case BlockCategory::Text: return "text";
+      case BlockCategory::Pointer: return "pointer";
+      case BlockCategory::Sparse: return "sparse";
+      case BlockCategory::MixedWords: return "mixed";
+      case BlockCategory::Random: return "random";
+      case BlockCategory::kCount: break;
+    }
+    COP_PANIC("bad block category");
+}
+
+namespace {
+
+CacheBlock
+genSmallInt64(const BlockGenParams &p, Rng &rng)
+{
+    CacheBlock b;
+    const u64 mask = (1ULL << p.intMagnitudeBits) - 1;
+    for (unsigned w = 0; w < 8; ++w) {
+        i64 v = static_cast<i64>(rng.next() & mask);
+        if (rng.chance(p.intNegativeProb))
+            v = -v;
+        b.setWord64(w, static_cast<u64>(v));
+    }
+    return b;
+}
+
+CacheBlock
+genSmallInt32(const BlockGenParams &p, Rng &rng)
+{
+    CacheBlock b;
+    const unsigned bits = p.intMagnitudeBits < 30 ? p.intMagnitudeBits : 30;
+    const u32 mask = (1u << bits) - 1;
+    for (unsigned w = 0; w < 16; ++w) {
+        auto v = static_cast<std::int32_t>(rng.next() & mask);
+        if (rng.chance(p.intNegativeProb))
+            v = -v;
+        b.setWord32(w, static_cast<u32>(v));
+    }
+    return b;
+}
+
+CacheBlock
+genFpSimilar(const BlockGenParams &p, Rng &rng)
+{
+    // IEEE-754 doubles: sign(1) | exponent(11) | mantissa(52). Most
+    // array blocks hold values of one magnitude (identical exponents);
+    // a minority mix nearby magnitudes within the configured spread.
+    // The jittered minority is what separates the 8-byte MSB compare
+    // (10 bits deep into the exponent) from the 4-byte one (5 bits).
+    // Signs are block-correlated: most arrays hold same-sign stretches
+    // (compressible even unshifted); fpNegativeProb is the probability
+    // a block mixes signs, which only the *shifted* comparison
+    // tolerates — the Figure 4 effect.
+    CacheBlock b;
+    const u64 base_exp = 1023 + rng.below(40); // magnitudes 1 .. 2^40
+    const bool jittered = p.fpExponentSpread > 0 && rng.chance(0.3);
+    const bool mixed_signs = rng.chance(p.fpNegativeProb);
+    const u64 block_sign = rng.next() & 1;
+    for (unsigned w = 0; w < 8; ++w) {
+        u64 exp = base_exp;
+        if (jittered)
+            exp += rng.below(p.fpExponentSpread + 1);
+        const u64 sign = mixed_signs ? (rng.next() & 1) : block_sign;
+        const u64 mantissa = rng.next() & ((1ULL << 52) - 1);
+        b.setWord64(w, (sign << 63) | ((exp & 0x7FF) << 52) | mantissa);
+    }
+    return b;
+}
+
+CacheBlock
+genText(Rng &rng)
+{
+    // Letter-frequency-ish ASCII: spaces, lower case, some punctuation.
+    static constexpr char alphabet[] =
+        "  eeeettaaoinshrdlucmfwypvbgkqjxz.,;'\"()0123456789ETAOIN\n\t";
+    CacheBlock b;
+    for (unsigned i = 0; i < kBlockBytes; ++i) {
+        b.setByte(i, static_cast<u8>(
+                         alphabet[rng.below(sizeof(alphabet) - 1)]));
+    }
+    return b;
+}
+
+CacheBlock
+genPointer(const BlockGenParams &p, Rng &rng)
+{
+    // Eight pointers into one heap arena: high bits shared, low bits
+    // random. Typical of pointer-chasing workloads (mcf, canneal).
+    CacheBlock b;
+    const u64 arena = 0x00007F0000000000ULL |
+                      (rng.below(16) << p.pointerLowBits);
+    const u64 low_mask = (1ULL << p.pointerLowBits) - 1;
+    for (unsigned w = 0; w < 8; ++w)
+        b.setWord64(w, arena | (rng.next() & low_mask & ~0x7ULL));
+    return b;
+}
+
+CacheBlock
+genSparse(const BlockGenParams &p, Rng &rng)
+{
+    CacheBlock b;
+    for (unsigned w = 0; w < 8; ++w)
+        b.setWord64(w, rng.next());
+    for (unsigned r = 0; r < p.sparseRuns; ++r) {
+        const unsigned word = rng.below(31);
+        b.setByte(2 * word, 0);
+        b.setByte(2 * word + 1, 0);
+        b.setByte(2 * word + 2, 0);
+    }
+    return b;
+}
+
+CacheBlock
+genMixedWords(const BlockGenParams &p, Rng &rng)
+{
+    // Shuffle which word positions carry random data so runs land at
+    // varying offsets.
+    CacheBlock b;
+    std::array<unsigned, 16> order;
+    for (unsigned i = 0; i < 16; ++i)
+        order[i] = i;
+    for (unsigned i = 15; i > 0; --i)
+        std::swap(order[i], order[rng.below(i + 1)]);
+
+    const unsigned random_words =
+        p.mixedRandomWords < 16 ? p.mixedRandomWords : 16;
+    for (unsigned i = 0; i < 16; ++i) {
+        if (i < random_words) {
+            b.setWord32(order[i], static_cast<u32>(rng.next()) | 1u);
+        } else {
+            b.setWord32(order[i], static_cast<u32>(rng.below(128)));
+        }
+    }
+    return b;
+}
+
+CacheBlock
+genRandom(Rng &rng)
+{
+    CacheBlock b;
+    for (unsigned w = 0; w < 8; ++w)
+        b.setWord64(w, rng.next());
+    return b;
+}
+
+} // namespace
+
+CacheBlock
+generateBlock(BlockCategory c, const BlockGenParams &params, Rng &rng)
+{
+    switch (c) {
+      case BlockCategory::Zero: return CacheBlock();
+      case BlockCategory::SmallInt64: return genSmallInt64(params, rng);
+      case BlockCategory::SmallInt32: return genSmallInt32(params, rng);
+      case BlockCategory::FpSimilar: return genFpSimilar(params, rng);
+      case BlockCategory::Text: return genText(rng);
+      case BlockCategory::Pointer: return genPointer(params, rng);
+      case BlockCategory::Sparse: return genSparse(params, rng);
+      case BlockCategory::MixedWords: return genMixedWords(params, rng);
+      case BlockCategory::Random: return genRandom(rng);
+      case BlockCategory::kCount: break;
+    }
+    COP_PANIC("bad block category");
+}
+
+} // namespace cop

@@ -1,0 +1,407 @@
+#include "workloads/profile.hpp"
+
+#include <algorithm>
+
+namespace cop {
+
+const char *
+suiteName(Suite s)
+{
+    switch (s) {
+      case Suite::SpecInt: return "SPECint 2006";
+      case Suite::SpecFp: return "SPECfp 2006";
+      case Suite::Parsec: return "PARSEC";
+    }
+    COP_PANIC("bad suite");
+}
+
+u64
+WorkloadProfile::seed() const
+{
+    u64 h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<u8>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+namespace {
+
+using C = BlockCategory;
+
+/** Fluent builder so the registry below stays table-like. */
+struct Build
+{
+    WorkloadProfile p;
+
+    Build(std::string name, Suite suite, bool mem_intensive)
+    {
+        p.name = std::move(name);
+        p.suite = suite;
+        p.memoryIntensive = mem_intensive;
+        p.sharedFootprint = (suite == Suite::Parsec);
+    }
+
+    Build &
+    mix(std::initializer_list<std::pair<C, double>> entries)
+    {
+        for (const auto &[c, w] : entries)
+            p.mix[c] = w;
+        return *this;
+    }
+
+    Build &
+    perf(double ipc, double apki, unsigned mlp, double wf,
+         u64 footprint_mb, double stream)
+    {
+        p.perfectIpc = ipc;
+        p.l3Apki = apki;
+        p.mlp = mlp;
+        p.writeFraction = wf;
+        p.footprintBlocks = footprint_mb * ((1ULL << 20) / kBlockBytes);
+        p.streamFraction = stream;
+        return *this;
+    }
+
+    Build &
+    fp(double neg_prob, unsigned exp_spread)
+    {
+        p.gen.fpNegativeProb = neg_prob;
+        p.gen.fpExponentSpread = exp_spread;
+        return *this;
+    }
+
+    Build &
+    ints(unsigned magnitude_bits, double neg_prob)
+    {
+        p.gen.intMagnitudeBits = magnitude_bits;
+        p.gen.intNegativeProb = neg_prob;
+        return *this;
+    }
+
+    Build &
+    mixed(unsigned random_words)
+    {
+        p.gen.mixedRandomWords = random_words;
+        return *this;
+    }
+
+    Build &
+    sparse(unsigned runs)
+    {
+        p.gen.sparseRuns = runs;
+        return *this;
+    }
+
+    WorkloadProfile
+    done()
+    {
+        double total = 0;
+        for (const double w : p.mix.weight)
+            total += w;
+        COP_ASSERT(total > 0);
+        for (double &w : p.mix.weight)
+            w /= total;
+        return p;
+    }
+};
+
+std::vector<WorkloadProfile>
+buildRegistry()
+{
+    std::vector<WorkloadProfile> r;
+
+    // ------------------------------------------------------------------
+    // SPECint 2006. Table 2 members flagged memory-intensive.
+    // ------------------------------------------------------------------
+    r.push_back(Build("astar", Suite::SpecInt, true)
+                    .mix({{C::Pointer, .30}, {C::SmallInt64, .22},
+                          {C::SmallInt32, .15}, {C::Zero, .10},
+                          {C::Sparse, .08}, {C::MixedWords, .05},
+                          {C::Random, .05}})
+                    .perf(1.4, 8, 2, .25, 96, .2)
+                    .done());
+    r.push_back(Build("bzip2", Suite::SpecInt, true)
+                    .mix({{C::Random, .22}, {C::SmallInt32, .26},
+                          {C::Sparse, .14}, {C::Text, .12},
+                          {C::MixedWords, .10}, {C::Zero, .10}})
+                    .perf(1.6, 6, 3, .35, 80, .4)
+                    .done());
+    r.push_back(Build("gcc", Suite::SpecInt, true)
+                    .mix({{C::Pointer, .26}, {C::SmallInt32, .24},
+                          {C::Zero, .20}, {C::Text, .10},
+                          {C::Sparse, .10}, {C::Random, .05}})
+                    .perf(1.5, 10, 3, .30, 64, .3)
+                    .done());
+    r.push_back(Build("gobmk", Suite::SpecInt, false)
+                    .mix({{C::SmallInt32, .35}, {C::Pointer, .20},
+                          {C::Zero, .15}, {C::Sparse, .10},
+                          {C::Text, .05}, {C::Random, .15}})
+                    .perf(1.6, 4, 2, .3, 32, .2)
+                    .done());
+    r.push_back(Build("h264ref", Suite::SpecInt, false)
+                    .mix({{C::SmallInt32, .30}, {C::Sparse, .20},
+                          {C::Zero, .15}, {C::SmallInt64, .10},
+                          {C::Random, .25}})
+                    .ints(12, .2)
+                    .perf(2.0, 3, 3, .35, 48, .5)
+                    .done());
+    r.push_back(Build("hmmer", Suite::SpecInt, false)
+                    .mix({{C::SmallInt32, .40}, {C::FpSimilar, .15},
+                          {C::Zero, .15}, {C::Sparse, .15},
+                          {C::Random, .15}})
+                    .perf(1.9, 3, 2, .3, 32, .4)
+                    .done());
+    r.push_back(Build("libquantum", Suite::SpecInt, false)
+                    .mix({{C::MixedWords, .62}, {C::FpSimilar, .12},
+                          {C::Zero, .10}, {C::SmallInt64, .06},
+                          {C::Random, .10}})
+                    .mixed(12)
+                    .fp(.3, 24)
+                    .perf(1.0, 25, 8, .35, 256, .9)
+                    .done());
+    r.push_back(Build("mcf", Suite::SpecInt, true)
+                    .mix({{C::Pointer, .44}, {C::SmallInt32, .28},
+                          {C::Zero, .15}, {C::Sparse, .06},
+                          {C::Random, .03}})
+                    .perf(0.8, 35, 2, .25, 256, .05)
+                    .done());
+    r.push_back(Build("omnetpp", Suite::SpecInt, true)
+                    .mix({{C::Pointer, .34}, {C::SmallInt64, .20},
+                          {C::Zero, .15}, {C::Text, .10},
+                          {C::Sparse, .09}, {C::Random, .06}})
+                    .perf(1.0, 20, 2, .30, 128, .1)
+                    .done());
+    r.push_back(Build("perlbench", Suite::SpecInt, true)
+                    .mix({{C::Text, .44}, {C::Pointer, .20},
+                          {C::SmallInt32, .14}, {C::Zero, .10},
+                          {C::Random, .06}})
+                    .perf(1.8, 5, 2, .30, 48, .3)
+                    .done());
+    r.push_back(Build("sjeng", Suite::SpecInt, true)
+                    .mix({{C::SmallInt64, .30}, {C::Random, .18},
+                          {C::Pointer, .20}, {C::Zero, .14},
+                          {C::MixedWords, .08}, {C::Sparse, .06}})
+                    .ints(20, .35)
+                    .perf(1.7, 4, 2, .30, 160, .1)
+                    .done());
+    r.push_back(Build("xalancbmk", Suite::SpecInt, true)
+                    .mix({{C::Text, .30}, {C::Pointer, .30},
+                          {C::SmallInt32, .14}, {C::Zero, .14},
+                          {C::Random, .06}})
+                    .perf(1.4, 12, 3, .30, 64, .2)
+                    .done());
+
+    // ------------------------------------------------------------------
+    // SPECfp 2006 (Figure 4 set; Table 2 members flagged).
+    // ------------------------------------------------------------------
+    r.push_back(Build("bwaves", Suite::SpecFp, true)
+                    .mix({{C::FpSimilar, .70}, {C::Zero, .10},
+                          {C::SmallInt32, .08}, {C::Random, .05}})
+                    .fp(.40, 8)
+                    .perf(1.2, 25, 8, .30, 384, .8)
+                    .done());
+    r.push_back(Build("cactusADM", Suite::SpecFp, true)
+                    .mix({{C::FpSimilar, .62}, {C::Zero, .14},
+                          {C::Sparse, .08}, {C::SmallInt64, .05},
+                          {C::Random, .06}})
+                    .fp(.20, 12)
+                    .perf(1.1, 15, 4, .35, 192, .6)
+                    .done());
+    r.push_back(Build("calculix", Suite::SpecFp, false)
+                    .mix({{C::FpSimilar, .55}, {C::SmallInt32, .20},
+                          {C::Zero, .10}, {C::Random, .15}})
+                    .fp(.15, 16)
+                    .perf(1.8, 4, 3, .3, 64, .5)
+                    .done());
+    r.push_back(Build("dealII", Suite::SpecFp, false)
+                    .mix({{C::FpSimilar, .50}, {C::Pointer, .20},
+                          {C::Zero, .10}, {C::Text, .05},
+                          {C::Random, .15}})
+                    .fp(.25, 10)
+                    .perf(1.7, 6, 3, .3, 96, .4)
+                    .done());
+    r.push_back(Build("gamess", Suite::SpecFp, false)
+                    .mix({{C::FpSimilar, .60}, {C::SmallInt32, .15},
+                          {C::Zero, .10}, {C::Random, .15}})
+                    .fp(.10, 14)
+                    .perf(2.0, 2, 2, .3, 32, .5)
+                    .done());
+    r.push_back(Build("GemsFDTD", Suite::SpecFp, true)
+                    .mix({{C::FpSimilar, .66}, {C::Zero, .14},
+                          {C::Sparse, .08}, {C::Random, .06}})
+                    .fp(.45, 6)
+                    .perf(1.0, 22, 6, .30, 320, .7)
+                    .done());
+    r.push_back(Build("gromacs", Suite::SpecFp, false)
+                    .mix({{C::FpSimilar, .55}, {C::SmallInt32, .20},
+                          {C::Zero, .10}, {C::Random, .15}})
+                    .fp(.35, 18)
+                    .perf(1.7, 5, 3, .3, 64, .5)
+                    .done());
+    r.push_back(Build("lbm", Suite::SpecFp, true)
+                    .mix({{C::FpSimilar, .74}, {C::Zero, .10},
+                          {C::Sparse, .05}, {C::Random, .05}})
+                    .fp(.30, 4)
+                    .perf(0.9, 30, 8, .45, 384, .9)
+                    .done());
+    r.push_back(Build("leslie3d", Suite::SpecFp, false)
+                    .mix({{C::FpSimilar, .64}, {C::Zero, .14},
+                          {C::SmallInt32, .10}, {C::Random, .12}})
+                    .fp(.30, 12)
+                    .perf(1.2, 14, 5, .3, 192, .7)
+                    .done());
+    r.push_back(Build("milc", Suite::SpecFp, true)
+                    .mix({{C::FpSimilar, .70}, {C::Zero, .10},
+                          {C::SmallInt32, .08}, {C::Random, .06}})
+                    .fp(.50, 5)
+                    .perf(1.0, 25, 6, .35, 320, .7)
+                    .done());
+    r.push_back(Build("namd", Suite::SpecFp, false)
+                    .mix({{C::FpSimilar, .60}, {C::SmallInt32, .15},
+                          {C::Zero, .10}, {C::Random, .15}})
+                    .fp(.40, 14)
+                    .perf(1.9, 3, 3, .3, 48, .5)
+                    .done());
+    r.push_back(Build("povray", Suite::SpecFp, false)
+                    .mix({{C::FpSimilar, .45}, {C::Pointer, .20},
+                          {C::SmallInt32, .15}, {C::Zero, .10},
+                          {C::Random, .10}})
+                    .fp(.25, 16)
+                    .perf(1.9, 1.5, 2, .3, 16, .3)
+                    .done());
+    r.push_back(Build("soplex", Suite::SpecFp, true)
+                    .mix({{C::FpSimilar, .50}, {C::SmallInt32, .20},
+                          {C::Pointer, .10}, {C::Zero, .10},
+                          {C::Random, .05}})
+                    .fp(.30, 6)
+                    .perf(1.1, 25, 4, .30, 256, .4)
+                    .done());
+    r.push_back(Build("sphinx3", Suite::SpecFp, false)
+                    .mix({{C::FpSimilar, .60}, {C::SmallInt32, .20},
+                          {C::Zero, .10}, {C::Random, .10}})
+                    .fp(.15, 12)
+                    .perf(1.6, 10, 4, .3, 128, .6)
+                    .done());
+    r.push_back(Build("tonto", Suite::SpecFp, false)
+                    .mix({{C::FpSimilar, .60}, {C::SmallInt32, .15},
+                          {C::Zero, .15}, {C::Random, .10}})
+                    .fp(.20, 14)
+                    .perf(1.8, 3, 3, .3, 48, .5)
+                    .done());
+    r.push_back(Build("wrf", Suite::SpecFp, true)
+                    .mix({{C::FpSimilar, .66}, {C::Zero, .10},
+                          {C::SmallInt32, .08}, {C::Sparse, .05},
+                          {C::Random, .05}})
+                    .fp(.25, 6)
+                    .perf(1.3, 12, 5, .30, 256, .7)
+                    .done());
+    r.push_back(Build("zeusmp", Suite::SpecFp, true)
+                    .mix({{C::FpSimilar, .64}, {C::Zero, .15},
+                          {C::Sparse, .05}, {C::Random, .08}})
+                    .fp(.35, 7)
+                    .perf(1.2, 15, 5, .30, 256, .7)
+                    .done());
+
+    // ------------------------------------------------------------------
+    // PARSEC (4-threaded, shared footprint).
+    // ------------------------------------------------------------------
+    r.push_back(Build("canneal", Suite::Parsec, true)
+                    .mix({{C::Pointer, .40}, {C::SmallInt32, .20},
+                          {C::Zero, .10}, {C::Text, .05},
+                          {C::Sparse, .10}, {C::Random, .08}})
+                    .perf(1.0, 18, 3, .25, 384, .05)
+                    .done());
+    r.push_back(Build("fluidanimate", Suite::Parsec, true)
+                    .mix({{C::FpSimilar, .64}, {C::Zero, .10},
+                          {C::SmallInt32, .10}, {C::Sparse, .05},
+                          {C::Random, .05}})
+                    .fp(.45, 6)
+                    .perf(1.5, 8, 4, .35, 128, .5)
+                    .done());
+    r.push_back(Build("streamcluster", Suite::Parsec, true)
+                    .mix({{C::FpSimilar, .56}, {C::SmallInt32, .14},
+                          {C::Zero, .10}, {C::Random, .12}})
+                    .fp(.20, 9)
+                    .perf(1.1, 22, 6, .30, 256, .8)
+                    .done());
+    r.push_back(Build("x264", Suite::Parsec, true)
+                    .mix({{C::SmallInt32, .30}, {C::Sparse, .20},
+                          {C::Zero, .15}, {C::Text, .10},
+                          {C::Random, .16}})
+                    .ints(10, .25)
+                    .perf(2.0, 4, 4, .40, 96, .6)
+                    .done());
+
+    return r;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+WorkloadRegistry::all()
+{
+    static const std::vector<WorkloadProfile> registry = buildRegistry();
+    return registry;
+}
+
+const WorkloadProfile &
+WorkloadRegistry::byName(const std::string &name)
+{
+    for (const auto &p : all()) {
+        if (p.name == name)
+            return p;
+    }
+    COP_FATAL("unknown benchmark: " + name);
+}
+
+std::vector<const WorkloadProfile *>
+WorkloadRegistry::memoryIntensive()
+{
+    std::vector<const WorkloadProfile *> out;
+    for (const auto &p : all()) {
+        if (p.memoryIntensive)
+            out.push_back(&p);
+    }
+    return out;
+}
+
+std::vector<const WorkloadProfile *>
+WorkloadRegistry::bySuite(Suite s)
+{
+    std::vector<const WorkloadProfile *> out;
+    for (const auto &p : all()) {
+        if (p.suite == s)
+            out.push_back(&p);
+    }
+    return out;
+}
+
+std::vector<const WorkloadProfile *>
+WorkloadRegistry::specFpFigure4()
+{
+    // The 17 SPECfp benchmarks of Figure 4.
+    static const char *names[] = {
+        "bwaves", "cactusADM", "calculix", "dealII", "gamess",
+        "GemsFDTD", "gromacs", "lbm", "leslie3d", "milc", "namd",
+        "povray", "soplex", "sphinx3", "tonto", "wrf", "zeusmp",
+    };
+    std::vector<const WorkloadProfile *> out;
+    for (const char *n : names)
+        out.push_back(&byName(n));
+    return out;
+}
+
+std::vector<const WorkloadProfile *>
+WorkloadRegistry::specIntFigure1()
+{
+    // Figure 1 plots astar, gcc, libquantum, mcf and the SPECint mean.
+    static const char *names[] = {"astar", "gcc", "libquantum", "mcf"};
+    std::vector<const WorkloadProfile *> out;
+    for (const char *n : names)
+        out.push_back(&byName(n));
+    return out;
+}
+
+} // namespace cop

@@ -1,0 +1,211 @@
+#include "workloads/profile_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace cop {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+Suite
+parseSuite(const std::string &value)
+{
+    if (value == "specint")
+        return Suite::SpecInt;
+    if (value == "specfp")
+        return Suite::SpecFp;
+    if (value == "parsec")
+        return Suite::Parsec;
+    COP_FATAL("unknown suite: " + value);
+}
+
+const char *
+suiteKeyword(Suite s)
+{
+    switch (s) {
+      case Suite::SpecInt: return "specint";
+      case Suite::SpecFp: return "specfp";
+      case Suite::Parsec: return "parsec";
+    }
+    COP_PANIC("bad suite");
+}
+
+BlockCategory
+parseCategory(const std::string &value)
+{
+    for (unsigned c = 0; c < kBlockCategories; ++c) {
+        const auto cat = static_cast<BlockCategory>(c);
+        if (value == blockCategoryName(cat))
+            return cat;
+    }
+    COP_FATAL("unknown block category: " + value);
+}
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    try {
+        size_t used = 0;
+        const double v = std::stod(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        COP_FATAL("bad numeric value for " + key + ": " + value);
+    }
+}
+
+} // namespace
+
+WorkloadProfile
+parseProfile(std::istream &in)
+{
+    WorkloadProfile p;
+    bool have_name = false;
+    bool have_mix = false;
+    bool shared_set = false;
+
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            COP_FATAL("profile line " + std::to_string(line_no) +
+                      ": expected key = value");
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+
+        if (key == "name") {
+            p.name = value;
+            have_name = true;
+        } else if (key == "suite") {
+            p.suite = parseSuite(value);
+        } else if (key == "memory_intensive") {
+            p.memoryIntensive = parseDouble(key, value) != 0;
+        } else if (key.rfind("mix.", 0) == 0) {
+            p.mix[parseCategory(key.substr(4))] =
+                parseDouble(key, value);
+            have_mix = true;
+        } else if (key == "perfect_ipc") {
+            p.perfectIpc = parseDouble(key, value);
+        } else if (key == "l3_apki") {
+            p.l3Apki = parseDouble(key, value);
+        } else if (key == "mlp") {
+            p.mlp = static_cast<unsigned>(parseDouble(key, value));
+        } else if (key == "write_fraction") {
+            p.writeFraction = parseDouble(key, value);
+        } else if (key == "footprint_mb") {
+            p.footprintBlocks = static_cast<u64>(
+                parseDouble(key, value) * ((1 << 20) / kBlockBytes));
+        } else if (key == "stream_fraction") {
+            p.streamFraction = parseDouble(key, value);
+        } else if (key == "shared_footprint") {
+            p.sharedFootprint = parseDouble(key, value) != 0;
+            shared_set = true;
+        } else if (key == "gen.int_magnitude_bits") {
+            p.gen.intMagnitudeBits =
+                static_cast<unsigned>(parseDouble(key, value));
+        } else if (key == "gen.int_negative_prob") {
+            p.gen.intNegativeProb = parseDouble(key, value);
+        } else if (key == "gen.fp_negative_prob") {
+            p.gen.fpNegativeProb = parseDouble(key, value);
+        } else if (key == "gen.fp_exponent_spread") {
+            p.gen.fpExponentSpread =
+                static_cast<unsigned>(parseDouble(key, value));
+        } else if (key == "gen.sparse_runs") {
+            p.gen.sparseRuns =
+                static_cast<unsigned>(parseDouble(key, value));
+        } else if (key == "gen.mixed_random_words") {
+            p.gen.mixedRandomWords =
+                static_cast<unsigned>(parseDouble(key, value));
+        } else if (key == "gen.pointer_low_bits") {
+            p.gen.pointerLowBits =
+                static_cast<unsigned>(parseDouble(key, value));
+        } else {
+            COP_FATAL("unknown profile key: " + key);
+        }
+    }
+
+    if (!have_name)
+        COP_FATAL("profile is missing a name");
+    if (!have_mix)
+        COP_FATAL("profile " + p.name + " defines no mix.* weights");
+    if (!shared_set)
+        p.sharedFootprint = (p.suite == Suite::Parsec);
+
+    // Normalise the mix like the built-in registry does.
+    double total = 0;
+    for (const double w : p.mix.weight)
+        total += w;
+    if (total <= 0)
+        COP_FATAL("profile " + p.name + " has non-positive mix total");
+    for (double &w : p.mix.weight)
+        w /= total;
+    if (p.perfectIpc <= 0 || p.l3Apki <= 0 || p.mlp == 0 ||
+        p.footprintBlocks == 0) {
+        COP_FATAL("profile " + p.name + " has non-positive rate fields");
+    }
+    return p;
+}
+
+WorkloadProfile
+loadProfile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        COP_FATAL("cannot open profile file: " + path);
+    return parseProfile(in);
+}
+
+void
+writeProfile(const WorkloadProfile &p, std::ostream &out)
+{
+    out << "name = " << p.name << "\n";
+    out << "suite = " << suiteKeyword(p.suite) << "\n";
+    out << "memory_intensive = " << (p.memoryIntensive ? 1 : 0) << "\n";
+    for (unsigned c = 0; c < kBlockCategories; ++c) {
+        if (p.mix.weight[c] > 0) {
+            out << "mix."
+                << blockCategoryName(static_cast<BlockCategory>(c))
+                << " = " << p.mix.weight[c] << "\n";
+        }
+    }
+    out << "perfect_ipc = " << p.perfectIpc << "\n";
+    out << "l3_apki = " << p.l3Apki << "\n";
+    out << "mlp = " << p.mlp << "\n";
+    out << "write_fraction = " << p.writeFraction << "\n";
+    out << "footprint_mb = "
+        << p.footprintBlocks / ((1 << 20) / kBlockBytes) << "\n";
+    out << "stream_fraction = " << p.streamFraction << "\n";
+    out << "shared_footprint = " << (p.sharedFootprint ? 1 : 0) << "\n";
+    out << "gen.int_magnitude_bits = " << p.gen.intMagnitudeBits << "\n";
+    out << "gen.int_negative_prob = " << p.gen.intNegativeProb << "\n";
+    out << "gen.fp_negative_prob = " << p.gen.fpNegativeProb << "\n";
+    out << "gen.fp_exponent_spread = " << p.gen.fpExponentSpread << "\n";
+    out << "gen.sparse_runs = " << p.gen.sparseRuns << "\n";
+    out << "gen.mixed_random_words = " << p.gen.mixedRandomWords << "\n";
+    out << "gen.pointer_low_bits = " << p.gen.pointerLowBits << "\n";
+}
+
+} // namespace cop

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Textual workload-profile definitions. The built-in registry covers
+ * the paper's benchmarks; downstream users bring their own workloads
+ * by describing them in a small key = value format instead of
+ * recompiling:
+ *
+ *   name = mydb
+ *   suite = specint          # specint | specfp | parsec
+ *   memory_intensive = 1
+ *   mix.pointer = 0.4        # block-category weights (normalised)
+ *   mix.int32 = 0.3
+ *   mix.random = 0.3
+ *   perfect_ipc = 1.2
+ *   l3_apki = 18
+ *   mlp = 4
+ *   write_fraction = 0.3
+ *   footprint_mb = 192
+ *   stream_fraction = 0.2
+ *   shared_footprint = 0
+ *   gen.int_magnitude_bits = 16
+ *   gen.int_negative_prob = 0.3
+ *   gen.fp_negative_prob = 0.4
+ *   gen.fp_exponent_spread = 8
+ *   gen.sparse_runs = 4
+ *   gen.mixed_random_words = 12
+ *
+ * '#' starts a comment; unknown keys are fatal (catching typos beats
+ * silently ignoring them).
+ */
+
+#ifndef COP_WORKLOADS_PROFILE_IO_HPP
+#define COP_WORKLOADS_PROFILE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "workloads/profile.hpp"
+
+namespace cop {
+
+/** Parse one profile from a stream; fatal on malformed input. */
+WorkloadProfile parseProfile(std::istream &in);
+
+/** Parse one profile from a file path. */
+WorkloadProfile loadProfile(const std::string &path);
+
+/** Serialise a profile in the same format (round-trippable). */
+void writeProfile(const WorkloadProfile &profile, std::ostream &out);
+
+} // namespace cop
+
+#endif // COP_WORKLOADS_PROFILE_IO_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Trace synthesis: turns a WorkloadProfile into the epoch-structured L3
+ * reference stream the interval performance model consumes (the paper's
+ * Section 4 methodology: "references were divided into epochs, each
+ * containing independent (overlappable) requests"), plus the functional
+ * block-content pool that stands in for the Pin-captured data contents.
+ */
+
+#ifndef COP_WORKLOADS_TRACE_GEN_HPP
+#define COP_WORKLOADS_TRACE_GEN_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "workloads/profile.hpp"
+
+namespace cop {
+
+/**
+ * Deterministic functional memory: the content of every block is a pure
+ * function of (profile, address, version); stores bump the version.
+ * The category of an address never changes — data structures keep their
+ * type — so compressibility is stationary per benchmark, as in reality.
+ */
+class BlockContentPool
+{
+  public:
+    explicit BlockContentPool(const WorkloadProfile &profile,
+                              u64 seed_salt = 0);
+
+    /** Stationary data category of an address. */
+    BlockCategory categoryOf(Addr block_addr) const;
+
+    /** Current content of a block. */
+    CacheBlock blockFor(Addr block_addr) const;
+
+    /** Record a store: the block's content changes deterministically. */
+    void bumpVersion(Addr block_addr);
+
+    const WorkloadProfile &profile() const { return profile_; }
+
+    /**
+     * Draw @p n i.i.d. blocks from the profile's mix — the sampling the
+     * compressibility experiments (Figures 1, 4, 8, 9) use directly.
+     */
+    std::vector<CacheBlock> sample(unsigned n, u64 seed) const;
+
+  private:
+    u64 mixHash(Addr block_addr) const;
+
+    const WorkloadProfile &profile_;
+    u64 seed_;
+    /** Cumulative mix distribution for category sampling. */
+    std::array<double, kBlockCategories> cdf_{};
+    std::unordered_map<Addr, u32> versions_;
+};
+
+/** One L3 reference. */
+struct TraceAccess
+{
+    Addr addr = 0;
+    bool isWrite = false;
+};
+
+/** One interval-simulation epoch: compute, then overlappable misses. */
+struct Epoch
+{
+    u64 instructions = 0;
+    std::vector<TraceAccess> accesses;
+};
+
+/**
+ * Per-core epoch generator. SPEC benchmarks run in rate mode (each core
+ * gets a disjoint copy of the footprint); PARSEC profiles share one
+ * footprint across cores.
+ */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(const WorkloadProfile &profile, unsigned core_id,
+                   u64 seed_salt = 0);
+
+    /** Produce the next epoch. */
+    Epoch next();
+
+    /** Block content pool for this core's address region. */
+    BlockContentPool &pool() { return pool_; }
+    const BlockContentPool &pool() const { return pool_; }
+
+    /** First byte address of this core's footprint region. */
+    Addr regionBase() const { return base_; }
+
+  private:
+    Addr pickAddress();
+
+    const WorkloadProfile &profile_;
+    Rng rng_;
+    Addr base_;
+    u64 cursor_ = 0;
+    BlockContentPool pool_;
+};
+
+} // namespace cop
+
+#endif // COP_WORKLOADS_TRACE_GEN_HPP

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the BDI reference implementation (the algorithm COP's MSB
+ * scheme simplifies; paper Section 3.2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "compress/bdi.hpp"
+#include "test_blocks.hpp"
+
+namespace cop {
+namespace {
+
+CacheBlock
+roundTrip(const BdiCompressor &bdi, const CacheBlock &block)
+{
+    std::array<u8, kBlockBytes + 8> buf{};
+    BitWriter writer(buf);
+    EXPECT_TRUE(bdi.compress(block, 520, writer));
+    BitReader reader(buf);
+    CacheBlock out;
+    bdi.decompress(reader, 520, out);
+    return out;
+}
+
+TEST(Bdi, ZeroBlock)
+{
+    const BdiCompressor bdi;
+    EXPECT_EQ(BdiCompressor::bestEncoding(CacheBlock()),
+              BdiEncoding::Zeros);
+    EXPECT_EQ(bdi.compressedBits(CacheBlock()), 4);
+    EXPECT_EQ(roundTrip(bdi, CacheBlock()), CacheBlock());
+}
+
+TEST(Bdi, RepeatedValue)
+{
+    CacheBlock b;
+    for (unsigned w = 0; w < 8; ++w)
+        b.setWord64(w, 0xDEADBEEFCAFED00DULL);
+    const BdiCompressor bdi;
+    EXPECT_EQ(BdiCompressor::bestEncoding(b), BdiEncoding::Repeated8);
+    EXPECT_EQ(bdi.compressedBits(b), 68);
+    EXPECT_EQ(roundTrip(bdi, b), b);
+}
+
+TEST(Bdi, Base8Delta1)
+{
+    CacheBlock b;
+    for (unsigned w = 0; w < 8; ++w)
+        b.setWord64(w, 0x4000000000001000ULL + w * 3);
+    const BdiCompressor bdi;
+    EXPECT_EQ(BdiCompressor::bestEncoding(b), BdiEncoding::Base8Delta1);
+    EXPECT_EQ(roundTrip(bdi, b), b);
+}
+
+TEST(Bdi, Base4Delta1WithZeroBaseMix)
+{
+    // Small values ride the implicit zero base; clustered large values
+    // use the explicit base — the "immediate" part of BDI.
+    CacheBlock b;
+    for (unsigned i = 0; i < 16; ++i) {
+        const u32 v = (i % 2 == 0) ? (0x12340000 + i) : i;
+        b.setWord32(i, v);
+    }
+    const BdiCompressor bdi;
+    const BdiEncoding e = BdiCompressor::bestEncoding(b);
+    EXPECT_NE(e, BdiEncoding::Uncompressed);
+    EXPECT_EQ(roundTrip(bdi, b), b);
+}
+
+TEST(Bdi, RandomIsIncompressible)
+{
+    Rng rng(1);
+    const BdiCompressor bdi;
+    int incompressible = 0;
+    for (int iter = 0; iter < 100; ++iter) {
+        if (bdi.compressedBits(testblocks::random(rng)) < 0)
+            ++incompressible;
+    }
+    EXPECT_GT(incompressible, 95);
+}
+
+TEST(Bdi, EncodingSizes)
+{
+    using E = BdiEncoding;
+    EXPECT_EQ(BdiCompressor::encodingBits(E::Zeros), 4u);
+    EXPECT_EQ(BdiCompressor::encodingBits(E::Repeated8), 68u);
+    // base8/delta1: 4 + 64 + 8 mask + 8*8 deltas = 140
+    EXPECT_EQ(BdiCompressor::encodingBits(E::Base8Delta1), 140u);
+    // base4/delta2: 4 + 32 + 16 + 16*16 = 308
+    EXPECT_EQ(BdiCompressor::encodingBits(E::Base4Delta2), 308u);
+}
+
+TEST(Bdi, NegativeDeltasRoundTrip)
+{
+    CacheBlock b;
+    for (unsigned w = 0; w < 8; ++w)
+        b.setWord64(w, 0x7000000000000000ULL - w * 100);
+    const BdiCompressor bdi;
+    EXPECT_NE(BdiCompressor::bestEncoding(b), BdiEncoding::Uncompressed);
+    EXPECT_EQ(roundTrip(bdi, b), b);
+}
+
+TEST(Bdi, CompressesSimilarWordsLikeMsbDoes)
+{
+    Rng rng(2);
+    const BdiCompressor bdi;
+    int hits = 0;
+    for (int iter = 0; iter < 100; ++iter) {
+        const CacheBlock b =
+            testblocks::similarWords(rng, 0x0000123400000000ULL, 1u << 20);
+        if (bdi.canCompress(b, 478)) {
+            ++hits;
+            ASSERT_EQ(roundTrip(bdi, b), b);
+        }
+    }
+    EXPECT_GT(hits, 90);
+}
+
+} // namespace
+} // namespace cop

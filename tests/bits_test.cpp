@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the LSB-first bit utilities every codec is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace cop {
+namespace {
+
+TEST(Bits, GetSetSingleBit)
+{
+    std::array<u8, 8> buf{};
+    setBit(buf, 0, true);
+    EXPECT_EQ(buf[0], 0x01);
+    setBit(buf, 7, true);
+    EXPECT_EQ(buf[0], 0x81);
+    setBit(buf, 8, true);
+    EXPECT_EQ(buf[1], 0x01);
+    EXPECT_TRUE(getBit(buf, 0));
+    EXPECT_FALSE(getBit(buf, 1));
+    EXPECT_TRUE(getBit(buf, 7));
+    EXPECT_TRUE(getBit(buf, 8));
+    setBit(buf, 7, false);
+    EXPECT_EQ(buf[0], 0x01);
+}
+
+TEST(Bits, FlipBit)
+{
+    std::array<u8, 4> buf{};
+    flipBit(buf, 13);
+    EXPECT_TRUE(getBit(buf, 13));
+    flipBit(buf, 13);
+    EXPECT_FALSE(getBit(buf, 13));
+}
+
+TEST(Bits, GetSetMultiBitUnaligned)
+{
+    std::array<u8, 16> buf{};
+    setBits(buf, 3, 13, 0x1ABC & 0x1FFF);
+    EXPECT_EQ(getBits(buf, 3, 13), 0x1ABCu & 0x1FFFu);
+    // Neighbouring bits untouched.
+    EXPECT_FALSE(getBit(buf, 2));
+    EXPECT_FALSE(getBit(buf, 16));
+}
+
+TEST(Bits, SetBitsOverwritesOldValue)
+{
+    std::array<u8, 8> buf{};
+    setBits(buf, 5, 10, 0x3FF);
+    setBits(buf, 5, 10, 0x155);
+    EXPECT_EQ(getBits(buf, 5, 10), 0x155u);
+}
+
+TEST(Bits, Full64BitField)
+{
+    std::array<u8, 16> buf{};
+    const u64 v = 0xDEADBEEFCAFEF00DULL;
+    setBits(buf, 7, 64, v);
+    EXPECT_EQ(getBits(buf, 7, 64), v);
+}
+
+TEST(Bits, CopyBitsUnaligned)
+{
+    Rng rng(42);
+    std::array<u8, 32> src{};
+    for (auto &b : src)
+        b = static_cast<u8>(rng.next());
+    std::array<u8, 32> dst{};
+    copyBits(src, 13, dst, 5, 170);
+    for (unsigned i = 0; i < 170; ++i)
+        EXPECT_EQ(getBit(src, 13 + i), getBit(dst, 5 + i)) << "bit " << i;
+    // Bits outside the copied window stay zero.
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_FALSE(getBit(dst, i));
+    for (unsigned i = 175; i < 256; ++i)
+        EXPECT_FALSE(getBit(dst, i));
+}
+
+TEST(BitStream, WriterReaderRoundTrip)
+{
+    std::array<u8, 64> buf{};
+    BitWriter writer(buf);
+    writer.write(0x3, 2);
+    writer.write(0x1F, 5);
+    writer.write(0xDEADBEEF, 32);
+    writer.write(0, 1);
+    writer.write(0x7FFFFFFFFFFFFFFFULL, 63);
+    EXPECT_EQ(writer.bitPos(), 2u + 5 + 32 + 1 + 63);
+
+    BitReader reader(buf);
+    EXPECT_EQ(reader.read(2), 0x3u);
+    EXPECT_EQ(reader.read(5), 0x1Fu);
+    EXPECT_EQ(reader.read(32), 0xDEADBEEFu);
+    EXPECT_EQ(reader.read(1), 0u);
+    EXPECT_EQ(reader.read(63), 0x7FFFFFFFFFFFFFFFULL);
+}
+
+TEST(BitStream, RandomizedRoundTrip)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::array<u8, 64> buf{};
+        BitWriter writer(buf);
+        std::vector<std::pair<u64, unsigned>> fields;
+        while (writer.bitsLeft() > 64) {
+            const unsigned width = 1 + rng.below(64);
+            const u64 value =
+                rng.next() & (width == 64 ? ~0ULL : ((1ULL << width) - 1));
+            writer.write(value, width);
+            fields.emplace_back(value, width);
+        }
+        BitReader reader(buf);
+        for (const auto &[value, width] : fields)
+            ASSERT_EQ(reader.read(width), value);
+    }
+}
+
+TEST(Bits, Parity64)
+{
+    EXPECT_FALSE(parity64(0));
+    EXPECT_TRUE(parity64(1));
+    EXPECT_FALSE(parity64(3));
+    EXPECT_TRUE(parity64(0x8000000000000001ULL ^ 0x2));
+}
+
+} // namespace
+} // namespace cop

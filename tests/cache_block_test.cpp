@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the CacheBlock value type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cache_block.hpp"
+#include "common/rng.hpp"
+
+namespace cop {
+namespace {
+
+TEST(CacheBlock, DefaultIsZero)
+{
+    CacheBlock b;
+    EXPECT_TRUE(b.isZero());
+    for (unsigned i = 0; i < kBlockBytes; ++i)
+        EXPECT_EQ(b.byte(i), 0);
+}
+
+TEST(CacheBlock, Filled)
+{
+    const CacheBlock b = CacheBlock::filled(0xA5);
+    for (unsigned i = 0; i < kBlockBytes; ++i)
+        EXPECT_EQ(b.byte(i), 0xA5);
+    EXPECT_FALSE(b.isZero());
+}
+
+TEST(CacheBlock, WordAccessorsLittleEndian)
+{
+    CacheBlock b;
+    b.setWord32(3, 0x11223344);
+    EXPECT_EQ(b.byte(12), 0x44);
+    EXPECT_EQ(b.byte(15), 0x11);
+    EXPECT_EQ(b.word32(3), 0x11223344u);
+    EXPECT_EQ(b.word16(6), 0x3344u);
+
+    b.setWord64(7, 0x8877665544332211ULL);
+    EXPECT_EQ(b.word64(7), 0x8877665544332211ULL);
+    EXPECT_EQ(b.byte(56), 0x11);
+    EXPECT_EQ(b.byte(63), 0x88);
+}
+
+TEST(CacheBlock, BitAccessMatchesByteLayout)
+{
+    CacheBlock b;
+    b.setByte(5, 0x80);
+    EXPECT_TRUE(b.getBit(5 * 8 + 7));
+    EXPECT_FALSE(b.getBit(5 * 8 + 6));
+    b.flipBit(0);
+    EXPECT_EQ(b.byte(0), 0x01);
+}
+
+TEST(CacheBlock, XorIsSelfInverse)
+{
+    Rng rng(11);
+    CacheBlock a, mask;
+    for (unsigned w = 0; w < 8; ++w) {
+        a.setWord64(w, rng.next());
+        mask.setWord64(w, rng.next());
+    }
+    const CacheBlock original = a;
+    a ^= mask;
+    EXPECT_NE(a, original);
+    a ^= mask;
+    EXPECT_EQ(a, original);
+}
+
+TEST(CacheBlock, ConstructFromSpan)
+{
+    std::array<u8, kBlockBytes> raw{};
+    for (unsigned i = 0; i < kBlockBytes; ++i)
+        raw[i] = static_cast<u8>(i * 3);
+    const CacheBlock b{std::span<const u8>(raw)};
+    for (unsigned i = 0; i < kBlockBytes; ++i)
+        EXPECT_EQ(b.byte(i), static_cast<u8>(i * 3));
+}
+
+TEST(CacheBlock, ToHexFormat)
+{
+    const CacheBlock b;
+    const std::string hex = b.toHex();
+    // 64 bytes -> 4 lines of 16 "xx " groups (last separator is \n).
+    EXPECT_EQ(hex.size(), 64u * 3);
+    EXPECT_EQ(hex.substr(0, 5), "00 00");
+}
+
+} // namespace
+} // namespace cop

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the COP-ER incompressible-block transformations (paper
+ * Section 3.3): pointer embedding, entry construction, reconstruction,
+ * and whole-block single-error correction through the (523,512) code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/coper_codec.hpp"
+#include "test_blocks.hpp"
+
+namespace cop {
+namespace {
+
+class CoperTest : public ::testing::Test
+{
+  protected:
+    CoperTest() : codec(CopConfig::fourByte()), coper(codec) {}
+
+    /** Encode an incompressible block into (stored, entry). */
+    std::pair<CacheBlock, EccEntry>
+    store(const CacheBlock &data, u32 idx)
+    {
+        const auto enc = coper.encodeIncompressible(data, idx);
+        EXPECT_TRUE(enc.aliasFree);
+        EccEntry entry;
+        entry.valid = true;
+        entry.displaced = enc.displaced;
+        entry.check = enc.check;
+        return {enc.stored, entry};
+    }
+
+    CopCodec codec;
+    CoperCodec coper;
+};
+
+TEST_F(CoperTest, CleanRoundTrip)
+{
+    Rng rng(1);
+    for (int iter = 0; iter < 200; ++iter) {
+        const CacheBlock data = testblocks::random(rng);
+        const u32 idx = static_cast<u32>(rng.below(1u << 28));
+        auto [stored, entry] = store(data, idx);
+
+        // Read path: pointer extraction...
+        const auto ptr = coper.extractPointer(stored);
+        ASSERT_TRUE(ptr.ecc.ok());
+        ASSERT_EQ(ptr.entryIndex, idx);
+        // ...then reconstruction.
+        const auto rec = coper.reconstruct(stored, entry);
+        ASSERT_TRUE(rec.blockEcc.ok());
+        ASSERT_EQ(rec.data, data);
+    }
+}
+
+TEST_F(CoperTest, StoredImageReadsAsUncompressed)
+{
+    Rng rng(2);
+    const CacheBlock data = testblocks::random(rng);
+    auto [stored, entry] = store(data, 1234);
+    const auto dec = codec.decode(stored);
+    EXPECT_FALSE(dec.compressed);
+}
+
+TEST_F(CoperTest, SingleBitErrorAnywhereInStoredBlockCorrected)
+{
+    Rng rng(3);
+    const CacheBlock data = testblocks::random(rng);
+    auto [stored, entry] = store(data, 0x0FEDCBA);
+
+    for (unsigned bit = 0; bit < kBlockBits; ++bit) {
+        CacheBlock damaged = stored;
+        damaged.flipBit(bit);
+
+        // Pointer first: SEC corrects flips inside the pointer field.
+        const auto ptr = coper.extractPointer(damaged);
+        ASSERT_NE(ptr.ecc.status, EccStatus::Uncorrectable) << bit;
+        ASSERT_EQ(ptr.entryIndex, 0x0FEDCBAu) << bit;
+
+        const auto rec = coper.reconstruct(damaged, entry);
+        ASSERT_NE(rec.blockEcc.status, EccStatus::Uncorrectable) << bit;
+        ASSERT_EQ(rec.data, data) << "bit " << bit;
+    }
+}
+
+TEST_F(CoperTest, WideCheckMatchesManualEncoding)
+{
+    Rng rng(4);
+    const CacheBlock data = testblocks::random(rng);
+    const u16 check = CoperCodec::wideCheck(data);
+    // Verify against the wide code directly.
+    std::array<u8, 66> buf{};
+    std::memcpy(buf.data(), data.data(), kBlockBytes);
+    setBits(buf, 512, 11, check);
+    EXPECT_TRUE(codes::wide523().isValidCodeword(buf));
+}
+
+TEST_F(CoperTest, DoubleErrorInBlockDetected)
+{
+    Rng rng(5);
+    const CacheBlock data = testblocks::random(rng);
+    auto [stored, entry] = store(data, 99);
+    CacheBlock damaged = stored;
+    // Two flips outside the pointer field (bits 40 and 300 are outside
+    // the 9/9/8/8 scatter slices at offsets 0/128/256/384).
+    damaged.flipBit(40);
+    damaged.flipBit(300);
+    const auto rec = coper.reconstruct(damaged, entry);
+    EXPECT_TRUE(rec.blockEcc.uncorrectable());
+}
+
+TEST_F(CoperTest, RequiresFourByteConfig)
+{
+    const CopCodec eight(CopConfig::eightByte());
+    EXPECT_DEATH({ CoperCodec c(eight); }, "4-byte");
+}
+
+TEST_F(CoperTest, DeAliasingByEntryReselection)
+{
+    // If a stored image aliases with one entry index, a different index
+    // perturbs all four code words and (overwhelmingly) de-aliases it.
+    // Aliases are ~2e-7, so we can't craft one from random data; instead
+    // verify that different indices give different stored images that
+    // all reconstruct correctly.
+    Rng rng(6);
+    const CacheBlock data = testblocks::random(rng);
+    const auto a = coper.encodeIncompressible(data, 1);
+    const auto b = coper.encodeIncompressible(data, 2);
+    EXPECT_NE(a.stored, b.stored);
+    EXPECT_TRUE(a.aliasFree);
+    EXPECT_TRUE(b.aliasFree);
+
+    EccEntry ea{true, a.displaced, a.check};
+    EccEntry eb{true, b.displaced, b.check};
+    EXPECT_EQ(coper.reconstruct(a.stored, ea).data, data);
+    EXPECT_EQ(coper.reconstruct(b.stored, eb).data, data);
+    // The displaced application data is identical regardless of index.
+    EXPECT_EQ(a.displaced, b.displaced);
+    EXPECT_EQ(a.check, b.check);
+}
+
+} // namespace
+} // namespace cop

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the DRAM timing model: address mapping, row-buffer
+ * behaviour, bank/channel parallelism, bus serialisation, write
+ * recovery, and refresh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram_system.hpp"
+
+namespace cop {
+namespace {
+
+DramConfig
+quietConfig()
+{
+    DramConfig cfg;
+    cfg.refreshEnabled = false; // most tests want deterministic timing
+    return cfg;
+}
+
+TEST(AddressMap, DecodeRoundRobinAcrossChannels)
+{
+    const DramConfig cfg = quietConfig();
+    const AddressMap map(cfg);
+    EXPECT_EQ(map.decode(0).channel, 0u);
+    EXPECT_EQ(map.decode(64).channel, 1u);
+    EXPECT_EQ(map.decode(128).channel, 0u);
+}
+
+TEST(AddressMap, ConsecutiveBlocksShareRow)
+{
+    const DramConfig cfg = quietConfig();
+    const AddressMap map(cfg);
+    // Blocks 0 and 2 are both on channel 0, consecutive columns.
+    const DramLocation a = map.decode(0);
+    const DramLocation b = map.decode(128);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.column + 1, b.column);
+}
+
+TEST(AddressMap, FieldsStayInRange)
+{
+    const DramConfig cfg = quietConfig();
+    const AddressMap map(cfg);
+    for (Addr addr = 0; addr < cfg.capacityBytes;
+         addr += cfg.capacityBytes / 997 / 64 * 64 + 64) {
+        const DramLocation loc = map.decode(addr);
+        EXPECT_LT(loc.channel, cfg.channels);
+        EXPECT_LT(loc.rank, cfg.ranksPerChannel);
+        EXPECT_LT(loc.bank, cfg.banksPerRank);
+        EXPECT_LT(loc.row, cfg.rowsPerBank());
+        EXPECT_LT(loc.column, cfg.blocksPerRow());
+    }
+}
+
+TEST(Dram, FirstAccessPaysActivateAndCas)
+{
+    DramSystem dram(quietConfig());
+    const DramConfig &cfg = dram.config();
+    const DramResult r = dram.access({0, false, 0});
+    EXPECT_FALSE(r.rowHit);
+    EXPECT_EQ(r.complete, cfg.tRCD + cfg.tCL + cfg.tBURST);
+}
+
+TEST(Dram, RowHitIsFasterThanRowMiss)
+{
+    DramSystem dram(quietConfig());
+    const DramConfig &cfg = dram.config();
+    dram.access({0, false, 0});
+
+    // Same row, next column, issued much later (bank idle).
+    const Cycle t1 = 10000;
+    const DramResult hit = dram.access({128, false, t1});
+    EXPECT_TRUE(hit.rowHit);
+    EXPECT_EQ(hit.complete - t1, cfg.tCL + cfg.tBURST);
+
+    // Different row in the same bank: conflict.
+    const Cycle t2 = 20000;
+    const Addr other_row = static_cast<Addr>(cfg.rowBytes) *
+                           cfg.banksPerRank * cfg.ranksPerChannel *
+                           cfg.channels;
+    const DramResult miss = dram.access({other_row, false, t2});
+    EXPECT_TRUE(miss.rowConflict);
+    EXPECT_GT(miss.complete - t2, hit.complete - t1);
+    EXPECT_GE(miss.complete - t2,
+              cfg.tRP + cfg.tRCD + cfg.tCL + cfg.tBURST);
+}
+
+TEST(Dram, ChannelsOperateInParallel)
+{
+    DramSystem dram(quietConfig());
+    // Blocks 0 and 64 land on different channels: identical latency.
+    const DramResult a = dram.access({0, false, 0});
+    const DramResult b = dram.access({64, false, 0});
+    EXPECT_EQ(a.complete, b.complete);
+}
+
+TEST(Dram, SameChannelBusSerialises)
+{
+    DramSystem dram(quietConfig());
+    const DramConfig &cfg = dram.config();
+    // Same channel, same row: the second transfer queues on the bus.
+    const DramResult a = dram.access({0, false, 0});
+    const DramResult b = dram.access({128, false, 0});
+    EXPECT_EQ(b.complete, a.complete + cfg.tBURST);
+}
+
+TEST(Dram, BankConflictSlowerThanBankParallel)
+{
+    DramSystem dram1(quietConfig());
+    const DramConfig &cfg = dram1.config();
+    // Two different banks on the same channel...
+    const Addr bank_stride =
+        static_cast<Addr>(cfg.blocksPerRow()) * kBlockBytes *
+        cfg.channels;
+    dram1.access({0, false, 0});
+    const DramResult parallel = dram1.access({bank_stride, false, 0});
+
+    // ...vs two different rows in the same bank.
+    DramSystem dram2(quietConfig());
+    const Addr row_stride = bank_stride * cfg.banksPerRank *
+                            cfg.ranksPerChannel;
+    dram2.access({0, false, 0});
+    const DramResult conflict = dram2.access({row_stride, false, 0});
+    EXPECT_GT(conflict.complete, parallel.complete);
+}
+
+TEST(Dram, WriteRecoveryDelaysFollowingConflict)
+{
+    DramSystem dram(quietConfig());
+    const DramConfig &cfg = dram.config();
+    const DramResult w = dram.access({0, true, 0});
+    // A conflicting row in the same bank must wait out tWR after the
+    // write burst before precharging.
+    const Addr row_stride = static_cast<Addr>(cfg.rowBytes) *
+                            cfg.banksPerRank * cfg.ranksPerChannel *
+                            cfg.channels;
+    const DramResult r = dram.access({row_stride, false, 0});
+    EXPECT_GE(r.complete,
+              w.complete + cfg.tWR + cfg.tRP + cfg.tRCD + cfg.tCL);
+}
+
+TEST(Dram, StatsTrackHitAndMissCounts)
+{
+    DramSystem dram(quietConfig());
+    dram.access({0, false, 0});
+    dram.access({128, false, 5000});
+    dram.access({256, true, 10000});
+    const DramStats &s = dram.stats();
+    EXPECT_EQ(s.reads, 2u);
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.rowMisses, 1u);
+    EXPECT_EQ(s.rowHits, 2u);
+    EXPECT_GT(s.avgReadLatency(), 0.0);
+    EXPECT_NEAR(s.rowHitRate(), 2.0 / 3, 1e-9);
+}
+
+TEST(Dram, RefreshDelaysActivatesInWindow)
+{
+    DramConfig cfg;
+    cfg.refreshEnabled = true;
+    DramSystem dram(cfg);
+    // An activate at cycle 0 lands inside the first refresh window and
+    // must slip past tRFC.
+    const DramResult r = dram.access({0, false, 0});
+    EXPECT_GE(r.complete, cfg.tRFC + cfg.tRCD + cfg.tCL + cfg.tBURST);
+    EXPECT_GT(dram.stats().refreshStalls, 0u);
+}
+
+TEST(Dram, FourActivateWindowThrottles)
+{
+    DramSystem dram(quietConfig());
+    const DramConfig &cfg = dram.config();
+    // Five activates to distinct banks of one rank at time 0: the fifth
+    // must wait for the tFAW window.
+    const Addr bank_stride =
+        static_cast<Addr>(cfg.blocksPerRow()) * kBlockBytes *
+        cfg.channels;
+    Cycle last = 0;
+    for (unsigned b = 0; b < 5; ++b)
+        last = dram.access({b * bank_stride, false, 0}).complete;
+    EXPECT_GE(last, cfg.tFAW + cfg.tRCD + cfg.tCL);
+}
+
+TEST(Dram, ClosedPagePolicyNeverHitsRows)
+{
+    DramConfig cfg = quietConfig();
+    cfg.rowPolicy = RowPolicy::Closed;
+    DramSystem dram(cfg);
+    dram.access({0, false, 0});
+    // Same row, next column: under auto-precharge this re-activates.
+    const DramResult second = dram.access({128, false, 10000});
+    EXPECT_FALSE(second.rowHit);
+    EXPECT_EQ(dram.stats().rowHits, 0u);
+    EXPECT_EQ(dram.stats().rowMisses, 2u);
+}
+
+TEST(Dram, ClosedPageSlowerThanOpenForRowLocality)
+{
+    DramConfig open_cfg = quietConfig();
+    DramConfig closed_cfg = quietConfig();
+    closed_cfg.rowPolicy = RowPolicy::Closed;
+    DramSystem open_dram(open_cfg), closed_dram(closed_cfg);
+
+    Cycle open_done = 0, closed_done = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+        // Stream through one row on channel 0.
+        const Addr addr = static_cast<Addr>(i) * 128;
+        open_done = open_dram.access({addr, false, 0}).complete;
+        closed_done = closed_dram.access({addr, false, 0}).complete;
+    }
+    EXPECT_GT(closed_done, open_done);
+}
+
+TEST(Dram, ValidatesConfig)
+{
+    DramConfig bad;
+    bad.channels = 0;
+    EXPECT_DEATH({ DramSystem d(bad); }, "organisation");
+}
+
+} // namespace
+} // namespace cop

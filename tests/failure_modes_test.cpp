@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the field failure-mode generators and the qualitative
+ * claims of paper Section 4 they are built to quantify.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "reliability/failure_modes.hpp"
+#include "reliability/fault_injector.hpp"
+#include "workloads/block_gen.hpp"
+
+namespace cop {
+namespace {
+
+TEST(FailureModes, NamesAndFractions)
+{
+    double total = 0;
+    std::set<std::string> names;
+    for (unsigned m = 0; m < kFailureModes; ++m) {
+        const auto mode = static_cast<FailureMode>(m);
+        names.insert(failureModeName(mode));
+        const double f = failureModeFieldFraction(mode);
+        EXPECT_GT(f, 0.0);
+        EXPECT_LT(f, 1.0);
+        total += f;
+    }
+    EXPECT_EQ(names.size(), kFailureModes);
+    EXPECT_LT(total, 1.0); // bank/pin modes are out of scope
+    // The paper's quoted figures.
+    EXPECT_DOUBLE_EQ(
+        failureModeFieldFraction(FailureMode::SingleBit), 0.497);
+    EXPECT_DOUBLE_EQ(
+        failureModeFieldFraction(FailureMode::SameWordMulti), 0.025);
+    EXPECT_DOUBLE_EQ(failureModeFieldFraction(FailureMode::SameRow),
+                     0.127);
+}
+
+TEST(FailureModes, SingleBitGeneratesOneFlip)
+{
+    Rng rng(1);
+    std::vector<unsigned> bits;
+    for (int i = 0; i < 200; ++i) {
+        generateFailureFlips(FailureMode::SingleBit, rng, bits);
+        ASSERT_EQ(bits.size(), 1u);
+        ASSERT_LT(bits[0], kBlockBits);
+    }
+}
+
+TEST(FailureModes, SameWordFlipsStayInOneWord)
+{
+    Rng rng(2);
+    std::vector<unsigned> bits;
+    for (int i = 0; i < 200; ++i) {
+        generateFailureFlips(FailureMode::SameWordMulti, rng, bits);
+        ASSERT_GE(bits.size(), 2u);
+        ASSERT_LE(bits.size(), 4u);
+        const unsigned word = bits[0] / 64;
+        for (const unsigned b : bits)
+            ASSERT_EQ(b / 64, word);
+        ASSERT_EQ(std::set<unsigned>(bits.begin(), bits.end()).size(),
+                  bits.size());
+    }
+}
+
+TEST(FailureModes, ChipFlipsStayInOneLane)
+{
+    Rng rng(3);
+    std::vector<unsigned> bits;
+    for (int i = 0; i < 100; ++i) {
+        generateFailureFlips(FailureMode::SingleChip, rng, bits);
+        ASSERT_GE(bits.size(), 8u); // at least one per beat
+        const unsigned chip = (bits[0] / 8) % 8;
+        std::set<unsigned> beats;
+        for (const unsigned b : bits) {
+            ASSERT_EQ((b / 8) % 8, chip) << "bit outside chip lane";
+            beats.insert(b / 64);
+        }
+        ASSERT_EQ(beats.size(), 8u); // every beat affected
+    }
+}
+
+TEST(FailureModes, RowBurstIsDense)
+{
+    Rng rng(4);
+    std::vector<unsigned> bits;
+    generateFailureFlips(FailureMode::SameRow, rng, bits);
+    EXPECT_GE(bits.size(), 8u);
+    EXPECT_LE(bits.size(), 64u);
+}
+
+// ---------------------------------------------------------------------
+// The paper's qualitative matrix, verified through real decoders.
+// ---------------------------------------------------------------------
+
+class ModeMatrix : public ::testing::Test
+{
+  protected:
+    ModeMatrix() : cop4(CopConfig::fourByte()), chipkill()
+    {
+        Rng rng(7);
+        BlockGenParams params;
+        // Deeply compressible data (19+ shared MSBs): chipkill-COP's
+        // 16-byte budget cannot be met by FP blocks (the 19-bit MSB
+        // compare reaches into random mantissa bits), so use the
+        // integer-array case both codecs protect.
+        for (unsigned w = 0; w < 8; ++w)
+            fp.setWord64(w, 0x0000123400000000ULL + rng.below(1u << 24));
+        COP_ASSERT(chipkill.compressible(fp));
+        COP_ASSERT(cop4.compressor().compressible(fp));
+        raw = generateBlock(BlockCategory::Random, params, rng);
+        while (cop4.encode(raw).status != EncodeStatus::Unprotected)
+            raw = generateBlock(BlockCategory::Random, params, rng);
+    }
+
+    FaultInjector::FlipGen
+    genFor(FailureMode mode)
+    {
+        return [mode](Rng &r, std::vector<unsigned> &bits) {
+            generateFailureFlips(mode, r, bits);
+        };
+    }
+
+    CopCodec cop4;
+    ChipkillCodec chipkill;
+    CacheBlock fp, raw;
+    FaultInjector injector{42};
+};
+
+TEST_F(ModeMatrix, SingleBitRecoveredByAllProtectedSchemes)
+{
+    const auto gen = genFor(FailureMode::SingleBit);
+    EXPECT_EQ(injector.injectCopPattern(cop4, fp, gen, 500).silent, 0u);
+    EXPECT_EQ(injector.injectEccDimmPattern(raw, gen, 500).silent, 0u);
+    EXPECT_EQ(
+        injector.injectChipkillPattern(chipkill, fp, gen, 500).silent,
+        0u);
+}
+
+TEST_F(ModeMatrix, SameWordMultiDefeatsSecdedClassSchemes)
+{
+    // "Just like a conventional SECDED approach, COP is unable to
+    // correct multi-bit failures in the same word."
+    const auto gen = genFor(FailureMode::SameWordMulti);
+    const auto dimm = injector.injectEccDimmPattern(raw, gen, 1000);
+    EXPECT_LT(dimm.benign + dimm.corrected, dimm.trials / 2);
+    const auto c4 = injector.injectCopPattern(cop4, fp, gen, 1000);
+    EXPECT_LT(c4.benign + c4.corrected, c4.trials / 2);
+}
+
+TEST_F(ModeMatrix, ChipFailureOnlyRecoveredByChipkill)
+{
+    const auto gen = genFor(FailureMode::SingleChip);
+    const auto ck =
+        injector.injectChipkillPattern(chipkill, fp, gen, 500);
+    EXPECT_EQ(ck.benign + ck.corrected, ck.trials);
+    const auto c4 = injector.injectCopPattern(cop4, fp, gen, 500);
+    EXPECT_LT(c4.benign + c4.corrected, c4.trials / 10);
+}
+
+TEST_F(ModeMatrix, RowBurstDefeatsEverything)
+{
+    const auto gen = genFor(FailureMode::SameRow);
+    const auto dimm = injector.injectEccDimmPattern(raw, gen, 300);
+    EXPECT_LT(dimm.benign + dimm.corrected, dimm.trials / 10);
+    const auto ck =
+        injector.injectChipkillPattern(chipkill, fp, gen, 300);
+    EXPECT_LT(ck.benign + ck.corrected, ck.trials / 10);
+}
+
+} // namespace
+} // namespace cop

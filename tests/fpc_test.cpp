@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the FPC baseline (paper Section 3.2.2): pattern
+ * classification, the fixed 48-bit metadata overhead, and round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "compress/fpc.hpp"
+#include "test_blocks.hpp"
+
+namespace cop {
+namespace {
+
+CacheBlock
+roundTrip(const FpcCompressor &fpc, const CacheBlock &block)
+{
+    std::array<u8, kBlockBytes + 8> buf{};
+    BitWriter writer(buf);
+    EXPECT_TRUE(fpc.compress(block, 560, writer));
+    BitReader reader(buf);
+    CacheBlock out;
+    fpc.decompress(reader, 560, out);
+    return out;
+}
+
+TEST(Fpc, ClassifyPatterns)
+{
+    using P = FpcPattern;
+    EXPECT_EQ(FpcCompressor::classify(0), P::ZeroWord);
+    EXPECT_EQ(FpcCompressor::classify(5), P::SignExt4);
+    EXPECT_EQ(FpcCompressor::classify(static_cast<u32>(-3)), P::SignExt4);
+    EXPECT_EQ(FpcCompressor::classify(100), P::SignExt8);
+    EXPECT_EQ(FpcCompressor::classify(static_cast<u32>(-100)),
+              P::SignExt8);
+    EXPECT_EQ(FpcCompressor::classify(30000), P::SignExt16);
+    EXPECT_EQ(FpcCompressor::classify(0xABCD0000), P::ZeroLowHalf);
+    EXPECT_EQ(FpcCompressor::classify(0x00420017), P::TwoSignExt8);
+    EXPECT_EQ(FpcCompressor::classify(0x7C7C7C7C), P::RepeatedByte);
+    EXPECT_EQ(FpcCompressor::classify(0x12345678), P::Uncompressed);
+}
+
+TEST(Fpc, PayloadSizes)
+{
+    using P = FpcPattern;
+    EXPECT_EQ(FpcCompressor::payloadBits(P::ZeroWord), 0u);
+    EXPECT_EQ(FpcCompressor::payloadBits(P::SignExt4), 4u);
+    EXPECT_EQ(FpcCompressor::payloadBits(P::SignExt8), 8u);
+    EXPECT_EQ(FpcCompressor::payloadBits(P::SignExt16), 16u);
+    EXPECT_EQ(FpcCompressor::payloadBits(P::ZeroLowHalf), 16u);
+    EXPECT_EQ(FpcCompressor::payloadBits(P::TwoSignExt8), 16u);
+    EXPECT_EQ(FpcCompressor::payloadBits(P::RepeatedByte), 8u);
+    EXPECT_EQ(FpcCompressor::payloadBits(P::Uncompressed), 32u);
+}
+
+TEST(Fpc, ZeroBlockIs48Bits)
+{
+    // 16 words x 3-bit prefix: the metadata floor the paper calls out
+    // ("a cost of 48 bits of metadata per block").
+    const FpcCompressor fpc;
+    EXPECT_EQ(fpc.compressedBits(CacheBlock()), 48);
+}
+
+TEST(Fpc, IncompressibleBlockIs560Bits)
+{
+    // All-uncompressed words: 16 * (3 + 32) = 560 bits — *larger* than
+    // the original block, which is why FPC struggles at low target
+    // compression ratios (Figure 1's motivation).
+    CacheBlock b;
+    for (unsigned w = 0; w < 16; ++w)
+        b.setWord32(w, 0x12345678 + w * 0x01010101);
+    const FpcCompressor fpc;
+    EXPECT_EQ(fpc.compressedBits(b), 560);
+}
+
+TEST(Fpc, SmallIntRoundTrip)
+{
+    Rng rng(1);
+    const FpcCompressor fpc;
+    for (int iter = 0; iter < 300; ++iter) {
+        const CacheBlock b = testblocks::smallInts(rng);
+        const int bits = fpc.compressedBits(b);
+        ASSERT_GT(bits, 0);
+        ASSERT_LE(bits, 48 + 16 * 8); // all words fit 8-bit sign-ext
+        ASSERT_EQ(roundTrip(fpc, b), b);
+    }
+}
+
+TEST(Fpc, RandomBlockRoundTrip)
+{
+    Rng rng(2);
+    const FpcCompressor fpc;
+    for (int iter = 0; iter < 300; ++iter) {
+        const CacheBlock b = testblocks::random(rng);
+        ASSERT_EQ(roundTrip(fpc, b), b);
+    }
+}
+
+TEST(Fpc, MixedPatternRoundTrip)
+{
+    CacheBlock b;
+    b.setWord32(0, 0);
+    b.setWord32(1, static_cast<u32>(-1));
+    b.setWord32(2, 0x7F);
+    b.setWord32(3, static_cast<u32>(-30000));
+    b.setWord32(4, 0xBEEF0000);
+    b.setWord32(5, 0x00FF00FF);
+    b.setWord32(6, 0xABABABAB);
+    b.setWord32(7, 0xDEADBEEF);
+    for (unsigned w = 8; w < 16; ++w)
+        b.setWord32(w, w);
+    const FpcCompressor fpc;
+    EXPECT_EQ(roundTrip(fpc, b), b);
+}
+
+TEST(Fpc, BudgetEnforced)
+{
+    Rng rng(3);
+    const FpcCompressor fpc;
+    const CacheBlock b = testblocks::random(rng);
+    const int bits = fpc.compressedBits(b);
+    ASSERT_GT(bits, 478);
+    std::array<u8, kBlockBytes + 8> buf{};
+    BitWriter writer(buf);
+    EXPECT_FALSE(fpc.compress(b, 478, writer));
+}
+
+TEST(Fpc, NegativePayloadsSignExtendCorrectly)
+{
+    CacheBlock b;
+    b.setWord32(0, static_cast<u32>(-8));     // SignExt4 boundary
+    b.setWord32(1, 7);                         // SignExt4 boundary
+    b.setWord32(2, static_cast<u32>(-128));   // SignExt8 boundary
+    b.setWord32(3, static_cast<u32>(-32768)); // SignExt16 boundary
+    const FpcCompressor fpc;
+    EXPECT_EQ(roundTrip(fpc, b), b);
+}
+
+} // namespace
+} // namespace cop

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the controller-side metadata cache (the modelled L3 share
+ * that ECC blocks occupy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/meta_cache.hpp"
+
+namespace cop {
+namespace {
+
+TEST(MetaCache, MissThenHit)
+{
+    MetaCache cache(1 << 12, 2); // 64 lines
+    const auto first = cache.access(0, false);
+    EXPECT_FALSE(first.hit);
+    EXPECT_FALSE(first.evictedDirty);
+    EXPECT_TRUE(cache.access(0, false).hit);
+}
+
+TEST(MetaCache, DirtyEvictionSurfaces)
+{
+    // 2 sets x 2 ways; fill one set with dirty lines then overflow it.
+    MetaCache cache(4 * kBlockBytes, 2);
+    const Addr stride = 2 * kBlockBytes; // same set
+    cache.access(0 * stride, true);
+    cache.access(1 * stride, true);
+    const auto third = cache.access(2 * stride, false);
+    EXPECT_FALSE(third.hit);
+    EXPECT_TRUE(third.evictedDirty);
+    EXPECT_EQ(third.evictedAddr % stride, 0u);
+}
+
+TEST(MetaCache, CleanEvictionSilent)
+{
+    MetaCache cache(4 * kBlockBytes, 2);
+    const Addr stride = 2 * kBlockBytes;
+    cache.access(0 * stride, false);
+    cache.access(1 * stride, false);
+    const auto third = cache.access(2 * stride, false);
+    EXPECT_FALSE(third.hit);
+    EXPECT_FALSE(third.evictedDirty);
+}
+
+TEST(MetaCache, DirtyBitSticksOnRmw)
+{
+    MetaCache cache(4 * kBlockBytes, 2);
+    cache.access(0, true);          // install dirty
+    cache.access(0, false);         // read: stays dirty
+    const Addr stride = 2 * kBlockBytes;
+    cache.access(1 * stride, false);
+    const auto ev = cache.access(2 * stride, false); // evicts LRU = 0
+    EXPECT_TRUE(ev.evictedDirty);
+    EXPECT_EQ(ev.evictedAddr, 0u);
+}
+
+TEST(MetaCache, InvalidateDropsBlock)
+{
+    MetaCache cache(1 << 12, 2);
+    cache.access(64, true);
+    cache.invalidate(64);
+    EXPECT_FALSE(cache.access(64, false).hit);
+}
+
+TEST(MetaCache, StatsAccumulate)
+{
+    MetaCache cache(1 << 12, 2);
+    cache.access(0, false);
+    cache.access(0, false);
+    cache.access(64, false);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+} // namespace
+} // namespace cop

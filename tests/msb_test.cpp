@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for MSB compression (paper Section 3.2.1): compressed size,
+ * shifted-vs-unshifted sign-bit handling, and lossless round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "compress/msb.hpp"
+#include "test_blocks.hpp"
+
+namespace cop {
+namespace {
+
+CacheBlock
+roundTrip(const MsbCompressor &msb, const CacheBlock &block,
+          unsigned budget)
+{
+    std::array<u8, kBlockBytes> buf{};
+    BitWriter writer(buf);
+    EXPECT_TRUE(msb.compress(block, budget, writer));
+    BitReader reader(buf);
+    CacheBlock out;
+    msb.decompress(reader, budget, out);
+    return out;
+}
+
+TEST(Msb, CompressedSizeMatchesPaper)
+{
+    // 5-bit elide: 512 - 7*5 = 477 bits, freeing 35 bits (Section 3.2.1:
+    // "This compression frees 35 bits, making room for 32 bits of ECC
+    // and 2 bits to indicate the compression scheme").
+    MsbCompressor msb5(5, true);
+    CacheBlock b; // all zeros certainly matches
+    EXPECT_EQ(msb5.compressedBits(b), 477);
+
+    MsbCompressor msb10(10, true);
+    EXPECT_EQ(msb10.compressedBits(b), 442);
+}
+
+TEST(Msb, RoundTripSimilarWords)
+{
+    Rng rng(1);
+    MsbCompressor msb(5, true);
+    for (int iter = 0; iter < 200; ++iter) {
+        const CacheBlock b = testblocks::similarWords(rng);
+        ASSERT_GE(msb.compressedBits(b), 0);
+        ASSERT_EQ(roundTrip(msb, b, 478), b);
+    }
+}
+
+TEST(Msb, RejectsDissimilarWords)
+{
+    MsbCompressor msb(5, true);
+    CacheBlock b;
+    b.setWord64(0, 0x0000000000000000ULL);
+    b.setWord64(3, 0x7C00000000000000ULL); // differs in bits [62:58]
+    EXPECT_EQ(msb.compressedBits(b), -1);
+}
+
+TEST(Msb, ShiftedIgnoresSignBit)
+{
+    // Words identical except for the sign bit: only the shifted variant
+    // compresses them (the paper's floating-point optimisation, Fig. 4).
+    CacheBlock b;
+    for (unsigned w = 0; w < 8; ++w) {
+        u64 v = 0x3FF0000000000000ULL + w; // doubles near 1.0
+        if (w % 2)
+            v |= 0x8000000000000000ULL; // negate some
+        b.setWord64(w, v);
+    }
+    MsbCompressor shifted(5, true);
+    MsbCompressor unshifted(5, false);
+    EXPECT_GE(shifted.compressedBits(b), 0);
+    EXPECT_EQ(unshifted.compressedBits(b), -1);
+    EXPECT_EQ(roundTrip(shifted, b, 478), b);
+}
+
+TEST(Msb, UnshiftedRoundTrip)
+{
+    Rng rng(2);
+    MsbCompressor msb(5, false);
+    for (int iter = 0; iter < 100; ++iter) {
+        // Force matching top 5 bits.
+        CacheBlock b;
+        const u64 top = rng.next() & 0xF800000000000000ULL;
+        for (unsigned w = 0; w < 8; ++w)
+            b.setWord64(w, top | (rng.next() >> 5));
+        ASSERT_GE(msb.compressedBits(b), 0);
+        ASSERT_EQ(roundTrip(msb, b, 478), b);
+    }
+}
+
+TEST(Msb, TenBitElideRoundTrip)
+{
+    Rng rng(3);
+    MsbCompressor msb(10, true);
+    for (int iter = 0; iter < 100; ++iter) {
+        const CacheBlock b =
+            testblocks::similarWords(rng, 0x0123450000000000ULL, 1ULL << 38);
+        ASSERT_GE(msb.compressedBits(b), 0);
+        ASSERT_EQ(roundTrip(msb, b, 446), b);
+    }
+}
+
+TEST(Msb, BudgetEnforced)
+{
+    MsbCompressor msb(5, true);
+    const CacheBlock b; // compresses to 477 bits
+    std::array<u8, kBlockBytes> buf{};
+    BitWriter writer(buf);
+    EXPECT_FALSE(msb.compress(b, 476, writer));
+    EXPECT_EQ(writer.bitPos(), 0u);
+    EXPECT_TRUE(msb.canCompress(b, 477));
+    EXPECT_FALSE(msb.canCompress(b, 400));
+}
+
+TEST(Msb, SignBitsPreservedPerWord)
+{
+    // Shifted mode keeps each word's own sign bit verbatim.
+    MsbCompressor msb(5, true);
+    CacheBlock b;
+    for (unsigned w = 0; w < 8; ++w)
+        b.setWord64(w, (w % 2 ? 0x8000000000000000ULL : 0) | 0x123456ULL);
+    const CacheBlock out = roundTrip(msb, b, 478);
+    for (unsigned w = 0; w < 8; ++w)
+        EXPECT_EQ(out.word64(w) >> 63, w % 2);
+}
+
+TEST(Msb, NameEncodesVariant)
+{
+    EXPECT_STREQ(MsbCompressor(5, true).name(), "MSB5s");
+    EXPECT_STREQ(MsbCompressor(10, false).name(), "MSB10u");
+}
+
+} // namespace
+} // namespace cop

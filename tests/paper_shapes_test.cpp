@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Reproduction regression tests: lock in the *shapes* of the paper's
+ * headline results so future changes to the codecs or the workload
+ * models cannot silently drift away from them. Sampled small enough to
+ * stay fast; thresholds leave room for statistical noise while still
+ * catching real regressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/combined.hpp"
+#include "compress/fpc.hpp"
+#include "reliability/error_model.hpp"
+#include "workloads/trace_gen.hpp"
+
+namespace cop {
+namespace {
+
+constexpr unsigned kBlocks = 4000;
+
+double
+fractionCompressible(const WorkloadProfile &p, const BlockCompressor &c,
+                     unsigned budget)
+{
+    const BlockContentPool pool(p);
+    unsigned ok = 0;
+    for (const auto &b : pool.sample(kBlocks, 11))
+        ok += c.canCompress(b, budget);
+    return static_cast<double>(ok) / kBlocks;
+}
+
+double
+fractionCombined(const WorkloadProfile &p, unsigned check_bytes)
+{
+    const CombinedCompressor c(check_bytes);
+    const BlockContentPool pool(p);
+    unsigned ok = 0;
+    for (const auto &b : pool.sample(kBlocks, 11))
+        ok += c.compressible(b);
+    return static_cast<double>(ok) / kBlocks;
+}
+
+TEST(PaperShapes, Figure9CombinedAverageNear94Percent)
+{
+    double total = 0;
+    const auto set = WorkloadRegistry::memoryIntensive();
+    for (const auto *p : set)
+        total += fractionCombined(*p, 4);
+    const double avg = total / static_cast<double>(set.size());
+    EXPECT_GT(avg, 0.85) << "paper reports 94%";
+    EXPECT_LT(avg, 0.99);
+}
+
+TEST(PaperShapes, FourByteBeatsEightByteEverywhere)
+{
+    // Figure 8 vs Figure 9: requiring less compression protects more
+    // blocks, for every benchmark.
+    for (const auto *p : WorkloadRegistry::memoryIntensive()) {
+        EXPECT_GE(fractionCombined(*p, 4) + 0.01, fractionCombined(*p, 8))
+            << p->name;
+    }
+}
+
+TEST(PaperShapes, RleBeatsFpcOnAverage)
+{
+    // Section 3.2.2's finding: RLE extracts the same sign-extension
+    // redundancy with less metadata, compressing more blocks.
+    const RleCompressor rle;
+    const FpcCompressor fpc;
+    double rle_total = 0, fpc_total = 0;
+    const auto set = WorkloadRegistry::memoryIntensive();
+    for (const auto *p : set) {
+        rle_total += fractionCompressible(*p, rle, 478);
+        fpc_total += fractionCompressible(*p, fpc, 478);
+    }
+    EXPECT_GT(rle_total, fpc_total);
+}
+
+TEST(PaperShapes, ShiftedMsbBeatsUnshiftedOnSpecFp)
+{
+    const MsbCompressor shifted(5, true);
+    const MsbCompressor unshifted(5, false);
+    double gain = 0;
+    const auto set = WorkloadRegistry::specFpFigure4();
+    for (const auto *p : set) {
+        gain += fractionCompressible(*p, shifted, 478) -
+                fractionCompressible(*p, unshifted, 478);
+    }
+    gain /= static_cast<double>(set.size());
+    // Paper: ~15% average improvement.
+    EXPECT_GT(gain, 0.08);
+    EXPECT_LT(gain, 0.35);
+}
+
+TEST(PaperShapes, PerlbenchIsTheTxtShowcase)
+{
+    // Figure 9: "text compression (TXT) is particularly effective for
+    // certain benchmarks such as perlbench".
+    const TxtCompressor txt;
+    const double perl = fractionCompressible(
+        WorkloadRegistry::byName("perlbench"), txt, 478);
+    const double lbm =
+        fractionCompressible(WorkloadRegistry::byName("lbm"), txt, 478);
+    EXPECT_GT(perl, 0.40);
+    EXPECT_GT(perl, lbm + 0.25);
+}
+
+TEST(PaperShapes, LibquantumMostlyCompressibleOnlyAtLowRatios)
+{
+    // Figure 1's motivating observation.
+    const FpcCompressor fpc;
+    const BlockContentPool pool(WorkloadRegistry::byName("libquantum"));
+    unsigned at_6 = 0, at_30 = 0;
+    for (const auto &b : pool.sample(kBlocks, 13)) {
+        const int bits = fpc.compressedBits(b);
+        at_6 += bits >= 0 && bits <= 512 * (1 - 0.0625);
+        at_30 += bits >= 0 && bits <= 512 * (1 - 0.30);
+    }
+    EXPECT_GT(at_6, kBlocks / 2);     // majority at COP's ratio
+    EXPECT_LT(at_30, kBlocks / 4);    // few at conventional ratios
+}
+
+TEST(PaperShapes, ErrorModelReductionTracksProtectedFraction)
+{
+    // Figure 10's mechanism: at realistic FIT rates, the reduction is
+    // essentially the protected fraction of vulnerable exposure.
+    const ErrorRateModel model;
+    VulnLog log;
+    for (int i = 0; i < 930; ++i)
+        log.record(VulnClass::CopProtected4, 5e6);
+    for (int i = 0; i < 70; ++i)
+        log.record(VulnClass::Unprotected, 5e6);
+    EXPECT_NEAR(model.evaluate(log).reduction(), 0.93, 0.002);
+}
+
+TEST(PaperShapes, CombinedCoversEveryIndividualScheme)
+{
+    // The combined scheme's coverage is the union of its members.
+    const CombinedCompressor combined(4);
+    const BlockContentPool pool(WorkloadRegistry::byName("gcc"));
+    for (const auto &b : pool.sample(kBlocks, 17)) {
+        bool any = false;
+        for (const auto *scheme : combined.schemes())
+            any |= scheme->canCompress(b, combined.streamBudget());
+        EXPECT_EQ(any, combined.compressible(b));
+    }
+}
+
+} // namespace
+} // namespace cop

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the COP-ER pointer codec (paper Section 3.3): the (34,28)
+ * SEC protection of the entry pointer and its scatter across all four
+ * code-word segments.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pointer_codec.hpp"
+#include "test_blocks.hpp"
+
+namespace cop {
+namespace {
+
+TEST(PointerCodec, EncodeDecodeRoundTrip)
+{
+    Rng rng(1);
+    for (int iter = 0; iter < 500; ++iter) {
+        const u32 idx = static_cast<u32>(rng.below(PointerCodec::kMaxIndex));
+        const u64 field = PointerCodec::encodeField(idx);
+        EXPECT_LT(field, 1ULL << PointerCodec::kFieldBits);
+        const auto dec = PointerCodec::decodeField(field);
+        EXPECT_TRUE(dec.ecc.ok());
+        EXPECT_EQ(dec.entryIndex, idx);
+    }
+}
+
+TEST(PointerCodec, CorrectsAnySingleBitFlipInField)
+{
+    const u32 idx = 0x0ABCDEF;
+    const u64 field = PointerCodec::encodeField(idx);
+    for (unsigned bit = 0; bit < PointerCodec::kFieldBits; ++bit) {
+        const u64 damaged = field ^ (1ULL << bit);
+        const auto dec = PointerCodec::decodeField(damaged);
+        ASSERT_TRUE(dec.ecc.corrected()) << "bit " << bit;
+        ASSERT_EQ(dec.entryIndex, idx) << "bit " << bit;
+    }
+}
+
+TEST(PointerCodec, EmbedExtractInverse)
+{
+    Rng rng(2);
+    for (int iter = 0; iter < 200; ++iter) {
+        CacheBlock block = testblocks::random(rng);
+        const CacheBlock original = block;
+        const u64 field = rng.below(1ULL << PointerCodec::kFieldBits);
+        const u64 displaced = PointerCodec::embedField(block, field);
+        EXPECT_EQ(PointerCodec::extractField(block), field);
+        // Restoring the displaced bits recovers the original block.
+        PointerCodec::embedField(block, displaced);
+        EXPECT_EQ(block, original);
+    }
+}
+
+TEST(PointerCodec, ScatterTouchesAllFourSegments)
+{
+    // Section 3.3: the pointer bits are selected to overlap all four
+    // code words, so re-picking the entry can de-alias any block.
+    CacheBlock a, b;
+    PointerCodec::embedField(a, PointerCodec::encodeField(0));
+    PointerCodec::embedField(b, PointerCodec::encodeField(0x0FFFFFFF));
+    unsigned segments_differing = 0;
+    for (unsigned s = 0; s < 4; ++s) {
+        bool differs = false;
+        for (unsigned byte = 0; byte < 16; ++byte)
+            differs |= a.byte(16 * s + byte) != b.byte(16 * s + byte);
+        segments_differing += differs;
+    }
+    EXPECT_EQ(segments_differing, 4u);
+}
+
+TEST(PointerCodec, ScatterWidthsSumToFieldBits)
+{
+    unsigned total = 0;
+    for (unsigned s = 0; s < 4; ++s)
+        total += PointerCodec::kScatterWidth[s];
+    EXPECT_EQ(total, PointerCodec::kFieldBits);
+    EXPECT_EQ(PointerCodec::kFieldBits, 34u);
+    EXPECT_EQ(PointerCodec::kIndexBits, 28u);
+}
+
+TEST(PointerCodec, EmbedDisplacesOnlyScatterPositions)
+{
+    Rng rng(3);
+    CacheBlock block = testblocks::random(rng);
+    const CacheBlock original = block;
+    PointerCodec::embedField(block, 0x3FFFFFFFFULL);
+    unsigned changed = 0;
+    for (unsigned bit = 0; bit < kBlockBits; ++bit)
+        changed += block.getBit(bit) != original.getBit(bit);
+    EXPECT_LE(changed, PointerCodec::kFieldBits);
+    // Bits outside the scatter slices must be untouched.
+    for (unsigned s = 0; s < 4; ++s) {
+        const unsigned start = PointerCodec::kScatterOffset[s];
+        const unsigned width = PointerCodec::kScatterWidth[s];
+        for (unsigned bit = start + width; bit < start + 64; ++bit)
+            EXPECT_EQ(block.getBit(bit), original.getBit(bit));
+    }
+}
+
+} // namespace
+} // namespace cop

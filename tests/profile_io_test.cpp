@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the textual workload-profile format: parsing, validation,
+ * normalisation, and write/parse round trips against the built-in
+ * registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/profile_io.hpp"
+#include "workloads/trace_gen.hpp"
+
+namespace cop {
+namespace {
+
+constexpr const char *kSample = R"(
+# a custom database-like workload
+name = mydb
+suite = specint
+memory_intensive = 1
+mix.pointer = 0.4
+mix.int32 = 0.3
+mix.random = 0.3
+perfect_ipc = 1.2
+l3_apki = 18
+mlp = 4
+write_fraction = 0.35
+footprint_mb = 192
+stream_fraction = 0.2
+gen.int_magnitude_bits = 20
+)";
+
+TEST(ProfileIo, ParsesSample)
+{
+    std::istringstream in(kSample);
+    const WorkloadProfile p = parseProfile(in);
+    EXPECT_EQ(p.name, "mydb");
+    EXPECT_EQ(p.suite, Suite::SpecInt);
+    EXPECT_TRUE(p.memoryIntensive);
+    EXPECT_NEAR(p.mix.of(BlockCategory::Pointer), 0.4, 1e-9);
+    EXPECT_NEAR(p.mix.of(BlockCategory::SmallInt32), 0.3, 1e-9);
+    EXPECT_DOUBLE_EQ(p.perfectIpc, 1.2);
+    EXPECT_DOUBLE_EQ(p.l3Apki, 18.0);
+    EXPECT_EQ(p.mlp, 4u);
+    EXPECT_EQ(p.footprintBlocks, 192u * ((1 << 20) / kBlockBytes));
+    EXPECT_EQ(p.gen.intMagnitudeBits, 20u);
+    EXPECT_FALSE(p.sharedFootprint); // specint default
+}
+
+TEST(ProfileIo, NormalisesMix)
+{
+    std::istringstream in("name = x\nmix.zero = 2\nmix.random = 2\n");
+    const WorkloadProfile p = parseProfile(in);
+    EXPECT_NEAR(p.mix.of(BlockCategory::Zero), 0.5, 1e-9);
+    EXPECT_NEAR(p.mix.of(BlockCategory::Random), 0.5, 1e-9);
+}
+
+TEST(ProfileIo, ParsecDefaultsToSharedFootprint)
+{
+    std::istringstream in("name = x\nsuite = parsec\nmix.zero = 1\n");
+    EXPECT_TRUE(parseProfile(in).sharedFootprint);
+    std::istringstream in2(
+        "name = x\nsuite = parsec\nmix.zero = 1\nshared_footprint = 0\n");
+    EXPECT_FALSE(parseProfile(in2).sharedFootprint);
+}
+
+TEST(ProfileIo, RejectsUnknownKey)
+{
+    std::istringstream in("name = x\nmix.zero = 1\nbogus_key = 3\n");
+    EXPECT_DEATH(parseProfile(in), "unknown profile key");
+}
+
+TEST(ProfileIo, RejectsUnknownCategory)
+{
+    std::istringstream in("name = x\nmix.quantum = 1\n");
+    EXPECT_DEATH(parseProfile(in), "unknown block category");
+}
+
+TEST(ProfileIo, RejectsMissingName)
+{
+    std::istringstream in("mix.zero = 1\n");
+    EXPECT_DEATH(parseProfile(in), "missing a name");
+}
+
+TEST(ProfileIo, RejectsEmptyMix)
+{
+    std::istringstream in("name = x\nperfect_ipc = 1\n");
+    EXPECT_DEATH(parseProfile(in), "no mix");
+}
+
+TEST(ProfileIo, RejectsBadNumber)
+{
+    std::istringstream in("name = x\nmix.zero = 1\nperfect_ipc = fast\n");
+    EXPECT_DEATH(parseProfile(in), "bad numeric value");
+}
+
+TEST(ProfileIo, WriteParseRoundTripsRegistry)
+{
+    for (const auto &original : WorkloadRegistry::all()) {
+        std::stringstream buf;
+        writeProfile(original, buf);
+        const WorkloadProfile parsed = parseProfile(buf);
+        EXPECT_EQ(parsed.name, original.name);
+        EXPECT_EQ(parsed.suite, original.suite);
+        EXPECT_EQ(parsed.memoryIntensive, original.memoryIntensive);
+        EXPECT_EQ(parsed.mlp, original.mlp);
+        EXPECT_EQ(parsed.sharedFootprint, original.sharedFootprint);
+        EXPECT_NEAR(parsed.writeFraction, original.writeFraction, 1e-6);
+        EXPECT_NEAR(parsed.streamFraction, original.streamFraction, 1e-6);
+        for (unsigned c = 0; c < kBlockCategories; ++c) {
+            EXPECT_NEAR(parsed.mix.weight[c], original.mix.weight[c],
+                        1e-6)
+                << original.name << " category " << c;
+        }
+        EXPECT_EQ(parsed.gen.intMagnitudeBits,
+                  original.gen.intMagnitudeBits);
+        EXPECT_EQ(parsed.gen.fpExponentSpread,
+                  original.gen.fpExponentSpread);
+    }
+}
+
+TEST(ProfileIo, ParsedProfileDrivesGenerators)
+{
+    std::istringstream in(kSample);
+    const WorkloadProfile p = parseProfile(in);
+    const BlockContentPool pool(p);
+    const auto blocks = pool.sample(500, 3);
+    EXPECT_EQ(blocks.size(), 500u);
+    TraceGenerator gen(p, 0);
+    const Epoch e = gen.next();
+    EXPECT_GT(e.instructions, 0u);
+}
+
+} // namespace
+} // namespace cop

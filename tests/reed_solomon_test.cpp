@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for GF(256) arithmetic and the RS(k+2,k) single-symbol-
+ * correcting code underpinning the chipkill extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "ecc/reed_solomon.hpp"
+
+namespace cop {
+namespace {
+
+TEST(Gf256, MultiplicationBasics)
+{
+    EXPECT_EQ(Gf256::mul(0, 123), 0);
+    EXPECT_EQ(Gf256::mul(1, 123), 123);
+    EXPECT_EQ(Gf256::mul(123, 1), 123);
+    // Commutativity on a sample.
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i) {
+        const u8 a = static_cast<u8>(rng.next());
+        const u8 b = static_cast<u8>(rng.next());
+        EXPECT_EQ(Gf256::mul(a, b), Gf256::mul(b, a));
+    }
+}
+
+TEST(Gf256, MultiplicationAssociativeAndDistributive)
+{
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+        const u8 a = static_cast<u8>(rng.next());
+        const u8 b = static_cast<u8>(rng.next());
+        const u8 c = static_cast<u8>(rng.next());
+        EXPECT_EQ(Gf256::mul(a, Gf256::mul(b, c)),
+                  Gf256::mul(Gf256::mul(a, b), c));
+        EXPECT_EQ(Gf256::mul(a, static_cast<u8>(b ^ c)),
+                  static_cast<u8>(Gf256::mul(a, b) ^ Gf256::mul(a, c)));
+    }
+}
+
+TEST(Gf256, InverseIsExact)
+{
+    for (unsigned v = 1; v < 256; ++v) {
+        EXPECT_EQ(Gf256::mul(static_cast<u8>(v),
+                             Gf256::inv(static_cast<u8>(v))),
+                  1)
+            << v;
+    }
+}
+
+TEST(Gf256, ExpLogRoundTrip)
+{
+    for (unsigned e = 0; e < 255; ++e)
+        EXPECT_EQ(Gf256::log(Gf256::exp(e)), e);
+    // alpha generates the whole multiplicative group.
+    std::array<bool, 256> seen{};
+    for (unsigned e = 0; e < 255; ++e)
+        seen[Gf256::exp(e)] = true;
+    unsigned count = 0;
+    for (unsigned v = 1; v < 256; ++v)
+        count += seen[v];
+    EXPECT_EQ(count, 255u);
+}
+
+TEST(RsCode, EncodeYieldsValidCodeword)
+{
+    const RsCode rs(6);
+    Rng rng(3);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::array<u8, 8> cw{};
+        for (unsigned i = 0; i < 6; ++i)
+            cw[i] = static_cast<u8>(rng.next());
+        rs.encode(cw);
+        EXPECT_TRUE(rs.isValidCodeword(cw));
+    }
+}
+
+TEST(RsCode, CorrectsAnySingleSymbolError)
+{
+    const RsCode rs(6);
+    Rng rng(4);
+    std::array<u8, 8> clean{};
+    for (unsigned i = 0; i < 6; ++i)
+        clean[i] = static_cast<u8>(rng.next());
+    rs.encode(clean);
+
+    for (unsigned pos = 0; pos < 8; ++pos) {
+        for (int iter = 0; iter < 50; ++iter) {
+            auto cw = clean;
+            u8 error = static_cast<u8>(rng.next());
+            if (error == 0)
+                error = 1;
+            cw[pos] = static_cast<u8>(cw[pos] ^ error);
+            const EccResult r = rs.decode(cw);
+            ASSERT_TRUE(r.corrected()) << "pos " << pos;
+            ASSERT_EQ(r.bitIndex, static_cast<int>(pos));
+            ASSERT_EQ(cw, clean);
+        }
+    }
+}
+
+TEST(RsCode, DoubleSymbolErrorsNotSilentlyValid)
+{
+    const RsCode rs(6);
+    Rng rng(5);
+    std::array<u8, 8> clean{};
+    rs.encode(clean);
+    unsigned miscorrected = 0;
+    constexpr int kTrials = 2000;
+    for (int iter = 0; iter < kTrials; ++iter) {
+        auto cw = clean;
+        const unsigned p1 = rng.below(8);
+        unsigned p2 = rng.below(8);
+        while (p2 == p1)
+            p2 = rng.below(8);
+        cw[p1] ^= static_cast<u8>(rng.range(1, 255));
+        cw[p2] ^= static_cast<u8>(rng.range(1, 255));
+        const EccResult r = rs.decode(cw);
+        // A distance-4 code cannot return Ok for weight-2 errors;
+        // it may miscorrect (to distance 1 from another codeword).
+        ASSERT_NE(r.status, EccStatus::Ok);
+        miscorrected += r.corrected();
+    }
+    // Most double errors are detected: correctable cosets are a small
+    // fraction ((1+8*255)/65536 ~ 3%) of the syndrome space.
+    EXPECT_LT(miscorrected, kTrials / 10);
+}
+
+TEST(RsCode, RandomWordConsistencyRate)
+{
+    // P(random word valid or within distance 1) ~ (1 + 8*255)/2^16,
+    // the building block of the chipkill alias analysis.
+    const RsCode rs(6);
+    Rng rng(6);
+    unsigned consistent = 0;
+    constexpr int kTrials = 200000;
+    for (int iter = 0; iter < kTrials; ++iter) {
+        std::array<u8, 8> cw;
+        for (auto &b : cw)
+            b = static_cast<u8>(rng.next());
+        consistent += !rs.decode(cw).uncorrectable();
+    }
+    const double expected = (1.0 + 8 * 255) / 65536.0;
+    EXPECT_NEAR(static_cast<double>(consistent) / kTrials, expected,
+                0.003);
+}
+
+TEST(RsCode, VariousLengths)
+{
+    Rng rng(7);
+    for (const unsigned k : {1u, 4u, 8u, 16u, 32u}) {
+        const RsCode rs(k);
+        std::vector<u8> cw(k + 2, 0);
+        for (unsigned i = 0; i < k; ++i)
+            cw[i] = static_cast<u8>(rng.next());
+        rs.encode(cw);
+        ASSERT_TRUE(rs.isValidCodeword(cw));
+        auto damaged = cw;
+        damaged[rng.below(k + 2)] ^= 0x5A;
+        ASSERT_TRUE(rs.decode(damaged).corrected());
+        ASSERT_EQ(damaged, cw);
+    }
+}
+
+} // namespace
+} // namespace cop

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the analytic error model and the Monte-Carlo fault
+ * injector, including cross-validation between the two and the
+ * paper's headline reliability relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/error_model.hpp"
+#include "reliability/fault_injector.hpp"
+#include "test_blocks.hpp"
+
+namespace cop {
+namespace {
+
+TEST(ErrorModel, BitFlipProbabilityScale)
+{
+    const ReliabilityParams params;
+    // 5000 FIT/Mbit ~= 1.325e-15 per bit per second; one second of
+    // exposure is 3.2e9 cycles.
+    const double p = params.bitFlipProbability(3.2e9);
+    EXPECT_NEAR(p, 5000.0 / (1 << 20) * 1e-9 / 3600.0, 1e-18);
+}
+
+TEST(ErrorModel, UnprotectedScalesLinearly)
+{
+    const ErrorRateModel model;
+    const double a = model.outcome(VulnClass::Unprotected, 1e9).silent;
+    const double b = model.outcome(VulnClass::Unprotected, 2e9).silent;
+    EXPECT_NEAR(b / a, 2.0, 1e-9);
+}
+
+TEST(ErrorModel, ProtectedClassesAreQuadratic)
+{
+    const ErrorRateModel model;
+    const double a =
+        model.outcome(VulnClass::CopProtected4, 1e9).uncorrected();
+    const double b =
+        model.outcome(VulnClass::CopProtected4, 2e9).uncorrected();
+    EXPECT_NEAR(b / a, 4.0, 1e-9);
+}
+
+TEST(ErrorModel, ProtectionOrdering)
+{
+    // For equal exposure: unprotected >> any protected scheme, and the
+    // wide-code classes are weaker than ECC DIMM or COP-8B.
+    const ErrorRateModel model;
+    const double cycles = 1e12;
+    const double unprot =
+        model.outcome(VulnClass::Unprotected, cycles).uncorrected();
+    const double cop4 =
+        model.outcome(VulnClass::CopProtected4, cycles).uncorrected();
+    const double cop8 =
+        model.outcome(VulnClass::CopProtected8, cycles).uncorrected();
+    const double dimm =
+        model.outcome(VulnClass::EccDimm, cycles).uncorrected();
+    const double wide =
+        model.outcome(VulnClass::WideCode, cycles).uncorrected();
+    EXPECT_GT(unprot, wide * 100);
+    EXPECT_GT(wide, dimm);
+    EXPECT_GT(cop4, cop8);
+    EXPECT_GT(dimm, cop8); // 64-bit words beat 72-bit words
+}
+
+TEST(ErrorModel, CopErVsEccDimmAboutSixX)
+{
+    // Section 4: "COP-ER's error rate is 6x that of an ECC DIMM".
+    // The word-width argument gives 523^2 / (8 * 72^2) ~= 6.6.
+    const ErrorRateModel model;
+    const double ratio = model.copErVsEccDimmRatio(1e12);
+    EXPECT_GT(ratio, 5.0);
+    EXPECT_LT(ratio, 8.0);
+}
+
+TEST(ErrorModel, EvaluateAggregatesLog)
+{
+    const ErrorRateModel model;
+    VulnLog log;
+    for (int i = 0; i < 1000; ++i)
+        log.record(VulnClass::CopProtected4, 1000000);
+    for (int i = 0; i < 60; ++i)
+        log.record(VulnClass::Unprotected, 1000000);
+
+    const ErrorRateReport report = model.evaluate(log);
+    EXPECT_GT(report.baselineUnprotected, 0.0);
+    // ~94% of reads protected => ~94% reduction (double-error terms are
+    // negligible at these exposures).
+    EXPECT_NEAR(report.reduction(), 1000.0 / 1060.0, 1e-3);
+}
+
+TEST(ErrorModel, AllProtectedIsNearlyPerfect)
+{
+    const ErrorRateModel model;
+    VulnLog log;
+    for (int i = 0; i < 1000; ++i)
+        log.record(VulnClass::CopErUncompressed, 1e9);
+    const ErrorRateReport report = model.evaluate(log);
+    EXPECT_GT(report.reduction(), 0.999999);
+}
+
+TEST(ErrorModel, ScrubbingReducesProtectedUncorrected)
+{
+    ReliabilityParams scrubbed;
+    scrubbed.scrubIntervalCycles = 1e9;
+    const ErrorRateModel with(scrubbed);
+    const ErrorRateModel without;
+
+    const double long_residency = 1e12; // 1000 scrub intervals
+    const double u_with =
+        with.outcome(VulnClass::CopProtected4, long_residency)
+            .uncorrected();
+    const double u_without =
+        without.outcome(VulnClass::CopProtected4, long_residency)
+            .uncorrected();
+    // T/S windows of S^2 risk vs one window of T^2 risk: factor ~ S/T.
+    EXPECT_NEAR(u_without / u_with, 1000.0, 1.0);
+}
+
+TEST(ErrorModel, ScrubbingDoesNotHelpUnprotectedData)
+{
+    ReliabilityParams scrubbed;
+    scrubbed.scrubIntervalCycles = 1e6;
+    const ErrorRateModel with(scrubbed);
+    const ErrorRateModel without;
+    const double t = 1e12;
+    EXPECT_DOUBLE_EQ(
+        with.outcome(VulnClass::Unprotected, t).silent,
+        without.outcome(VulnClass::Unprotected, t).silent);
+}
+
+TEST(ErrorModel, ScrubbingNoEffectOnShortResidency)
+{
+    ReliabilityParams scrubbed;
+    scrubbed.scrubIntervalCycles = 1e9;
+    const ErrorRateModel with(scrubbed);
+    const ErrorRateModel without;
+    const double t = 1e8; // below the interval
+    EXPECT_DOUBLE_EQ(
+        with.outcome(VulnClass::CopProtected4, t).uncorrected(),
+        without.outcome(VulnClass::CopProtected4, t).uncorrected());
+}
+
+// ---------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjector, CopSingleBitAlwaysCorrected)
+{
+    const CopCodec codec(CopConfig::fourByte());
+    FaultInjector inj(1);
+    Rng rng(2);
+    const CacheBlock data = testblocks::similarWords(rng);
+    const InjectionOutcome out = inj.injectCop(codec, data, 1, 2000);
+    EXPECT_EQ(out.corrected, out.trials);
+    EXPECT_EQ(out.silent + out.detected, 0u);
+}
+
+TEST(FaultInjector, CopDoubleBitSplitsDetectedAndSilent)
+{
+    // Two flips: same code word (p=~1/4) -> detected; different words
+    // -> silent (the paper's documented 4-byte weakness).
+    const CopCodec codec(CopConfig::fourByte());
+    FaultInjector inj(3);
+    Rng rng(4);
+    const CacheBlock data = testblocks::similarWords(rng);
+    const InjectionOutcome out = inj.injectCop(codec, data, 2, 4000);
+    EXPECT_EQ(out.corrected, 0u);
+    const double detected_frac =
+        static_cast<double>(out.detected) / out.trials;
+    EXPECT_NEAR(detected_frac, 127.0 / 511.0, 0.03);
+    // Both flips landing in one word's *check bits* damage nothing
+    // (benign); that happens for ~0.09% of pairs. Everything else is
+    // lost one way or the other.
+    EXPECT_GE(out.silent + out.detected, out.trials * 99 / 100);
+    EXPECT_EQ(out.silent + out.detected + out.benign, out.trials);
+}
+
+TEST(FaultInjector, Cop8DoubleBitMostlyCorrected)
+{
+    const CopCodec codec(CopConfig::eightByte());
+    FaultInjector inj(5);
+    Rng rng(6);
+    const CacheBlock data = testblocks::similarWords(rng);
+    const InjectionOutcome out = inj.injectCop(codec, data, 2, 4000);
+    // Different words (prob 448/511) -> corrected.
+    const double corrected_frac =
+        static_cast<double>(out.corrected) / out.trials;
+    EXPECT_NEAR(corrected_frac, 448.0 / 511.0, 0.03);
+    EXPECT_EQ(out.silent, 0u);
+}
+
+TEST(FaultInjector, CopIncompressibleSingleBitIsSilent)
+{
+    // Raw (unprotected) blocks under plain COP: any flip is SDC.
+    const CopCodec codec(CopConfig::fourByte());
+    FaultInjector inj(7);
+    Rng rng(8);
+    CacheBlock data = testblocks::random(rng);
+    while (codec.encode(data).status != EncodeStatus::Unprotected)
+        data = testblocks::random(rng);
+    const InjectionOutcome out = inj.injectCop(codec, data, 1, 1000);
+    EXPECT_EQ(out.silent, out.trials);
+}
+
+TEST(FaultInjector, CopErSingleBitAlwaysRecovered)
+{
+    const CopCodec codec(CopConfig::fourByte());
+    const CoperCodec coper(codec);
+    FaultInjector inj(9);
+    Rng rng(10);
+    CacheBlock data = testblocks::random(rng);
+    while (codec.encode(data).status != EncodeStatus::Unprotected)
+        data = testblocks::random(rng);
+    const InjectionOutcome out = inj.injectCopEr(coper, data, 1, 2000);
+    EXPECT_EQ(out.silent, 0u);
+    EXPECT_EQ(out.detected, 0u);
+    EXPECT_EQ(out.corrected, out.trials);
+}
+
+TEST(FaultInjector, CopErDoubleBitDetectedNotSilent)
+{
+    const CopCodec codec(CopConfig::fourByte());
+    const CoperCodec coper(codec);
+    FaultInjector inj(11);
+    Rng rng(12);
+    CacheBlock data = testblocks::random(rng);
+    while (codec.encode(data).status != EncodeStatus::Unprotected)
+        data = testblocks::random(rng);
+    const InjectionOutcome out = inj.injectCopEr(coper, data, 2, 2000);
+    // The wide code detects double errors; silent corruption requires
+    // >= 3 valid code words to appear by chance (~never).
+    EXPECT_EQ(out.silent, 0u);
+    EXPECT_GT(out.detected, 0u);
+}
+
+TEST(FaultInjector, EccDimmSingleCorrectedDoubleDetected)
+{
+    FaultInjector inj(13);
+    Rng rng(14);
+    const CacheBlock data = testblocks::random(rng);
+    const InjectionOutcome one = inj.injectEccDimm(data, 1, 2000);
+    EXPECT_EQ(one.corrected, one.trials);
+    const InjectionOutcome two = inj.injectEccDimm(data, 2, 4000);
+    EXPECT_EQ(two.silent, 0u);
+    // Same word (prob ~71/575) -> detected; else both corrected.
+    const double detected_frac =
+        static_cast<double>(two.detected) / two.trials;
+    EXPECT_NEAR(detected_frac, 71.0 / 575.0, 0.03);
+}
+
+TEST(FaultInjector, UnprotectedAnyFlipIsSilent)
+{
+    FaultInjector inj(15);
+    Rng rng(16);
+    const CacheBlock data = testblocks::random(rng);
+    EXPECT_EQ(inj.injectUnprotected(data, 1, 100).silent, 100u);
+    EXPECT_EQ(inj.injectUnprotected(data, 0, 100).benign, 100u);
+}
+
+TEST(FaultInjector, MonteCarloMatchesAnalyticDoubleErrorSplit)
+{
+    // Cross-validation: the analytic CopProtected4 detected/silent
+    // split must match injection. Analytic: detected fraction =
+    // same-word pairs / all pairs = (4 * C(128,2)) / C(512,2).
+    const ErrorRateModel model;
+    const double cycles = 1e12;
+    const ExposureOutcome o =
+        model.outcome(VulnClass::CopProtected4, cycles);
+    const double analytic_detected_frac =
+        o.detected / (o.detected + o.silent);
+    EXPECT_NEAR(analytic_detected_frac, 127.0 / 511.0, 1e-6);
+}
+
+} // namespace
+} // namespace cop

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the run-report formatter: section presence, option gating,
+ * and sanity of the numbers it prints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.hpp"
+
+namespace cop {
+namespace {
+
+class ReportTest : public ::testing::Test
+{
+  protected:
+    ReportTest() : profile(WorkloadRegistry::byName("gcc"))
+    {
+        cfg.cores = 2;
+        cfg.kind = ControllerKind::CopEr;
+        cfg.epochsPerCore = 400;
+        cfg.llc = CacheConfig{128ULL << 10, 8, 34};
+        System system(profile, cfg);
+        results = system.run();
+    }
+
+    const WorkloadProfile &profile;
+    SystemConfig cfg;
+    SystemResults results;
+};
+
+TEST_F(ReportTest, AllSectionsPresent)
+{
+    std::ostringstream out;
+    writeReport(results, cfg, profile, out);
+    const std::string text = out.str();
+    for (const char *needle :
+         {"COP run report: gcc", "performance", "shared L3", "DRAM",
+          "memory controller", "reliability", "memory energy",
+          "aggregate IPC", "row-hit rate", "ECC region",
+          "soft-error-rate reduction"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST_F(ReportTest, OptionsGateSections)
+{
+    ReportOptions options;
+    options.energy = false;
+    options.reliability = false;
+    std::ostringstream out;
+    writeReport(results, cfg, profile, out, options);
+    const std::string text = out.str();
+    EXPECT_EQ(text.find("memory energy"), std::string::npos);
+    EXPECT_EQ(text.find("reliability"), std::string::npos);
+    EXPECT_NE(text.find("performance"), std::string::npos);
+}
+
+TEST_F(ReportTest, SchemeNameInHeader)
+{
+    std::ostringstream out;
+    writeReport(results, cfg, profile, out);
+    EXPECT_NE(out.str().find("under COP-ER"), std::string::npos);
+}
+
+TEST_F(ReportTest, VulnClassesListedOnlyWhenPopulated)
+{
+    std::ostringstream out;
+    writeReport(results, cfg, profile, out);
+    const std::string text = out.str();
+    // COP-ER never leaves anything unprotected.
+    EXPECT_EQ(text.find("reads under unprotected"), std::string::npos);
+    EXPECT_NE(text.find("reads under cop4"), std::string::npos);
+}
+
+} // namespace
+} // namespace cop

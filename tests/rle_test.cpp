@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for COP's run-length encoding (paper Section 3.2.3, Figure 5):
+ * run discovery, 7-bit metadata accounting, self-delimiting stream
+ * parsing, and lossless round trips at both ECC budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "compress/rle.hpp"
+#include "test_blocks.hpp"
+
+namespace cop {
+namespace {
+
+CacheBlock
+roundTrip(const RleCompressor &rle, const CacheBlock &block,
+          unsigned budget)
+{
+    std::array<u8, kBlockBytes> buf{};
+    BitWriter writer(buf);
+    EXPECT_TRUE(rle.compress(block, budget, writer));
+    EXPECT_LE(writer.bitPos(), budget);
+    BitReader reader(buf);
+    CacheBlock out;
+    rle.decompress(reader, budget, out);
+    return out;
+}
+
+TEST(Rle, FindsThreeByteRun)
+{
+    CacheBlock b = CacheBlock::filled(0x5A);
+    b.setByte(10, 0);
+    b.setByte(11, 0);
+    b.setByte(12, 0);
+    const auto runs = RleCompressor::findRuns(b);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].value, 0x00);
+    EXPECT_EQ(runs[0].length, 3u);
+    EXPECT_EQ(runs[0].offset, 10u);
+}
+
+TEST(Rle, FindsOnesRuns)
+{
+    CacheBlock b;
+    b.setByte(20, 0xFF);
+    b.setByte(21, 0xFF);
+    // The rest of the block is zeros, so runs are everywhere; check the
+    // 0xFF run is reported with the right polarity.
+    const auto runs = RleCompressor::findRuns(b);
+    bool saw_ones = false;
+    for (const auto &r : runs) {
+        if (r.offset == 20) {
+            saw_ones = true;
+            EXPECT_EQ(r.value, 0xFF);
+        }
+    }
+    EXPECT_TRUE(saw_ones);
+}
+
+TEST(Rle, RunsAreAlignedAndNonOverlapping)
+{
+    Rng rng(1);
+    for (int iter = 0; iter < 200; ++iter) {
+        const CacheBlock b = testblocks::sparse(rng, 5);
+        const auto runs = RleCompressor::findRuns(b);
+        unsigned prev_end = 0;
+        for (const auto &r : runs) {
+            EXPECT_EQ(r.offset % 2, 0u);
+            EXPECT_GE(r.offset, prev_end);
+            EXPECT_TRUE(r.length == 2 || r.length == 3);
+            EXPECT_TRUE(r.value == 0x00 || r.value == 0xFF);
+            prev_end = r.offset + r.length;
+        }
+    }
+}
+
+TEST(Rle, FreedBitsAccounting)
+{
+    // Paper: a 3-byte run frees 24-7=17 bits; a 2-byte run 16-7=9 bits;
+    // two 3-byte runs free 34 bits — exactly the 4-byte-ECC requirement.
+    EXPECT_EQ(RleCompressor::freedBits({0, 3, 0}), 17u);
+    EXPECT_EQ(RleCompressor::freedBits({0, 2, 0}), 9u);
+}
+
+TEST(Rle, TwoThreeByteRunsSuffice)
+{
+    CacheBlock b = CacheBlock::filled(0xA7);
+    for (unsigned i = 0; i < 3; ++i) {
+        b.setByte(4 + i, 0);
+        b.setByte(40 + i, 0xFF);
+    }
+    EXPECT_EQ(b.byte(4), 0);
+    const int bits = RleCompressor().compressedBits(b);
+    ASSERT_GT(bits, 0);
+    EXPECT_LE(bits, 478);
+    EXPECT_EQ(roundTrip(RleCompressor(), b, 478), b);
+}
+
+TEST(Rle, FourTwoByteRunsSuffice)
+{
+    CacheBlock b = CacheBlock::filled(0x13);
+    for (unsigned w : {2u, 9u, 17u, 25u}) {
+        b.setByte(2 * w, 0);
+        b.setByte(2 * w + 1, 0);
+        // spoil the next byte so the run cannot extend to 3 bytes
+        b.setByte(2 * w + 2, 0x13);
+    }
+    const RleCompressor rle;
+    EXPECT_TRUE(rle.canCompress(b, 478));
+    EXPECT_EQ(roundTrip(rle, b, 478), b);
+}
+
+TEST(Rle, ThreeTwoByteRunsDoNotSuffice)
+{
+    // 3 * 9 = 27 < 34 freed bits: not compressible at the 4-byte budget.
+    CacheBlock b = CacheBlock::filled(0x13);
+    for (unsigned w : {2u, 9u, 17u}) {
+        b.setByte(2 * w, 0);
+        b.setByte(2 * w + 1, 0);
+    }
+    EXPECT_FALSE(RleCompressor().canCompress(b, 478));
+}
+
+TEST(Rle, IncompressibleBlockRejected)
+{
+    Rng rng(2);
+    const RleCompressor rle;
+    CacheBlock b = testblocks::random(rng);
+    // Stamp out any accidental 2-byte aligned runs.
+    for (unsigned w = 0; w < 32; ++w) {
+        if ((b.byte(2 * w) == 0x00 && b.byte(2 * w + 1) == 0x00) ||
+            (b.byte(2 * w) == 0xFF && b.byte(2 * w + 1) == 0xFF)) {
+            b.setByte(2 * w, 0x42);
+        }
+    }
+    EXPECT_EQ(rle.compressedBits(b), -1);
+    std::array<u8, kBlockBytes> buf{};
+    BitWriter writer(buf);
+    EXPECT_FALSE(rle.compress(b, 478, writer));
+}
+
+TEST(Rle, ZeroBlockRoundTripBothBudgets)
+{
+    const RleCompressor rle;
+    const CacheBlock zero;
+    EXPECT_EQ(roundTrip(rle, zero, 478), zero);
+    EXPECT_EQ(roundTrip(rle, zero, 446), zero);
+}
+
+TEST(Rle, EncodesOnlyMinimalRuns)
+{
+    // A block with many runs must only spend metadata on enough runs to
+    // free the requested bits (Section 3.2.3: "Only the minimum number
+    // of runs must be encoded").
+    const RleCompressor rle;
+    const CacheBlock zero; // maximal run content
+    std::array<u8, kBlockBytes> buf{};
+    BitWriter writer(buf);
+    ASSERT_TRUE(rle.compress(zero, 478, writer));
+    // Two 3-byte runs (14 bits of metadata) + 58 literal bytes.
+    EXPECT_EQ(writer.bitPos(), 14u + 58 * 8);
+}
+
+TEST(Rle, RandomSparseRoundTrip)
+{
+    Rng rng(3);
+    const RleCompressor rle;
+    int compressed = 0;
+    for (int iter = 0; iter < 500; ++iter) {
+        const CacheBlock b = testblocks::sparse(rng, 2 + iter % 4);
+        if (rle.canCompress(b, 478)) {
+            ++compressed;
+            ASSERT_EQ(roundTrip(rle, b, 478), b);
+        }
+    }
+    EXPECT_GT(compressed, 400);
+}
+
+TEST(Rle, RunAtEndOfBlock)
+{
+    CacheBlock b = CacheBlock::filled(0x99);
+    // 2-byte run at the last 16-bit word plus a 3-byte run earlier.
+    b.setByte(62, 0xFF);
+    b.setByte(63, 0xFF);
+    b.setByte(0, 0);
+    b.setByte(1, 0);
+    b.setByte(2, 0);
+    b.setByte(30, 0);
+    b.setByte(31, 0);
+    const RleCompressor rle;
+    ASSERT_TRUE(rle.canCompress(b, 478));
+    EXPECT_EQ(roundTrip(rle, b, 478), b);
+}
+
+} // namespace
+} // namespace cop

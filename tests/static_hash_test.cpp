@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the static hash constant (paper Section 3.1): fixed across
+ * runs, different per 128-bit segment, self-inverse, and actually load
+ * bearing in the codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/codec.hpp"
+#include "core/static_hash.hpp"
+
+namespace cop {
+namespace {
+
+TEST(StaticHash, StableAcrossCalls)
+{
+    EXPECT_EQ(staticHashBlock(), staticHashBlock());
+    EXPECT_EQ(&staticHashBlock(), &staticHashBlock());
+}
+
+TEST(StaticHash, SegmentsAreDistinct)
+{
+    // "By using a different hash for each 128-bit segment ... we ensure
+    // that repeated values will not skew the odds."
+    const CacheBlock &hash = staticHashBlock();
+    for (unsigned a = 0; a < 4; ++a) {
+        for (unsigned b = a + 1; b < 4; ++b) {
+            EXPECT_NE(0, std::memcmp(hash.data() + 16 * a,
+                                     hash.data() + 16 * b, 16))
+                << "segments " << a << " and " << b;
+        }
+    }
+}
+
+TEST(StaticHash, NoSegmentIsZero)
+{
+    const CacheBlock &hash = staticHashBlock();
+    for (unsigned s = 0; s < 4; ++s) {
+        bool nonzero = false;
+        for (unsigned i = 0; i < 16; ++i)
+            nonzero |= hash.byte(16 * s + i) != 0;
+        EXPECT_TRUE(nonzero) << "segment " << s;
+    }
+}
+
+TEST(StaticHash, SelfInverse)
+{
+    CacheBlock b = CacheBlock::filled(0x3C);
+    const CacheBlock original = b;
+    b ^= staticHashBlock();
+    EXPECT_NE(b, original);
+    b ^= staticHashBlock();
+    EXPECT_EQ(b, original);
+}
+
+TEST(StaticHash, HashedAndUnhashedCodecsDisagreeOnStoredBits)
+{
+    CopConfig hashed = CopConfig::fourByte();
+    CopConfig plain = CopConfig::fourByte();
+    plain.useStaticHash = false;
+    const CopCodec a(hashed), b(plain);
+
+    CacheBlock data;
+    for (unsigned w = 0; w < 8; ++w)
+        data.setWord64(w, 0x0000111100000000ULL + w);
+    const auto ea = a.encode(data);
+    const auto eb = b.encode(data);
+    ASSERT_TRUE(ea.isProtected());
+    ASSERT_TRUE(eb.isProtected());
+    EXPECT_NE(ea.stored, eb.stored);
+    // Exactly the hash apart.
+    CacheBlock diff = ea.stored;
+    diff ^= eb.stored;
+    EXPECT_EQ(diff, staticHashBlock());
+    // Each decodes its own format.
+    EXPECT_EQ(a.decode(ea.stored).data, data);
+    EXPECT_EQ(b.decode(eb.stored).data, data);
+}
+
+} // namespace
+} // namespace cop

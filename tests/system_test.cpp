@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Integration tests for the interval simulator: end-to-end runs of the
+ * full stack (trace -> LLC -> controller -> DRAM -> decode) for every
+ * controller kind, with the built-in data-verification invariant armed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hpp"
+
+namespace cop {
+namespace {
+
+SystemConfig
+smallConfig(ControllerKind kind, unsigned cores = 2,
+            u64 epochs = 1500)
+{
+    SystemConfig cfg;
+    cfg.cores = cores;
+    cfg.kind = kind;
+    cfg.epochsPerCore = epochs;
+    cfg.llc = CacheConfig{256ULL << 10, 8, 34}; // small LLC: more misses
+    cfg.verifyData = true;
+    return cfg;
+}
+
+class SystemKinds : public ::testing::TestWithParam<ControllerKind>
+{
+};
+
+TEST_P(SystemKinds, RunsCleanWithDataVerification)
+{
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    System sys(profile, smallConfig(GetParam()));
+    const SystemResults results = sys.run();
+    EXPECT_GT(results.instructions, 0u);
+    EXPECT_GT(results.cycles, 0u);
+    EXPECT_GT(results.ipc, 0.0);
+    EXPECT_LE(results.ipc, 2 * profile.perfectIpc * 2);
+    EXPECT_GT(results.llcMisses, 0u);
+    EXPECT_GT(results.vuln.totalReads(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SystemKinds,
+    ::testing::Values(ControllerKind::Unprotected, ControllerKind::EccDimm,
+                      ControllerKind::EccRegion, ControllerKind::Cop4,
+                      ControllerKind::Cop8, ControllerKind::CopEr),
+    [](const ::testing::TestParamInfo<ControllerKind> &info) {
+        std::string name = controllerKindName(info.param);
+        std::erase_if(name, [](char c) { return !std::isalnum(c); });
+        return name;
+    });
+
+TEST(System, PerformanceOrderingMatchesPaper)
+{
+    // Figure 11's shape: Unprot >= COP >= COP-ER > ECC Reg. (mcf is
+    // memory-bound, so the differences are visible).
+    const auto &profile = WorkloadRegistry::byName("mcf");
+    auto run = [&](ControllerKind kind) {
+        System sys(profile, smallConfig(kind, 2, 2500));
+        return sys.run().ipc;
+    };
+    const double unprot = run(ControllerKind::Unprotected);
+    const double cop = run(ControllerKind::Cop4);
+    const double coper = run(ControllerKind::CopEr);
+    const double eccreg = run(ControllerKind::EccRegion);
+
+    EXPECT_GE(unprot * 1.001, cop);
+    EXPECT_GE(cop * 1.01, coper);
+    EXPECT_GT(coper, eccreg * 0.99);
+    // And the whole spread is modest (paper: within ~20% of unprot).
+    EXPECT_GT(eccreg, unprot * 0.5);
+}
+
+TEST(System, CopVulnLogSplitsProtectedAndRaw)
+{
+    const auto &profile = WorkloadRegistry::byName("bzip2");
+    System sys(profile, smallConfig(ControllerKind::Cop4));
+    const SystemResults r = sys.run();
+    // bzip2-like data has a solid incompressible fraction.
+    EXPECT_GT(r.vuln.of(VulnClass::CopProtected4).reads, 0u);
+    EXPECT_GT(r.vuln.of(VulnClass::Unprotected).reads, 0u);
+}
+
+TEST(System, CopErLogsNoUnprotectedReads)
+{
+    const auto &profile = WorkloadRegistry::byName("bzip2");
+    System sys(profile, smallConfig(ControllerKind::CopEr));
+    const SystemResults r = sys.run();
+    EXPECT_EQ(r.vuln.of(VulnClass::Unprotected).reads, 0u);
+    EXPECT_GT(r.vuln.of(VulnClass::CopErUncompressed).reads, 0u);
+    EXPECT_GT(r.eccRegionBytes, 0u);
+}
+
+TEST(System, EverUncompressedTracksIncompressibleFraction)
+{
+    const auto &profile = WorkloadRegistry::byName("mcf");
+    System sys(profile, smallConfig(ControllerKind::CopEr));
+    const SystemResults r = sys.run();
+    ASSERT_GT(r.touchedBlocks, 0u);
+    const double frac = static_cast<double>(r.everUncompressedBlocks) /
+                        static_cast<double>(r.touchedBlocks);
+    // mcf-like content: a small minority incompressible.
+    EXPECT_LT(frac, 0.25);
+}
+
+TEST(System, SharedFootprintParsecRuns)
+{
+    const auto &profile = WorkloadRegistry::byName("canneal");
+    System sys(profile, smallConfig(ControllerKind::Cop4, 4, 800));
+    const SystemResults r = sys.run();
+    EXPECT_GT(r.ipc, 0.0);
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    System a(profile, smallConfig(ControllerKind::Cop4));
+    System b(profile, smallConfig(ControllerKind::Cop4));
+    const SystemResults ra = a.run();
+    const SystemResults rb = b.run();
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_EQ(ra.llcMisses, rb.llcMisses);
+}
+
+TEST(System, ProactiveAliasCheckRunsClean)
+{
+    // Section 3.1's alternative policy: checking at LLC-write time.
+    // Synthetic data essentially never aliases, so the run must agree
+    // with the lazy policy bit-for-bit.
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    SystemConfig lazy_cfg = smallConfig(ControllerKind::Cop4);
+    SystemConfig eager_cfg = lazy_cfg;
+    eager_cfg.proactiveAliasCheck = true;
+    System lazy(profile, lazy_cfg);
+    System eager(profile, eager_cfg);
+    const SystemResults a = lazy.run();
+    const SystemResults b = eager.run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_EQ(b.aliasPinEvents, 0u);
+}
+
+TEST(System, ClosedPagePolicyCostsPerformance)
+{
+    // lbm streams rows; auto-precharge throws the locality away.
+    const auto &profile = WorkloadRegistry::byName("lbm");
+    SystemConfig open_cfg = smallConfig(ControllerKind::Unprotected);
+    SystemConfig closed_cfg = open_cfg;
+    closed_cfg.dram.rowPolicy = RowPolicy::Closed;
+    System open_sys(profile, open_cfg);
+    System closed_sys(profile, closed_cfg);
+    const double open_ipc = open_sys.run().ipc;
+    const double closed_ipc = closed_sys.run().ipc;
+    EXPECT_LT(closed_ipc, open_ipc);
+}
+
+TEST(System, NaiveCopErBetweenBaselineAndCopEr)
+{
+    const auto &profile = WorkloadRegistry::byName("mcf");
+    auto run = [&](ControllerKind kind) {
+        System sys(profile, smallConfig(kind, 2, 2500));
+        return sys.run().ipc;
+    };
+    const double eccreg = run(ControllerKind::EccRegion);
+    const double naive = run(ControllerKind::CopErNaive);
+    EXPECT_GT(naive, eccreg);
+}
+
+TEST(System, MoreCoresMoreContention)
+{
+    const auto &profile = WorkloadRegistry::byName("lbm");
+    System one(profile, smallConfig(ControllerKind::Unprotected, 1, 2000));
+    System four(profile, smallConfig(ControllerKind::Unprotected, 4, 2000));
+    const double ipc1 = one.run().ipc; // aggregate IPC of 1 core
+    const double ipc4 = four.run().ipc / 4.0; // per-core
+    EXPECT_LT(ipc4, ipc1 * 1.001);
+}
+
+} // namespace
+} // namespace cop

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared block builders for the compression / codec test suites.
+ */
+
+#ifndef COP_TESTS_TEST_BLOCKS_HPP
+#define COP_TESTS_TEST_BLOCKS_HPP
+
+#include <string_view>
+
+#include "common/cache_block.hpp"
+#include "common/rng.hpp"
+
+namespace cop::testblocks {
+
+/** Fully random (virtually incompressible) block. */
+inline CacheBlock
+random(Rng &rng)
+{
+    CacheBlock b;
+    for (unsigned w = 0; w < 8; ++w)
+        b.setWord64(w, rng.next());
+    return b;
+}
+
+/** Eight 64-bit words sharing their top bits: MSB-compressible. */
+inline CacheBlock
+similarWords(Rng &rng, u64 base = 0x00007F4200000000ULL,
+             u64 spread = 1ULL << 40)
+{
+    CacheBlock b;
+    for (unsigned w = 0; w < 8; ++w)
+        b.setWord64(w, base + rng.below(spread));
+    return b;
+}
+
+/** ASCII-only block. */
+inline CacheBlock
+text(Rng &rng)
+{
+    CacheBlock b;
+    constexpr std::string_view alphabet =
+        " abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.,";
+    for (unsigned i = 0; i < kBlockBytes; ++i)
+        b.setByte(i, static_cast<u8>(alphabet[rng.below(alphabet.size())]));
+    return b;
+}
+
+/** Random block with a few zero-byte runs: RLE-compressible. */
+inline CacheBlock
+sparse(Rng &rng, unsigned zero_runs = 3)
+{
+    CacheBlock b = random(rng);
+    for (unsigned r = 0; r < zero_runs; ++r) {
+        const unsigned w = rng.below(30);
+        b.setByte(2 * w, 0);
+        b.setByte(2 * w + 1, 0);
+        b.setByte(2 * w + 2, 0);
+    }
+    return b;
+}
+
+/** Block of small sign-extended 32-bit values: FPC-compressible. */
+inline CacheBlock
+smallInts(Rng &rng, u32 magnitude = 100)
+{
+    CacheBlock b;
+    for (unsigned w = 0; w < 16; ++w) {
+        const auto v = static_cast<std::int32_t>(rng.below(2 * magnitude)) -
+                       static_cast<std::int32_t>(magnitude);
+        b.setWord32(w, static_cast<u32>(v));
+    }
+    return b;
+}
+
+} // namespace cop::testblocks
+
+#endif // COP_TESTS_TEST_BLOCKS_HPP

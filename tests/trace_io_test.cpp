@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for trace capture/replay: binary round trips, header
+ * validation, summaries, and agreement between a replayed trace and
+ * the generator that produced it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace_io.hpp"
+
+namespace cop {
+namespace {
+
+Epoch
+epochOf(u64 instr, std::initializer_list<std::pair<Addr, bool>> accs)
+{
+    Epoch e;
+    e.instructions = instr;
+    for (const auto &[addr, w] : accs)
+        e.accesses.push_back({addr, w});
+    return e;
+}
+
+TEST(TraceIo, WriteReadRoundTrip)
+{
+    std::stringstream buf;
+    {
+        TraceWriter writer(buf);
+        writer.write(epochOf(1000, {{0, false}, {64, true}}));
+        writer.write(epochOf(500, {{128, false}}));
+        writer.write(epochOf(42, {}));
+        EXPECT_EQ(writer.epochsWritten(), 3u);
+    }
+    TraceReader reader(buf);
+    Epoch e;
+    ASSERT_TRUE(reader.read(e));
+    EXPECT_EQ(e.instructions, 1000u);
+    ASSERT_EQ(e.accesses.size(), 2u);
+    EXPECT_EQ(e.accesses[0].addr, 0u);
+    EXPECT_FALSE(e.accesses[0].isWrite);
+    EXPECT_EQ(e.accesses[1].addr, 64u);
+    EXPECT_TRUE(e.accesses[1].isWrite);
+    ASSERT_TRUE(reader.read(e));
+    EXPECT_EQ(e.accesses.size(), 1u);
+    ASSERT_TRUE(reader.read(e));
+    EXPECT_EQ(e.instructions, 42u);
+    EXPECT_TRUE(e.accesses.empty());
+    EXPECT_FALSE(reader.read(e));
+    EXPECT_EQ(reader.epochsRead(), 3u);
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream buf;
+    buf << "NOTATRACE-------";
+    EXPECT_DEATH({ TraceReader reader(buf); }, "bad magic");
+}
+
+TEST(TraceIo, LargeAddressesSurvive)
+{
+    std::stringstream buf;
+    const Addr big = (1ULL << 45) + 7 * kBlockBytes;
+    {
+        TraceWriter writer(buf);
+        writer.write(epochOf(1, {{big, true}}));
+    }
+    TraceReader reader(buf);
+    Epoch e;
+    ASSERT_TRUE(reader.read(e));
+    EXPECT_EQ(e.accesses[0].addr, big);
+    EXPECT_TRUE(e.accesses[0].isWrite);
+}
+
+TEST(TraceIo, CaptureMatchesGenerator)
+{
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    std::stringstream buf;
+    EXPECT_EQ(captureTrace(profile, 0, 100, buf), 100u);
+
+    // Replaying must reproduce the generator stream exactly.
+    TraceGenerator reference(profile, 0);
+    TraceReader reader(buf);
+    Epoch replayed;
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(reader.read(replayed));
+        const Epoch expected = reference.next();
+        ASSERT_EQ(replayed.instructions, expected.instructions);
+        ASSERT_EQ(replayed.accesses.size(), expected.accesses.size());
+        for (size_t k = 0; k < expected.accesses.size(); ++k) {
+            ASSERT_EQ(replayed.accesses[k].addr,
+                      expected.accesses[k].addr);
+            ASSERT_EQ(replayed.accesses[k].isWrite,
+                      expected.accesses[k].isWrite);
+        }
+    }
+    EXPECT_FALSE(reader.read(replayed));
+}
+
+TEST(TraceIo, SummaryStatistics)
+{
+    std::stringstream buf;
+    {
+        TraceWriter writer(buf);
+        writer.write(epochOf(1000, {{0, false}, {64, true}, {128, false}}));
+        writer.write(epochOf(1000, {{128, true}}));
+    }
+    const TraceSummary s = summarizeTrace(buf);
+    EXPECT_EQ(s.epochs, 2u);
+    EXPECT_EQ(s.instructions, 2000u);
+    EXPECT_EQ(s.accesses, 4u);
+    EXPECT_EQ(s.writes, 2u);
+    EXPECT_EQ(s.distinctBlocks, 3u);
+    EXPECT_EQ(s.sequentialPairs, 2u); // 0->64, 64->128
+    EXPECT_DOUBLE_EQ(s.writeFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(s.accessesPerKiloInstruction(), 2.0);
+}
+
+TEST(TraceIo, SummaryOfCapturedWorkloadMatchesProfile)
+{
+    const auto &profile = WorkloadRegistry::byName("lbm");
+    std::stringstream buf;
+    captureTrace(profile, 0, 3000, buf);
+    const TraceSummary s = summarizeTrace(buf);
+    EXPECT_EQ(s.epochs, 3000u);
+    EXPECT_NEAR(s.writeFraction(), profile.writeFraction, 0.03);
+    EXPECT_NEAR(s.accessesPerKiloInstruction(), profile.l3Apki,
+                profile.l3Apki * 0.25);
+}
+
+} // namespace
+} // namespace cop

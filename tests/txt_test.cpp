@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for text compression (paper Section 3.2.4): ASCII detection,
+ * the 448-bit compressed size, and UTF-16-style zero padding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "compress/txt.hpp"
+#include "test_blocks.hpp"
+
+namespace cop {
+namespace {
+
+CacheBlock
+roundTrip(const TxtCompressor &txt, const CacheBlock &block)
+{
+    std::array<u8, kBlockBytes> buf{};
+    BitWriter writer(buf);
+    EXPECT_TRUE(txt.compress(block, 478, writer));
+    EXPECT_EQ(writer.bitPos(), 448u);
+    BitReader reader(buf);
+    CacheBlock out;
+    txt.decompress(reader, 478, out);
+    return out;
+}
+
+TEST(Txt, AsciiBlockCompressesTo448Bits)
+{
+    Rng rng(1);
+    const TxtCompressor txt;
+    const CacheBlock b = testblocks::text(rng);
+    EXPECT_EQ(txt.compressedBits(b), 448);
+    EXPECT_EQ(roundTrip(txt, b), b);
+}
+
+TEST(Txt, SingleHighBitRejects)
+{
+    Rng rng(2);
+    const TxtCompressor txt;
+    CacheBlock b = testblocks::text(rng);
+    b.setByte(37, 0x80);
+    EXPECT_EQ(txt.compressedBits(b), -1);
+}
+
+TEST(Txt, EveryBytePositionChecked)
+{
+    Rng rng(3);
+    const TxtCompressor txt;
+    for (unsigned i = 0; i < kBlockBytes; ++i) {
+        CacheBlock b = testblocks::text(rng);
+        b.setByte(i, b.byte(i) | 0x80);
+        EXPECT_EQ(txt.compressedBits(b), -1) << "byte " << i;
+    }
+}
+
+TEST(Txt, Utf16StylePaddingCompresses)
+{
+    // ASCII characters in UTF-16: a zero byte between each character.
+    const char *msg = "COP compresses and protects this";
+    CacheBlock b;
+    for (unsigned i = 0; i < 32; ++i) {
+        b.setByte(2 * i, static_cast<u8>(msg[i]));
+        b.setByte(2 * i + 1, 0);
+    }
+    const TxtCompressor txt;
+    EXPECT_EQ(txt.compressedBits(b), 448);
+    EXPECT_EQ(roundTrip(txt, b), b);
+}
+
+TEST(Txt, DoesNotFitEightByteBudget)
+{
+    // 448 bits > 446: TXT is excluded from the 8-byte configuration
+    // (matching the paper: TXT in Figure 9, absent in Figure 8).
+    Rng rng(4);
+    const TxtCompressor txt;
+    const CacheBlock b = testblocks::text(rng);
+    EXPECT_FALSE(txt.canCompress(b, 446));
+    EXPECT_TRUE(txt.canCompress(b, 478));
+}
+
+TEST(Txt, AllDelByte0x7FRoundTrips)
+{
+    const TxtCompressor txt;
+    const CacheBlock b = CacheBlock::filled(0x7F);
+    EXPECT_EQ(txt.compressedBits(b), 448);
+    EXPECT_EQ(roundTrip(txt, b), b);
+}
+
+} // namespace
+} // namespace cop

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for the vulnerability log (the PARMA-style exposure ledger).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/vuln_log.hpp"
+
+namespace cop {
+namespace {
+
+TEST(VulnLog, RecordAccumulates)
+{
+    VulnLog log;
+    log.record(VulnClass::Unprotected, 100);
+    log.record(VulnClass::Unprotected, 300);
+    log.record(VulnClass::CopProtected4, 50);
+    EXPECT_EQ(log.of(VulnClass::Unprotected).reads, 2u);
+    EXPECT_DOUBLE_EQ(log.of(VulnClass::Unprotected).totalCycles, 400.0);
+    EXPECT_EQ(log.of(VulnClass::CopProtected4).reads, 1u);
+    EXPECT_EQ(log.totalReads(), 3u);
+    EXPECT_DOUBLE_EQ(log.totalCycles(), 450.0);
+}
+
+TEST(VulnLog, EmptyByDefault)
+{
+    const VulnLog log;
+    EXPECT_EQ(log.totalReads(), 0u);
+    EXPECT_DOUBLE_EQ(log.totalCycles(), 0.0);
+    for (unsigned c = 0; c < kVulnClasses; ++c)
+        EXPECT_EQ(log.of(static_cast<VulnClass>(c)).reads, 0u);
+}
+
+TEST(VulnLog, ClassNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (unsigned c = 0; c < kVulnClasses; ++c)
+        names.insert(vulnClassName(static_cast<VulnClass>(c)));
+    EXPECT_EQ(names.size(), kVulnClasses);
+}
+
+TEST(VulnLog, ZeroResidencyIsLegal)
+{
+    VulnLog log;
+    log.record(VulnClass::EccDimm, 0);
+    EXPECT_EQ(log.of(VulnClass::EccDimm).reads, 1u);
+    EXPECT_DOUBLE_EQ(log.of(VulnClass::EccDimm).totalCycles, 0.0);
+}
+
+} // namespace
+} // namespace cop
