@@ -4,17 +4,34 @@
  * (the paper assumes 4 cycles, Section 4). Sweeping 0..16 cycles shows
  * how much headroom the "simple hardware" requirement really has: even
  * a pessimistic decoder leaves COP within a whisker of unprotected.
+ * The (benchmark x latency) grid executes on the experiment runner.
  */
 
-#include "sim_util.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
     static const char *names[] = {"mcf", "lbm", "omnetpp", "x264"};
     static const Cycle latencies[] = {0, 2, 4, 8, 16};
+
+    auto label = [](Cycle l) {
+        return "cop4@" + std::to_string(l) + "cyc";
+    };
+
+    bench::GridRunner grid("ablation_decode_latency", argc, argv);
+    for (const char *name : names) {
+        const WorkloadProfile &p = WorkloadRegistry::byName(name);
+        grid.add(p, ControllerKind::Unprotected);
+        for (const Cycle l : latencies) {
+            SystemConfig cfg = bench::paperConfig(ControllerKind::Cop4);
+            cfg.decodeLatency = l;
+            grid.add(p, cfg, label(l));
+        }
+    }
+    grid.run();
 
     std::printf("Ablation: COP fill latency adder (IPC normalised to "
                 "unprotected)\n\n");
@@ -26,16 +43,16 @@ main()
     for (const char *name : names) {
         const WorkloadProfile &p = WorkloadRegistry::byName(name);
         const double unprot =
-            bench::runSystem(p, ControllerKind::Unprotected).ipc;
+            grid.result(p, ControllerKind::Unprotected).ipc;
         std::printf("%-14s", name);
         for (const Cycle l : latencies) {
-            SystemConfig cfg = bench::paperConfig(ControllerKind::Cop4);
-            cfg.decodeLatency = l;
-            System sys(p, cfg);
-            std::printf(" %11.3f", sys.run().ipc / unprot);
+            std::printf(" %11.3f",
+                        grid.result(p.name, label(l)).ipc / unprot);
         }
         std::printf("\n");
     }
     std::printf("\nPaper operating point: 4 cycles.\n");
+
+    grid.writeJson();
     return 0;
 }

@@ -4,21 +4,39 @@
  * a simplification of BDI that needs no adders. At COP's low target
  * ratio, MSB matches or beats full BDI on the blocks that matter
  * (similar-magnitude values, floating point), because what COP needs
- * is *coverage at a small budget*, not a high compression ratio.
+ * is *coverage at a small budget*, not a high compression ratio. The
+ * per-benchmark sampling cells execute on the experiment runner.
  */
 
-#include "bench_util.hpp"
 #include "compress/bdi.hpp"
 #include "compress/msb.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
     const MsbCompressor msb(5, true);
     const BdiCompressor bdi;
     constexpr unsigned kBudget = 478;
+
+    const auto profiles = WorkloadRegistry::memoryIntensive();
+    const RunnerOptions opts = parseRunnerOptions(argc, argv);
+
+    struct Row
+    {
+        double msb = 0, bdi = 0;
+    };
+    const std::vector<Row> rows = runCollected<Row>(
+        profiles.size(),
+        [&](size_t i) {
+            const auto blocks = bench::sampleFor(*profiles[i]);
+            return Row{
+                bench::fractionCompressible(blocks, msb, kBudget),
+                bench::fractionCompressible(blocks, bdi, kBudget)};
+        },
+        opts);
 
     bench::printHeader(
         "Ablation: MSB (COP's simplification) vs full BDI at the "
@@ -26,11 +44,9 @@ main()
         {"MSB", "BDI", "delta"});
 
     std::vector<double> msb_col, bdi_col;
-    for (const auto *p : WorkloadRegistry::memoryIntensive()) {
-        const auto blocks = bench::sampleFor(*p);
-        const double m = bench::fractionCompressible(blocks, msb, kBudget);
-        const double b = bench::fractionCompressible(blocks, bdi, kBudget);
-        bench::printPctRow(p->name, {m, b, m - b});
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        const double m = rows[i].msb, b = rows[i].bdi;
+        bench::printPctRow(profiles[i]->name, {m, b, m - b});
         msb_col.push_back(m);
         bdi_col.push_back(b);
     }
@@ -45,5 +61,22 @@ main()
                 "mixed signs favour MSB's shifted comparison; "
                 "BDI's arithmetic deltas\nfail on left-normalised "
                 "significands (Section 3.2.1).\n");
+
+    std::string cells;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        if (i)
+            cells += ',';
+        bench::JsonObjectBuilder cell;
+        cell.add("benchmark", profiles[i]->name);
+        cell.add("msb_coverage", rows[i].msb);
+        cell.add("bdi_coverage", rows[i].bdi);
+        cells += cell.str();
+    }
+    bench::JsonObjectBuilder top;
+    top.add("bench", std::string("ablation_msb_bdi"));
+    top.add("avg_msb_coverage", bench::mean(msb_col));
+    top.add("avg_bdi_coverage", bench::mean(bdi_col));
+    top.addRaw("cells", "[" + cells + "]");
+    bench::writeResultsFile("ablation_msb_bdi.json", top.str());
     return 0;
 }

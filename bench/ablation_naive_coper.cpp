@@ -10,19 +10,31 @@
  *   COP-ER         : pointer-indexed packed region (performance win
  *                    AND ~80% storage win).
  *
- * Run on a representative slice of the Table 2 benchmarks.
+ * Run on a representative slice of the Table 2 benchmarks on the
+ * experiment runner.
  */
 
 #include "mem/ecc_region_controller.hpp"
-#include "sim_util.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
     static const char *names[] = {"mcf", "bzip2", "lbm", "canneal",
                                   "streamcluster"};
+    static const ControllerKind kinds[] = {
+        ControllerKind::Unprotected, ControllerKind::EccRegion,
+        ControllerKind::CopErNaive, ControllerKind::CopEr};
+
+    bench::GridRunner grid("ablation_naive_coper", argc, argv);
+    for (const char *name : names) {
+        const WorkloadProfile &p = WorkloadRegistry::byName(name);
+        for (const ControllerKind kind : kinds)
+            grid.add(p, kind);
+    }
+    grid.run();
 
     std::printf("Ablation: ECC-region designs (IPC normalised to "
                 "unprotected; region KB)\n\n");
@@ -34,12 +46,12 @@ main()
     for (const char *name : names) {
         const WorkloadProfile &p = WorkloadRegistry::byName(name);
         const double unprot =
-            bench::runSystem(p, ControllerKind::Unprotected).ipc;
+            grid.result(p, ControllerKind::Unprotected).ipc;
         const double eccreg =
-            bench::runSystem(p, ControllerKind::EccRegion).ipc / unprot;
+            grid.result(p, ControllerKind::EccRegion).ipc / unprot;
         const double naive =
-            bench::runSystem(p, ControllerKind::CopErNaive).ipc / unprot;
-        const SystemResults er = bench::runSystem(p, ControllerKind::CopEr);
+            grid.result(p, ControllerKind::CopErNaive).ipc / unprot;
+        const SystemResults &er = grid.result(p, ControllerKind::CopEr);
         const double coper = er.ipc / unprot;
 
         const double full_kb =
@@ -61,5 +73,10 @@ main()
                 "compressible fills); the pointer-indexed region then "
                 "removes the\nstorage overhead without giving that "
                 "performance back.\n");
+
+    grid.addScalar("geomean_eccreg", bench::geomean(base_col));
+    grid.addScalar("geomean_naive", bench::geomean(naive_col));
+    grid.addScalar("geomean_coper", bench::geomean(coper_col));
+    grid.writeJson();
     return 0;
 }

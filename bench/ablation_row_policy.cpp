@@ -4,17 +4,42 @@
  * (embedded ECC, Section 2) relies on an open-row policy to make
  * same-row ECC accesses cheap; this bench shows how the schemes fare
  * when the controller auto-precharges instead — the ECC-region designs
- * lose their row-locality discount on metadata accesses.
+ * lose their row-locality discount on metadata accesses. The
+ * (benchmark x policy x scheme) grid executes on the experiment
+ * runner.
  */
 
-#include "sim_util.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
     static const char *names[] = {"lbm", "mcf", "streamcluster"};
+    static const ControllerKind kinds[] = {ControllerKind::Unprotected,
+                                           ControllerKind::Cop4,
+                                           ControllerKind::CopEr,
+                                           ControllerKind::EccRegion};
+
+    auto label = [](ControllerKind kind, RowPolicy policy) {
+        return std::string(controllerKindName(kind)) +
+               (policy == RowPolicy::Open ? "@open" : "@closed");
+    };
+
+    bench::GridRunner grid("ablation_row_policy", argc, argv);
+    for (const char *name : names) {
+        const WorkloadProfile &p = WorkloadRegistry::byName(name);
+        for (const RowPolicy policy :
+             {RowPolicy::Open, RowPolicy::Closed}) {
+            for (const ControllerKind kind : kinds) {
+                SystemConfig cfg = bench::paperConfig(kind);
+                cfg.dram.rowPolicy = policy;
+                grid.add(p, cfg, label(kind, policy));
+            }
+        }
+    }
+    grid.run();
 
     std::printf("Ablation: row-buffer policy (IPC normalised to "
                 "unprotected under the same policy)\n\n");
@@ -30,16 +55,17 @@ main()
         std::printf("%-14s |", name);
         for (const RowPolicy policy :
              {RowPolicy::Open, RowPolicy::Closed}) {
-            SystemConfig base = bench::paperConfig(
-                ControllerKind::Unprotected);
-            base.dram.rowPolicy = policy;
-            const double unprot = System(p, base).run().ipc;
+            const double unprot =
+                grid.result(p.name,
+                            label(ControllerKind::Unprotected, policy))
+                    .ipc;
             for (const ControllerKind kind :
                  {ControllerKind::Cop4, ControllerKind::CopEr,
                   ControllerKind::EccRegion}) {
-                SystemConfig cfg = bench::paperConfig(kind);
-                cfg.dram.rowPolicy = policy;
-                std::printf(" %9.3f", System(p, cfg).run().ipc / unprot);
+                std::printf(" %9.3f",
+                            grid.result(p.name, label(kind, policy))
+                                    .ipc /
+                                unprot);
             }
             if (policy == RowPolicy::Open)
                 std::printf(" |");
@@ -49,5 +75,7 @@ main()
     std::printf("\nCOP's inline check bits are policy-insensitive; the "
                 "region-based designs lean\non row locality for their "
                 "metadata traffic.\n");
+
+    grid.writeJson();
     return 0;
 }

@@ -6,17 +6,19 @@
  * sweeps the scrub interval and reports the residual uncorrected-error
  * rate of long-resident protected blocks — an extension beyond the
  * paper's model showing how cheap scrubbing closes COP's double-error
- * gap.
+ * gap. The sweep points are independent cells on the experiment
+ * runner.
  */
 
 #include <cstdio>
 
 #include "reliability/error_model.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
     // A population of protected blocks resident for ~1 hour at 3.2 GHz
     // (cold data: the worst case for error accumulation).
@@ -24,16 +26,6 @@ main()
     VulnLog log;
     for (int i = 0; i < 1000; ++i)
         log.record(VulnClass::CopProtected4, residency);
-
-    std::printf("Scrubbing sweep: cold COP-protected data "
-                "(1h residency, 5000 FIT/Mbit)\n\n");
-    std::printf("%-22s %22s %14s\n", "scrub interval",
-                "expected uncorrected", "vs no scrub");
-    std::printf("%s\n", std::string(60, '-').c_str());
-
-    ReliabilityParams params;
-    const double baseline =
-        ErrorRateModel(params).evaluate(log).uncorrected;
 
     struct Point
     {
@@ -45,16 +37,47 @@ main()
         {"10 minutes", 600}, {"1 minute", 60},
         {"1 second", 1},
     };
-    for (const Point &pt : points) {
-        params.scrubIntervalCycles = pt.seconds * params.coreGHz * 1e9;
-        const double rate =
-            ErrorRateModel(params).evaluate(log).uncorrected;
-        std::printf("%-22s %22.3e %13.1fx\n", pt.label, rate,
+
+    const RunnerOptions opts = parseRunnerOptions(argc, argv);
+    const std::vector<double> rates = runCollected<double>(
+        std::size(points),
+        [&](size_t i) {
+            ReliabilityParams params;
+            params.scrubIntervalCycles =
+                points[i].seconds * params.coreGHz * 1e9;
+            return ErrorRateModel(params).evaluate(log).uncorrected;
+        },
+        opts);
+
+    std::printf("Scrubbing sweep: cold COP-protected data "
+                "(1h residency, 5000 FIT/Mbit)\n\n");
+    std::printf("%-22s %22s %14s\n", "scrub interval",
+                "expected uncorrected", "vs no scrub");
+    std::printf("%s\n", std::string(60, '-').c_str());
+
+    const double baseline = rates[0];
+    for (size_t i = 0; i < std::size(points); ++i) {
+        const double rate = rates[i];
+        std::printf("%-22s %22.3e %13.1fx\n", points[i].label, rate,
                     baseline / (rate > 0 ? rate : baseline));
     }
     std::printf("\nDouble-error probability scales with the square of "
                 "the accumulation window,\nso an S-times shorter window "
                 "cuts the uncorrected rate ~S-fold over a fixed\n"
                 "residency (T/S windows of S^2 risk).\n");
+
+    std::string cells;
+    for (size_t i = 0; i < std::size(points); ++i) {
+        if (i)
+            cells += ',';
+        bench::JsonObjectBuilder cell;
+        cell.add("scrub_interval", std::string(points[i].label));
+        cell.add("expected_uncorrected", rates[i]);
+        cells += cell.str();
+    }
+    bench::JsonObjectBuilder top;
+    top.add("bench", std::string("ablation_scrubbing"));
+    top.addRaw("cells", "[" + cells + "]");
+    bench::writeResultsFile("ablation_scrubbing.json", top.str());
     return 0;
 }

@@ -4,68 +4,99 @@
  * discussion): threshold 2 recovers two-errors-in-different-words at
  * the cost of orders of magnitude more aliases; threshold 4 has no
  * aliases among damaged blocks but cannot even tolerate one error.
+ * Each threshold is an independent cell on the experiment runner; the
+ * cells draw identical random samples, so the comparison is paired.
  */
 
-#include "bench_util.hpp"
 #include "core/codec.hpp"
 #include "reliability/fault_injector.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
-int
-main()
+namespace {
+
+struct ThresholdResult
 {
+    double aliasRate = 0;
+    double oneFlipPct = 0;
+    double twoFlipPct = 0;
+};
+
+ThresholdResult
+evaluateThreshold(unsigned threshold)
+{
+    CopConfig cfg = CopConfig::fourByte();
+    cfg.threshold = threshold;
+    const CopCodec codec(cfg);
+
+    // Alias rate over random (incompressible-like) blocks. The same
+    // seed for every threshold: a paired sample.
+    Rng rng(11);
+    constexpr int kBlocks = 400000;
+    u64 aliases = 0;
+    for (int i = 0; i < kBlocks; ++i) {
+        CacheBlock b;
+        for (unsigned w = 0; w < 8; ++w)
+            b.setWord64(w, rng.next());
+        aliases += codec.isAlias(b);
+    }
+
+    // Correction behaviour on a protected block.
+    Rng data_rng(3);
+    CacheBlock data;
+    const u64 base = 0x0012340000000000ULL;
+    for (unsigned w = 0; w < 8; ++w)
+        data.setWord64(w, base + data_rng.below(1u << 20));
+    const CopEncodeResult enc = codec.encode(data);
+    COP_ASSERT(enc.isProtected());
+
+    u64 one_ok = 0, two_ok = 0;
+    constexpr int kTrials = 4000;
+    for (int t = 0; t < kTrials; ++t) {
+        CacheBlock s1 = enc.stored;
+        s1.flipBit(static_cast<unsigned>(data_rng.below(512)));
+        one_ok += codec.decode(s1).data == data;
+
+        CacheBlock s2 = enc.stored;
+        const unsigned w1 = data_rng.below(4);
+        unsigned w2 = data_rng.below(4);
+        while (w2 == w1)
+            w2 = data_rng.below(4);
+        s2.flipBit(w1 * 128 + data_rng.below(128));
+        s2.flipBit(w2 * 128 + data_rng.below(128));
+        two_ok += codec.decode(s2).data == data;
+    }
+
+    return ThresholdResult{100.0 * aliases / kBlocks,
+                           100.0 * one_ok / kTrials,
+                           100.0 * two_ok / kTrials};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    static const unsigned thresholds[] = {2u, 3u, 4u};
+
+    const RunnerOptions opts = parseRunnerOptions(argc, argv);
+    const std::vector<ThresholdResult> results =
+        runCollected<ThresholdResult>(
+            std::size(thresholds),
+            [&](size_t i) { return evaluateThreshold(thresholds[i]); },
+            opts);
+
     std::printf("Ablation: decoder valid-code-word threshold "
                 "(4-byte COP configuration)\n\n");
     std::printf("%-10s %16s %18s %18s\n", "threshold",
                 "alias rate", "1-flip corrected", "2-flip (2 words)");
     std::printf("%s\n", std::string(66, '-').c_str());
 
-    Rng rng(11);
-    for (const unsigned threshold : {2u, 3u, 4u}) {
-        CopConfig cfg = CopConfig::fourByte();
-        cfg.threshold = threshold;
-        const CopCodec codec(cfg);
-
-        // Alias rate over random (incompressible-like) blocks.
-        constexpr int kBlocks = 400000;
-        u64 aliases = 0;
-        for (int i = 0; i < kBlocks; ++i) {
-            CacheBlock b;
-            for (unsigned w = 0; w < 8; ++w)
-                b.setWord64(w, rng.next());
-            aliases += codec.isAlias(b);
-        }
-
-        // Correction behaviour on a protected block.
-        Rng data_rng(3);
-        CacheBlock data;
-        const u64 base = 0x0012340000000000ULL;
-        for (unsigned w = 0; w < 8; ++w)
-            data.setWord64(w, base + data_rng.below(1u << 20));
-        const CopEncodeResult enc = codec.encode(data);
-        COP_ASSERT(enc.isProtected());
-
-        u64 one_ok = 0, two_ok = 0;
-        constexpr int kTrials = 4000;
-        for (int t = 0; t < kTrials; ++t) {
-            CacheBlock s1 = enc.stored;
-            s1.flipBit(static_cast<unsigned>(data_rng.below(512)));
-            one_ok += codec.decode(s1).data == data;
-
-            CacheBlock s2 = enc.stored;
-            const unsigned w1 = data_rng.below(4);
-            unsigned w2 = data_rng.below(4);
-            while (w2 == w1)
-                w2 = data_rng.below(4);
-            s2.flipBit(w1 * 128 + data_rng.below(128));
-            s2.flipBit(w2 * 128 + data_rng.below(128));
-            two_ok += codec.decode(s2).data == data;
-        }
-
-        std::printf("%-10u %15.5f%% %17.1f%% %17.1f%%\n", threshold,
-                    100.0 * aliases / kBlocks,
-                    100.0 * one_ok / kTrials, 100.0 * two_ok / kTrials);
+    for (size_t i = 0; i < std::size(thresholds); ++i) {
+        std::printf("%-10u %15.5f%% %17.1f%% %17.1f%%\n", thresholds[i],
+                    results[i].aliasRate, results[i].oneFlipPct,
+                    results[i].twoFlipPct);
     }
 
     std::printf("\nThreshold 3 (the paper's choice) is the only point "
@@ -73,5 +104,21 @@ main()
                 "correction; threshold 2 fixes split double errors but\n"
                 "multiplies aliases by orders of magnitude; threshold 4 "
                 "cannot correct at all.\n");
+
+    std::string cells;
+    for (size_t i = 0; i < std::size(thresholds); ++i) {
+        if (i)
+            cells += ',';
+        bench::JsonObjectBuilder cell;
+        cell.add("threshold", static_cast<u64>(thresholds[i]));
+        cell.add("alias_rate_pct", results[i].aliasRate);
+        cell.add("one_flip_corrected_pct", results[i].oneFlipPct);
+        cell.add("two_flip_corrected_pct", results[i].twoFlipPct);
+        cells += cell.str();
+    }
+    bench::JsonObjectBuilder top;
+    top.add("bench", std::string("ablation_threshold"));
+    top.addRaw("cells", "[" + cells + "]");
+    bench::writeResultsFile("ablation_threshold.json", top.str());
     return 0;
 }

@@ -4,17 +4,20 @@
  * dominated by double-bit hits in one code word, COP-ER's wide
  * (523,512) code loses to the ECC DIMM's eight (72,64) words by ~6x.
  * Reproduced twice: analytically from the error model and empirically
- * by Monte-Carlo fault injection through the real decoders.
+ * by Monte-Carlo fault injection through the real decoders. The two
+ * injection campaigns are independent cells on the experiment runner,
+ * each with its own injector stream.
  */
 
 #include "reliability/error_model.hpp"
 #include "reliability/fault_injector.hpp"
+#include "run_util.hpp"
 #include "workloads/trace_gen.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
     // ------------------------------------------------------------------
     // Analytic ratio.
@@ -32,7 +35,6 @@ main()
     // ------------------------------------------------------------------
     const CopCodec codec(CopConfig::fourByte());
     const CoperCodec coper(codec);
-    FaultInjector injector(2024);
     Rng rng(7);
 
     // Incompressible data (the class COP-ER stores via entries).
@@ -43,9 +45,22 @@ main()
     } while (codec.encode(data).status != EncodeStatus::Unprotected);
 
     constexpr u64 kTrials = 200000;
-    InjectionOutcome coper_out, dimm_out;
-    coper_out = injector.injectCopEr(coper, data, 2, kTrials);
-    dimm_out = injector.injectEccDimm(data, 2, kTrials);
+    const RunnerOptions opts = parseRunnerOptions(argc, argv);
+    const std::vector<InjectionOutcome> outcomes =
+        runCollected<InjectionOutcome>(
+            2,
+            [&](size_t cell) {
+                // Per-cell injector: the campaigns stay independent
+                // (and bit-identical) whatever the worker count.
+                FaultInjector injector(2024 + static_cast<u64>(cell));
+                return cell == 0
+                           ? injector.injectCopEr(coper, data, 2,
+                                                  kTrials)
+                           : injector.injectEccDimm(data, 2, kTrials);
+            },
+            opts);
+    const InjectionOutcome &coper_out = outcomes[0];
+    const InjectionOutcome &dimm_out = outcomes[1];
 
     std::printf("Monte-Carlo, 2 random flips per block, %llu trials:\n",
                 static_cast<unsigned long long>(kTrials));
@@ -72,5 +87,26 @@ main()
     std::printf("  ...both schemes still correct all single-bit errors; "
                 "vs unprotected DRAM\n  either reduces the error rate "
                 "by orders of magnitude.\n");
+
+    std::string cells;
+    static const char *labels[] = {"COP-ER", "ECC DIMM"};
+    for (size_t i = 0; i < 2; ++i) {
+        if (i)
+            cells += ',';
+        bench::JsonObjectBuilder cell;
+        cell.add("scheme", std::string(labels[i]));
+        cell.add("trials", outcomes[i].trials);
+        cell.add("corrected", outcomes[i].corrected);
+        cell.add("benign", outcomes[i].benign);
+        cell.add("detected", outcomes[i].detected);
+        cell.add("silent", outcomes[i].silent);
+        cells += cell.str();
+    }
+    bench::JsonObjectBuilder top;
+    top.add("bench", std::string("ecc_dimm_compare"));
+    top.add("analytic_ratio", model.copErVsEccDimmRatio(1e12));
+    top.add("monte_carlo_ratio", ratio);
+    top.addRaw("cells", "[" + cells + "]");
+    bench::writeResultsFile("ecc_dimm_compare.json", top.str());
     return 0;
 }

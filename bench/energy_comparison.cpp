@@ -4,20 +4,33 @@
  * DIMM pays a 9th chip on every access and in standby; the ECC-region
  * approach keeps 8 chips but adds DRAM traffic; COP keeps both the
  * chip count and the access count. Reported as memory-system energy
- * per kilo-instruction for a representative benchmark slice.
+ * per kilo-instruction for a representative benchmark slice; the
+ * (benchmark x scheme) grid executes on the experiment runner.
  */
 
 #include "dram/energy.hpp"
-#include "sim_util.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
     static const char *names[] = {"mcf", "lbm", "omnetpp",
                                   "streamcluster"};
+    static const ControllerKind kinds[] = {
+        ControllerKind::Unprotected, ControllerKind::EccDimm,
+        ControllerKind::EccRegion, ControllerKind::Cop4,
+        ControllerKind::CopEr};
     const DramEnergyModel model;
+
+    bench::GridRunner grid("energy_comparison", argc, argv);
+    for (const char *name : names) {
+        const WorkloadProfile &p = WorkloadRegistry::byName(name);
+        for (const ControllerKind kind : kinds)
+            grid.add(p, kind);
+    }
+    grid.run();
 
     std::printf("Memory-system energy (nJ per kilo-instruction), "
                 "4-core Table 1 system\n\n");
@@ -30,11 +43,8 @@ main()
         const WorkloadProfile &p = WorkloadRegistry::byName(name);
         std::printf("%-14s", name);
         unsigned col = 0;
-        for (const ControllerKind kind :
-             {ControllerKind::Unprotected, ControllerKind::EccDimm,
-              ControllerKind::EccRegion, ControllerKind::Cop4,
-              ControllerKind::CopEr}) {
-            const SystemResults r = bench::runSystem(p, kind);
+        for (const ControllerKind kind : kinds) {
+            const SystemResults &r = grid.result(p, kind);
             const unsigned chips =
                 kind == ControllerKind::EccDimm ? 9 : 8;
             const DramEnergyReport e =
@@ -54,5 +64,12 @@ main()
     std::printf("\n\nECC DIMM pays the 9th chip everywhere (~12.5%% "
                 "dynamic + background);\nECC Reg. pays extra accesses "
                 "and longer runtime; COP pays neither.\n");
+
+    grid.addScalar("mean_nj_per_ki_unprot", sums[0] / 4.0);
+    grid.addScalar("mean_nj_per_ki_eccdimm", sums[1] / 4.0);
+    grid.addScalar("mean_nj_per_ki_eccreg", sums[2] / 4.0);
+    grid.addScalar("mean_nj_per_ki_cop", sums[3] / 4.0);
+    grid.addScalar("mean_nj_per_ki_coper", sums[4] / 4.0);
+    grid.writeJson();
     return 0;
 }

@@ -3,19 +3,41 @@
  * Future-work extension bench (paper Section 5): chipkill-COP. How
  * much coverage survives when compression must free 16 bytes per block
  * for per-beat RS(8,6) symbol correction — and what that buys: any
- * single-chip (x8) failure corrected inline, no ECC DIMM.
+ * single-chip (x8) failure corrected inline, no ECC DIMM. The
+ * per-benchmark coverage cells execute on the experiment runner.
  */
 
-#include "bench_util.hpp"
 #include "core/chipkill_codec.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
     const ChipkillCodec chipkill;
     const CopCodec cop4(CopConfig::fourByte());
+
+    const auto profiles = WorkloadRegistry::memoryIntensive();
+    const RunnerOptions opts = parseRunnerOptions(argc, argv);
+
+    struct Row
+    {
+        double cop = 0, ck = 0;
+    };
+    const std::vector<Row> rows = runCollected<Row>(
+        profiles.size(),
+        [&](size_t i) {
+            const auto blocks = bench::sampleFor(*profiles[i]);
+            unsigned cop_ok = 0, ck_ok = 0;
+            for (const auto &b : blocks) {
+                cop_ok += cop4.compressor().compressible(b);
+                ck_ok += chipkill.compressible(b);
+            }
+            return Row{static_cast<double>(cop_ok) / blocks.size(),
+                       static_cast<double>(ck_ok) / blocks.size()};
+        },
+        opts);
 
     bench::printHeader(
         "Extension: chipkill-COP coverage (free 16 bytes, RS(8,6) per "
@@ -23,20 +45,10 @@ main()
         {"COP 4-byte", "chipkill"});
 
     std::vector<double> cop_col, ck_col;
-    for (const auto *p : WorkloadRegistry::memoryIntensive()) {
-        const auto blocks = bench::sampleFor(*p);
-        unsigned cop_ok = 0, ck_ok = 0;
-        for (const auto &b : blocks) {
-            cop_ok += cop4.compressor().compressible(b);
-            ck_ok += chipkill.compressible(b);
-        }
-        const std::vector<double> row = {
-            static_cast<double>(cop_ok) / blocks.size(),
-            static_cast<double>(ck_ok) / blocks.size(),
-        };
-        bench::printPctRow(p->name, row);
-        cop_col.push_back(row[0]);
-        ck_col.push_back(row[1]);
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        bench::printPctRow(profiles[i]->name, {rows[i].cop, rows[i].ck});
+        cop_col.push_back(rows[i].cop);
+        ck_col.push_back(rows[i].ck);
     }
     std::printf("%s\n", std::string(16 + 2 * 13, '-').c_str());
     bench::printPctRow("Average",
@@ -71,5 +83,24 @@ main()
                 "protects far fewer blocks\nthan COP's 6.25%% — the "
                 "quantitative version of the trade-off the paper\n"
                 "leaves to future work.\n");
+
+    std::string cells;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        if (i)
+            cells += ',';
+        bench::JsonObjectBuilder cell;
+        cell.add("benchmark", profiles[i]->name);
+        cell.add("cop4_coverage", rows[i].cop);
+        cell.add("chipkill_coverage", rows[i].ck);
+        cells += cell.str();
+    }
+    bench::JsonObjectBuilder top;
+    top.add("bench", std::string("extension_chipkill"));
+    top.add("avg_cop4_coverage", bench::mean(cop_col));
+    top.add("avg_chipkill_coverage", bench::mean(ck_col));
+    top.add("chip_failure_recovery",
+            static_cast<double>(recovered) / kTrials);
+    top.addRaw("cells", "[" + cells + "]");
+    bench::writeResultsFile("extension_chipkill.json", top.str());
     return 0;
 }

@@ -6,20 +6,21 @@
  * paper's qualitative claims — single-bit and single-column failures
  * are corrected by SECDED/COP alike; same-word multi-bit and row
  * failures defeat both; only the chipkill extension absorbs a dead
- * chip.
+ * chip. Every (mode x scheme) campaign is an independent cell on the
+ * experiment runner with its own injector stream.
  */
 
 #include "reliability/failure_modes.hpp"
 #include "reliability/fault_injector.hpp"
+#include "run_util.hpp"
 #include "workloads/block_gen.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
     constexpr u64 kTrials = 4000;
-    FaultInjector injector(0x57CDu);
     Rng rng(1);
     BlockGenParams params;
 
@@ -37,6 +38,47 @@ main()
     const CoperCodec coper(cop4);
     const ChipkillCodec chipkill;
 
+    constexpr unsigned kSchemes = 5;
+    static const char *scheme_names[kSchemes] = {
+        "ECC DIMM", "COP-4B", "COP-8B", "COP-ER", "chipkill"};
+
+    // One cell per (mode, scheme), each with a deterministic private
+    // injector stream so cells parallelise bit-identically.
+    const RunnerOptions opts = parseRunnerOptions(argc, argv);
+    const std::vector<double> recovered_pct = runCollected<double>(
+        kFailureModes * kSchemes,
+        [&](size_t cell) {
+            const auto mode = static_cast<FailureMode>(cell / kSchemes);
+            const unsigned scheme = cell % kSchemes;
+            const FaultInjector::FlipGen gen =
+                [mode](Rng &r, std::vector<unsigned> &bits) {
+                    generateFailureFlips(mode, r, bits);
+                };
+            FaultInjector injector(0x57CDu + cell);
+            InjectionOutcome out;
+            switch (scheme) {
+              case 0:
+                out = injector.injectEccDimmPattern(raw, gen, kTrials);
+                break;
+              case 1:
+                out = injector.injectCopPattern(cop4, fp, gen, kTrials);
+                break;
+              case 2:
+                out = injector.injectCopPattern(cop8, fp, gen, kTrials);
+                break;
+              case 3:
+                out = injector.injectCopErPattern(coper, raw, gen,
+                                                  kTrials);
+                break;
+              default:
+                out = injector.injectChipkillPattern(chipkill, fp, gen,
+                                                     kTrials);
+                break;
+            }
+            return 100.0 * (out.benign + out.corrected) / out.trials;
+        },
+        opts);
+
     std::printf("Failure-mode study: %% of events fully recovered "
                 "(%llu trials/cell)\n",
                 static_cast<unsigned long long>(kTrials));
@@ -48,30 +90,12 @@ main()
 
     for (unsigned m = 0; m < kFailureModes; ++m) {
         const auto mode = static_cast<FailureMode>(m);
-        const FaultInjector::FlipGen gen =
-            [mode](Rng &r, std::vector<unsigned> &bits) {
-                generateFailureFlips(mode, r, bits);
-            };
-        auto recovered = [](const InjectionOutcome &o) {
-            return 100.0 * (o.benign + o.corrected) / o.trials;
-        };
-
-        const double dimm =
-            recovered(injector.injectEccDimmPattern(raw, gen, kTrials));
-        const double c4 =
-            recovered(injector.injectCopPattern(cop4, fp, gen, kTrials));
-        const double c8 =
-            recovered(injector.injectCopPattern(cop8, fp, gen, kTrials));
-        const double er = recovered(
-            injector.injectCopErPattern(coper, raw, gen, kTrials));
-        const double ck = recovered(
-            injector.injectChipkillPattern(chipkill, fp, gen, kTrials));
-
+        const double *row = &recovered_pct[m * kSchemes];
         std::printf("%-18s %5.1f%% %8.1f%% %7.1f%% %7.1f%% %7.1f%% "
                     "%8.1f%%\n",
                     failureModeName(mode),
-                    100 * failureModeFieldFraction(mode), dimm, c4, c8,
-                    er, ck);
+                    100 * failureModeFieldFraction(mode), row[0], row[1],
+                    row[2], row[3], row[4]);
     }
 
     std::printf("\nReading: SECDED-class schemes (ECC DIMM, COP, "
@@ -81,5 +105,24 @@ main()
                 "chipkill extension survives a dead\nchip. (COP "
                 "protects its compressible majority; its "
                 "incompressible residue is\nthe Figure 10 gap.)\n");
+
+    std::string cells;
+    for (unsigned m = 0; m < kFailureModes; ++m) {
+        for (unsigned s = 0; s < kSchemes; ++s) {
+            if (m + s)
+                cells += ',';
+            bench::JsonObjectBuilder cell;
+            cell.add("mode", std::string(failureModeName(
+                                 static_cast<FailureMode>(m))));
+            cell.add("scheme", std::string(scheme_names[s]));
+            cell.add("recovered_pct", recovered_pct[m * kSchemes + s]);
+            cells += cell.str();
+        }
+    }
+    bench::JsonObjectBuilder top;
+    top.add("bench", std::string("failure_mode_study"));
+    top.add("trials_per_cell", kTrials);
+    top.addRaw("cells", "[" + cells + "]");
+    bench::writeResultsFile("failure_mode_study.json", top.str());
     return 0;
 }

@@ -5,18 +5,28 @@
  * to an unprotected non-ECC DIMM. Methodology as in the paper: a
  * PARMA-style vulnerability clock per block (write -> next read),
  * 5000 FIT/Mbit raw rate, evaluated over full-system simulations of
- * the Table 2 benchmarks.
+ * the Table 2 benchmarks, executed on the experiment runner.
  */
 
 #include "reliability/error_model.hpp"
-#include "sim_util.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
     const ErrorRateModel model;
+    static const ControllerKind kinds[] = {ControllerKind::Cop8,
+                                           ControllerKind::Cop4,
+                                           ControllerKind::CopEr};
+
+    bench::GridRunner grid("fig10_error_rate", argc, argv);
+    for (const auto *p : WorkloadRegistry::memoryIntensive()) {
+        for (const ControllerKind kind : kinds)
+            grid.add(*p, kind);
+    }
+    grid.run();
 
     bench::printHeader(
         "Figure 10: reduction in soft-error rate vs unprotected DRAM",
@@ -25,10 +35,8 @@ main()
     bench::SuiteAverager avg;
     for (const auto *p : WorkloadRegistry::memoryIntensive()) {
         std::vector<double> row;
-        for (const ControllerKind kind :
-             {ControllerKind::Cop8, ControllerKind::Cop4,
-              ControllerKind::CopEr}) {
-            const SystemResults r = bench::runSystem(*p, kind);
+        for (const ControllerKind kind : kinds) {
+            const SystemResults &r = grid.result(*p, kind);
             row.push_back(model.evaluate(r.vuln).reduction());
         }
         bench::printPctRow(p->name, row);
@@ -44,11 +52,17 @@ main()
     }
     bench::printPctRow("PARSEC",
                        bench::SuiteAverager::average(avg.parsecRows));
-    bench::printPctRow("Average",
-                       bench::SuiteAverager::average(avg.allRows));
+    const std::vector<double> overall =
+        bench::SuiteAverager::average(avg.allRows);
+    bench::printPctRow("Average", overall);
     std::printf("\nPaper: COP 4-byte reduces the error rate by 93%% on "
                 "average; COP-ER is ~100%%\n(all single-bit errors "
                 "corrected). The 4-byte version beats 8-byte because\n"
                 "less required compression protects more blocks.\n");
+
+    grid.addScalar("avg_reduction_cop8", overall[0]);
+    grid.addScalar("avg_reduction_cop4", overall[1]);
+    grid.addScalar("avg_reduction_coper", overall[2]);
+    grid.writeJson();
     return 0;
 }

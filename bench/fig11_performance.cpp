@@ -7,12 +7,14 @@
  * baseline pays extra DRAM traffic on most fills and trails COP-ER by
  * ~8%.
  *
- * Run with --config to print the Table 1 configuration block.
+ * Run with --config to print the Table 1 configuration block; the
+ * (benchmark x scheme) grid executes on the experiment runner
+ * (COP_BENCH_JOBS workers, --serial for in-order execution).
  */
 
 #include <cstring>
 
-#include "sim_util.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
@@ -22,6 +24,17 @@ main(int argc, char **argv)
     if (argc > 1 && std::strcmp(argv[1], "--config") == 0)
         bench::printTable1();
 
+    static const ControllerKind kinds[] = {
+        ControllerKind::Unprotected, ControllerKind::Cop4,
+        ControllerKind::CopEr, ControllerKind::EccRegion};
+
+    bench::GridRunner grid("fig11_performance", argc, argv);
+    for (const auto *p : WorkloadRegistry::memoryIntensive()) {
+        for (const ControllerKind kind : kinds)
+            grid.add(*p, kind);
+    }
+    grid.run();
+
     bench::printHeader(
         "Figure 11: IPC normalised to the unprotected system (4 cores)",
         {"Unprot.", "COP", "COP-ER", "ECC Reg."});
@@ -30,13 +43,13 @@ main(int argc, char **argv)
     std::vector<double> geo_cop, geo_coper, geo_eccreg;
     for (const auto *p : WorkloadRegistry::memoryIntensive()) {
         const double unprot =
-            bench::runSystem(*p, ControllerKind::Unprotected).ipc;
+            grid.result(*p, ControllerKind::Unprotected).ipc;
         const double cop =
-            bench::runSystem(*p, ControllerKind::Cop4).ipc / unprot;
+            grid.result(*p, ControllerKind::Cop4).ipc / unprot;
         const double coper =
-            bench::runSystem(*p, ControllerKind::CopEr).ipc / unprot;
+            grid.result(*p, ControllerKind::CopEr).ipc / unprot;
         const double eccreg =
-            bench::runSystem(*p, ControllerKind::EccRegion).ipc / unprot;
+            grid.result(*p, ControllerKind::EccRegion).ipc / unprot;
         const std::vector<double> row = {1.0, cop, coper, eccreg};
         bench::printRow(p->name, row);
         avg.add(*p, row);
@@ -60,5 +73,10 @@ main(int argc, char **argv)
     std::printf("\nPaper: COP slightly below unprotected (decode "
                 "latency); COP-ER slightly below\nCOP (entry fetches); "
                 "COP-ER ~8%% better than the ECC Reg. baseline.\n");
+
+    grid.addScalar("geomean_cop", bench::geomean(geo_cop));
+    grid.addScalar("geomean_coper", bench::geomean(geo_coper));
+    grid.addScalar("geomean_eccreg", bench::geomean(geo_eccreg));
+    grid.writeJson();
     return 0;
 }

@@ -5,17 +5,23 @@
  * every data block of the touched footprint; COP-ER keeps a 46-bit
  * entry (11 per 64-byte block, plus the valid-bit tree) only for
  * blocks that were ever incompressible in DRAM during execution, with
- * no entries deallocated — exactly the paper's accounting.
+ * no entries deallocated — exactly the paper's accounting. The
+ * per-benchmark runs execute on the experiment runner.
  */
 
 #include "mem/ecc_region_controller.hpp"
-#include "sim_util.hpp"
+#include "run_util.hpp"
 
 using namespace cop;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::GridRunner grid("fig12_ecc_storage", argc, argv);
+    for (const auto *p : WorkloadRegistry::memoryIntensive())
+        grid.add(*p, ControllerKind::CopEr);
+    grid.run();
+
     bench::printHeader(
         "Figure 12: reduction in ECC storage, COP-ER vs ECC Reg. "
         "baseline",
@@ -23,7 +29,7 @@ main()
 
     std::vector<double> reductions;
     for (const auto *p : WorkloadRegistry::memoryIntensive()) {
-        const SystemResults r = bench::runSystem(*p, ControllerKind::CopEr);
+        const SystemResults &r = grid.result(*p, ControllerKind::CopEr);
         const u64 coper_bytes = r.eccRegionBytesNoDealloc;
         const u64 base_bytes =
             EccRegionController::storageBytesFor(r.touchedBlocks);
@@ -48,5 +54,8 @@ main()
                 bench::mean(reductions) * 100.0);
     std::printf("\nPaper: COP-ER reduces ECC storage by 80%% on "
                 "average.\n");
+
+    grid.addScalar("avg_storage_reduction", bench::mean(reductions));
+    grid.writeJson();
     return 0;
 }

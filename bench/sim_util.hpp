@@ -11,16 +11,21 @@
 #include <cstdlib>
 
 #include "bench_util.hpp"
+#include "common/parse.hpp"
 #include "sim/system.hpp"
 
 namespace cop::bench {
 
-/** Epochs per core for the system benches. */
+/**
+ * Epochs per core for the system benches. A malformed or zero
+ * COP_BENCH_EPOCHS is fatal: a 0-epoch run would print a perfectly
+ * formatted table of meaningless numbers.
+ */
 inline u64
 benchEpochs(u64 fallback = 12000)
 {
     if (const char *env = std::getenv("COP_BENCH_EPOCHS"))
-        return std::strtoull(env, nullptr, 10);
+        return parsePositiveU64(env, "COP_BENCH_EPOCHS");
     return fallback;
 }
 

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "common/parse.hpp"
 #include "sim/report.hpp"
 #include "workloads/profile_io.hpp"
 
@@ -84,12 +85,14 @@ main(int argc, char **argv)
         } else if (arg == "--scheme") {
             cfg.kind = parseScheme(next());
         } else if (arg == "--epochs") {
-            cfg.epochsPerCore = std::strtoull(next(), nullptr, 10);
+            cfg.epochsPerCore = parsePositiveU64(next(), "--epochs");
         } else if (arg == "--cores") {
             cfg.cores = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
+                parsePositiveU64(next(), "--cores"));
         } else if (arg == "--decode-latency") {
-            cfg.decodeLatency = std::strtoull(next(), nullptr, 10);
+            // 0 is a legitimate decode latency (the ablation's lower
+            // bound), so only malformed input is rejected.
+            cfg.decodeLatency = parseU64(next(), "--decode-latency");
         } else if (arg == "--closed-page") {
             cfg.dram.rowPolicy = RowPolicy::Closed;
         } else if (arg == "--proactive-alias") {

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse.hpp"
 #include "reliability/fault_injector.hpp"
 #include "workloads/block_gen.hpp"
 
@@ -37,8 +38,8 @@ printRow(const char *scheme, unsigned flips,
 int
 main(int argc, char **argv)
 {
-    const u64 trials = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                : 20000;
+    const u64 trials =
+        argc > 1 ? parsePositiveU64(argv[1], "[trials]") : 20000;
 
     const CopCodec cop4(CopConfig::fourByte());
     const CopCodec cop8(CopConfig::eightByte());

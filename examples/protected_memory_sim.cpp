@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse.hpp"
 #include "reliability/error_model.hpp"
 #include "sim/system.hpp"
 
@@ -21,8 +22,8 @@ int
 main(int argc, char **argv)
 {
     const std::string name = argc > 1 ? argv[1] : "mcf";
-    const u64 epochs = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                : 3000;
+    const u64 epochs =
+        argc > 2 ? parsePositiveU64(argv[2], "[epochs]") : 3000;
     const WorkloadProfile &profile = WorkloadRegistry::byName(name);
     const ErrorRateModel model;
 

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/parse.hpp"
 #include "sim/trace_io.hpp"
 
 using namespace cop;
@@ -36,7 +37,7 @@ int
 doCapture(const char *bench, const char *epochs_str, const char *path)
 {
     const WorkloadProfile &profile = WorkloadRegistry::byName(bench);
-    const u64 epochs = std::strtoull(epochs_str, nullptr, 10);
+    const u64 epochs = parsePositiveU64(epochs_str, "capture <epochs>");
     std::ofstream out(path, std::ios::binary);
     if (!out)
         COP_FATAL(std::string("cannot open ") + path);
@@ -77,7 +78,7 @@ doDump(const char *path, const char *max_str)
     if (!in)
         COP_FATAL(std::string("cannot open ") + path);
     const u64 max_epochs =
-        max_str ? std::strtoull(max_str, nullptr, 10) : 10;
+        max_str ? parsePositiveU64(max_str, "dump [max-epochs]") : 10;
     TraceReader reader(in);
     Epoch epoch;
     while (reader.epochsRead() < max_epochs && reader.read(epoch)) {

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Strict numeric parsing for user-supplied configuration (environment
+ * variables and command-line arguments). The raw `strtoull` idiom the
+ * tools used before silently turned a typo'd value into 0 — and a
+ * 0-epoch simulation prints a perfectly formatted table of garbage.
+ * These helpers insist on a full-string parse and fail loudly via
+ * COP_FATAL, naming the offending option.
+ */
+
+#ifndef COP_COMMON_PARSE_HPP
+#define COP_COMMON_PARSE_HPP
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/types.hpp"
+
+namespace cop {
+
+/**
+ * Parse @p text as an unsigned decimal integer, allowing zero.
+ * Fatal (user error) on empty input, trailing junk, or overflow.
+ *
+ * @param text  the string to parse (must be non-null);
+ * @param what  what is being parsed, for the error message
+ *              (e.g. "COP_BENCH_EPOCHS" or "--epochs").
+ */
+inline u64
+parseU64(const char *text, const char *what)
+{
+    if (text == nullptr || *text == '\0')
+        COP_FATAL(std::string(what) + ": empty value, expected a number");
+    // strtoull alone is too lax: it skips leading whitespace and wraps
+    // negative input around, so insist the string starts with a digit.
+    if (text[0] < '0' || text[0] > '9')
+        COP_FATAL(std::string(what) + ": '" + text +
+                  "' is not a valid number");
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        COP_FATAL(std::string(what) + ": '" + text +
+                  "' is not a valid number");
+    if (errno == ERANGE)
+        COP_FATAL(std::string(what) + ": '" + text + "' is out of range");
+    return static_cast<u64>(value);
+}
+
+/**
+ * Parse @p text as a positive (nonzero) decimal integer. Use for
+ * counts where 0 would silently turn the run into a no-op (epochs,
+ * trials, job counts).
+ */
+inline u64
+parsePositiveU64(const char *text, const char *what)
+{
+    const u64 value = parseU64(text, what);
+    if (value == 0)
+        COP_FATAL(std::string(what) + ": must be nonzero");
+    return value;
+}
+
+} // namespace cop
+
+#endif // COP_COMMON_PARSE_HPP

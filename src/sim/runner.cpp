@@ -1,0 +1,174 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/parse.hpp"
+
+namespace cop {
+
+unsigned
+RunnerOptions::effectiveJobs() const
+{
+    if (serial)
+        return 1;
+    if (jobs > 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+RunnerOptions
+parseRunnerOptions(int argc, char **argv)
+{
+    RunnerOptions opts;
+    if (const char *env = std::getenv("COP_BENCH_JOBS")) {
+        opts.jobs = static_cast<unsigned>(
+            parsePositiveU64(env, "COP_BENCH_JOBS"));
+    }
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--serial") {
+            opts.serial = true;
+        } else if (arg == "--jobs") {
+            if (i + 1 >= argc)
+                COP_FATAL("--jobs needs a value");
+            opts.jobs = static_cast<unsigned>(
+                parsePositiveU64(argv[++i], "--jobs"));
+        }
+    }
+    return opts;
+}
+
+void
+runIndexed(size_t count, const std::function<void(size_t)> &job,
+           const RunnerOptions &opts, std::vector<double> *wall_ms)
+{
+    using Clock = std::chrono::steady_clock;
+    if (wall_ms != nullptr)
+        wall_ms->assign(count, 0.0);
+
+    auto timed = [&](size_t i) {
+        const Clock::time_point start = Clock::now();
+        job(i);
+        if (wall_ms != nullptr) {
+            // Each index is claimed by exactly one worker, so this
+            // write is race-free without synchronisation.
+            (*wall_ms)[i] =
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          start)
+                    .count();
+        }
+    };
+
+    const unsigned workers =
+        static_cast<unsigned>(std::min<size_t>(opts.effectiveJobs(),
+                                               count ? count : 1));
+    if (workers <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            timed(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        while (true) {
+            const size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            timed(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+namespace {
+
+void
+field(std::string &out, const char *name, u64 value, bool comma = true)
+{
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(static_cast<unsigned long long>(value));
+    if (comma)
+        out += ',';
+}
+
+void
+fieldDouble(std::string &out, const char *name, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"%s\":%.17g,", name, value);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+void
+appendResultsJson(std::string &out, const SystemResults &r)
+{
+    out += '{';
+    fieldDouble(out, "ipc", r.ipc);
+    field(out, "instructions", r.instructions);
+    field(out, "cycles", r.cycles);
+    field(out, "llc_misses", r.llcMisses);
+    field(out, "writebacks", r.writebacks);
+    field(out, "alias_pin_events", r.aliasPinEvents);
+    field(out, "llc_hits", r.llc.hits);
+    field(out, "llc_dirty_evictions", r.llc.dirtyEvictions);
+    field(out, "llc_set_overflows", r.llc.setOverflows);
+    field(out, "dram_reads", r.dram.reads);
+    field(out, "dram_writes", r.dram.writes);
+    field(out, "dram_row_hits", r.dram.rowHits);
+    field(out, "dram_row_misses", r.dram.rowMisses);
+    field(out, "dram_row_conflicts", r.dram.rowConflicts);
+    field(out, "dram_refresh_stalls", r.dram.refreshStalls);
+    field(out, "dram_total_read_latency", r.dram.totalReadLatency);
+    field(out, "mem_reads", r.mem.reads);
+    field(out, "mem_writes", r.mem.writes);
+    field(out, "protected_writes", r.mem.protectedWrites);
+    field(out, "unprotected_writes", r.mem.unprotectedWrites);
+    field(out, "alias_rejects", r.mem.aliasRejects);
+    field(out, "meta_reads", r.mem.metaReads);
+    field(out, "meta_writes", r.mem.metaWrites);
+    field(out, "meta_cache_hits", r.mem.metaCacheHits);
+    field(out, "meta_cache_misses", r.mem.metaCacheMisses);
+    field(out, "scheme_writes_msb", r.mem.schemeWrites[0]);
+    field(out, "scheme_writes_rle", r.mem.schemeWrites[1]);
+    field(out, "scheme_writes_txt", r.mem.schemeWrites[2]);
+    field(out, "ever_uncompressed_blocks", r.everUncompressedBlocks);
+    field(out, "touched_blocks", r.touchedBlocks);
+    field(out, "ecc_region_bytes", r.eccRegionBytes);
+    field(out, "ecc_region_bytes_no_dealloc", r.eccRegionBytesNoDealloc,
+          false);
+    out += '}';
+}
+
+} // namespace cop

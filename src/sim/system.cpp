@@ -79,8 +79,15 @@ System::poolFor(Addr addr)
     if (profile_.sharedFootprint || cfg_.cores == 1)
         return cores_[0].gen->pool();
     const u64 region = profile_.footprintBlocks * kBlockBytes;
-    const auto core = static_cast<unsigned>(addr / region);
-    COP_ASSERT(core < cores_.size());
+    const u64 core = addr / region;
+    // Unconditional: an address at or past cores * region would index
+    // out of bounds, which a compiled-out assert turns into UB.
+    if (core >= cores_.size()) {
+        COP_PANIC("address " + std::to_string(addr) +
+                  " is outside the " + std::to_string(cores_.size()) +
+                  " per-core footprint regions of " +
+                  std::to_string(region) + " bytes");
+    }
     return cores_[core].gen->pool();
 }
 
@@ -114,7 +121,7 @@ System::handleMiss(Addr addr, bool is_write, Cycle now)
     // Track which blocks were ever resident uncompressed (Figure 12's
     // "ever incompressible in DRAM" storage accounting).
     if (fill.wasUncompressed)
-        everUncompressed_[addr / kBlockBytes * kBlockBytes] = true;
+        everUncompressed_.insert(addr / kBlockBytes * kBlockBytes);
 
     const SetAssocCache::EvictFilter filter =
         [this](Addr victim, const CacheLineState &) {

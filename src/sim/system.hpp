@@ -13,6 +13,7 @@
 #define COP_SIM_SYSTEM_HPP
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/set_assoc_cache.hpp"
@@ -130,7 +131,7 @@ class System
     SetAssocCache llc_;
     std::unique_ptr<MemoryController> controller_;
     std::vector<Core> cores_;
-    std::unordered_map<Addr, bool> everUncompressed_;
+    std::unordered_set<Addr> everUncompressed_;
     u64 writebacks_ = 0;
     u64 missCount_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <unordered_set>
 
@@ -31,12 +32,19 @@ readScalar(std::istream &in, T &value)
 TraceWriter::TraceWriter(std::ostream &out) : out_(out)
 {
     out_.write(kMagic, sizeof(kMagic));
-    writeScalar<u32>(out_, 0); // unknown count: read until EOF
+    countPos_ = out_.tellp(); // -1 on unseekable streams (pipes)
+    writeScalar<u32>(out_, 0); // patched by finish() when seekable
+}
+
+TraceWriter::~TraceWriter()
+{
+    finish();
 }
 
 void
 TraceWriter::write(const Epoch &epoch)
 {
+    COP_ASSERT(!finished_);
     writeScalar<u64>(out_, epoch.instructions);
     writeScalar<u32>(out_, static_cast<u32>(epoch.accesses.size()));
     for (const TraceAccess &access : epoch.accesses) {
@@ -44,6 +52,25 @@ TraceWriter::write(const Epoch &epoch)
         writeScalar<u64>(out_, access.addr | (access.isWrite ? 1u : 0u));
     }
     ++count_;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    // Back-patch the header's epoch count so readers can tell a
+    // complete file from one truncated at an epoch boundary. On
+    // unseekable sinks the count stays 0: "read until EOF".
+    if (countPos_ == std::streampos(-1) ||
+        count_ > std::numeric_limits<u32>::max()) {
+        return;
+    }
+    const std::streampos end = out_.tellp();
+    out_.seekp(countPos_);
+    writeScalar<u32>(out_, static_cast<u32>(count_));
+    out_.seekp(end);
 }
 
 TraceReader::TraceReader(std::istream &in) : in_(in)
@@ -54,8 +81,7 @@ TraceReader::TraceReader(std::istream &in) : in_(in)
         std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
         COP_FATAL("not a COP trace stream (bad magic)");
     }
-    u32 declared;
-    if (!readScalar(in_, declared))
+    if (!readScalar(in_, declared_))
         COP_FATAL("truncated trace header");
 }
 
@@ -63,8 +89,16 @@ bool
 TraceReader::read(Epoch &epoch)
 {
     u64 instructions;
-    if (!readScalar(in_, instructions))
+    if (!readScalar(in_, instructions)) {
+        // End of stream at an epoch boundary: only legitimate when the
+        // header declared no count or exactly this many epochs.
+        if (declared_ != 0 && count_ != declared_) {
+            COP_FATAL("trace declares " + std::to_string(declared_) +
+                      " epochs but the stream ended after " +
+                      std::to_string(count_));
+        }
         return false;
+    }
     u32 count;
     if (!readScalar(in_, count))
         COP_FATAL("truncated trace epoch header");

@@ -12,11 +12,19 @@
  *   epoch  : u64 instructions, u32 access count,
  *            accesses as u64 words: (block address) | 1 if write
  *            (block addresses are 64-byte aligned, so bit 0 is free).
+ *
+ * On seekable sinks the writer back-patches the header count when
+ * finished, and the reader refuses a stream that ends after a
+ * different number of epochs than the header declares — so a file
+ * truncated at an epoch boundary no longer summarises like a complete
+ * one. A count of 0 (unseekable sink) keeps the read-until-EOF
+ * behaviour.
  */
 
 #ifndef COP_SIM_TRACE_IO_HPP
 #define COP_SIM_TRACE_IO_HPP
 
+#include <ios>
 #include <iosfwd>
 #include <string>
 
@@ -31,14 +39,28 @@ class TraceWriter
     /** Writes the header immediately. */
     explicit TraceWriter(std::ostream &out);
 
+    /** Calls finish(). */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
     /** Append one epoch. */
     void write(const Epoch &epoch);
+
+    /**
+     * Back-patch the header's epoch count (seekable streams only).
+     * Idempotent; no further write() calls are allowed after it.
+     */
+    void finish();
 
     u64 epochsWritten() const { return count_; }
 
   private:
     std::ostream &out_;
+    std::streampos countPos_{-1};
     u64 count_ = 0;
+    bool finished_ = false;
 };
 
 /** Reads epochs back; validates the header eagerly. */
@@ -47,13 +69,20 @@ class TraceReader
   public:
     explicit TraceReader(std::istream &in);
 
-    /** @return false at end of stream. */
+    /**
+     * @return false at end of stream. Fatal if the stream ends after
+     * a different number of epochs than the header declared.
+     */
     bool read(Epoch &epoch);
 
     u64 epochsRead() const { return count_; }
 
+    /** Epoch count the header declared (0 = unknown, read to EOF). */
+    u32 declaredEpochs() const { return declared_; }
+
   private:
     std::istream &in_;
+    u32 declared_ = 0;
     u64 count_ = 0;
 };
 

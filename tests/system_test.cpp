@@ -170,6 +170,23 @@ TEST(System, NaiveCopErBetweenBaselineAndCopEr)
     EXPECT_GT(naive, eccreg);
 }
 
+TEST(System, AddressOutsideFootprintRegionsPanics)
+{
+    // mcf is a SPEC profile: per-core private footprints. An address at
+    // exactly cores * region is one past the last region and must panic
+    // (it used to be a compiled-out assert, i.e. UB in release builds).
+    const auto &profile = WorkloadRegistry::byName("mcf");
+    ASSERT_FALSE(profile.sharedFootprint);
+    const u64 region = profile.footprintBlocks * kBlockBytes;
+
+    System sys(profile, smallConfig(ControllerKind::Unprotected, 2, 10));
+    // Just below the boundary: last block of the last core's region.
+    EXPECT_NO_FATAL_FAILURE(
+        sys.controller().read(2 * region - kBlockBytes, 0));
+    EXPECT_DEATH(sys.controller().read(2 * region, 0),
+                 "outside the 2 per-core footprint regions");
+}
+
 TEST(System, MoreCoresMoreContention)
 {
     const auto &profile = WorkloadRegistry::byName("lbm");

@@ -52,6 +52,77 @@ TEST(TraceIo, WriteReadRoundTrip)
     EXPECT_EQ(reader.epochsRead(), 3u);
 }
 
+TEST(TraceIo, BackPatchesDeclaredEpochCount)
+{
+    std::stringstream buf;
+    {
+        TraceWriter writer(buf);
+        writer.write(epochOf(10, {{0, false}}));
+        writer.write(epochOf(20, {{64, true}}));
+        // finish() runs on destruction and patches the header.
+    }
+    TraceReader reader(buf);
+    EXPECT_EQ(reader.declaredEpochs(), 2u);
+    Epoch e;
+    ASSERT_TRUE(reader.read(e));
+    ASSERT_TRUE(reader.read(e));
+    EXPECT_FALSE(reader.read(e));
+}
+
+TEST(TraceIo, ExplicitFinishIsIdempotent)
+{
+    std::stringstream buf;
+    TraceWriter writer(buf);
+    writer.write(epochOf(10, {}));
+    writer.finish();
+    writer.finish();
+    TraceReader reader(buf);
+    EXPECT_EQ(reader.declaredEpochs(), 1u);
+}
+
+TEST(TraceIo, DetectsTruncationAtEpochBoundary)
+{
+    // Truncating a complete file at an epoch boundary used to be
+    // indistinguishable from a shorter complete file; the back-patched
+    // header count now catches it.
+    std::stringstream buf;
+    {
+        TraceWriter writer(buf);
+        writer.write(epochOf(10, {{0, false}}));
+        writer.write(epochOf(20, {{64, true}}));
+        writer.write(epochOf(30, {{128, false}}));
+    }
+    const std::string full = buf.str();
+    // Header (12) + two epochs of (8 + 4 + 8) bytes each.
+    const std::string truncated = full.substr(0, 12 + 2 * 20);
+
+    std::stringstream cut(truncated);
+    TraceReader reader(cut);
+    Epoch e;
+    ASSERT_TRUE(reader.read(e));
+    ASSERT_TRUE(reader.read(e));
+    EXPECT_DEATH({ reader.read(e); },
+                 "declares 3 epochs but the stream ended after 2");
+}
+
+TEST(TraceIo, ZeroDeclaredCountStillReadsToEof)
+{
+    // A 0 count (unseekable sink) keeps the read-until-EOF contract.
+    std::stringstream buf;
+    {
+        TraceWriter writer(buf);
+        writer.write(epochOf(10, {{0, false}}));
+    }
+    std::string bytes = buf.str();
+    bytes[8] = bytes[9] = bytes[10] = bytes[11] = 0;
+    std::stringstream zeroed(bytes);
+    TraceReader reader(zeroed);
+    EXPECT_EQ(reader.declaredEpochs(), 0u);
+    Epoch e;
+    ASSERT_TRUE(reader.read(e));
+    EXPECT_FALSE(reader.read(e));
+}
+
 TEST(TraceIo, RejectsBadMagic)
 {
     std::stringstream buf;
