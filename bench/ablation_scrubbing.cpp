@@ -1,82 +1,158 @@
 /**
  * @file
- * Scrubbing extension: COP's 4-byte configuration loses data when two
- * errors accumulate in one block before it is read (Section 3.1). A
- * background scrubber bounds that accumulation window. This bench
- * sweeps the scrub interval and reports the residual uncorrected-error
- * rate of long-resident protected blocks — an extension beyond the
- * paper's model showing how cheap scrubbing closes COP's double-error
- * gap. The sweep points are independent cells on the experiment
- * runner.
+ * Scrubbing extension, analytic x live: COP's 4-byte configuration
+ * loses data when two errors accumulate in one block before it is read
+ * (Section 3.1), and a background scrubber bounds that accumulation
+ * window — an S-times shorter window cuts the double-error rate
+ * ~S-fold over a fixed residency (T/S windows of S^2 risk). This bench
+ * cross-validates the two implementations of that claim in one table:
+ * each scrub-interval point runs a full system under COP 4-byte with
+ * the *live* injector flipping single bits at an accelerated Poisson
+ * rate and the patrol scrubber sweeping DRAM at that interval; the
+ * same run's vulnerability log is then fed to the analytic model at
+ * the injector's equivalent FIT rate, so the measured uncorrected
+ * count and the model's expectation sit side by side. The sweep points
+ * are independent cells on the experiment runner.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "reliability/error_model.hpp"
 #include "run_util.hpp"
 
 using namespace cop;
 
+namespace {
+
+/** Accelerated single-bit fault rate (events per megacycle). */
+constexpr double kEventsPerMegacycle = 4000.0;
+
+/**
+ * The FIT/Mbit rate at which the analytic model's per-bit flip process
+ * matches the injector: rate events/Mcycle, one flip each, uniform
+ * over the run's footprint bits.
+ */
+double
+equivalentFitPerMbit(double total_bits, double core_ghz)
+{
+    const double lambda_per_bit_per_cycle =
+        kEventsPerMegacycle * 1e-6 / total_bits;
+    const double cycles_per_hour = 3600.0 * core_ghz * 1e9;
+    return lambda_per_bit_per_cycle * cycles_per_hour * (1u << 20) *
+           1e9;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    // A population of protected blocks resident for ~1 hour at 3.2 GHz
-    // (cold data: the worst case for error accumulation).
-    const double residency = 3600.0 * 3.2e9;
-    VulnLog log;
-    for (int i = 0; i < 1000; ++i)
-        log.record(VulnClass::CopProtected4, residency);
-
     struct Point
     {
         const char *label;
-        double seconds;
+        Cycle interval; ///< Patrol scrub interval, 0 = disabled.
     };
     static const Point points[] = {
-        {"disabled", 0},    {"1 hour", 3600},
-        {"10 minutes", 600}, {"1 minute", 60},
-        {"1 second", 1},
+        {"disabled", 0},
+        {"2 Mcycles", 2000000},
+        {"1 Mcycles", 1000000},
+        {"500 kcycles", 500000},
+        {"250 kcycles", 250000},
     };
 
+    // One memory-intensive benchmark with its working set shrunk so
+    // uniform strikes mostly find warm images (see fault_campaign).
+    WorkloadProfile profile = *WorkloadRegistry::memoryIntensive()[0];
+    profile.footprintBlocks = 1u << 12;
+
     const RunnerOptions opts = parseRunnerOptions(argc, argv);
-    const std::vector<double> rates = runCollected<double>(
-        std::size(points),
-        [&](size_t i) {
-            ReliabilityParams params;
-            params.scrubIntervalCycles =
-                points[i].seconds * params.coreGHz * 1e9;
-            return ErrorRateModel(params).evaluate(log).uncorrected;
-        },
-        opts);
+    const std::vector<SystemResults> runs =
+        runCollected<SystemResults>(
+            std::size(points),
+            [&](size_t i) {
+                SystemConfig cfg = bench::paperConfig(
+                    ControllerKind::Cop4);
+                // A small LLC keeps blocks cycling through DRAM, so
+                // accumulated faults are actually observed at fills.
+                cfg.llc = CacheConfig{64ULL << 10, 8, 34};
+                cfg.fault.enabled = true;
+                cfg.fault.eventsPerMegacycle = kEventsPerMegacycle;
+                cfg.fault.flipsPerEvent = 1;
+                cfg.fault.seed = 0x5C22B;
+                cfg.fault.scrubIntervalCycles = points[i].interval;
+                System sys(profile, cfg);
+                return sys.run();
+            },
+            opts);
 
-    std::printf("Scrubbing sweep: cold COP-protected data "
-                "(1h residency, 5000 FIT/Mbit)\n\n");
-    std::printf("%-22s %22s %14s\n", "scrub interval",
-                "expected uncorrected", "vs no scrub");
-    std::printf("%s\n", std::string(60, '-').c_str());
+    const u64 regions = profile.sharedFootprint ? 1 : 4;
+    const double total_bits = static_cast<double>(regions) *
+                              profile.footprintBlocks * kBlockBits;
 
-    const double baseline = rates[0];
-    for (size_t i = 0; i < std::size(points); ++i) {
-        const double rate = rates[i];
-        std::printf("%-22s %22.3e %13.1fx\n", points[i].label, rate,
-                    baseline / (rate > 0 ? rate : baseline));
-    }
-    std::printf("\nDouble-error probability scales with the square of "
-                "the accumulation window,\nso an S-times shorter window "
-                "cuts the uncorrected rate ~S-fold over a fixed\n"
-                "residency (T/S windows of S^2 risk).\n");
+    std::printf("Scrubbing sweep under COP 4-byte, live single-bit "
+                "injection at %.0f events/Mcycle\n(%s, analytic column "
+                "= error model on the same run's vulnerability log\n"
+                "at the injector-equivalent FIT rate)\n\n",
+                kEventsPerMegacycle, profile.name.c_str());
+    std::printf("%-13s %10s %10s %12s %12s %12s\n", "interval",
+                "predicted", "measured", "scrub-corr", "scrub-reads",
+                "vs no scrub");
+    std::printf("%s\n", std::string(74, '-').c_str());
 
+    const double base_measured =
+        static_cast<double>(runs[0].errors.detected +
+                            runs[0].errors.silent);
     std::string cells;
     for (size_t i = 0; i < std::size(points); ++i) {
+        const SystemResults &r = runs[i];
+        ReliabilityParams params;
+        params.fitPerMbit =
+            equivalentFitPerMbit(total_bits, params.coreGHz);
+        params.scrubIntervalCycles =
+            static_cast<double>(points[i].interval);
+        const double predicted =
+            ErrorRateModel(params).evaluate(r.vuln).uncorrected;
+        const u64 measured = r.errors.detected + r.errors.silent;
+
+        std::printf("%-13s %10.2f %10llu %12llu %12llu %11.2fx\n",
+                    points[i].label, predicted,
+                    static_cast<unsigned long long>(measured),
+                    static_cast<unsigned long long>(
+                        r.errors.scrubCorrected),
+                    static_cast<unsigned long long>(
+                        r.errors.scrubReads),
+                    base_measured /
+                        (measured ? static_cast<double>(measured)
+                                  : base_measured));
+
         if (i)
             cells += ',';
         bench::JsonObjectBuilder cell;
         cell.add("scrub_interval", std::string(points[i].label));
-        cell.add("expected_uncorrected", rates[i]);
+        cell.add("scrub_interval_cycles",
+                 static_cast<u64>(points[i].interval));
+        cell.add("predicted_uncorrected", predicted);
+        cell.add("measured_uncorrected", measured);
+        cell.add("scrub_corrected", r.errors.scrubCorrected);
+        cell.add("scrub_reads", r.errors.scrubReads);
+        cell.add("fault_events", r.errors.faultEvents);
         cells += cell.str();
     }
+    std::printf("\nDouble-error probability scales with the square of "
+                "the accumulation window,\nso an S-times shorter window "
+                "cuts the uncorrected rate ~S-fold over a fixed\n"
+                "residency (T/S windows of S^2 risk); the live scrubber "
+                "additionally pays the\nDRAM reads counted above. "
+                "Measured sits below predicted at these accelerated\n"
+                "rates because the recovery pipeline also heals on every "
+                "demand read\n(scrub-on-read), which the paper's "
+                "analytic model does not credit; the\nscrub-interval "
+                "*trend* is the cross-validated quantity.\n");
+
     bench::JsonObjectBuilder top;
     top.add("bench", std::string("ablation_scrubbing"));
+    top.add("events_per_megacycle", kEventsPerMegacycle);
     top.addRaw("cells", "[" + cells + "]");
     bench::writeResultsFile("ablation_scrubbing.json", top.str());
     return 0;

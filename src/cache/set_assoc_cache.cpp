@@ -90,7 +90,11 @@ SetAssocCache::insert(Addr block_addr, bool dirty,
 {
     ++clock_;
     Set &set = sets_[setIndex(block_addr)];
-    COP_ASSERT(lookup(block_addr) == nullptr);
+    // Reachable through any caller that races lookup/insert: inserting
+    // a resident block would leave two lines for one address.
+    if (lookup(block_addr) != nullptr)
+        COP_PANIC("insert of already-resident block " +
+                  std::to_string(block_addr));
 
     // Victim selection: invalid way first, then LRU among lines that
     // are not alias-pinned. A dirty candidate the filter rejects is
@@ -164,7 +168,9 @@ void
 SetAssocCache::setAlias(Addr block_addr, bool alias)
 {
     CacheLineState *state = findState(block_addr);
-    COP_ASSERT(state != nullptr);
+    if (state == nullptr)
+        COP_PANIC("setAlias on non-resident block " +
+                  std::to_string(block_addr));
     if (alias && !state->alias)
         ++stats_.aliasPinned;
     else if (!alias && state->alias)

@@ -34,6 +34,18 @@ CoperCodec::wideCheck(const CacheBlock &data)
     return static_cast<u16>(getBits(buf, 512, 11));
 }
 
+EccResult
+CoperCodec::wideDecode(CacheBlock &data, u16 check)
+{
+    WideBuf buf;
+    fillWideData(buf, data);
+    setBits(buf, 512, 11, check);
+    const EccResult result = codes::wide523().decode(buf);
+    if (result.corrected() && result.bitIndex < 512)
+        std::memcpy(data.data(), buf.data(), kBlockBytes);
+    return result;
+}
+
 CoperEncodeResult
 CoperCodec::encodeIncompressible(const CacheBlock &data,
                                  u32 entry_index) const

@@ -58,6 +58,15 @@ class CoperCodec
     static u16 wideCheck(const CacheBlock &data);
 
     /**
+     * Decode @p data against the wide (523,512) code with @p check
+     * bits, correcting @p data in place when the code allows it (a
+     * corrected check-bit error leaves the data untouched). Shared by
+     * the fault paths of every controller that protects raw blocks
+     * with the wide code.
+     */
+    static EccResult wideDecode(CacheBlock &data, u16 check);
+
+    /**
      * Build the stored image of an incompressible block for entry
      * @p entry_index, reporting whether the image is alias-free.
      */

@@ -85,11 +85,33 @@ EccRegion::allocate()
 }
 
 void
+EccRegion::corruptValid(u32 index)
+{
+    if (!valid(index))
+        return;
+    const u64 entry_block = index / kEntriesPerBlock;
+    const u64 l3 = entry_block / kValidBitsPerBlock;
+    const bool was_full =
+        block_valid_count_[entry_block] == kEntriesPerBlock;
+    entries_[index].valid = false; // payload kept: only the bit flipped
+    --block_valid_count_[entry_block];
+    --valid_entries_;
+    if (was_full && l3 < l3_full_count_.size() && l3_full_count_[l3] > 0)
+        --l3_full_count_[l3];
+}
+
+void
 EccRegion::free(u32 index)
 {
     ++stats_.frees;
     last_touches_ = {};
-    COP_ASSERT(index < entries_.size() && entries_[index].valid);
+    // Reachable from the controller's writeback path: an index that is
+    // out of range or already free means corrupted entry bookkeeping,
+    // and indexing entries_ with it would be memory-unsafe.
+    if (index >= entries_.size() || !entries_[index].valid)
+        COP_PANIC("free of invalid ECC-region entry " +
+                  std::to_string(index) + " (region holds " +
+                  std::to_string(entries_.size()) + ")");
 
     const u64 entry_block = index / kEntriesPerBlock;
     const u64 l3 = entry_block / kValidBitsPerBlock;
@@ -119,14 +141,20 @@ EccRegion::valid(u32 index) const
 EccEntry &
 EccRegion::entryAt(u32 index)
 {
-    COP_ASSERT(index < entries_.size());
+    if (index >= entries_.size())
+        COP_PANIC("ECC-region entry index " + std::to_string(index) +
+                  " past the grown region of " +
+                  std::to_string(entries_.size()) + " entries");
     return entries_[index];
 }
 
 const EccEntry &
 EccRegion::entryAt(u32 index) const
 {
-    COP_ASSERT(index < entries_.size());
+    if (index >= entries_.size())
+        COP_PANIC("ECC-region entry index " + std::to_string(index) +
+                  " past the grown region of " +
+                  std::to_string(entries_.size()) + " entries");
     return entries_[index];
 }
 

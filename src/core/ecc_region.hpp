@@ -72,6 +72,14 @@ class EccRegion
     /** Invalidate an entry, returning it to the free pool. */
     void free(u32 index);
 
+    /**
+     * Fault-injection hook: clear an entry's valid bit as a soft error
+     * would — bookkeeping (fullness counts) stays consistent, but no
+     * tree traffic is recorded and the payload is left in place (the
+     * flip is silent until a read discovers the entry invalid).
+     */
+    void corruptValid(u32 index);
+
     /** Is this entry currently valid? */
     bool valid(u32 index) const;
 

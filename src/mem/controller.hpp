@@ -18,6 +18,17 @@
  * Controllers are also the reliability observation point: every read
  * from DRAM logs (protection class, residency time) pairs that the
  * PARMA-style model in src/reliability converts into error rates.
+ *
+ * Error recovery: `read()` is a non-virtual pipeline around the
+ * variant-specific `readImpl()`. With fault injection enabled
+ * (enableFaultInjection), the pipeline turns decode outcomes into
+ * recovery actions: corrected errors are written back clean
+ * (scrub-on-read), detected-uncorrectable fills go through a bounded
+ * read-retry and are then reloaded from the next level, and pages
+ * that keep producing uncorrectable errors are retired. A patrol
+ * scrubber (driven by reliability/live_injector) walks the stored
+ * images through the same machinery. All of it is a no-op — and the
+ * stored images are bit-identical — when injection is disabled.
  */
 
 #ifndef COP_MEM_CONTROLLER_HPP
@@ -25,9 +36,12 @@
 
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/cache_block.hpp"
 #include "dram/dram_system.hpp"
+#include "mem/error_log.hpp"
 #include "mem/vuln_log.hpp"
 
 namespace cop {
@@ -51,6 +65,14 @@ struct MemReadResult
     unsigned dramAccesses = 0;
     /** The decoder detected an uncorrectable error. */
     bool detectedUncorrectable = false;
+    /** The decoder corrected an error in the stored image. */
+    bool correctedError = false;
+    /** The stored image carried injected faults when read. */
+    bool faultedBlock = false;
+    /** Protection class this fill was logged under. */
+    VulnClass fillClass = VulnClass::Unprotected;
+    /** Read retries the recovery pipeline spent on this fill. */
+    unsigned retries = 0;
 };
 
 /** Result of a writeback to main memory. */
@@ -83,8 +105,8 @@ struct MemStats
 /**
  * Abstract memory controller. Subclasses implement the encode/decode
  * policy; this base supplies the DRAM channel, the stored-image
- * functional state, first-touch initialisation, and vulnerability
- * logging.
+ * functional state, first-touch initialisation, vulnerability logging,
+ * and the fault-injection / error-recovery pipeline.
  */
 class MemoryController
 {
@@ -100,8 +122,12 @@ class MemoryController
 
     virtual const char *name() const = 0;
 
-    /** Read one block (LLC miss fill). */
-    virtual MemReadResult read(Addr addr, Cycle now) = 0;
+    /**
+     * Read one block (LLC miss fill). Non-virtual: wraps the variant's
+     * readImpl() with the detection/recovery pipeline when fault
+     * injection is enabled.
+     */
+    MemReadResult read(Addr addr, Cycle now);
 
     /**
      * Write one block back (dirty LLC eviction).
@@ -134,7 +160,102 @@ class MemoryController
     /** Distinct blocks with a stored image (touched footprint). */
     u64 imageBlockCount() const { return image_.size(); }
 
+    // --- fault injection and error recovery ----------------------------
+
+    /** Arm the recovery pipeline; must precede any injectFault call. */
+    void enableFaultInjection(const RecoveryConfig &cfg);
+    bool faultInjectionEnabled() const { return fault_.enabled; }
+
+    const ErrorLog &errorLog() const { return fault_.log; }
+    ErrorLog &errorLog() { return fault_.log; }
+
+    /**
+     * Stored bits a soft error can strike for this block: 512 data
+     * bits plus any per-block redundancy the variant stores (SECDED
+     * check bits, wide-code sidecar, COP-ER entry). Variants override.
+     */
+    virtual unsigned
+    storedBits(Addr addr) const
+    {
+        (void)addr;
+        return kBlockBits;
+    }
+
+    /**
+     * Flip @p bits (indices below storedBits(addr)) in the stored
+     * image of @p addr. @p persistent registers the bits as stuck:
+     * they are re-applied whenever the image is rewritten, until the
+     * page is retired. Returns false if nothing was applied (no image
+     * yet, or the page is retired).
+     */
+    bool injectFault(Addr addr, const std::vector<unsigned> &bits,
+                     Cycle now, bool persistent);
+
+    /** Has the page holding @p addr been retired? */
+    bool pageRetired(Addr addr) const;
+
+    /**
+     * Patrol-scrub one block: read it through the variant decode path
+     * (charging DRAM bandwidth as scrub traffic), repair what it can,
+     * and reset the block's vulnerability clock where architecturally
+     * justified.
+     */
+    void patrolScrub(Addr addr, Cycle now);
+
+    /** Sorted snapshot of every block with a stored image. */
+    std::vector<Addr> imageAddressesSorted() const;
+
+    /**
+     * SDC oracle hook (called by System when a fill mismatches the
+     * functional truth without a raised error): count the silent
+     * corruption, once per faulting event.
+     */
+    void noteSilentFill(Addr addr, VulnClass cls, Cycle now);
+    /** Oracle hook: faulted block read back correct with no ECC action. */
+    void noteBenignFill(Addr addr, VulnClass cls, Cycle now);
+
   protected:
+    /** Who is driving the DRAM channel (for traffic attribution). */
+    enum class OpMode : u8
+    {
+        Demand, ///< LLC miss fill / eviction.
+        Retry,  ///< Recovery pipeline re-reading a DUE block.
+        Scrub,  ///< Patrol scrubber.
+    };
+
+    /** Variant-specific decode path behind read(). */
+    virtual MemReadResult readImpl(Addr addr, Cycle now) = 0;
+
+    /**
+     * Flip one stored bit. The default handles the 512 data bits in
+     * image_; variants with out-of-block redundancy (check sidecars,
+     * COP-ER entries) override for indices >= 512.
+     */
+    virtual void flipStoredBit(Addr addr, unsigned bit);
+
+    /**
+     * Hook after setImage stores a clean image — variants drop any
+     * derived fault-model state (check-bit sidecars) here.
+     */
+    virtual void
+    imageWritten(Addr addr)
+    {
+        (void)addr;
+    }
+
+    /**
+     * Does a patrol-scrub visit reset this block's vulnerability
+     * clock? Mirrors the analytic model: scrubbing helps protected
+     * classes only (an unprotected block cannot be verified, and a
+     * raw COP block has no code to check).
+     */
+    virtual bool
+    scrubResetsClock(const MemReadResult &r) const
+    {
+        (void)r;
+        return true;
+    }
+
     /** Schedule a DRAM read of @p addr; bumps stats. */
     Cycle dramRead(Addr addr, Cycle now);
     /** Schedule a DRAM write of @p addr; bumps stats. */
@@ -156,12 +277,52 @@ class MemoryController
     /** Record a write (resets the vulnerability clock). */
     void noteWrite(Addr addr, Cycle now);
 
+    /** Is the stored image of @p addr carrying injected faults? */
+    bool
+    isFaulted(Addr addr) const
+    {
+        return fault_.enabled && fault_.faulted.count(addr) != 0;
+    }
+
     DramSystem &dram_;
     ContentSource content_;
     MemStats stats_;
     VulnLog vuln_;
     std::unordered_map<Addr, CacheBlock> image_;
     std::unordered_map<Addr, Cycle> lastWrite_;
+    OpMode opMode_ = OpMode::Demand;
+
+  private:
+    /** Live fault-injection state (all dormant unless enabled). */
+    struct FaultState
+    {
+        bool enabled = false;
+        RecoveryConfig cfg;
+        ErrorLog log;
+        /** Blocks whose stored image currently carries faults. */
+        std::unordered_set<Addr> faulted;
+        /** Silent corruptions already counted (image still wrong). */
+        std::unordered_set<Addr> silentKnown;
+        /** Stuck bits re-applied on every image rewrite. */
+        std::unordered_map<Addr, std::vector<unsigned>> stuck;
+        /** Retired page base addresses. */
+        std::unordered_set<Addr> retired;
+        /** Uncorrectable-error count per page base. */
+        std::unordered_map<Addr, unsigned> pageDue;
+    };
+
+    Addr pageBase(Addr addr) const;
+    /** Re-apply registered stuck bits after an image rewrite. */
+    void applyStuckBits(Addr addr);
+    /** Repair a DUE block: retire-if-due, then rewrite from truth. */
+    void recoverDetected(Addr addr, Cycle now, bool was_uncompressed);
+    /** writeback() for recovery, handling the alias-reject edge. */
+    void recoveryWriteback(Addr addr, const CacheBlock &data, Cycle now,
+                           bool was_uncompressed);
+
+    FaultState fault_;
+    /** Class of the most recent readImpl fill (set by logVuln). */
+    VulnClass lastFillClass_ = VulnClass::Unprotected;
 };
 
 /** Plain non-ECC DIMM: no protection, no overheads. */
@@ -171,15 +332,25 @@ class UnprotectedController : public MemoryController
     using MemoryController::MemoryController;
 
     const char *name() const override { return "Unprot."; }
-    MemReadResult read(Addr addr, Cycle now) override;
     MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
                              bool was_uncompressed) override;
+
+  protected:
+    MemReadResult readImpl(Addr addr, Cycle now) override;
+
+    bool
+    scrubResetsClock(const MemReadResult &) const override
+    {
+        return false; // no code to check: scrubbing cannot help
+    }
 };
 
 /**
  * Conventional ECC DIMM: (72,64) SECDED on a 9th chip. Identical timing
  * to the unprotected case (check bits travel with the data); differs
- * only in the reliability class it logs.
+ * only in the reliability class it logs. Under fault injection the
+ * 64 check bits are modelled as a per-block sidecar so soft errors
+ * can strike them too.
  */
 class EccDimmController : public MemoryController
 {
@@ -187,9 +358,27 @@ class EccDimmController : public MemoryController
     using MemoryController::MemoryController;
 
     const char *name() const override { return "ECC DIMM"; }
-    MemReadResult read(Addr addr, Cycle now) override;
     MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
                              bool was_uncompressed) override;
+
+    /** 8 x (72,64): 512 data bits + 64 check bits. */
+    unsigned
+    storedBits(Addr addr) const override
+    {
+        (void)addr;
+        return 576;
+    }
+
+  protected:
+    MemReadResult readImpl(Addr addr, Cycle now) override;
+    void flipStoredBit(Addr addr, unsigned bit) override;
+    void imageWritten(Addr addr) override { check_.erase(addr); }
+
+  private:
+    /** Lazily materialised (72,64) check bytes, one per 64-bit word. */
+    std::array<u8, 8> &checkBytes(Addr addr);
+
+    std::unordered_map<Addr, std::array<u8, 8>> check_;
 };
 
 } // namespace cop

@@ -10,7 +10,7 @@ CopController::CopController(DramSystem &dram, ContentSource content,
 }
 
 MemReadResult
-CopController::read(Addr addr, Cycle now)
+CopController::readImpl(Addr addr, Cycle now)
 {
     MemReadResult result;
 
@@ -30,7 +30,8 @@ CopController::read(Addr addr, Cycle now)
             result.dramAccesses = 1;
             return result;
         }
-        it = image_.emplace(addr, enc.stored).first;
+        setImage(addr, enc.stored); // through setImage: stuck bits apply
+        it = image_.find(addr);
     }
 
     const Cycle data_done = dramRead(addr, now);
@@ -40,6 +41,7 @@ CopController::read(Addr addr, Cycle now)
     result.data = dec.data;
     result.wasUncompressed = !dec.compressed;
     result.detectedUncorrectable = dec.detectedUncorrectable;
+    result.correctedError = dec.correctedWords > 0;
     logVuln(dec.compressed ? protectedClass() : VulnClass::Unprotected,
             addr, now);
     return result;

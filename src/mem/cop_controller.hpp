@@ -28,7 +28,6 @@ class CopController : public MemoryController
         return codec_.config().checkBytes == 4 ? "COP-4B" : "COP-8B";
     }
 
-    MemReadResult read(Addr addr, Cycle now) override;
     MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
                              bool was_uncompressed) override;
     bool wouldAliasReject(const CacheBlock &data) const override;
@@ -36,6 +35,16 @@ class CopController : public MemoryController
     const CopCodec &codec() const { return codec_; }
 
   protected:
+    MemReadResult readImpl(Addr addr, Cycle now) override;
+
+    bool
+    scrubResetsClock(const MemReadResult &r) const override
+    {
+        // Raw (incompressible) COP blocks carry no code: the scrubber
+        // can read them but cannot verify or repair anything.
+        return !r.wasUncompressed;
+    }
+
     VulnClass
     protectedClass() const
     {

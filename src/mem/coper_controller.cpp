@@ -95,8 +95,46 @@ CopErController::storeIncompressible(Addr addr, const CacheBlock &data,
     return enc.stored;
 }
 
+unsigned
+CopErController::storedBits(Addr addr) const
+{
+    const auto it = image_.find(addr);
+    if (it == image_.end())
+        return kBlockBits;
+    // 512 in-place bits, plus the ECC-region entry for incompressible
+    // blocks (34 displaced + 11 check + 1 valid = 46).
+    return codec_.decode(it->second).compressed ? kBlockBits
+                                                : kBlockBits + 46;
+}
+
+void
+CopErController::flipStoredBit(Addr addr, unsigned bit)
+{
+    if (bit < kBlockBits) {
+        MemoryController::flipStoredBit(addr, bit);
+        return;
+    }
+    COP_ASSERT(bit < kBlockBits + 46);
+    const CacheBlock *img = imageOf(addr);
+    COP_ASSERT(img != nullptr);
+    // Locate the entry through the (SEC-protected) embedded pointer.
+    // If earlier faults already destroyed the pointer the entry is
+    // unlocatable — the strike lands in unreferenced storage.
+    const PointerDecodeResult ptr = coper_.extractPointer(*img);
+    if (ptr.ecc.uncorrectable() || !region_.valid(ptr.entryIndex))
+        return;
+    const unsigned b = bit - kBlockBits;
+    EccEntry &entry = region_.entryAt(ptr.entryIndex);
+    if (b < 34)
+        entry.displaced ^= (1ULL << b);
+    else if (b < 45)
+        entry.check = static_cast<u16>(entry.check ^ (1u << (b - 34)));
+    else
+        region_.corruptValid(ptr.entryIndex);
+}
+
 MemReadResult
-CopErController::read(Addr addr, Cycle now)
+CopErController::readImpl(Addr addr, Cycle now)
 {
     // First touch: initial memory was stored through the same encoder.
     if (image_.find(addr) == image_.end()) {
@@ -119,6 +157,7 @@ CopErController::read(Addr addr, Cycle now)
         result.complete = data_done + decodeLatency_;
         result.data = dec.data;
         result.detectedUncorrectable = dec.detectedUncorrectable;
+        result.correctedError = dec.correctedWords > 0;
         logVuln(VulnClass::CopProtected4, addr, now);
         return result;
     }
@@ -143,6 +182,8 @@ CopErController::read(Addr addr, Cycle now)
     result.complete = std::max(data_done, meta_done) + decodeLatency_;
     result.data = rec.data;
     result.detectedUncorrectable = rec.blockEcc.uncorrectable();
+    result.correctedError =
+        rec.blockEcc.corrected() || ptr.ecc.corrected();
     logVuln(VulnClass::CopErUncompressed, addr, now);
     return result;
 }

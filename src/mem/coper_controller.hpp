@@ -41,9 +41,15 @@ class CopErController : public MemoryController
                     u64 meta_cache_bytes = 256 << 10);
 
     const char *name() const override { return "COP-ER"; }
-    MemReadResult read(Addr addr, Cycle now) override;
     MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
                              bool was_uncompressed) override;
+
+    /**
+     * Compressible blocks store 512 bits in place; incompressible ones
+     * additionally expose their 46-bit ECC-region entry (34 displaced +
+     * 11 check + 1 valid) to soft errors.
+     */
+    unsigned storedBits(Addr addr) const override;
 
     /** COP-ER never rejects: entry re-selection de-aliases (S3.3). */
     bool
@@ -85,6 +91,10 @@ class CopErController : public MemoryController
                    everIncompressible_.size()) *
                kBlockBytes;
     }
+
+  protected:
+    MemReadResult readImpl(Addr addr, Cycle now) override;
+    void flipStoredBit(Addr addr, unsigned bit) override;
 
   private:
     /** DRAM block address of an ECC-region entry's block. */

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/coper_codec.hpp"
+
 namespace cop {
 
 CopErNaiveController::CopErNaiveController(DramSystem &dram,
@@ -32,8 +34,44 @@ CopErNaiveController::metaAccess(Addr data_addr, Cycle now, bool dirty)
     return dramRead(meta_addr, now);
 }
 
+unsigned
+CopErNaiveController::storedBits(Addr addr) const
+{
+    const auto it = image_.find(addr);
+    if (it == image_.end())
+        return kBlockBits;
+    return codec_.decode(it->second).compressed ? kBlockBits
+                                                : kBlockBits + 11;
+}
+
+u16 &
+CopErNaiveController::wideCheckOf(Addr addr)
+{
+    auto it = check_.find(addr);
+    if (it == check_.end()) {
+        // Materialised before the first flip lands, so this reflects
+        // the clean image (raw blocks store application data as-is).
+        const CacheBlock *img = imageOf(addr);
+        COP_ASSERT(img != nullptr);
+        it = check_.emplace(addr, CoperCodec::wideCheck(*img)).first;
+    }
+    return it->second;
+}
+
+void
+CopErNaiveController::flipStoredBit(Addr addr, unsigned bit)
+{
+    u16 &check = wideCheckOf(addr);
+    if (bit < kBlockBits) {
+        MemoryController::flipStoredBit(addr, bit);
+        return;
+    }
+    COP_ASSERT(bit < kBlockBits + 11);
+    check = static_cast<u16>(check ^ (1u << (bit - kBlockBits)));
+}
+
 MemReadResult
-CopErNaiveController::read(Addr addr, Cycle now)
+CopErNaiveController::readImpl(Addr addr, Cycle now)
 {
     MemReadResult result;
 
@@ -59,9 +97,12 @@ CopErNaiveController::read(Addr addr, Cycle now)
     const CopDecodeResult dec = codec_.decode(stored);
     result.data = dec.data;
     result.detectedUncorrectable = dec.detectedUncorrectable;
+    result.correctedError = dec.correctedWords > 0;
     if (dec.compressed) {
         // Check bits travelled inline: no region access — the naive
-        // variant's entire performance win over the baseline.
+        // variant's entire performance win over the baseline. (A raw
+        // block whose faults make it look compressed also lands here:
+        // the decoder hands over garbage, the SDC oracle counts it.)
         result.complete = data_done + decodeLatency_;
         logVuln(VulnClass::CopProtected4, addr, now);
         return result;
@@ -74,6 +115,16 @@ CopErNaiveController::read(Addr addr, Cycle now)
     if (meta_done > now)
         ++result.dramAccesses;
     result.complete = std::max(data_done, meta_done) + decodeLatency_;
+    if (isFaulted(addr)) {
+        // Raw blocks are stored as-is; run the wide code against the
+        // sidecar check bits the region holds for them.
+        CacheBlock data = stored;
+        const EccResult ecc =
+            CoperCodec::wideDecode(data, wideCheckOf(addr));
+        result.data = data;
+        result.correctedError = ecc.corrected();
+        result.detectedUncorrectable = ecc.uncorrectable();
+    }
     logVuln(VulnClass::CopErUncompressed, addr, now);
     return result;
 }

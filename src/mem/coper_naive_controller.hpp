@@ -37,12 +37,18 @@ class CopErNaiveController : public MemoryController
                          u64 meta_cache_bytes = 2ULL << 20);
 
     const char *name() const override { return "COP-ER (naive)"; }
-    MemReadResult read(Addr addr, Cycle now) override;
     MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
                              bool was_uncompressed) override;
     bool wouldAliasReject(const CacheBlock &data) const override;
 
     const CopCodec &codec() const { return codec_; }
+
+    /**
+     * Compressible blocks store 512 bits in place; incompressible
+     * blocks additionally expose their 11 wide-code check bits in the
+     * offset-addressed region.
+     */
+    unsigned storedBits(Addr addr) const override;
 
     /** Full-size region: 2 bytes per data block (like the baseline). */
     static u64
@@ -51,13 +57,21 @@ class CopErNaiveController : public MemoryController
         return EccRegionController::storageBytesFor(blocks);
     }
 
+  protected:
+    MemReadResult readImpl(Addr addr, Cycle now) override;
+    void flipStoredBit(Addr addr, unsigned bit) override;
+    void imageWritten(Addr addr) override { check_.erase(addr); }
+
   private:
     /** Access the offset-addressed ECC block for @p data_addr. */
     Cycle metaAccess(Addr data_addr, Cycle now, bool dirty);
+    /** Lazily materialised wide-code check bits (raw blocks only). */
+    u16 &wideCheckOf(Addr addr);
 
     CopCodec codec_;
     MetaCache meta_;
     Cycle decodeLatency_;
+    std::unordered_map<Addr, u16> check_;
 };
 
 } // namespace cop

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/coper_codec.hpp"
+
 namespace cop {
 
 EccRegionController::EccRegionController(DramSystem &dram,
@@ -29,8 +31,34 @@ EccRegionController::metaAccess(Addr data_addr, Cycle now, bool dirty)
     return dramRead(meta_addr, now);
 }
 
+u16 &
+EccRegionController::wideCheck(Addr addr)
+{
+    auto it = check_.find(addr);
+    if (it == check_.end()) {
+        // Materialised before the first flip lands (flipStoredBit
+        // materialises first), so this reflects the clean image.
+        const CacheBlock *img = imageOf(addr);
+        COP_ASSERT(img != nullptr);
+        it = check_.emplace(addr, CoperCodec::wideCheck(*img)).first;
+    }
+    return it->second;
+}
+
+void
+EccRegionController::flipStoredBit(Addr addr, unsigned bit)
+{
+    u16 &check = wideCheck(addr);
+    if (bit < kBlockBits) {
+        MemoryController::flipStoredBit(addr, bit);
+        return;
+    }
+    COP_ASSERT(bit < kBlockBits + 11);
+    check = static_cast<u16>(check ^ (1u << (bit - kBlockBits)));
+}
+
 MemReadResult
-EccRegionController::read(Addr addr, Cycle now)
+EccRegionController::readImpl(Addr addr, Cycle now)
 {
     MemReadResult result;
     // Data and ECC reads are independent and overlap; the fill completes
@@ -39,8 +67,17 @@ EccRegionController::read(Addr addr, Cycle now)
     const Cycle meta_done = metaAccess(addr, now, false);
     result.complete = std::max(data_done, meta_done);
     result.dramAccesses = 1 + (meta_done > now ? 1 : 0);
-    result.data =
+    const CacheBlock &img =
         storedImage(addr, [](const CacheBlock &data) { return data; });
+    if (isFaulted(addr)) {
+        CacheBlock data = img;
+        const EccResult ecc = CoperCodec::wideDecode(data, wideCheck(addr));
+        result.data = data;
+        result.correctedError = ecc.corrected();
+        result.detectedUncorrectable = ecc.uncorrectable();
+    } else {
+        result.data = img;
+    }
     logVuln(VulnClass::WideCode, addr, now);
     return result;
 }

@@ -42,11 +42,18 @@ class EccRegionController : public MemoryController
                         u64 meta_cache_bytes = 256 << 10);
 
     const char *name() const override { return "ECC Reg."; }
-    MemReadResult read(Addr addr, Cycle now) override;
     MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
                              bool was_uncompressed) override;
 
     const MetaCache &metaCache() const { return meta_; }
+
+    /** 512 data bits + 11 wide-code check bits in the ECC region. */
+    unsigned
+    storedBits(Addr addr) const override
+    {
+        (void)addr;
+        return kBlockBits + 11;
+    }
 
     /**
      * Bytes of ECC storage the baseline reserves for a footprint of
@@ -59,11 +66,19 @@ class EccRegionController : public MemoryController
         return blocks * 2;
     }
 
+  protected:
+    MemReadResult readImpl(Addr addr, Cycle now) override;
+    void flipStoredBit(Addr addr, unsigned bit) override;
+    void imageWritten(Addr addr) override { check_.erase(addr); }
+
   private:
     /** Access an ECC metadata block; returns its completion cycle. */
     Cycle metaAccess(Addr data_addr, Cycle now, bool dirty);
+    /** Lazily materialised (523,512) check bits for a block. */
+    u16 &wideCheck(Addr addr);
 
     MetaCache meta_;
+    std::unordered_map<Addr, u16> check_;
 };
 
 } // namespace cop

@@ -1,5 +1,7 @@
 #include "reliability/error_model.hpp"
 
+#include <string>
+
 namespace cop {
 
 namespace {
@@ -69,6 +71,71 @@ ErrorRateModel::outcome(VulnClass cls, double cycles) const
     }
     out.silent *= window_scale;
     out.detected *= window_scale;
+    return out;
+}
+
+ConditionalOutcome
+ErrorRateModel::conditionalOutcome(VulnClass cls, unsigned flips)
+{
+    ConditionalOutcome out;
+    if (flips == 0) {
+        out.benign = 1.0;
+        return out;
+    }
+    if (cls == VulnClass::Unprotected) {
+        out.silent = 1.0; // any flip in raw data goes unnoticed
+        return out;
+    }
+    if (flips == 1) {
+        out.corrected = 1.0; // every class corrects singles
+        return out;
+    }
+    if (flips > 2)
+        COP_FATAL("conditionalOutcome supports at most 2 flips, got " +
+                  std::to_string(flips));
+
+    // Two uniform flips over N stored bits split into n words of w
+    // bits: P(same word) = n * C(w,2) / C(N,2).
+    const auto sameWord = [](unsigned w, unsigned n, unsigned N) {
+        const double word_pairs = 0.5 * w * (w - 1) * n;
+        const double all_pairs = 0.5 * static_cast<double>(N) * (N - 1);
+        return word_pairs / all_pairs;
+    };
+    switch (cls) {
+      case VulnClass::EccDimm: {
+        // Eight (72,64) words over 576 stored bits; a cross-word pair
+        // is two correctable singles.
+        const double same = sameWord(72, 8, 576);
+        out.detected = same;
+        out.corrected = 1.0 - same;
+        break;
+      }
+      case VulnClass::CopProtected4: {
+        // Four (128,120) words; a cross-word pair leaves only two
+        // zero-syndrome words, below the 3-of-4 threshold, so the
+        // block is misclassified as raw -> silent (Section 3.1).
+        const double same = sameWord(128, 4, 512);
+        out.detected = same;
+        out.silent = 1.0 - same;
+        break;
+      }
+      case VulnClass::CopProtected8: {
+        // Eight (64,56) words with a 5-of-8 threshold: cross-word
+        // pairs are two corrected singles, same-word pairs a DUE.
+        const double same = sameWord(64, 8, 512);
+        out.detected = same;
+        out.corrected = 1.0 - same;
+        break;
+      }
+      case VulnClass::WideCode:
+      case VulnClass::CopErUncompressed:
+        // One (523,512) word: every double is a detected double.
+        out.detected = 1.0;
+        break;
+      case VulnClass::Unprotected:
+      case VulnClass::kCount:
+        COP_PANIC("bad vuln class");
+    }
     return out;
 }
 

@@ -44,6 +44,20 @@ struct ReliabilityParams
     }
 };
 
+/**
+ * Outcome distribution conditioned on a known number of flips — the
+ * analytic counterpart of one live fault-injection event, where the
+ * flip count is chosen rather than Poisson-distributed. Probabilities
+ * sum to 1.
+ */
+struct ConditionalOutcome
+{
+    double benign = 0;    ///< No flips: the read is unaffected.
+    double corrected = 0; ///< All flips corrected transparently.
+    double detected = 0;  ///< Detected but uncorrectable (DUE).
+    double silent = 0;    ///< Wrong data handed over with no error.
+};
+
 /** Expected error outcomes of one exposure window. */
 struct ExposureOutcome
 {
@@ -108,6 +122,18 @@ class ErrorRateModel
      *   the pointer, which is already inside the 523-bit word here.)
      */
     ExposureOutcome outcome(VulnClass cls, double cycles) const;
+
+    /**
+     * Outcome distribution for exactly @p flips bit flips placed
+     * uniformly at random over one block's stored bits (geometry per
+     * class: 512 inline bits for COP, 576 for an ECC DIMM, 523 for the
+     * wide code). This is what a live fault-injection campaign at a
+     * fixed flips-per-event samples, so measured class rates can be
+     * checked against it directly. Supports flips <= 2 (the regimes the
+     * second-order exposure model distinguishes); more flips aborts.
+     */
+    static ConditionalOutcome conditionalOutcome(VulnClass cls,
+                                                 unsigned flips);
 
     /** Aggregate a run's vulnerability log. */
     ErrorRateReport evaluate(const VulnLog &log) const;

@@ -2,8 +2,30 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
 namespace cop {
+
+namespace {
+
+/**
+ * A pattern generator that emits a flip position past the stored image
+ * would index out of bounds downstream (e.g. `words[b / 64]` in the
+ * DIMM path); reject it loudly instead of corrupting the injector.
+ */
+void
+checkFlips(const std::vector<unsigned> &bits, unsigned limit)
+{
+    for (const unsigned b : bits) {
+        if (b >= limit) {
+            COP_PANIC("flip position " + std::to_string(b) +
+                      " is outside the " + std::to_string(limit) +
+                      "-bit stored image");
+        }
+    }
+}
+
+} // namespace
 
 void
 FaultInjector::pickBits(unsigned bits, unsigned flips,
@@ -54,6 +76,7 @@ FaultInjector::injectCopPattern(const CopCodec &codec,
     for (u64 t = 0; t < trials; ++t) {
         CacheBlock stored = enc.stored;
         gen(rng_, bits);
+        checkFlips(bits, kBlockBits);
         for (const unsigned b : bits)
             stored.flipBit(b);
 
@@ -97,6 +120,7 @@ FaultInjector::injectCopErPattern(const CoperCodec &coper,
     for (u64 t = 0; t < trials; ++t) {
         CacheBlock stored = enc.stored;
         gen(rng_, bits);
+        checkFlips(bits, kBlockBits);
         for (const unsigned b : bits)
             stored.flipBit(b);
 
@@ -193,6 +217,7 @@ FaultInjector::injectEccDimmPattern(const CacheBlock &data,
         gen(rng_, bits);
         // Pattern positions address the 512 data bits; map each to its
         // (72,64) word's data section.
+        checkFlips(bits, kBlockBits);
         for (const unsigned b : bits)
             flipBit(words[b / 64], b % 64);
 
@@ -234,6 +259,7 @@ FaultInjector::injectChipkillPattern(const ChipkillCodec &codec,
     for (u64 t = 0; t < trials; ++t) {
         CacheBlock stored = enc.stored;
         gen(rng_, bits);
+        checkFlips(bits, kBlockBits);
         for (const unsigned b : bits)
             stored.flipBit(b);
 

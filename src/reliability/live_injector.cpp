@@ -1,0 +1,137 @@
+#include "reliability/live_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cop {
+
+double
+FaultConfig::eventsPerMegacycleFromFit(double fit_per_mbit,
+                                       u64 footprint_bytes,
+                                       double core_ghz,
+                                       double acceleration)
+{
+    COP_ASSERT(fit_per_mbit >= 0 && core_ghz > 0 && acceleration >= 0);
+    const double mbits =
+        static_cast<double>(footprint_bytes) * 8.0 / (1u << 20);
+    const double events_per_hour = fit_per_mbit * mbits * 1e-9;
+    const double cycles_per_hour = 3600.0 * core_ghz * 1e9;
+    return events_per_hour / cycles_per_hour * 1e6 * acceleration;
+}
+
+LiveInjector::LiveInjector(const FaultConfig &cfg, MemoryController &ctl,
+                           u64 footprint_bytes, u64 seed_salt)
+    : cfg_(cfg), ctl_(ctl),
+      footprintBlocks_(footprint_bytes / kBlockBytes),
+      rng_(cfg.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL)),
+      campaign_(cfg.campaign)
+{
+    COP_ASSERT(cfg_.enabled);
+    COP_ASSERT(cfg_.eventsPerMegacycle == 0 || footprintBlocks_ > 0);
+    COP_ASSERT(cfg_.flipsPerEvent > 0 &&
+               cfg_.flipsPerEvent <= kBlockBits);
+    std::stable_sort(campaign_.begin(), campaign_.end(),
+                     [](const PlannedFault &a, const PlannedFault &b) {
+                         return a.cycle < b.cycle;
+                     });
+    if (cfg_.eventsPerMegacycle > 0 && footprintBlocks_ > 0)
+        nextPoisson_ = poissonGap();
+    if (cfg_.scrubIntervalCycles > 0)
+        nextScrub_ = cfg_.scrubIntervalCycles;
+}
+
+Cycle
+LiveInjector::poissonGap()
+{
+    const double rate = cfg_.eventsPerMegacycle * 1e-6; // per cycle
+    const double u = rng_.uniform();
+    const double gap = -std::log(1.0 - u) / rate;
+    if (gap >= 1e18) // degenerate draw; keep the schedule finite
+        return static_cast<Cycle>(1e18);
+    return std::max<Cycle>(1, static_cast<Cycle>(std::llround(gap)));
+}
+
+void
+LiveInjector::poissonEvent(Cycle now)
+{
+    const Addr addr = rng_.below(footprintBlocks_) * kBlockBytes;
+    if (ctl_.imageOf(addr) == nullptr) {
+        // Untouched block: no stored image exists to strike. Consume
+        // no bit draws so the stream stays cheap and deterministic.
+        ++ctl_.errorLog().coldFaults;
+        return;
+    }
+    const unsigned nbits = ctl_.storedBits(addr);
+    std::vector<unsigned> bits;
+    bits.reserve(cfg_.flipsPerEvent);
+    while (bits.size() < cfg_.flipsPerEvent) {
+        const unsigned b = static_cast<unsigned>(rng_.below(nbits));
+        if (std::find(bits.begin(), bits.end(), b) == bits.end())
+            bits.push_back(b);
+    }
+    ctl_.injectFault(addr, bits, now, false);
+}
+
+void
+LiveInjector::scrubStep(Cycle now)
+{
+    if (scrubIdx_ >= scrubList_.size()) {
+        // New pass over a fresh (sorted => deterministic) snapshot.
+        scrubList_ = ctl_.imageAddressesSorted();
+        scrubIdx_ = 0;
+        if (scrubList_.empty()) {
+            nextScrub_ += cfg_.scrubIntervalCycles;
+            return;
+        }
+    }
+    ctl_.patrolScrub(scrubList_[scrubIdx_++], now);
+    // One block every interval/N cycles completes a pass per interval.
+    nextScrub_ += std::max<Cycle>(
+        1, cfg_.scrubIntervalCycles / scrubList_.size());
+}
+
+void
+LiveInjector::advanceTo(Cycle now)
+{
+    while (true) {
+        // Earliest pending source; ties break campaign > poisson >
+        // scrub, deterministically.
+        Cycle due = kNever;
+        enum { None, Campaign, Poisson, Scrub } what = None;
+        if (campaignIdx_ < campaign_.size()) {
+            due = campaign_[campaignIdx_].cycle;
+            what = Campaign;
+        }
+        if (nextPoisson_ < due) {
+            due = nextPoisson_;
+            what = Poisson;
+        }
+        if (nextScrub_ < due) {
+            due = nextScrub_;
+            what = Scrub;
+        }
+        if (what == None || due > now)
+            return;
+        // DRAM requests must arrive in non-decreasing order across the
+        // whole run, so everything issues at `now` (the clock of the
+        // core about to run); `due` only orders the sources.
+        switch (what) {
+          case Campaign: {
+            const PlannedFault &f = campaign_[campaignIdx_++];
+            ctl_.injectFault(f.addr, f.bits, now, f.persistent);
+            break;
+          }
+          case Poisson:
+            poissonEvent(now);
+            nextPoisson_ += poissonGap();
+            break;
+          case Scrub:
+            scrubStep(now);
+            break;
+          case None:
+            break;
+        }
+    }
+}
+
+} // namespace cop

@@ -1,8 +1,10 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 
 #include "common/parse.hpp"
@@ -50,9 +52,23 @@ runIndexed(size_t count, const std::function<void(size_t)> &job,
     if (wall_ms != nullptr)
         wall_ms->assign(count, 0.0);
 
+    // An exception escaping a worker thread would hit std::terminate
+    // with no hint of which grid cell died. Capture failures per cell
+    // instead and fail loudly, by name, after every worker has joined.
+    std::mutex failuresMutex;
+    std::vector<std::pair<size_t, std::string>> failures;
+
     auto timed = [&](size_t i) {
         const Clock::time_point start = Clock::now();
-        job(i);
+        try {
+            job(i);
+        } catch (const std::exception &e) {
+            const std::lock_guard<std::mutex> lock(failuresMutex);
+            failures.emplace_back(i, e.what());
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(failuresMutex);
+            failures.emplace_back(i, "unknown exception");
+        }
         if (wall_ms != nullptr) {
             // Each index is claimed by exactly one worker, so this
             // write is race-free without synchronisation.
@@ -69,24 +85,34 @@ runIndexed(size_t count, const std::function<void(size_t)> &job,
     if (workers <= 1) {
         for (size_t i = 0; i < count; ++i)
             timed(i);
-        return;
+    } else {
+        std::atomic<size_t> next{0};
+        auto worker = [&]() {
+            while (true) {
+                const size_t i = next.fetch_add(1);
+                if (i >= count)
+                    return;
+                timed(i);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
     }
 
-    std::atomic<size_t> next{0};
-    auto worker = [&]() {
-        while (true) {
-            const size_t i = next.fetch_add(1);
-            if (i >= count)
-                return;
-            timed(i);
+    if (!failures.empty()) {
+        std::sort(failures.begin(), failures.end());
+        std::string msg = "cell " + std::to_string(failures[0].first) +
+                          " failed: " + failures[0].second;
+        if (failures.size() > 1) {
+            msg += " (+" + std::to_string(failures.size() - 1) +
+                   " more failing cells)";
         }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
+        COP_FATAL(msg);
+    }
 }
 
 namespace {
@@ -166,8 +192,26 @@ appendResultsJson(std::string &out, const SystemResults &r)
     field(out, "ever_uncompressed_blocks", r.everUncompressedBlocks);
     field(out, "touched_blocks", r.touchedBlocks);
     field(out, "ecc_region_bytes", r.eccRegionBytes);
-    field(out, "ecc_region_bytes_no_dealloc", r.eccRegionBytesNoDealloc,
-          false);
+    field(out, "ecc_region_bytes_no_dealloc", r.eccRegionBytesNoDealloc);
+    field(out, "err_fault_events", r.errors.faultEvents);
+    field(out, "err_bits_flipped", r.errors.bitsFlipped);
+    field(out, "err_cold_faults", r.errors.coldFaults);
+    field(out, "err_faults_on_retired_pages",
+          r.errors.faultsOnRetiredPages);
+    field(out, "err_benign", r.errors.benign);
+    field(out, "err_corrected", r.errors.corrected);
+    field(out, "err_detected", r.errors.detected);
+    field(out, "err_silent", r.errors.silent);
+    field(out, "err_read_retries", r.errors.readRetries);
+    field(out, "err_retry_dram_reads", r.errors.retryDramReads);
+    field(out, "err_scrub_on_read_writes", r.errors.scrubOnReadWrites);
+    field(out, "err_recovery_rewrites", r.errors.recoveryRewrites);
+    field(out, "err_retired_pages", r.errors.retiredPages);
+    field(out, "err_scrubbed_blocks", r.errors.scrubbedBlocks);
+    field(out, "err_scrub_reads", r.errors.scrubReads);
+    field(out, "err_scrub_writes", r.errors.scrubWrites);
+    field(out, "err_scrub_corrected", r.errors.scrubCorrected);
+    field(out, "err_scrub_detected", r.errors.scrubDetected, false);
     out += '}';
 }
 

@@ -50,8 +50,12 @@ RunnerOptions parseRunnerOptions(int argc, char **argv);
  * order but may run concurrently. Per-cell wall times (milliseconds)
  * are recorded into @p wall_ms if non-null, keyed by index.
  *
- * Jobs must not throw; a COP_PANIC / COP_FATAL inside a worker
- * terminates the process as it would serially.
+ * A job that throws does not take the process down anonymously: the
+ * exception is captured per cell, every remaining cell still runs, and
+ * after all workers join the run aborts via COP_FATAL naming the first
+ * failing cell (by index) and its message. A COP_PANIC / COP_FATAL
+ * inside a worker still terminates the process immediately, as it
+ * would serially.
  */
 void runIndexed(size_t count, const std::function<void(size_t)> &job,
                 const RunnerOptions &opts,

@@ -18,6 +18,7 @@
 
 #include "cache/set_assoc_cache.hpp"
 #include "mem/controller.hpp"
+#include "reliability/live_injector.hpp"
 #include "workloads/trace_gen.hpp"
 
 namespace cop {
@@ -53,8 +54,10 @@ struct SystemConfig
     u64 epochsPerCore = 20000;
     /**
      * Cross-check every fill against functional memory — an end-to-end
-     * invariant over encode -> store -> decode. Disable only for fault
-     * injection, where mismatches are the point.
+     * invariant over encode -> store -> decode. With fault injection
+     * enabled it doubles as the ground-truth SDC oracle: a mismatching
+     * fill with no raised error is counted as silent corruption
+     * instead of aborting the run.
      */
     bool verifyData = true;
     /**
@@ -64,6 +67,8 @@ struct SystemConfig
      */
     bool proactiveAliasCheck = false;
     u64 seedSalt = 0;
+    /** Live fault injection + error recovery (off by default). */
+    FaultConfig fault;
 };
 
 /** Aggregate results of one run. */
@@ -90,6 +95,8 @@ struct SystemResults
      * assumption (an entry for every ever-incompressible block).
      */
     u64 eccRegionBytesNoDealloc = 0;
+    /** Error-recovery bookkeeping (all zero unless faults injected). */
+    ErrorLog errors;
 };
 
 /** One simulated system instance for one benchmark. */
@@ -130,6 +137,7 @@ class System
     DramSystem dram_;
     SetAssocCache llc_;
     std::unique_ptr<MemoryController> controller_;
+    std::unique_ptr<LiveInjector> injector_;
     std::vector<Core> cores_;
     std::unordered_set<Addr> everUncompressed_;
     u64 writebacks_ = 0;

@@ -171,6 +171,23 @@ TEST(Cache, GeometryValidation)
     EXPECT_DEATH({ SetAssocCache c(bad); }, "power of two");
 }
 
+TEST(Cache, DoubleInsertDies)
+{
+    const CacheConfig cfg = tiny(2, 2);
+    SetAssocCache cache(cfg);
+    cache.insert(addrFor(cfg, 0, 1), false);
+    EXPECT_DEATH(cache.insert(addrFor(cfg, 0, 1), false),
+                 "insert of already-resident block");
+}
+
+TEST(Cache, SetAliasOnNonResidentDies)
+{
+    const CacheConfig cfg = tiny(2, 2);
+    SetAssocCache cache(cfg);
+    EXPECT_DEATH(cache.setAlias(addrFor(cfg, 0, 1), true),
+                 "setAlias on non-resident block");
+}
+
 TEST(Cache, Table1Geometry)
 {
     const CacheConfig cfg{4ULL << 20, 16, 34};

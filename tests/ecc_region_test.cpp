@@ -153,7 +153,15 @@ TEST(EccRegion, FreeOfInvalidEntryDies)
 {
     EccRegion region;
     region.allocate();
-    EXPECT_DEATH(region.free(5), "assertion");
+    EXPECT_DEATH(region.free(5), "free of invalid ECC-region entry 5");
+}
+
+TEST(EccRegion, EntryIndexPastGrownRegionDies)
+{
+    EccRegion region;
+    region.allocate();
+    EXPECT_DEATH(region.entryAt(100),
+                 "past the grown region");
 }
 
 } // namespace

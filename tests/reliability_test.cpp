@@ -258,6 +258,88 @@ TEST(FaultInjector, UnprotectedAnyFlipIsSilent)
     EXPECT_EQ(inj.injectUnprotected(data, 0, 100).benign, 100u);
 }
 
+TEST(FaultInjector, PatternZeroFlipsIsBenign)
+{
+    const CopCodec codec(CopConfig::fourByte());
+    FaultInjector inj(17);
+    Rng rng(18);
+    const CacheBlock data = testblocks::similarWords(rng);
+    const auto none = [](Rng &, std::vector<unsigned> &out) {
+        out.clear();
+    };
+    const InjectionOutcome out =
+        inj.injectCopPattern(codec, data, none, 100);
+    EXPECT_EQ(out.benign, out.trials);
+}
+
+TEST(FaultInjector, PatternDuplicatePositionsCancel)
+{
+    // A generator may emit the same position twice; the two XORs
+    // cancel and the stored image is untouched.
+    const CopCodec codec(CopConfig::fourByte());
+    FaultInjector inj(19);
+    Rng rng(20);
+    const CacheBlock data = testblocks::similarWords(rng);
+    const auto dup = [](Rng &, std::vector<unsigned> &out) {
+        out.assign({37, 37});
+    };
+    const InjectionOutcome out =
+        inj.injectCopPattern(codec, data, dup, 100);
+    EXPECT_EQ(out.benign, out.trials);
+}
+
+TEST(FaultInjector, PatternFlipPastImageDies)
+{
+    const CopCodec codec(CopConfig::fourByte());
+    FaultInjector inj(21);
+    Rng rng(22);
+    const CacheBlock data = testblocks::similarWords(rng);
+    const auto oob = [](Rng &, std::vector<unsigned> &out) {
+        out.assign({kBlockBits});
+    };
+    EXPECT_DEATH(inj.injectCopPattern(codec, data, oob, 1),
+                 "outside the 512-bit stored image");
+    EXPECT_DEATH(inj.injectEccDimmPattern(data, oob, 1),
+                 "outside the 512-bit stored image");
+}
+
+TEST(ErrorModel, ConditionalOutcomeMatchesGeometry)
+{
+    using M = ErrorRateModel;
+    // Zero flips: nothing happened.
+    EXPECT_DOUBLE_EQ(
+        M::conditionalOutcome(VulnClass::CopProtected4, 0).benign, 1.0);
+    // Unprotected data: every flip count is silent.
+    EXPECT_DOUBLE_EQ(
+        M::conditionalOutcome(VulnClass::Unprotected, 1).silent, 1.0);
+    EXPECT_DOUBLE_EQ(
+        M::conditionalOutcome(VulnClass::Unprotected, 2).silent, 1.0);
+    // Singles are corrected by every protected class.
+    EXPECT_DOUBLE_EQ(
+        M::conditionalOutcome(VulnClass::EccDimm, 1).corrected, 1.0);
+    EXPECT_DOUBLE_EQ(
+        M::conditionalOutcome(VulnClass::CopProtected4, 1).corrected,
+        1.0);
+    // Doubles split by word geometry (cross-checked against the
+    // Monte-Carlo fractions above).
+    const ConditionalOutcome cop4 =
+        M::conditionalOutcome(VulnClass::CopProtected4, 2);
+    EXPECT_NEAR(cop4.detected, 127.0 / 511.0, 1e-12);
+    EXPECT_NEAR(cop4.silent, 1.0 - 127.0 / 511.0, 1e-12);
+    const ConditionalOutcome dimm =
+        M::conditionalOutcome(VulnClass::EccDimm, 2);
+    EXPECT_NEAR(dimm.detected, 71.0 / 575.0, 1e-12);
+    EXPECT_NEAR(dimm.corrected, 1.0 - 71.0 / 575.0, 1e-12);
+    const ConditionalOutcome cop8 =
+        M::conditionalOutcome(VulnClass::CopProtected8, 2);
+    EXPECT_NEAR(cop8.detected, 63.0 / 511.0, 1e-12);
+    // One wide word: every double is detected.
+    EXPECT_DOUBLE_EQ(
+        M::conditionalOutcome(VulnClass::WideCode, 2).detected, 1.0);
+    EXPECT_DEATH(M::conditionalOutcome(VulnClass::EccDimm, 3),
+                 "at most 2 flips");
+}
+
 TEST(FaultInjector, MonteCarloMatchesAnalyticDoubleErrorSplit)
 {
     // Cross-validation: the analytic CopProtected4 detected/silent

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "common/parse.hpp"
 #include "sim/runner.hpp"
@@ -124,6 +125,81 @@ TEST(Runner, SystemGridIsDeterministicAcrossWorkerCounts)
     // Sanity: the serialisation actually carries simulation output.
     EXPECT_NE(serial.find("\"ipc\":"), std::string::npos);
     EXPECT_NE(serial.find("\"dram_reads\":"), std::string::npos);
+}
+
+TEST(Runner, ThrowingCellFailsLoudlyByName)
+{
+    // Regression: an exception escaping a worker used to reach
+    // std::terminate with no indication of which grid cell died.
+    const auto job = [](size_t i) {
+        if (i == 3)
+            throw std::runtime_error("boom");
+    };
+    EXPECT_DEATH(runIndexed(8, job, serialOpts()),
+                 "cell 3 failed: boom");
+    EXPECT_DEATH(runIndexed(8, job, threadedOpts(4)),
+                 "cell 3 failed: boom");
+}
+
+TEST(Runner, MultipleThrowingCellsReportFirstAndCount)
+{
+    const auto job = [](size_t i) {
+        if (i >= 5)
+            throw std::runtime_error("bad cell");
+    };
+    EXPECT_DEATH(runIndexed(8, job, serialOpts()),
+                 "cell 5 failed: bad cell \\(\\+2 more failing cells\\)");
+}
+
+/** A tiny fault-injection grid, serialised to JSON. */
+std::string
+faultGridJson(const RunnerOptions &opts)
+{
+    static const ControllerKind kinds[] = {
+        ControllerKind::EccDimm, ControllerKind::Cop4,
+        ControllerKind::CopEr, ControllerKind::Unprotected};
+
+    // Shrink the working set so Poisson strikes find warm images.
+    WorkloadProfile profile = WorkloadRegistry::byName("mcf");
+    profile.footprintBlocks = 1u << 12;
+
+    const std::vector<SystemResults> results =
+        runCollected<SystemResults>(
+            std::size(kinds),
+            [&](size_t i) {
+                SystemConfig cfg;
+                cfg.cores = 2;
+                cfg.kind = kinds[i];
+                cfg.epochsPerCore = 400;
+                cfg.llc = CacheConfig{64ULL << 10, 8, 34};
+                cfg.fault.enabled = true;
+                cfg.fault.eventsPerMegacycle = 200.0;
+                cfg.fault.flipsPerEvent = 1;
+                cfg.fault.seed = 0xD1CE;
+                cfg.fault.scrubIntervalCycles = 200000;
+                System sys(profile, cfg);
+                return sys.run();
+            },
+            opts);
+
+    std::string json;
+    for (const SystemResults &r : results) {
+        appendResultsJson(json, r);
+        json += '\n';
+    }
+    return json;
+}
+
+TEST(Runner, FaultGridIsDeterministicAcrossWorkerCounts)
+{
+    // Acceptance: for a fixed seed the ErrorLog — like every other
+    // metric — serialises byte-identically serial vs 4 workers.
+    const std::string serial = faultGridJson(serialOpts());
+    const std::string parallel = faultGridJson(threadedOpts(4));
+    EXPECT_EQ(serial, parallel);
+    EXPECT_NE(serial.find("\"err_fault_events\":"), std::string::npos);
+    // The grid actually injected something.
+    EXPECT_EQ(serial.find("\"err_fault_events\":0,"), std::string::npos);
 }
 
 TEST(Runner, OptionsDefaultToHardwareConcurrency)
