@@ -1,190 +1,235 @@
 /**
  * @file
- * Microbenchmarks (google-benchmark) of the software codec: per-scheme
- * compression/decompression, SECDED syndrome generation, full COP
- * encode/decode, and the COP-ER reconstruction path. These are
- * software-throughput proxies for the "simple hardware" claims of
- * Sections 3.1-3.2 — the relative ordering (MSB < RLE < FPC work)
- * mirrors the relative logic complexity.
+ * Codec throughput harness: blocks/sec for the full COP encode/decode
+ * paths, countValidCodewords, each standalone compression scheme, and
+ * Hsiao syndrome generation, over a deterministic 9-category block mix.
+ * Results print to stdout and land in bench/results/micro_codec.json
+ * (directory overridable via COP_BENCH_RESULTS). BENCH_codec.json at
+ * the repo root records the before/after numbers of the word-wise
+ * kernel rewrite measured with this exact methodology (regeneration
+ * steps in EXPERIMENTS.md).
+ *
+ * `--quick` shortens each measurement window for the CI perf-smoke
+ * job; the numbers are noisier but the regression gate in
+ * scripts/check_perf.py leaves margin for that.
+ *
+ * These are software-throughput proxies for the "simple hardware"
+ * claims of paper Sections 3.1-3.2 — the relative ordering
+ * (MSB < RLE < FPC work) mirrors the relative logic complexity.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "compress/bdi.hpp"
 #include "compress/combined.hpp"
 #include "compress/fpc.hpp"
-#include "core/coper_codec.hpp"
+#include "core/codec.hpp"
+#include "core/encode_memo.hpp"
+#include "run_util.hpp"
 #include "workloads/block_gen.hpp"
 
 namespace cop {
 namespace {
 
+/**
+ * The measurement corpus: @p per_category blocks of each of the nine
+ * generator categories, interleaved so every pass sweeps all content
+ * kinds uniformly. Fixed seed — identical across runs and machines,
+ * and identical to the pre-rewrite baseline run.
+ */
 std::vector<CacheBlock>
-blocksOf(BlockCategory c, unsigned n)
+defaultMix(unsigned per_category)
 {
     Rng rng(42);
     BlockGenParams params;
-    std::vector<CacheBlock> out;
-    out.reserve(n);
-    for (unsigned i = 0; i < n; ++i)
-        out.push_back(generateBlock(c, params, rng));
-    return out;
-}
-
-void
-BM_SecdedSyndrome128(benchmark::State &state)
-{
-    const auto blocks = blocksOf(BlockCategory::Random, 256);
-    const HsiaoCode &code = codes::full128();
-    size_t i = 0;
-    for (auto _ : state) {
-        const auto &b = blocks[i++ % blocks.size()];
-        for (unsigned s = 0; s < 4; ++s) {
-            benchmark::DoNotOptimize(
-                code.syndrome(b.bytes().subspan(s * 16, 16)));
+    std::vector<std::vector<CacheBlock>> by_cat(kBlockCategories);
+    for (unsigned c = 0; c < kBlockCategories; ++c) {
+        for (unsigned i = 0; i < per_category; ++i) {
+            by_cat[c].push_back(generateBlock(
+                static_cast<BlockCategory>(c), params, rng));
         }
     }
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            kBlockBytes);
+    std::vector<CacheBlock> mix;
+    mix.reserve(static_cast<size_t>(per_category) * kBlockCategories);
+    for (unsigned i = 0; i < per_category; ++i)
+        for (unsigned c = 0; c < kBlockCategories; ++c)
+            mix.push_back(by_cat[c][i]);
+    return mix;
 }
-BENCHMARK(BM_SecdedSyndrome128);
 
-void
-BM_SecdedSyndromeWide523(benchmark::State &state)
+double
+nowMs()
 {
-    Rng rng(1);
-    std::array<u8, 66> cw{};
-    for (auto &b : cw)
-        b = static_cast<u8>(rng.next());
-    cw[65] &= 0x07;
-    const HsiaoCode &code = codes::wide523();
-    for (auto _ : state)
-        benchmark::DoNotOptimize(code.syndrome(cw));
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               Clock::now().time_since_epoch())
+        .count();
 }
-BENCHMARK(BM_SecdedSyndromeWide523);
 
-template <typename Compressor, BlockCategory Cat, unsigned Budget>
-void
-BM_Compress(benchmark::State &state)
+/** Keeps the optimiser from deleting measured work. */
+volatile unsigned g_sink = 0;
+
+bench::JsonObjectBuilder g_numbers;
+
+/**
+ * Run @p pass (one full sweep over the corpus) repeatedly for at least
+ * @p target_ms after one untimed warm-up pass; report blocks/sec.
+ */
+template <typename Pass>
+double
+measure(const char *name, size_t blocks_per_pass, double target_ms,
+        Pass &&pass)
 {
-    const Compressor comp;
-    const auto blocks = blocksOf(Cat, 256);
-    std::array<u8, kBlockBytes + 8> buf{};
-    size_t i = 0;
-    for (auto _ : state) {
-        buf.fill(0);
-        BitWriter writer(buf);
-        benchmark::DoNotOptimize(
-            comp.compress(blocks[i++ % blocks.size()], Budget, writer));
+    g_sink = g_sink + pass(); // warm-up
+    u64 passes = 0;
+    const double t0 = nowMs();
+    double t1 = t0;
+    do {
+        g_sink = g_sink + pass();
+        ++passes;
+        t1 = nowMs();
+    } while (t1 - t0 < target_ms);
+    const double bps = static_cast<double>(passes * blocks_per_pass) /
+                       ((t1 - t0) / 1000.0);
+    std::printf("%-18s %12.0f blocks/s\n", name, bps);
+    g_numbers.add(name, bps);
+    return bps;
+}
+
+int
+run(bool quick)
+{
+    const double target_ms = quick ? 80 : 400;
+    const auto mix = defaultMix(256);
+    const size_t n = mix.size();
+
+    const CopCodec codec4(CopConfig::fourByte());
+    const CopCodec codec8(CopConfig::eightByte());
+
+    std::vector<CacheBlock> stored4;
+    stored4.reserve(n);
+    for (const auto &b : mix)
+        stored4.push_back(codec4.encode(b).stored);
+
+    measure("encode_cop4", n, target_ms, [&] {
+        unsigned acc = 0;
+        for (const auto &b : mix)
+            acc += static_cast<unsigned>(codec4.encode(b).status);
+        return acc;
+    });
+    measure("encode_cop8", n, target_ms, [&] {
+        unsigned acc = 0;
+        for (const auto &b : mix)
+            acc += static_cast<unsigned>(codec8.encode(b).status);
+        return acc;
+    });
+
+    // Steady-state memoized encode: the warm-up pass fills the memo,
+    // so timed passes are ~pure hits — the rewrite-of-unchanged-content
+    // case the System-level memo exists for.
+    EncodeMemo memo(1u << 13);
+    measure("encode_cop4_memo", n, target_ms, [&] {
+        unsigned acc = 0;
+        for (const auto &b : mix)
+            acc += static_cast<unsigned>(memo.encode(codec4, b).status);
+        return acc;
+    });
+    g_numbers.add("memo_hit_rate",
+                  static_cast<double>(memo.hits()) /
+                      static_cast<double>(memo.lookups()));
+
+    measure("decode_cop4", n, target_ms, [&] {
+        unsigned acc = 0;
+        for (const auto &b : stored4)
+            acc += codec4.decode(b).validCodewords;
+        return acc;
+    });
+    measure("count_valid_cop4", n, target_ms, [&] {
+        unsigned acc = 0;
+        for (const auto &b : mix)
+            acc += codec4.countValidCodewords(b);
+        return acc;
+    });
+
+    const MsbCompressor msb(5, true);
+    const RleCompressor rle;
+    const TxtCompressor txt;
+    const FpcCompressor fpc;
+    const BdiCompressor bdi;
+    std::array<u8, kBlockBytes + 16> buf{};
+    auto compressPass = [&](const BlockCompressor &comp, unsigned budget) {
+        unsigned acc = 0;
+        for (const auto &b : mix) {
+            buf.fill(0);
+            BitWriter writer(buf);
+            acc += comp.compress(b, budget, writer);
+        }
+        return acc;
+    };
+    measure("compress_msb", n, target_ms,
+            [&] { return compressPass(msb, 478); });
+    measure("compress_rle", n, target_ms,
+            [&] { return compressPass(rle, 478); });
+    measure("compress_txt", n, target_ms,
+            [&] { return compressPass(txt, 478); });
+    measure("compress_fpc", n, target_ms,
+            [&] { return compressPass(fpc, 560); });
+    measure("compress_bdi", n, target_ms,
+            [&] { return compressPass(bdi, 478); });
+
+    const HsiaoCode &code128 = codes::full128();
+    measure("syndrome128", n, target_ms, [&] {
+        unsigned acc = 0;
+        for (const auto &b : mix)
+            for (unsigned s = 0; s < 4; ++s)
+                acc += code128.syndrome(b.bytes().subspan(s * 16, 16));
+        return acc;
+    });
+    const HsiaoCode &code523 = codes::wide523();
+    std::vector<std::array<u8, 66>> wide;
+    {
+        Rng rng(1);
+        for (unsigned i = 0; i < 64; ++i) {
+            std::array<u8, 66> cw{};
+            for (auto &v : cw)
+                v = static_cast<u8>(rng.next());
+            cw[65] &= 0x07; // bits past n = 523 must stay zero
+            wide.push_back(cw);
+        }
     }
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            kBlockBytes);
-}
-BENCHMARK(BM_Compress<RleCompressor, BlockCategory::SmallInt64, 478>)
-    ->Name("BM_CompressRLE");
-BENCHMARK(BM_Compress<FpcCompressor, BlockCategory::SmallInt32, 560>)
-    ->Name("BM_CompressFPC");
-BENCHMARK(BM_Compress<BdiCompressor, BlockCategory::Pointer, 478>)
-    ->Name("BM_CompressBDI");
-BENCHMARK(BM_Compress<TxtCompressor, BlockCategory::Text, 478>)
-    ->Name("BM_CompressTXT");
+    measure("syndrome_wide523", wide.size(), target_ms, [&] {
+        unsigned acc = 0;
+        for (const auto &cw : wide)
+            acc += code523.syndrome(cw);
+        return acc;
+    });
 
-void
-BM_CompressMSB(benchmark::State &state)
-{
-    const MsbCompressor comp(5, true);
-    const auto blocks = blocksOf(BlockCategory::FpSimilar, 256);
-    std::array<u8, kBlockBytes + 8> buf{};
-    size_t i = 0;
-    for (auto _ : state) {
-        buf.fill(0);
-        BitWriter writer(buf);
-        benchmark::DoNotOptimize(
-            comp.compress(blocks[i++ % blocks.size()], 478, writer));
-    }
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            kBlockBytes);
+    g_numbers.add("blocks_per_pass", static_cast<u64>(n));
+    bench::JsonObjectBuilder top;
+    top.add("bench", std::string("micro_codec"));
+    top.add("quick", static_cast<u64>(quick ? 1 : 0));
+    top.addRaw("throughput_blocks_per_sec", g_numbers.str());
+    bench::writeResultsFile("micro_codec.json", top.str());
+    return 0;
 }
-BENCHMARK(BM_CompressMSB);
-
-void
-BM_CopEncode(benchmark::State &state)
-{
-    const CopCodec codec(CopConfig::fourByte());
-    const auto blocks = blocksOf(BlockCategory::FpSimilar, 256);
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            codec.encode(blocks[i++ % blocks.size()]));
-    }
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            kBlockBytes);
-}
-BENCHMARK(BM_CopEncode);
-
-void
-BM_CopDecode(benchmark::State &state)
-{
-    const CopCodec codec(CopConfig::fourByte());
-    const auto blocks = blocksOf(BlockCategory::FpSimilar, 256);
-    std::vector<CacheBlock> stored;
-    for (const auto &b : blocks)
-        stored.push_back(codec.encode(b).stored);
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            codec.decode(stored[i++ % stored.size()]));
-    }
-    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                            kBlockBytes);
-}
-BENCHMARK(BM_CopDecode);
-
-void
-BM_CopDecodeRawPassThrough(benchmark::State &state)
-{
-    const CopCodec codec(CopConfig::fourByte());
-    const auto blocks = blocksOf(BlockCategory::Random, 256);
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            codec.decode(blocks[i++ % blocks.size()]));
-    }
-}
-BENCHMARK(BM_CopDecodeRawPassThrough);
-
-void
-BM_CoperReconstruct(benchmark::State &state)
-{
-    const CopCodec codec(CopConfig::fourByte());
-    const CoperCodec coper(codec);
-    const auto blocks = blocksOf(BlockCategory::Random, 64);
-    std::vector<std::pair<CacheBlock, EccEntry>> stored;
-    for (const auto &b : blocks) {
-        const auto enc = coper.encodeIncompressible(b, 123);
-        stored.push_back(
-            {enc.stored, EccEntry{true, enc.displaced, enc.check}});
-    }
-    size_t i = 0;
-    for (auto _ : state) {
-        const auto &[img, entry] = stored[i++ % stored.size()];
-        benchmark::DoNotOptimize(coper.reconstruct(img, entry));
-    }
-}
-BENCHMARK(BM_CoperReconstruct);
-
-void
-BM_AliasCheck(benchmark::State &state)
-{
-    const CopCodec codec(CopConfig::fourByte());
-    const auto blocks = blocksOf(BlockCategory::Random, 256);
-    size_t i = 0;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(codec.isAlias(blocks[i++ % blocks.size()]));
-}
-BENCHMARK(BM_AliasCheck);
 
 } // namespace
 } // namespace cop
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+            return 2;
+        }
+    }
+    return cop::run(quick);
+}

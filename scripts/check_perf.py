@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate for the codec hot paths.
+
+Compares a fresh `micro_codec --quick` run against the checked-in
+baseline (BENCH_codec.json at the repo root, the "after" numbers of the
+word-wise-kernel rewrite) and fails when encode throughput regresses by
+more than the allowed fraction.
+
+The threshold is deliberately loose (30%): --quick runs on shared CI
+runners are noisy, and the gate exists to catch order-of-magnitude
+regressions (e.g. a kernel silently falling back to the bit-serial
+path), not single-digit drift. For a change that legitimately trades
+encode throughput away, apply the `perf-override` label to the PR —
+the CI job skips itself when the label is present — and refresh
+BENCH_codec.json per EXPERIMENTS.md.
+
+Usage: scripts/check_perf.py [--baseline BENCH_codec.json]
+                             [--results bench/results/micro_codec.json]
+                             [--max-regression 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+GATED_KEYS = ["encode_cop4", "encode_cop8"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_codec.json")
+    parser.add_argument("--results",
+                        default="bench/results/micro_codec.json")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="maximum allowed fractional drop (0.30 = "
+                             "fail below 70%% of baseline)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)["after"]
+    with open(args.results) as f:
+        fresh = json.load(f)["throughput_blocks_per_sec"]
+
+    floor_frac = 1.0 - args.max_regression
+    failed = False
+    for key in GATED_KEYS:
+        base = float(baseline[key])
+        now = float(fresh[key])
+        floor = base * floor_frac
+        verdict = "ok" if now >= floor else "FAIL"
+        print(f"{key}: {now:,.0f} blocks/s vs baseline {base:,.0f} "
+              f"(floor {floor:,.0f}) ... {verdict}")
+        failed |= now < floor
+
+    if failed:
+        print("\nperf-smoke: encode throughput regressed more than "
+              f"{args.max_regression:.0%} vs BENCH_codec.json.",
+              file=sys.stderr)
+        print("If intentional, add the 'perf-override' label to the PR "
+              "and refresh BENCH_codec.json (see EXPERIMENTS.md).",
+              file=sys.stderr)
+        return 1
+    print("perf-smoke: within budget.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,14 @@
  * i % 8 counted from the least-significant bit. All multi-bit fields are
  * written least-significant-bit first. The convention is normative for the
  * on-"DRAM" formats described in DESIGN.md section 4.
+ *
+ * The multi-bit kernels (getBits/setBits/copyBits) are word-wise: on a
+ * little-endian target the LSB-first bit order coincides with the memory
+ * order of a u64, so a field is one unaligned load, a shift and a mask
+ * instead of a bit-per-iteration loop. The original bit-serial versions
+ * are retained in namespace bitref as the behavioural reference — the
+ * randomized equivalence suite (tests/bits_kernel_test.cpp) pits the two
+ * against each other, and big-endian builds fall back to them.
  */
 
 #ifndef COP_COMMON_BITS_HPP
@@ -46,7 +54,14 @@ flipBit(std::span<u8> buf, unsigned idx)
     buf[idx / 8] ^= static_cast<u8>(1u << (idx % 8));
 }
 
-/** Extract @p count (<= 64) bits starting at bit @p pos, LSB-first. */
+/**
+ * Reference bit-serial implementations. Normative for the bit addressing
+ * convention; the word-wise kernels below must match them bit for bit
+ * (including the 64-bit chunking order of copyBits, which is observable
+ * when source and destination ranges overlap).
+ */
+namespace bitref {
+
 inline u64
 getBits(std::span<const u8> buf, unsigned pos, unsigned count)
 {
@@ -56,7 +71,6 @@ getBits(std::span<const u8> buf, unsigned pos, unsigned count)
     return value;
 }
 
-/** Deposit the low @p count (<= 64) bits of @p value at bit @p pos. */
 inline void
 setBits(std::span<u8> buf, unsigned pos, unsigned count, u64 value)
 {
@@ -64,14 +78,102 @@ setBits(std::span<u8> buf, unsigned pos, unsigned count, u64 value)
         setBit(buf, pos + i, (value >> i) & 1u);
 }
 
+inline void
+copyBits(std::span<const u8> src, unsigned src_pos, std::span<u8> dst,
+         unsigned dst_pos, unsigned count)
+{
+    while (count > 0) {
+        const unsigned chunk = count < 64 ? count : 64;
+        setBits(dst, dst_pos, chunk, getBits(src, src_pos, chunk));
+        src_pos += chunk;
+        dst_pos += chunk;
+        count -= chunk;
+    }
+}
+
+} // namespace bitref
+
+/** Extract @p count (<= 64) bits starting at bit @p pos, LSB-first. */
+inline u64
+getBits(std::span<const u8> buf, unsigned pos, unsigned count)
+{
+    if constexpr (std::endian::native != std::endian::little)
+        return bitref::getBits(buf, pos, count);
+    if (count == 0)
+        return 0;
+    const unsigned byte = pos / 8;
+    const unsigned off = pos % 8;
+    // Bytes the field spans: 1..9 (9 only when off > 0 and count > 56).
+    const unsigned need = (off + count + 7) / 8;
+    u64 lo = 0;
+    std::memcpy(&lo, buf.data() + byte, need < 8 ? need : 8);
+    u64 value = lo >> off;
+    if (need > 8)
+        value |= static_cast<u64>(buf[byte + 8]) << (64 - off);
+    return count == 64 ? value : (value & ((1ULL << count) - 1));
+}
+
+/** Deposit the low @p count (<= 64) bits of @p value at bit @p pos. */
+inline void
+setBits(std::span<u8> buf, unsigned pos, unsigned count, u64 value)
+{
+    if constexpr (std::endian::native != std::endian::little) {
+        bitref::setBits(buf, pos, count, value);
+        return;
+    }
+    if (count == 0)
+        return;
+    if (count < 64)
+        value &= (1ULL << count) - 1;
+    const unsigned byte = pos / 8;
+    const unsigned off = pos % 8;
+    // Read-modify-write the up-to-8 bytes holding the low part of the
+    // field, then patch the at-most-7 spill bits in the ninth byte.
+    const unsigned lo_bits = count < 64 - off ? count : 64 - off;
+    const unsigned lo_bytes = (off + lo_bits + 7) / 8;
+    u64 word = 0;
+    std::memcpy(&word, buf.data() + byte, lo_bytes);
+    const u64 lo_mask =
+        (lo_bits == 64 ? ~0ULL : ((1ULL << lo_bits) - 1)) << off;
+    word = (word & ~lo_mask) | ((value << off) & lo_mask);
+    std::memcpy(buf.data() + byte, &word, lo_bytes);
+    if (lo_bits < count) {
+        const unsigned hi_bits = count - lo_bits;
+        const u8 hi_mask = static_cast<u8>((1u << hi_bits) - 1);
+        buf[byte + 8] = static_cast<u8>(
+            (buf[byte + 8] & ~hi_mask) |
+            (static_cast<u8>(value >> lo_bits) & hi_mask));
+    }
+}
+
 /**
  * Copy @p count bits from @p src starting at bit @p src_pos into @p dst
  * starting at bit @p dst_pos (LSB-first addressing on both sides).
+ *
+ * Fast paths: byte-aligned non-overlapping copies become one memcpy plus
+ * a bit tail; everything else moves 64-bit chunks through the word-wise
+ * getBits/setBits. Chunking order matches bitref::copyBits exactly, so
+ * overlapping ranges behave identically to the reference.
  */
 inline void
 copyBits(std::span<const u8> src, unsigned src_pos, std::span<u8> dst,
          unsigned dst_pos, unsigned count)
 {
+    if (src_pos % 8 == 0 && dst_pos % 8 == 0 && count >= 8) {
+        const u8 *s = src.data() + src_pos / 8;
+        u8 *d = dst.data() + dst_pos / 8;
+        const unsigned span_bytes = (count + 7) / 8;
+        if (d + span_bytes <= s || s + span_bytes <= d) {
+            std::memcpy(d, s, count / 8);
+            const unsigned tail = count % 8;
+            if (tail > 0) {
+                const unsigned done = count - tail;
+                setBits(dst, dst_pos + done, tail,
+                        getBits(src, src_pos + done, tail));
+            }
+            return;
+        }
+    }
     while (count > 0) {
         const unsigned chunk = count < 64 ? count : 64;
         setBits(dst, dst_pos, chunk, getBits(src, src_pos, chunk));

@@ -63,6 +63,12 @@ class CacheBlock
         return v;
     }
 
+    void
+    setWord16(unsigned i, u16 v)
+    {
+        std::memcpy(bytes_.data() + i * 2, &v, 2);
+    }
+
     /** Read the i-th 32-bit little-endian word (i in [0, 16)). */
     u32
     word32(unsigned i) const

@@ -8,6 +8,12 @@ namespace {
 u64
 element(const CacheBlock &block, unsigned bytes, unsigned i)
 {
+    switch (bytes) {
+      case 8: return block.word64(i);
+      case 4: return block.word32(i);
+      case 2: return block.word16(i);
+      default: break;
+    }
     u64 v = 0;
     for (unsigned b = 0; b < bytes; ++b)
         v |= static_cast<u64>(block.byte(i * bytes + b)) << (8 * b);
@@ -17,6 +23,12 @@ element(const CacheBlock &block, unsigned bytes, unsigned i)
 void
 setElement(CacheBlock &block, unsigned bytes, unsigned i, u64 v)
 {
+    switch (bytes) {
+      case 8: block.setWord64(i, v); return;
+      case 4: block.setWord32(i, static_cast<u32>(v)); return;
+      case 2: block.setWord16(i, static_cast<u16>(v)); return;
+      default: break;
+    }
     for (unsigned b = 0; b < bytes; ++b)
         block.setByte(i * bytes + b, static_cast<u8>(v >> (8 * b)));
 }
@@ -79,29 +91,25 @@ BdiCompressor::fitsBaseDelta(const CacheBlock &block, const Geometry &g,
     // The explicit base is the first element whose value does not itself
     // fit in the delta field (otherwise it can ride the implicit zero
     // base and the explicit base remains free for a later element).
+    // Single pass: elements that fit the zero base are skipped, the
+    // first that does not becomes the base (its own delta is zero), and
+    // every later non-fitting element must be within delta of it.
     u64 base = 0;
     bool have_base = false;
     for (unsigned i = 0; i < elems; ++i) {
         const i64 v = signExtend(element(block, g.base_bytes, i),
                                  g.base_bytes);
-        if (!deltaFits(v, g.delta_bytes)) {
+        if (deltaFits(v, g.delta_bytes))
+            continue;
+        if (!have_base) {
             base = static_cast<u64>(v);
             have_base = true;
-            break;
+        } else if (!deltaFits(v - static_cast<i64>(base),
+                              g.delta_bytes)) {
+            return false;
         }
     }
-    if (!have_base) {
-        base_out = 0;
-        return true; // everything fits the zero base
-    }
-    for (unsigned i = 0; i < elems; ++i) {
-        const i64 v = signExtend(element(block, g.base_bytes, i),
-                                 g.base_bytes);
-        const i64 delta = v - static_cast<i64>(base);
-        if (!deltaFits(v, g.delta_bytes) && !deltaFits(delta, g.delta_bytes))
-            return false;
-    }
-    base_out = base;
+    base_out = have_base ? base : 0;
     return true;
 }
 
@@ -145,6 +153,45 @@ BdiCompressor::compressedBits(const CacheBlock &block) const
     if (e == BdiEncoding::Uncompressed)
         return -1;
     return static_cast<int>(encodingBits(e));
+}
+
+bool
+BdiCompressor::canCompress(const CacheBlock &block,
+                           unsigned budget_bits) const
+{
+    // Mirrors bestEncoding(), but with the budget threaded through: the
+    // candidate ladder is ordered by non-decreasing encodingBits, so the
+    // first candidate over budget means no later one can fit either —
+    // no point running its base+delta trial.
+    if (block.isZero())
+        return encodingBits(BdiEncoding::Zeros) <= budget_bits;
+
+    const u64 first = block.word64(0);
+    bool repeated = true;
+    for (unsigned w = 1; w < 8; ++w) {
+        if (block.word64(w) != first) {
+            repeated = false;
+            break;
+        }
+    }
+    if (repeated)
+        return encodingBits(BdiEncoding::Repeated8) <= budget_bits;
+
+    static constexpr BdiEncoding order[] = {
+        BdiEncoding::Base8Delta1, BdiEncoding::Base4Delta1,
+        BdiEncoding::Base8Delta2, BdiEncoding::Base2Delta1,
+        BdiEncoding::Base4Delta2, BdiEncoding::Base8Delta4,
+    };
+    for (BdiEncoding e : order) {
+        if (encodingBits(e) > budget_bits)
+            return false;
+        Geometry g;
+        geometryOf(e, g);
+        u64 base;
+        if (fitsBaseDelta(block, g, base))
+            return true;
+    }
+    return false;
 }
 
 bool

@@ -43,6 +43,8 @@ class BdiCompressor : public BlockCompressor
                   BitWriter &out) const override;
     void decompress(BitReader &in, unsigned budget_bits,
                     CacheBlock &out) const override;
+    bool canCompress(const CacheBlock &block,
+                     unsigned budget_bits) const override;
 
     /** Smallest encoding that can represent @p block. */
     static BdiEncoding bestEncoding(const CacheBlock &block);

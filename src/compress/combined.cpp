@@ -35,11 +35,15 @@ CombinedCompressor::schemeById(SchemeId id) const
 
 std::optional<SchemeId>
 CombinedCompressor::compress(const CacheBlock &block,
-                             std::span<u8> payload) const
+                             std::span<u8> payload,
+                             unsigned *trials) const
 {
     COP_ASSERT(payload.size() >= payloadBytes());
+    const BlockDigest digest = computeDigest(block);
     for (const auto *scheme : views_) {
-        if (!scheme->canCompress(block, streamBudget()))
+        if (trials != nullptr)
+            ++*trials;
+        if (!scheme->canCompressDigest(digest, block, streamBudget()))
             continue;
         std::memset(payload.data(), 0, payloadBytes());
         BitWriter writer(payload.first(payloadBytes()));
@@ -71,10 +75,14 @@ CombinedCompressor::decompress(std::span<const u8> payload) const
 }
 
 bool
-CombinedCompressor::compressible(const CacheBlock &block) const
+CombinedCompressor::compressible(const CacheBlock &block,
+                                 unsigned *trials) const
 {
+    const BlockDigest digest = computeDigest(block);
     for (const auto *scheme : views_) {
-        if (scheme->canCompress(block, streamBudget()))
+        if (trials != nullptr)
+            ++*trials;
+        if (scheme->canCompressDigest(digest, block, streamBudget()))
             return true;
     }
     return false;

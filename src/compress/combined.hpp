@@ -48,18 +48,24 @@ class CombinedCompressor
 
     /**
      * Try to compress @p block into @p payload (payloadBytes() bytes,
-     * zeroed here). Schemes are tried in tag order.
+     * zeroed here). Schemes are tried in tag order; each trial is a
+     * digest-based admission check computed once per block, so losing
+     * schemes cost a mask test rather than a full scan.
      *
+     * @param trials if non-null, incremented by the number of scheme
+     *        admission checks performed.
      * @return the scheme used, or std::nullopt if incompressible.
      */
     std::optional<SchemeId> compress(const CacheBlock &block,
-                                     std::span<u8> payload) const;
+                                     std::span<u8> payload,
+                                     unsigned *trials = nullptr) const;
 
     /** Reverse of compress(); @p payload must hold payloadBytes(). */
     CacheBlock decompress(std::span<const u8> payload) const;
 
     /** True iff any participating scheme fits the budget. */
-    bool compressible(const CacheBlock &block) const;
+    bool compressible(const CacheBlock &block,
+                      unsigned *trials = nullptr) const;
 
     /** Participating schemes, in tag order. */
     const std::vector<const BlockCompressor *> &schemes() const

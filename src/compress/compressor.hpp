@@ -34,6 +34,62 @@ enum class SchemeId : u8 {
 inline constexpr unsigned kSchemeTagBits = 2;
 
 /**
+ * Bitmask of the zero bytes of @p w: bit i is set iff byte i == 0x00.
+ * SWAR: adding 0x7F to a byte's low 7 bits carries into its 0x80 bit
+ * iff any low bit was set (the sum never exceeds 0xFE, so no carry
+ * crosses a byte boundary — unlike the classic (w - 0x01..01) trick,
+ * whose borrow falsely flags a 0x01 byte sitting above a zero byte).
+ * OR-ing w back in covers the 0x80 bit itself; a byte's flag survives
+ * the complement iff the byte was 0x00. The multiply then gathers the
+ * eight flag bits (at positions 8i after the shift) into the top byte:
+ * the partial-product exponents 8i + 7k + 7 are pairwise distinct, so
+ * the sum is carry-free.
+ */
+inline u8
+zeroByteMask(u64 w)
+{
+    const u64 k7f = 0x7F7F7F7F7F7F7F7FULL;
+    const u64 t = ~(((w & k7f) + k7f) | w) & ~k7f;
+    return static_cast<u8>(((t >> 7) * 0x0102040810204080ULL) >> 56);
+}
+
+/**
+ * One-pass per-word digest of a 64-byte block: everything the cheap
+ * scheme admission checks need, computed in a single sweep over the
+ * eight 64-bit words. Each field is an exact predicate source — the
+ * digest-based checks in canCompressDigest() overrides are provably
+ * equivalent to running the scheme's compressedBits() from scratch, so
+ * scheme selection (and therefore every stored image) is unchanged.
+ */
+struct BlockDigest
+{
+    /** OR over words 1..7 of (word ^ word 0): MSB field agreement. */
+    u64 diffMask = 0;
+    /** OR of all eight words: TXT's ASCII test is one AND against it. */
+    u64 orAll = 0;
+    /** Bit i set iff byte i of the block is 0x00 (RLE run candidates). */
+    u64 zeroBytes = 0;
+    /** Bit i set iff byte i of the block is 0xFF. */
+    u64 onesBytes = 0;
+};
+
+/** Compute the digest of @p block in one pass. */
+inline BlockDigest
+computeDigest(const CacheBlock &block)
+{
+    BlockDigest d;
+    const u64 w0 = block.word64(0);
+    for (unsigned w = 0; w < 8; ++w) {
+        const u64 v = block.word64(w);
+        d.diffMask |= v ^ w0;
+        d.orAll |= v;
+        d.zeroBytes |= static_cast<u64>(zeroByteMask(v)) << (w * 8);
+        d.onesBytes |= static_cast<u64>(zeroByteMask(~v)) << (w * 8);
+    }
+    return d;
+}
+
+/**
  * A block compressor. Implementations are stateless and thread-compatible;
  * all methods are const.
  */
@@ -73,12 +129,32 @@ class BlockCompressor
     virtual void decompress(BitReader &in, unsigned budget_bits,
                             CacheBlock &out) const = 0;
 
-    /** True iff the block fits the budget under this scheme. */
-    bool
+    /**
+     * True iff the block fits the budget under this scheme. Virtual so
+     * schemes whose compressedBits() keeps working after the budget is
+     * already blown (FPC's per-word sum, BDI's encoding ladder) can
+     * thread the budget through and exit early. Overrides must return
+     * exactly what the default would.
+     */
+    virtual bool
     canCompress(const CacheBlock &block, unsigned budget_bits) const
     {
         const int n = compressedBits(block);
         return n >= 0 && static_cast<unsigned>(n) <= budget_bits;
+    }
+
+    /**
+     * canCompress() with a precomputed digest. Schemes whose admission
+     * test is a pure function of the digest override this to skip
+     * re-deriving block properties per trial; the answer must be
+     * identical to canCompress(block, budget_bits).
+     */
+    virtual bool
+    canCompressDigest(const BlockDigest &digest, const CacheBlock &block,
+                      unsigned budget_bits) const
+    {
+        (void)digest;
+        return canCompress(block, budget_bits);
     }
 };
 

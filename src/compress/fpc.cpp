@@ -111,6 +111,21 @@ FpcCompressor::compressedBits(const CacheBlock &block) const
 }
 
 bool
+FpcCompressor::canCompress(const CacheBlock &block,
+                           unsigned budget_bits) const
+{
+    unsigned bits = 0;
+    for (unsigned w = 0; w < 16; ++w) {
+        bits += 3 + payloadBits(classify(block.word32(w)));
+        // Every remaining word costs at least its 3-bit prefix, so once
+        // even that floor overshoots the budget the total will too.
+        if (bits + 3 * (15 - w) > budget_bits)
+            return false;
+    }
+    return bits <= budget_bits;
+}
+
+bool
 FpcCompressor::compress(const CacheBlock &block, unsigned budget_bits,
                         BitWriter &out) const
 {

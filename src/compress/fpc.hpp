@@ -44,6 +44,8 @@ class FpcCompressor : public BlockCompressor
                   BitWriter &out) const override;
     void decompress(BitReader &in, unsigned budget_bits,
                     CacheBlock &out) const override;
+    bool canCompress(const CacheBlock &block,
+                     unsigned budget_bits) const override;
 
     /** Best (smallest-payload) pattern for one word — exposed for tests. */
     static FpcPattern classify(u32 word);

@@ -48,6 +48,18 @@ MsbCompressor::compressedBits(const CacheBlock &block) const
 }
 
 bool
+MsbCompressor::canCompressDigest(const BlockDigest &digest,
+                                 const CacheBlock &block,
+                                 unsigned budget_bits) const
+{
+    (void)block;
+    // diffMask ORs every word's XOR against word 0, so a zero overlap
+    // with the field mask is exactly matches().
+    return (digest.diffMask & fieldMask()) == 0 &&
+           kBlockBits - 7 * elide_ <= budget_bits;
+}
+
+bool
 MsbCompressor::compress(const CacheBlock &block, unsigned budget_bits,
                         BitWriter &out) const
 {

@@ -40,6 +40,9 @@ class MsbCompressor : public BlockCompressor
                   BitWriter &out) const override;
     void decompress(BitReader &in, unsigned budget_bits,
                     CacheBlock &out) const override;
+    bool canCompressDigest(const BlockDigest &digest,
+                           const CacheBlock &block,
+                           unsigned budget_bits) const override;
 
     unsigned elideBits() const { return elide_; }
     bool shifted() const { return shifted_; }

@@ -2,27 +2,60 @@
 
 namespace cop {
 
-std::vector<RleRun>
-RleCompressor::findRuns(const CacheBlock &block)
+namespace {
+
+/**
+ * Greedy run scan over precomputed per-byte masks (bit i set iff byte i
+ * is 0x00 / 0xFF): the same address-order, prefer-3-byte walk as the
+ * original byte scan, one shift-and-test per candidate instead of byte
+ * loads. @p visit returns false to stop the walk early.
+ */
+template <typename Visitor>
+void
+walkRuns(u64 zero, u64 ones, Visitor &&visit)
 {
-    std::vector<RleRun> runs;
-    const auto bytes = block.bytes();
     unsigned w = 0;
     while (w < kBlockBytes / 2) {
         const unsigned off = w * 2;
-        const u8 v = bytes[off];
-        if ((v == 0x00 || v == 0xFF) && bytes[off + 1] == v) {
-            unsigned len = 2;
-            if (off + 2 < kBlockBytes && bytes[off + 2] == v)
-                len = 3;
-            runs.push_back({v, len, off});
-            // A 3-byte run spills one byte into the next 16-bit word, so
-            // the following candidate offset skips that word entirely.
-            w += (len == 3) ? 2 : 1;
-        } else {
+        const bool z = (zero >> off) & 1;
+        const bool o = (ones >> off) & 1;
+        if (!z && !o) {
             ++w;
+            continue;
         }
+        const u64 m = z ? zero : ones;
+        if (!((m >> (off + 1)) & 1)) {
+            ++w;
+            continue;
+        }
+        unsigned len = 2;
+        if (off + 2 < kBlockBytes && ((m >> (off + 2)) & 1))
+            len = 3;
+        if (!visit(RleRun{z ? u8{0x00} : u8{0xFF}, len, off}))
+            return;
+        // A 3-byte run spills one byte into the next 16-bit word, so
+        // the following candidate offset skips that word entirely.
+        w += (len == 3) ? 2 : 1;
     }
+}
+
+} // namespace
+
+std::vector<RleRun>
+RleCompressor::findRuns(const CacheBlock &block)
+{
+    u64 zero = 0;
+    u64 ones = 0;
+    for (unsigned w = 0; w < 8; ++w) {
+        const u64 v = block.word64(w);
+        zero |= static_cast<u64>(zeroByteMask(v)) << (w * 8);
+        ones |= static_cast<u64>(zeroByteMask(~v)) << (w * 8);
+    }
+    std::vector<RleRun> runs;
+    walkRuns(zero, ones, [&](const RleRun &run) {
+        runs.push_back(run);
+        return true;
+    });
     return runs;
 }
 
@@ -35,6 +68,25 @@ RleCompressor::compressedBits(const CacheBlock &block) const
     if (freed == 0)
         return -1;
     return static_cast<int>(kBlockBits - freed);
+}
+
+bool
+RleCompressor::canCompressDigest(const BlockDigest &digest,
+                                 const CacheBlock &block,
+                                 unsigned budget_bits) const
+{
+    (void)block;
+    // canCompress == (freed > 0 && kBlockBits - freed <= budget), i.e.
+    // freed >= max(1, kBlockBits - budget); stop walking as soon as the
+    // accumulated runs free enough.
+    const unsigned target =
+        budget_bits >= kBlockBits ? 1u : kBlockBits - budget_bits;
+    unsigned freed = 0;
+    walkRuns(digest.zeroBytes, digest.onesBytes, [&](const RleRun &run) {
+        freed += freedBits(run);
+        return freed < target;
+    });
+    return freed >= target;
 }
 
 bool

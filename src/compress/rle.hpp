@@ -43,6 +43,9 @@ class RleCompressor : public BlockCompressor
                   BitWriter &out) const override;
     void decompress(BitReader &in, unsigned budget_bits,
                     CacheBlock &out) const override;
+    bool canCompressDigest(const BlockDigest &digest,
+                           const CacheBlock &block,
+                           unsigned budget_bits) const override;
 
     /** All non-overlapping runs, greedy scan — exposed for tests. */
     static std::vector<RleRun> findRuns(const CacheBlock &block);

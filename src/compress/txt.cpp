@@ -2,14 +2,32 @@
 
 namespace cop {
 
+namespace {
+
+/** MSB of every byte position, the non-ASCII test mask. */
+constexpr u64 kHighBits = 0x8080808080808080ULL;
+
+} // namespace
+
 int
 TxtCompressor::compressedBits(const CacheBlock &block) const
 {
-    for (unsigned i = 0; i < kBlockBytes; ++i) {
-        if (block.byte(i) & 0x80)
-            return -1;
-    }
+    u64 or_all = 0;
+    for (unsigned w = 0; w < 8; ++w)
+        or_all |= block.word64(w);
+    if (or_all & kHighBits)
+        return -1;
     return static_cast<int>(kBlockBytes * 7);
+}
+
+bool
+TxtCompressor::canCompressDigest(const BlockDigest &digest,
+                                 const CacheBlock &block,
+                                 unsigned budget_bits) const
+{
+    (void)block;
+    return (digest.orAll & kHighBits) == 0 &&
+           kBlockBytes * 7 <= budget_bits;
 }
 
 bool

@@ -29,6 +29,9 @@ class TxtCompressor : public BlockCompressor
                   BitWriter &out) const override;
     void decompress(BitReader &in, unsigned budget_bits,
                     CacheBlock &out) const override;
+    bool canCompressDigest(const BlockDigest &digest,
+                           const CacheBlock &block,
+                           unsigned budget_bits) const override;
 };
 
 } // namespace cop

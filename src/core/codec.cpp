@@ -58,7 +58,8 @@ CopCodec::encode(const CacheBlock &data) const
 
     std::array<u8, kBlockBytes> payload{};
     const auto scheme = compressor_.compress(
-        data, std::span<u8>(payload).first(compressor_.payloadBytes()));
+        data, std::span<u8>(payload).first(compressor_.payloadBytes()),
+        &result.schemeTrials);
     if (scheme) {
         result.status = EncodeStatus::Protected;
         result.scheme = *scheme;

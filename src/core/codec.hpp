@@ -42,6 +42,8 @@ struct CopEncodeResult
     CacheBlock stored;
     /** Compression scheme used (valid when status == Protected). */
     SchemeId scheme = SchemeId::Msb;
+    /** Scheme admission checks this encode performed (perf counter). */
+    unsigned schemeTrials = 0;
 
     bool isProtected() const { return status == EncodeStatus::Protected; }
 };

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * EncodeMemo: a content-keyed cache of CopCodec::encode results, plus
+ * the codec perf counters (encode calls, memo hits, scheme trials).
+ *
+ * Why this cannot change simulated behaviour: encode is a pure function
+ * of the 64 block bytes and the (immutable) codec configuration — the
+ * codec holds no mutable state, the static hash is a constant, and the
+ * encoder never looks at the address or the clock. The memo is
+ * direct-mapped on a hash of the content but keyed on the FULL 64-byte
+ * block: a slot only answers when its stored key compares equal, so a
+ * hash collision evicts rather than corrupts. See DESIGN.md.
+ *
+ * One memo per System (never shared across parallel workers), so grid
+ * runs stay deterministic at every worker count.
+ */
+
+#ifndef COP_CORE_ENCODE_MEMO_HPP
+#define COP_CORE_ENCODE_MEMO_HPP
+
+#include <vector>
+
+#include "core/codec.hpp"
+
+namespace cop {
+
+/** Content-keyed direct-mapped cache of encode results. */
+class EncodeMemo
+{
+  public:
+    /**
+     * @param entries Slot count (rounded up to a power of two). 0 makes
+     *        the memo counting-only: every encode runs the codec, but
+     *        the perf counters still accumulate.
+     */
+    explicit EncodeMemo(unsigned entries)
+    {
+        if (entries > 0) {
+            unsigned cap = 1;
+            while (cap < entries)
+                cap <<= 1;
+            slots_.resize(cap);
+            mask_ = cap - 1;
+        }
+    }
+
+    /**
+     * Encode @p data through @p codec, serving repeats of identical
+     * content from the cache. The returned reference is invalidated by
+     * the next encode() call.
+     */
+    const CopEncodeResult &
+    encode(const CopCodec &codec, const CacheBlock &data)
+    {
+        ++lookups_;
+        if (slots_.empty()) {
+            scratch_ = codec.encode(data);
+            schemeTrials_ += scratch_.schemeTrials;
+            return scratch_;
+        }
+        Entry &slot = slots_[contentHash(data) & mask_];
+        if (slot.valid && slot.key == data) {
+            ++hits_;
+            return slot.result;
+        }
+        slot.valid = true;
+        slot.key = data;
+        slot.result = codec.encode(data);
+        schemeTrials_ += slot.result.schemeTrials;
+        return slot.result;
+    }
+
+    /** Slot count (0 = counting-only). */
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(slots_.size());
+    }
+
+    u64 lookups() const { return lookups_; }
+    u64 hits() const { return hits_; }
+    u64 schemeTrials() const { return schemeTrials_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        CacheBlock key;
+        CopEncodeResult result;
+    };
+
+    /** Multiply-xor mix of the eight block words. */
+    static u64
+    contentHash(const CacheBlock &data)
+    {
+        u64 h = 0x9e3779b97f4a7c15ULL;
+        for (unsigned w = 0; w < 8; ++w) {
+            h ^= data.word64(w);
+            h *= 0xff51afd7ed558ccdULL;
+            h ^= h >> 33;
+        }
+        return h;
+    }
+
+    std::vector<Entry> slots_;
+    u64 mask_ = 0;
+    u64 lookups_ = 0;
+    u64 hits_ = 0;
+    u64 schemeTrials_ = 0;
+    /** Result holder for the counting-only (uncached) mode. */
+    CopEncodeResult scratch_;
+};
+
+} // namespace cop
+
+#endif // COP_CORE_ENCODE_MEMO_HPP

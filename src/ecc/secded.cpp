@@ -9,20 +9,81 @@ namespace {
 /**
  * Enumerate candidate data columns for a Hsiao code: odd weight >= 3,
  * ordered by weight then value, so code construction is deterministic.
+ *
+ * Within one weight the walk uses the next-popcount-permutation trick
+ * (Gosper's hack): each step produces the next-larger value with the
+ * same popcount in O(1), so construction costs O(weights * count)
+ * instead of O(weights * 2^r) — the difference between scanning 2^11
+ * values eleven times and visiting only the 512 columns wide523()
+ * actually uses. The enumeration order is identical to the original
+ * full scan; tests/ecc_test.cpp asserts the generated columns are
+ * unchanged against a brute-force recomputation.
  */
 std::vector<u32>
 hsiaoDataColumns(unsigned r, unsigned count)
 {
     std::vector<u32> cols;
     cols.reserve(count);
+    const u32 limit = 1u << r;
     for (unsigned weight = 3; weight <= r && cols.size() < count;
          weight += 2) {
-        for (u32 v = 0; v < (1u << r) && cols.size() < count; ++v) {
-            if (static_cast<unsigned>(std::popcount(v)) == weight)
-                cols.push_back(v);
+        u32 v = (1u << weight) - 1; // smallest value of this weight
+        while (v < limit && cols.size() < count) {
+            cols.push_back(v);
+            const u32 low = v & (~v + 1u);
+            const u32 ripple = v + low;
+            v = ripple | (((v ^ ripple) >> 2) / low);
         }
     }
     return cols;
+}
+
+/** syndrome -> bit index map; every column must be distinct. */
+std::vector<int>
+buildSynToBit(const std::vector<u32> &columns, unsigned r)
+{
+    std::vector<int> map(1u << r, -1);
+    for (unsigned i = 0; i < columns.size(); ++i) {
+        COP_ASSERT(map[columns[i]] == -1);
+        map[columns[i]] = static_cast<int>(i);
+    }
+    return map;
+}
+
+/**
+ * Per-(byte position, byte value) syndrome contribution table — the
+ * software analogue of the parallel XOR trees in Figure 2(b). Shared by
+ * HsiaoCode and HammingCode; bits at positions >= n contribute nothing.
+ */
+std::vector<u32>
+buildByteSyndromeTable(const std::vector<u32> &columns, unsigned n)
+{
+    const unsigned num_bytes = (n + 7) / 8;
+    std::vector<u32> table(static_cast<size_t>(num_bytes) * 256, 0);
+    for (unsigned p = 0; p < num_bytes; ++p) {
+        for (unsigned v = 0; v < 256; ++v) {
+            u32 s = 0;
+            for (unsigned b = 0; b < 8; ++b) {
+                const unsigned idx = p * 8 + b;
+                if ((v >> b & 1u) && idx < n)
+                    s ^= columns[idx];
+            }
+            table[static_cast<size_t>(p) * 256 + v] = s;
+        }
+    }
+    return table;
+}
+
+/** Table-driven syndrome: one lookup + XOR per codeword byte. */
+u32
+tableSyndrome(const std::vector<u32> &table, std::span<const u8> codeword,
+              unsigned num_bytes)
+{
+    u32 s = 0;
+    const u32 *t = table.data();
+    for (unsigned p = 0; p < num_bytes; ++p)
+        s ^= t[static_cast<size_t>(p) * 256 + codeword[p]];
+    return s;
 }
 
 } // namespace
@@ -39,31 +100,8 @@ HsiaoCode::HsiaoCode(unsigned data_bits, unsigned check_bits)
     columns_ = std::move(data_cols);
     for (unsigned i = 0; i < r_; ++i)
         columns_.push_back(1u << i);
-    buildTables();
-}
-
-void
-HsiaoCode::buildTables()
-{
-    synToBit_.assign(1u << r_, -1);
-    for (unsigned i = 0; i < n_; ++i) {
-        COP_ASSERT(synToBit_[columns_[i]] == -1);
-        synToBit_[columns_[i]] = static_cast<int>(i);
-    }
-
-    const unsigned num_bytes = codeBytes();
-    byteSyn_.assign(static_cast<size_t>(num_bytes) * 256, 0);
-    for (unsigned p = 0; p < num_bytes; ++p) {
-        for (unsigned v = 0; v < 256; ++v) {
-            u32 s = 0;
-            for (unsigned b = 0; b < 8; ++b) {
-                const unsigned idx = p * 8 + b;
-                if ((v >> b & 1u) && idx < n_)
-                    s ^= columns_[idx];
-            }
-            byteSyn_[static_cast<size_t>(p) * 256 + v] = s;
-        }
-    }
+    synToBit_ = buildSynToBit(columns_, r_);
+    byteSyn_ = buildByteSyndromeTable(columns_, n_);
 }
 
 void
@@ -82,12 +120,7 @@ HsiaoCode::encode(std::span<u8> codeword) const
 u32
 HsiaoCode::syndrome(std::span<const u8> codeword) const
 {
-    u32 s = 0;
-    const unsigned num_bytes = codeBytes();
-    const u32 *table = byteSyn_.data();
-    for (unsigned p = 0; p < num_bytes; ++p)
-        s ^= table[static_cast<size_t>(p) * 256 + codeword[p]];
-    return s;
+    return tableSyndrome(byteSyn_, codeword, codeBytes());
 }
 
 EccResult
@@ -122,9 +155,8 @@ HammingCode::HammingCode(unsigned data_bits, unsigned check_bits)
     for (unsigned i = 0; i < r_; ++i)
         columns_.push_back(1u << i);
 
-    synToBit_.assign(1u << r_, -1);
-    for (unsigned i = 0; i < n_; ++i)
-        synToBit_[columns_[i]] = static_cast<int>(i);
+    synToBit_ = buildSynToBit(columns_, r_);
+    byteSyn_ = buildByteSyndromeTable(columns_, n_);
 }
 
 void
@@ -138,12 +170,7 @@ HammingCode::encode(std::span<u8> codeword) const
 u32
 HammingCode::syndrome(std::span<const u8> codeword) const
 {
-    u32 s = 0;
-    for (unsigned i = 0; i < n_; ++i) {
-        if (getBit(codeword, i))
-            s ^= columns_[i];
-    }
-    return s;
+    return tableSyndrome(byteSyn_, codeword, codeBytes());
 }
 
 EccResult

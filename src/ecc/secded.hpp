@@ -104,8 +104,6 @@ class HsiaoCode
     u32 column(unsigned idx) const { return columns_[idx]; }
 
   private:
-    void buildTables();
-
     unsigned k_;
     unsigned r_;
     unsigned n_;
@@ -125,6 +123,7 @@ class HsiaoCode
  *
  * Same codeword layout as HsiaoCode. Data columns are the non-power-of-two
  * nonzero r-bit values in increasing order; check columns are unit vectors.
+ * Syndromes use the same per-byte lookup table as HsiaoCode.
  */
 class HammingCode
 {
@@ -140,12 +139,17 @@ class HammingCode
     u32 syndrome(std::span<const u8> codeword) const;
     EccResult decode(std::span<u8> codeword) const;
 
+    /** Column (syndrome signature) of bit @p idx — exposed for tests. */
+    u32 column(unsigned idx) const { return columns_[idx]; }
+
   private:
     unsigned k_;
     unsigned r_;
     unsigned n_;
     std::vector<u32> columns_;
     std::vector<int> synToBit_;
+    /** [byte_pos * 256 + byte_value] -> syndrome contribution. */
+    std::vector<u32> byteSyn_;
 };
 
 /** Lazily constructed shared instances of the codes COP uses. */

@@ -3,9 +3,10 @@
 namespace cop {
 
 CopController::CopController(DramSystem &dram, ContentSource content,
-                             const CopConfig &cfg, Cycle decode_latency)
+                             const CopConfig &cfg, Cycle decode_latency,
+                             EncodeMemo *memo)
     : MemoryController(dram, std::move(content)), codec_(cfg),
-      decodeLatency_(decode_latency)
+      decodeLatency_(decode_latency), memo_(memo)
 {
 }
 
@@ -19,7 +20,7 @@ CopController::readImpl(Addr addr, Cycle now)
     auto it = image_.find(addr);
     if (it == image_.end()) {
         const CacheBlock data = initialContent(addr);
-        const CopEncodeResult enc = codec_.encode(data);
+        const CopEncodeResult enc = encodeBlock(data);
         if (enc.status == EncodeStatus::AliasRejected) {
             // Incompressible alias: it can never have reached DRAM; it
             // materialises pinned in the LLC (Section 3.1). Exceedingly
@@ -54,7 +55,7 @@ CopController::writeback(Addr addr, const CacheBlock &data, Cycle now,
     (void)was_uncompressed;
     MemWriteResult result;
 
-    const CopEncodeResult enc = codec_.encode(data);
+    const CopEncodeResult enc = encodeBlock(data);
     switch (enc.status) {
       case EncodeStatus::AliasRejected:
         ++stats_.aliasRejects;
@@ -79,6 +80,14 @@ CopController::writeback(Addr addr, const CacheBlock &data, Cycle now,
 bool
 CopController::wouldAliasReject(const CacheBlock &data) const
 {
+    // With a caching memo attached, a full (memoized) encode is the
+    // cheaper test: the eviction that follows a "no" answer re-encodes
+    // the same content and hits. AliasRejected is exactly
+    // "incompressible and an alias", so the answers agree.
+    if (memo_ != nullptr && memo_->capacity() > 0) {
+        return memo_->encode(codec_, data).status ==
+               EncodeStatus::AliasRejected;
+    }
     return !codec_.compressor().compressible(data) && codec_.isAlias(data);
 }
 

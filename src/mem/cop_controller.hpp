@@ -11,6 +11,7 @@
 #define COP_MEM_COP_CONTROLLER_HPP
 
 #include "core/codec.hpp"
+#include "core/encode_memo.hpp"
 #include "mem/controller.hpp"
 
 namespace cop {
@@ -19,9 +20,13 @@ namespace cop {
 class CopController : public MemoryController
 {
   public:
+    /**
+     * @param memo optional encode memo / perf-counter sink, owned by the
+     *        caller (the System). May be null (plain uncounted encodes).
+     */
     CopController(DramSystem &dram, ContentSource content,
                   const CopConfig &cfg = CopConfig::fourByte(),
-                  Cycle decode_latency = 4);
+                  Cycle decode_latency = 4, EncodeMemo *memo = nullptr);
 
     const char *name() const override
     {
@@ -52,8 +57,18 @@ class CopController : public MemoryController
                                                : VulnClass::CopProtected8;
     }
 
+    /** codec_.encode through the memo (when attached). */
+    CopEncodeResult
+    encodeBlock(const CacheBlock &data) const
+    {
+        if (memo_ != nullptr)
+            return memo_->encode(codec_, data);
+        return codec_.encode(data);
+    }
+
     CopCodec codec_;
     Cycle decodeLatency_;
+    EncodeMemo *memo_;
 };
 
 } // namespace cop

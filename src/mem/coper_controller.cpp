@@ -4,8 +4,8 @@ namespace cop {
 
 CopErController::CopErController(DramSystem &dram, ContentSource content,
                                  Cycle decode_latency,
-                                 u64 meta_cache_bytes)
-    : MemoryController(dram, std::move(content)),
+                                 u64 meta_cache_bytes, EncodeMemo *memo)
+    : MemoryController(dram, std::move(content)), memo_(memo),
       codec_(CopConfig::fourByte()), coper_(codec_),
       meta_(meta_cache_bytes), decodeLatency_(decode_latency)
 {
@@ -139,7 +139,7 @@ CopErController::readImpl(Addr addr, Cycle now)
     // First touch: initial memory was stored through the same encoder.
     if (image_.find(addr) == image_.end()) {
         const CacheBlock data = initialContent(addr);
-        const CopEncodeResult enc = codec_.encode(data);
+        const CopEncodeResult enc = encodeBlock(data);
         if (enc.status == EncodeStatus::Protected) {
             setImage(addr, enc.stored);
         } else {
@@ -208,7 +208,7 @@ CopErController::writeback(Addr addr, const CacheBlock &data, Cycle now,
         }
     }
 
-    const CopEncodeResult enc = codec_.encode(data);
+    const CopEncodeResult enc = encodeBlock(data);
     const bool compressible = enc.status == EncodeStatus::Protected;
     // (EncodeStatus::AliasRejected also means incompressible; COP-ER
     // stores such blocks through the de-aliasing entry path.)

@@ -38,7 +38,8 @@ class CopErController : public MemoryController
   public:
     CopErController(DramSystem &dram, ContentSource content,
                     Cycle decode_latency = 4,
-                    u64 meta_cache_bytes = 256 << 10);
+                    u64 meta_cache_bytes = 256 << 10,
+                    EncodeMemo *memo = nullptr);
 
     const char *name() const override { return "COP-ER"; }
     MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
@@ -125,6 +126,16 @@ class CopErController : public MemoryController
     /** Extract the entry index embedded in a stored image. */
     u32 pointerOf(const CacheBlock &stored) const;
 
+    /** codec_.encode through the memo (when attached). */
+    CopEncodeResult
+    encodeBlock(const CacheBlock &data) const
+    {
+        if (memo_ != nullptr)
+            return memo_->encode(codec_, data);
+        return codec_.encode(data);
+    }
+
+    EncodeMemo *memo_;
     CopCodec codec_;
     CoperCodec coper_;
     EccRegion region_;

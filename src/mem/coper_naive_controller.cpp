@@ -9,8 +9,9 @@ namespace cop {
 CopErNaiveController::CopErNaiveController(DramSystem &dram,
                                            ContentSource content,
                                            Cycle decode_latency,
-                                           u64 meta_cache_bytes)
-    : MemoryController(dram, std::move(content)),
+                                           u64 meta_cache_bytes,
+                                           EncodeMemo *memo)
+    : MemoryController(dram, std::move(content)), memo_(memo),
       codec_(CopConfig::fourByte()), meta_(meta_cache_bytes),
       decodeLatency_(decode_latency)
 {
@@ -77,7 +78,7 @@ CopErNaiveController::readImpl(Addr addr, Cycle now)
 
     if (image_.find(addr) == image_.end()) {
         const CacheBlock data = initialContent(addr);
-        const CopEncodeResult enc = codec_.encode(data);
+        const CopEncodeResult enc = encodeBlock(data);
         if (enc.status == EncodeStatus::AliasRejected) {
             // No pointer displacement => no de-aliasing: like plain
             // COP, aliases stay pinned in the LLC.
@@ -136,7 +137,7 @@ CopErNaiveController::writeback(Addr addr, const CacheBlock &data,
     (void)was_uncompressed;
     MemWriteResult result;
 
-    const CopEncodeResult enc = codec_.encode(data);
+    const CopEncodeResult enc = encodeBlock(data);
     switch (enc.status) {
       case EncodeStatus::AliasRejected:
         ++stats_.aliasRejects;
@@ -163,6 +164,12 @@ CopErNaiveController::writeback(Addr addr, const CacheBlock &data,
 bool
 CopErNaiveController::wouldAliasReject(const CacheBlock &data) const
 {
+    // Same routing as CopController: a caching memo makes the full
+    // encode the cheaper test (the eviction re-encode hits).
+    if (memo_ != nullptr && memo_->capacity() > 0) {
+        return memo_->encode(codec_, data).status ==
+               EncodeStatus::AliasRejected;
+    }
     return !codec_.compressor().compressible(data) && codec_.isAlias(data);
 }
 

@@ -23,6 +23,7 @@
 #define COP_MEM_COPER_NAIVE_CONTROLLER_HPP
 
 #include "core/codec.hpp"
+#include "core/encode_memo.hpp"
 #include "mem/ecc_region_controller.hpp"
 #include "mem/meta_cache.hpp"
 
@@ -34,7 +35,8 @@ class CopErNaiveController : public MemoryController
   public:
     CopErNaiveController(DramSystem &dram, ContentSource content,
                          Cycle decode_latency = 4,
-                         u64 meta_cache_bytes = 2ULL << 20);
+                         u64 meta_cache_bytes = 2ULL << 20,
+                         EncodeMemo *memo = nullptr);
 
     const char *name() const override { return "COP-ER (naive)"; }
     MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
@@ -68,6 +70,16 @@ class CopErNaiveController : public MemoryController
     /** Lazily materialised wide-code check bits (raw blocks only). */
     u16 &wideCheckOf(Addr addr);
 
+    /** codec_.encode through the memo (when attached). */
+    CopEncodeResult
+    encodeBlock(const CacheBlock &data) const
+    {
+        if (memo_ != nullptr)
+            return memo_->encode(codec_, data);
+        return codec_.encode(data);
+    }
+
+    EncodeMemo *memo_;
     CopCodec codec_;
     MetaCache meta_;
     Cycle decodeLatency_;

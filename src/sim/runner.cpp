@@ -189,6 +189,9 @@ appendResultsJson(std::string &out, const SystemResults &r)
     field(out, "scheme_writes_msb", r.mem.schemeWrites[0]);
     field(out, "scheme_writes_rle", r.mem.schemeWrites[1]);
     field(out, "scheme_writes_txt", r.mem.schemeWrites[2]);
+    field(out, "codec_encode_calls", r.mem.encodeCalls);
+    field(out, "codec_memo_hits", r.mem.encodeMemoHits);
+    field(out, "codec_scheme_trials", r.mem.schemeTrials);
     field(out, "ever_uncompressed_blocks", r.everUncompressedBlocks);
     field(out, "touched_blocks", r.touchedBlocks);
     field(out, "ecc_region_bytes", r.eccRegionBytes);

@@ -26,7 +26,8 @@ controllerKindName(ControllerKind k)
 std::unique_ptr<MemoryController>
 makeController(ControllerKind kind, DramSystem &dram,
                MemoryController::ContentSource content,
-               Cycle decode_latency, u64 meta_cache_bytes)
+               Cycle decode_latency, u64 meta_cache_bytes,
+               EncodeMemo *memo)
 {
     switch (kind) {
       case ControllerKind::Unprotected:
@@ -41,17 +42,19 @@ makeController(ControllerKind kind, DramSystem &dram,
       case ControllerKind::Cop4:
         return std::make_unique<CopController>(
             dram, std::move(content), CopConfig::fourByte(),
-            decode_latency);
+            decode_latency, memo);
       case ControllerKind::Cop8:
         return std::make_unique<CopController>(
             dram, std::move(content), CopConfig::eightByte(),
-            decode_latency);
+            decode_latency, memo);
       case ControllerKind::CopEr:
         return std::make_unique<CopErController>(
-            dram, std::move(content), decode_latency, meta_cache_bytes);
+            dram, std::move(content), decode_latency, meta_cache_bytes,
+            memo);
       case ControllerKind::CopErNaive:
         return std::make_unique<CopErNaiveController>(
-            dram, std::move(content), decode_latency, meta_cache_bytes);
+            dram, std::move(content), decode_latency, meta_cache_bytes,
+            memo);
     }
     COP_PANIC("bad controller kind");
 }
@@ -65,10 +68,11 @@ System::System(const WorkloadProfile &profile, const SystemConfig &cfg)
         cores_[c].gen = std::make_unique<TraceGenerator>(profile, c,
                                                          cfg_.seedSalt);
     }
+    encodeMemo_ = std::make_unique<EncodeMemo>(cfg_.encodeMemoEntries);
     controller_ = makeController(
         cfg_.kind, dram_,
         [this](Addr addr) { return poolFor(addr).blockFor(addr); },
-        cfg_.decodeLatency, cfg_.metaCacheBytes);
+        cfg_.decodeLatency, cfg_.metaCacheBytes, encodeMemo_.get());
 
     if (cfg_.fault.enabled) {
         controller_->enableFaultInjection(cfg_.fault.recovery);
@@ -248,6 +252,9 @@ System::run()
     results.aliasPinEvents = llc_.stats().aliasPinned;
     results.dram = dram_.stats();
     results.mem = controller_->stats();
+    results.mem.encodeCalls = encodeMemo_->lookups();
+    results.mem.encodeMemoHits = encodeMemo_->hits();
+    results.mem.schemeTrials = encodeMemo_->schemeTrials();
     results.vuln = controller_->vulnLog();
     results.errors = controller_->errorLog();
     results.everUncompressedBlocks = everUncompressed_.size();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cache/set_assoc_cache.hpp"
+#include "core/encode_memo.hpp"
 #include "mem/controller.hpp"
 #include "reliability/live_injector.hpp"
 #include "workloads/trace_gen.hpp"
@@ -66,6 +67,13 @@ struct SystemConfig
      * instead of discovering the alias at eviction.
      */
     bool proactiveAliasCheck = false;
+    /**
+     * Encode-memo slots for the COP-family controllers (content-keyed
+     * cache of CopCodec::encode results). 0 disables caching but keeps
+     * the perf counters; the memo cannot change simulated behaviour
+     * (see core/encode_memo.hpp).
+     */
+    unsigned encodeMemoEntries = 1u << 13;
     u64 seedSalt = 0;
     /** Live fault injection + error recovery (off by default). */
     FaultConfig fault;
@@ -136,6 +144,7 @@ class System
     SystemConfig cfg_;
     DramSystem dram_;
     SetAssocCache llc_;
+    std::unique_ptr<EncodeMemo> encodeMemo_;
     std::unique_ptr<MemoryController> controller_;
     std::unique_ptr<LiveInjector> injector_;
     std::vector<Core> cores_;
@@ -144,11 +153,15 @@ class System
     u64 missCount_ = 0;
 };
 
-/** Factory for the memory-controller variants. */
+/**
+ * Factory for the memory-controller variants. @p memo (caller-owned,
+ * may be null) attaches the encode memo to the COP-family controllers.
+ */
 std::unique_ptr<MemoryController>
 makeController(ControllerKind kind, DramSystem &dram,
                MemoryController::ContentSource content,
-               Cycle decode_latency, u64 meta_cache_bytes);
+               Cycle decode_latency, u64 meta_cache_bytes,
+               EncodeMemo *memo = nullptr);
 
 } // namespace cop
 

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Equivalence suite for the digest-based admission fast paths: for
+ * every scheme, canCompressDigest(computeDigest(b), b, budget) and the
+ * budget-threaded canCompress overrides must answer exactly what the
+ * base class's compressedBits()-from-scratch rule answers, for random
+ * blocks of every generator category and for crafted boundary blocks.
+ * The scheme selection in CombinedCompressor (and hence every stored
+ * DRAM image) rides on this equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "compress/bdi.hpp"
+#include "compress/combined.hpp"
+#include "compress/fpc.hpp"
+#include "workloads/block_gen.hpp"
+
+namespace cop {
+namespace {
+
+/** The base-class admission rule, computed the slow way. */
+bool
+slowCanCompress(const BlockCompressor &comp, const CacheBlock &block,
+                unsigned budget)
+{
+    const int n = comp.compressedBits(block);
+    return n >= 0 && static_cast<unsigned>(n) <= budget;
+}
+
+std::vector<CacheBlock>
+testCorpus()
+{
+    std::vector<CacheBlock> blocks;
+    Rng rng(77);
+    BlockGenParams params;
+    for (unsigned c = 0; c < kBlockCategories; ++c) {
+        for (unsigned i = 0; i < 64; ++i) {
+            blocks.push_back(generateBlock(static_cast<BlockCategory>(c),
+                                           params, rng));
+        }
+    }
+    // Crafted boundaries: all-zero, all-ones, single set bit, a block
+    // whose high byte-bits are clean except one word (TXT edge), and
+    // a near-uniform block with one deviant byte (RLE/BDI edge).
+    CacheBlock zero{};
+    blocks.push_back(zero);
+    blocks.push_back(CacheBlock::filled(0xFF));
+    CacheBlock onebit{};
+    onebit.setByte(63, 0x80);
+    blocks.push_back(onebit);
+    CacheBlock text{};
+    for (unsigned i = 0; i < kBlockBytes; ++i)
+        text.setByte(i, static_cast<u8>(0x20 + i % 0x5F));
+    blocks.push_back(text);
+    CacheBlock texthi = text;
+    texthi.setByte(37, 0xC3);
+    blocks.push_back(texthi);
+    CacheBlock runs{};
+    for (unsigned i = 0; i < kBlockBytes; ++i)
+        runs.setByte(i, i < 30 ? 0x00 : (i < 50 ? 0xFF : 0x42));
+    blocks.push_back(runs);
+    return blocks;
+}
+
+const unsigned kBudgets[] = {0,   100, 200, 300, 350, 400, 446,
+                             460, 478, 500, 512, 560, 600};
+
+TEST(Digest, CanCompressDigestMatchesSlowPathAllSchemes)
+{
+    std::vector<std::unique_ptr<BlockCompressor>> schemes;
+    schemes.push_back(std::make_unique<MsbCompressor>(5, true));
+    schemes.push_back(std::make_unique<MsbCompressor>(10, true));
+    schemes.push_back(std::make_unique<MsbCompressor>(5, false));
+    schemes.push_back(std::make_unique<RleCompressor>());
+    schemes.push_back(std::make_unique<TxtCompressor>());
+    schemes.push_back(std::make_unique<FpcCompressor>());
+    schemes.push_back(std::make_unique<BdiCompressor>());
+
+    const auto blocks = testCorpus();
+    for (const auto &scheme : schemes) {
+        for (const auto &block : blocks) {
+            const BlockDigest digest = computeDigest(block);
+            for (const unsigned budget : kBudgets) {
+                const bool slow = slowCanCompress(*scheme, block, budget);
+                ASSERT_EQ(scheme->canCompress(block, budget), slow)
+                    << scheme->name() << " budget=" << budget;
+                ASSERT_EQ(
+                    scheme->canCompressDigest(digest, block, budget),
+                    slow)
+                    << scheme->name() << " budget=" << budget;
+            }
+        }
+    }
+}
+
+TEST(Digest, ZeroByteMaskMatchesByteScan)
+{
+    Rng rng(78);
+    for (int iter = 0; iter < 5000; ++iter) {
+        u64 w = rng.next();
+        // Bias toward bytes that are exactly 0x00 or 0xFF.
+        for (unsigned b = 0; b < 8; ++b) {
+            const unsigned roll = rng.below(4);
+            if (roll == 0)
+                w &= ~(0xFFULL << (8 * b));
+            else if (roll == 1)
+                w |= 0xFFULL << (8 * b);
+        }
+        unsigned expect = 0;
+        for (unsigned b = 0; b < 8; ++b) {
+            if (((w >> (8 * b)) & 0xFF) == 0)
+                expect |= 1u << b;
+        }
+        ASSERT_EQ(zeroByteMask(w), expect) << "w=" << w;
+    }
+}
+
+TEST(Digest, FieldsMatchDefinition)
+{
+    const auto blocks = testCorpus();
+    for (const auto &block : blocks) {
+        const BlockDigest d = computeDigest(block);
+        u64 diff = 0, all = 0, zeros = 0, ones = 0;
+        for (unsigned w = 0; w < 8; ++w) {
+            const u64 v = block.word64(w);
+            diff |= v ^ block.word64(0);
+            all |= v;
+            zeros |= static_cast<u64>(zeroByteMask(v)) << (8 * w);
+            ones |= static_cast<u64>(zeroByteMask(~v)) << (8 * w);
+        }
+        ASSERT_EQ(d.diffMask, diff);
+        ASSERT_EQ(d.orAll, all);
+        ASSERT_EQ(d.zeroBytes, zeros);
+        ASSERT_EQ(d.onesBytes, ones);
+    }
+}
+
+TEST(Digest, CombinedTrialCounterCountsAtMostConfiguredSchemes)
+{
+    // The pre-classifier must never *add* trials: with the counter
+    // threaded through, each block reports at most one trial per
+    // configured scheme, and compressibility is unchanged.
+    const CombinedCompressor comp(4);
+    const auto blocks = testCorpus();
+    for (const auto &block : blocks) {
+        unsigned trials = 0;
+        const bool yes = comp.compressible(block, &trials);
+        ASSERT_LE(trials, comp.schemes().size());
+        ASSERT_EQ(yes, comp.compressible(block));
+    }
+}
+
+} // namespace
+} // namespace cop

@@ -102,6 +102,57 @@ INSTANTIATE_TEST_SUITE_P(
                std::to_string(c.dataBits());
     });
 
+TEST(HsiaoGeometry, ColumnOrderMatchesFullScanEnumeration)
+{
+    // The constructor walks odd-weight columns with Gosper's
+    // next-popcount-permutation; the stored column order is on-DRAM
+    // format (it fixes which data bit lands in which code word
+    // position), so it must equal the original full-scan enumeration:
+    // increasing weight 3, 5, ..., then increasing value within a
+    // weight, then unit vectors for the check bits.
+    for (const HsiaoCode *codep :
+         {&codes::dimm72(), &codes::full128(), &codes::short64(),
+          &codes::wide523(), &codes::validBits512()}) {
+        const HsiaoCode &code = *codep;
+        const unsigned r = code.checkBits();
+        std::vector<u32> expect;
+        for (unsigned weight = 3; weight <= r && expect.size() < code.dataBits();
+             weight += 2) {
+            for (u64 v = 0; v < (1ULL << r) && expect.size() < code.dataBits();
+                 ++v) {
+                if (static_cast<unsigned>(std::popcount(v)) == weight)
+                    expect.push_back(static_cast<u32>(v));
+            }
+        }
+        ASSERT_EQ(expect.size(), code.dataBits());
+        for (unsigned i = 0; i < code.dataBits(); ++i)
+            ASSERT_EQ(code.column(i), expect[i])
+                << "n=" << code.codeBits() << " data column " << i;
+        for (unsigned i = 0; i < r; ++i)
+            ASSERT_EQ(code.column(code.dataBits() + i), 1u << i)
+                << "n=" << code.codeBits() << " check column " << i;
+    }
+}
+
+TEST(HammingGeometry, ColumnOrderMatchesFullScanEnumeration)
+{
+    // Hamming data columns: non-power-of-two nonzero r-bit values in
+    // increasing order; check columns are unit vectors.
+    const HammingCode &code = codes::pointer34();
+    const unsigned r = code.checkBits();
+    std::vector<u32> expect;
+    for (u32 v = 1; v < (1u << r) && expect.size() < code.dataBits(); ++v) {
+        if (std::popcount(v) != 1)
+            expect.push_back(v);
+    }
+    ASSERT_EQ(expect.size(), code.dataBits());
+    for (unsigned i = 0; i < code.dataBits(); ++i)
+        ASSERT_EQ(code.column(i), expect[i]) << "data column " << i;
+    for (unsigned i = 0; i < r; ++i)
+        ASSERT_EQ(code.column(code.dataBits() + i), 1u << i)
+            << "check column " << i;
+}
+
 TEST(HsiaoGeometry, PaperCodeShapes)
 {
     EXPECT_EQ(codes::dimm72().codeBits(), 72u);
