@@ -41,6 +41,29 @@ main(int argc, char **argv)
     }
     grid.run();
 
+    // The two policies must actually diverge: closed-page auto-
+    // precharges after every column access, so it can never score a
+    // row hit, while open-row must score plenty on these streaming
+    // workloads. A dead policy switch (both branches behaving
+    // identically) would silently turn this ablation into a no-op.
+    for (const char *name : names) {
+        const WorkloadProfile &p = WorkloadRegistry::byName(name);
+        for (const ControllerKind kind : kinds) {
+            const DramStats &open =
+                grid.result(p.name, label(kind, RowPolicy::Open)).dram;
+            const DramStats &closed =
+                grid.result(p.name, label(kind, RowPolicy::Closed)).dram;
+            if (closed.rowHits != 0) {
+                COP_FATAL("closed-page policy scored row hits for " +
+                          p.name + "/" + controllerKindName(kind));
+            }
+            if (open.rowHits == 0) {
+                COP_FATAL("open-row policy scored no row hits for " +
+                          p.name + "/" + controllerKindName(kind));
+            }
+        }
+    }
+
     std::printf("Ablation: row-buffer policy (IPC normalised to "
                 "unprotected under the same policy)\n\n");
     std::printf("%-14s | %9s %9s %9s | %9s %9s %9s\n", "",

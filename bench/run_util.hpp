@@ -17,6 +17,8 @@
 #ifndef COP_BENCH_RUN_UTIL_HPP
 #define COP_BENCH_RUN_UTIL_HPP
 
+#include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -26,6 +28,21 @@
 #include "sim_util.hpp"
 
 namespace cop::bench {
+
+/**
+ * Directory for per-cell stats traces (JSONL), or "" when tracing is
+ * off. Setting COP_TRACE_STATS=<dir> makes every grid cell write
+ * <dir>/<bench>.<benchmark>.<scheme>.jsonl via
+ * SystemConfig::traceStatsPath; leaving it unset keeps every run
+ * byte-identical to a build without the observability layer.
+ */
+inline std::string
+traceStatsDir()
+{
+    if (const char *env = std::getenv("COP_TRACE_STATS"))
+        return env;
+    return "";
+}
 
 /** Directory for the JSON results sinks. */
 inline std::string
@@ -150,6 +167,7 @@ class GridRunner
         const bool fresh =
             index_.emplace(key(profile.name, scheme_label), idx).second;
         COP_ASSERT(fresh); // duplicate (benchmark, scheme) cell
+        attachTraceSink(cells_.back());
         return idx;
     }
 
@@ -158,6 +176,8 @@ class GridRunner
     run()
     {
         COP_ASSERT(results_.empty());
+        using Clock = std::chrono::steady_clock;
+        const Clock::time_point start = Clock::now();
         results_ = runCollected<SystemResults>(
             cells_.size(),
             [this](size_t i) {
@@ -165,6 +185,9 @@ class GridRunner
                 return sys.run();
             },
             opts_, &wallMs_);
+        elapsedMs_ = std::chrono::duration<double, std::milli>(
+                         Clock::now() - start)
+                         .count();
         reportTiming();
     }
 
@@ -233,12 +256,19 @@ class GridRunner
             cell.add("benchmark", cells_[i].profile->name);
             cell.add("scheme", cells_[i].scheme);
             cell.add("wall_ms", wallMs_[i]);
+            cell.add("epochs_per_sec", cellEpochsPerSec(i));
             timing += cell.str();
         }
         JsonObjectBuilder top_timing;
         top_timing.add("bench", name_);
         top_timing.add("jobs", static_cast<u64>(opts_.effectiveJobs()));
         top_timing.add("wall_ms_total", totalMs_);
+        top_timing.add("elapsed_ms", elapsedMs_);
+        top_timing.add("cells_per_sec",
+                       elapsedMs_ > 0
+                           ? static_cast<double>(cells_.size()) /
+                                 (elapsedMs_ / 1000.0)
+                           : 0.0);
         top_timing.addRaw("cells", "[" + timing + "]");
         writeResultsFile(name_ + ".timing.json", top_timing.str());
     }
@@ -255,6 +285,42 @@ class GridRunner
     key(const std::string &bench, const std::string &scheme)
     {
         return {bench, scheme};
+    }
+
+    /** Point a cell's trace sink into COP_TRACE_STATS, if set. */
+    void
+    attachTraceSink(Cell &cell)
+    {
+        const std::string dir = traceStatsDir();
+        if (dir.empty())
+            return;
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        auto sanitize = [](const std::string &s) {
+            std::string out;
+            for (const char c : s)
+                out += std::isalnum(static_cast<unsigned char>(c))
+                           ? c
+                           : '_';
+            return out;
+        };
+        cell.cfg.traceStatsPath =
+            (std::filesystem::path(dir) /
+             (name_ + "." + sanitize(cell.profile->name) + "." +
+              sanitize(cell.scheme) + ".jsonl"))
+                .string();
+    }
+
+    /** Simulated epochs per wall-second for cell @p i. */
+    double
+    cellEpochsPerSec(size_t i) const
+    {
+        if (wallMs_[i] <= 0)
+            return 0.0;
+        const double epochs =
+            static_cast<double>(cells_[i].cfg.epochsPerCore) *
+            cells_[i].cfg.cores;
+        return epochs / (wallMs_[i] / 1000.0);
     }
 
     void
@@ -274,10 +340,14 @@ class GridRunner
             return;
         std::fprintf(stderr,
                      "[runner] %s: %zu cells, jobs=%u, "
-                     "cell-time sum %.0f ms, "
-                     "slowest cell %s/%s %.0f ms\n",
+                     "cell-time sum %.0f ms, elapsed %.0f ms "
+                     "(%.2f cells/s), slowest cell %s/%s %.0f ms\n",
                      name_.c_str(), cells_.size(), opts_.effectiveJobs(),
-                     totalMs_, cells_[slowest_idx].profile->name.c_str(),
+                     totalMs_, elapsedMs_,
+                     elapsedMs_ > 0 ? static_cast<double>(cells_.size()) /
+                                          (elapsedMs_ / 1000.0)
+                                    : 0.0,
+                     cells_[slowest_idx].profile->name.c_str(),
                      cells_[slowest_idx].scheme.c_str(), slowest);
     }
 
@@ -288,6 +358,7 @@ class GridRunner
     std::vector<SystemResults> results_;
     std::vector<double> wallMs_;
     double totalMs_ = 0;
+    double elapsedMs_ = 0;
     JsonObjectBuilder derived_;
 };
 

@@ -15,6 +15,9 @@
  *     --decode-latency <n>   COP decode cycles (default 4)
  *     --closed-page          closed-page DRAM row policy
  *     --proactive-alias      alias-check stores at LLC-write time
+ *     --trace-stats <file>   write a JSONL stats trace (see
+ *                            scripts/agg_stats.py)
+ *     --trace-interval <n>   epochs between trace snapshots
  *     --list                 list built-in benchmarks and exit
  */
 
@@ -97,6 +100,11 @@ main(int argc, char **argv)
             cfg.dram.rowPolicy = RowPolicy::Closed;
         } else if (arg == "--proactive-alias") {
             cfg.proactiveAliasCheck = true;
+        } else if (arg == "--trace-stats") {
+            cfg.traceStatsPath = next();
+        } else if (arg == "--trace-interval") {
+            cfg.traceStatsEpochInterval =
+                parsePositiveU64(next(), "--trace-interval");
         } else if (arg == "--list") {
             return listBenchmarks();
         } else {

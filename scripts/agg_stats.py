@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Validate and tabulate COP stats traces.
+
+A stats trace is the JSONL file written by `SystemConfig::traceStatsPath`
+(or, for benches, by setting `COP_TRACE_STATS=<dir>`): one snapshot per
+line, each carrying per-counter deltas since the previous snapshot and
+cumulative latency-histogram summaries.
+
+Usage:
+  agg_stats.py TRACE.jsonl              per-epoch counter table
+  agg_stats.py TRACE.jsonl --check      schema-validate; exit 1 on error
+  agg_stats.py TRACE.jsonl --counters dram.reads,mem.fills
+  agg_stats.py TRACE.jsonl --hist dram.read_latency
+  agg_stats.py TRACE.jsonl --totals     summed deltas over the whole run
+
+Multiple traces can be given; each is processed independently.
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+HIST_KEYS = ("count", "delta_count", "p50", "p95", "p99", "max")
+
+
+def fail(path, lineno, msg):
+    sys.exit(f"{path}:{lineno}: {msg}")
+
+
+def nonneg_int(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def load(path):
+    """Parse and schema-check one trace; returns the snapshot list."""
+    snapshots = []
+    prev_epoch = -1
+    prev_cycle = -1
+    counter_keys = None
+    hist_keys = None
+    prev_hist_counts = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                fail(path, lineno, "blank line inside trace")
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(path, lineno, f"invalid JSON: {err}")
+            if not isinstance(snap, dict):
+                fail(path, lineno, "snapshot is not an object")
+            for key in ("epoch", "cycle", "counters", "histograms"):
+                if key not in snap:
+                    fail(path, lineno, f"missing key {key!r}")
+            if not nonneg_int(snap["epoch"]):
+                fail(path, lineno, "epoch must be a non-negative integer")
+            if not nonneg_int(snap["cycle"]):
+                fail(path, lineno, "cycle must be a non-negative integer")
+            if snap["epoch"] < prev_epoch:
+                fail(path, lineno, "epoch went backwards")
+            if snap["cycle"] < prev_cycle:
+                fail(path, lineno, "cycle went backwards")
+            prev_epoch, prev_cycle = snap["epoch"], snap["cycle"]
+
+            counters = snap["counters"]
+            if not isinstance(counters, dict):
+                fail(path, lineno, "counters is not an object")
+            for name, value in counters.items():
+                if not nonneg_int(value):
+                    fail(path, lineno, f"counter {name!r} not a non-negative int")
+            if counter_keys is None:
+                counter_keys = set(counters)
+            elif set(counters) != counter_keys:
+                fail(path, lineno, "counter key set changed mid-trace")
+
+            hists = snap["histograms"]
+            if not isinstance(hists, dict):
+                fail(path, lineno, "histograms is not an object")
+            for name, summary in hists.items():
+                if not isinstance(summary, dict):
+                    fail(path, lineno, f"histogram {name!r} not an object")
+                if set(summary) != set(HIST_KEYS):
+                    fail(path, lineno,
+                         f"histogram {name!r} keys {sorted(summary)} != "
+                         f"{sorted(HIST_KEYS)}")
+                for key, value in summary.items():
+                    if not nonneg_int(value):
+                        fail(path, lineno,
+                             f"histogram {name!r}.{key} not a non-negative int")
+                if summary["delta_count"] > summary["count"]:
+                    fail(path, lineno,
+                         f"histogram {name!r} delta_count exceeds count")
+                if summary["count"] < prev_hist_counts.get(name, 0):
+                    fail(path, lineno,
+                         f"histogram {name!r} count went backwards")
+                prev_hist_counts[name] = summary["count"]
+                if summary["max"] and (summary["p50"] > summary["max"]
+                                       or summary["p99"] > summary["max"]):
+                    fail(path, lineno,
+                         f"histogram {name!r} percentile exceeds max")
+            if hist_keys is None:
+                hist_keys = set(hists)
+            elif set(hists) != hist_keys:
+                fail(path, lineno, "histogram key set changed mid-trace")
+            snapshots.append(snap)
+    if not snapshots:
+        fail(path, 0, "empty trace")
+    return snapshots
+
+
+def pick_counters(snapshots, requested):
+    available = list(snapshots[0]["counters"])
+    if not requested:
+        return available
+    names = [n for n in requested.split(",") if n]
+    for name in names:
+        if name not in snapshots[0]["counters"]:
+            sys.exit(f"unknown counter {name!r}; available: "
+                     f"{', '.join(available)}")
+    return names
+
+
+def print_table(path, snapshots, names):
+    widths = [max(len(n), 12) for n in names]
+    header = f"{'epoch':>10} {'cycle':>14} " + " ".join(
+        f"{n:>{w}}" for n, w in zip(names, widths))
+    print(f"# {path}")
+    print(header)
+    print("-" * len(header))
+    for snap in snapshots:
+        row = f"{snap['epoch']:>10} {snap['cycle']:>14} " + " ".join(
+            f"{snap['counters'][n]:>{w}}" for n, w in zip(names, widths))
+        print(row)
+
+
+def print_hist(path, snapshots, name):
+    if name not in snapshots[0]["histograms"]:
+        available = ", ".join(snapshots[0]["histograms"])
+        sys.exit(f"unknown histogram {name!r}; available: {available}")
+    print(f"# {path} :: {name}")
+    header = (f"{'epoch':>10} {'count':>12} {'delta':>10} {'p50':>8} "
+              f"{'p95':>8} {'p99':>8} {'max':>8}")
+    print(header)
+    print("-" * len(header))
+    for snap in snapshots:
+        s = snap["histograms"][name]
+        print(f"{snap['epoch']:>10} {s['count']:>12} "
+              f"{s['delta_count']:>10} {s['p50']:>8} {s['p95']:>8} "
+              f"{s['p99']:>8} {s['max']:>8}")
+
+
+def print_totals(path, snapshots):
+    print(f"# {path} (summed deltas, {len(snapshots)} snapshots)")
+    totals = {}
+    for snap in snapshots:
+        for name, value in snap["counters"].items():
+            totals[name] = totals.get(name, 0) + value
+    width = max(len(n) for n in totals)
+    for name in totals:
+        print(f"  {name:<{width}}  {totals[name]}")
+
+
+def main():
+    # Die quietly when piped into head & co.
+    if hasattr(signal, "SIGPIPE"):
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("traces", nargs="+", help="JSONL stats trace(s)")
+    parser.add_argument("--check", action="store_true",
+                        help="schema-validate only; exit 1 on violation")
+    parser.add_argument("--counters",
+                        help="comma-separated counter names to tabulate")
+    parser.add_argument("--hist",
+                        help="tabulate one histogram's summary per epoch")
+    parser.add_argument("--totals", action="store_true",
+                        help="print summed counter deltas over the run")
+    args = parser.parse_args()
+
+    for path in args.traces:
+        snapshots = load(path)
+        if args.check:
+            print(f"OK: {path}: {len(snapshots)} snapshots, "
+                  f"{len(snapshots[0]['counters'])} counters, "
+                  f"{len(snapshots[0]['histograms'])} histograms")
+        elif args.hist:
+            print_hist(path, snapshots, args.hist)
+        elif args.totals:
+            print_totals(path, snapshots)
+        else:
+            print_table(path, snapshots,
+                        pick_counters(snapshots, args.counters))
+
+
+if __name__ == "__main__":
+    main()

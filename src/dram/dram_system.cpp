@@ -29,18 +29,48 @@ DramSystem::rankAt(const DramLocation &loc)
 }
 
 Cycle
-DramSystem::adjustForRefresh(Cycle cycle)
+DramSystem::refreshAdjusted(Cycle cycle) const
 {
     if (!cfg_.refreshEnabled)
         return cycle;
     // All-bank refresh every tREFI; a command landing inside the tRFC
     // window slips to its end.
     const Cycle phase = cycle % cfg_.tREFI;
-    if (phase < cfg_.tRFC) {
-        ++stats_.refreshStalls;
+    if (phase < cfg_.tRFC)
         return cycle - phase + cfg_.tRFC;
-    }
     return cycle;
+}
+
+Cycle
+DramSystem::adjustForRefresh(Cycle cycle)
+{
+    const Cycle adjusted = refreshAdjusted(cycle);
+    if (adjusted != cycle)
+        ++stats_.refreshStalls;
+    return adjusted;
+}
+
+Cycle
+DramSystem::adjustForRefreshColumn(Cycle cycle)
+{
+    const Cycle adjusted = refreshAdjusted(cycle);
+    if (adjusted != cycle)
+        ++stats_.refreshStallsCas;
+    return adjusted;
+}
+
+Cycle
+DramSystem::rankActConstraint(const Rank &rank, Cycle earliest) const
+{
+    // Per-rank activate constraints: tRRD and the 4-activate window
+    // (only binding once enough prior activates exist).
+    if (rank.actCount >= 1)
+        earliest = std::max(earliest, rank.lastAct + cfg_.tRRD);
+    if (rank.actCount >= 4) {
+        earliest =
+            std::max(earliest, rank.lastActs[rank.actPtr] + cfg_.tFAW);
+    }
+    return earliest;
 }
 
 Cycle
@@ -51,8 +81,13 @@ DramSystem::bankReadyHint(Addr addr) const
         channels_[loc.channel]
             .banks[static_cast<size_t>(loc.rank) * cfg_.banksPerRank +
                    loc.bank];
-    return bank.rowOpen && bank.openRow == loc.row ? bank.casReady
-                                                   : bank.actReady;
+    const Rank &rank = channels_[loc.channel].ranks[loc.rank];
+
+    if (bank.rowOpen && bank.openRow == loc.row)
+        return refreshAdjusted(bank.casReady);
+    const Cycle act = bank.rowOpen ? bank.preReady + cfg_.tRP
+                                   : bank.actReady;
+    return refreshAdjusted(rankActConstraint(rank, act));
 }
 
 DramResult
@@ -83,15 +118,8 @@ DramSystem::access(const DramRequest &req)
             ++stats_.rowMisses;
             act_earliest = std::max(req.arrival, bank.actReady);
         }
-        // Per-rank activate constraints: tRRD and the 4-activate window
-        // (only binding once enough prior activates exist).
-        if (rank.actCount >= 1)
-            act_earliest = std::max(act_earliest, rank.lastAct + cfg_.tRRD);
-        if (rank.actCount >= 4) {
-            act_earliest = std::max(
-                act_earliest, rank.lastActs[rank.actPtr] + cfg_.tFAW);
-        }
-        const Cycle act = adjustForRefresh(act_earliest);
+        const Cycle act =
+            adjustForRefresh(rankActConstraint(rank, act_earliest));
 
         rank.lastActs[rank.actPtr] = act;
         rank.actPtr = (rank.actPtr + 1) % 4;
@@ -106,6 +134,12 @@ DramSystem::access(const DramRequest &req)
         cas = std::max(cas, req.arrival);
     }
 
+    // The DRAM is unavailable during all-bank refresh: column commands
+    // (and the data bursts they start) must sit out a tRFC window just
+    // like activates. Counted separately from ACT stalls — a row hit
+    // stalling here is pure refresh exposure, not bank contention.
+    cas = adjustForRefreshColumn(cas);
+
     // Data transfer on the shared channel bus.
     const Cycle cas_to_data = req.isWrite ? cfg_.tCWL : cfg_.tCL;
     Cycle data = std::max(cas + cas_to_data, channel.busFree);
@@ -119,22 +153,39 @@ DramSystem::access(const DramRequest &req)
         ++stats_.writes;
         bank.preReady =
             std::max(bank.preReady, result.complete + cfg_.tWR);
+        stats_.writeLatency.record(result.complete - req.arrival);
     } else {
         ++stats_.reads;
         bank.preReady =
             std::max(bank.preReady, effective_cas + cfg_.tRTP);
         stats_.totalReadLatency += result.complete - req.arrival;
+        stats_.readLatency.record(result.complete - req.arrival);
     }
-    if (cfg_.rowPolicy == RowPolicy::Closed) {
-        // Auto-precharge: the row closes as soon as timing allows, and
-        // the next access to this bank must re-activate.
-        bank.rowOpen = false;
-        bank.actReady = std::max(bank.actReady, bank.preReady + cfg_.tRP);
-    } else {
-        bank.actReady = std::max(bank.actReady, bank.preReady + cfg_.tRP);
-    }
+    // Either policy precharges no earlier than preReady, so a future
+    // activate waits out tRP past it; the policies differ only in
+    // whether the row is still open for hits in the meantime.
+    bank.actReady = std::max(bank.actReady, bank.preReady + cfg_.tRP);
+    if (cfg_.rowPolicy == RowPolicy::Closed)
+        bank.rowOpen = false; // auto-precharge: next access re-activates
 
     return result;
+}
+
+void
+DramSystem::registerStats(StatsRegistry &reg) const
+{
+    reg.gauge("dram.reads", [this] { return stats_.reads; });
+    reg.gauge("dram.writes", [this] { return stats_.writes; });
+    reg.gauge("dram.row_hits", [this] { return stats_.rowHits; });
+    reg.gauge("dram.row_misses", [this] { return stats_.rowMisses; });
+    reg.gauge("dram.row_conflicts",
+              [this] { return stats_.rowConflicts; });
+    reg.gauge("dram.refresh_stalls_act",
+              [this] { return stats_.refreshStalls; });
+    reg.gauge("dram.refresh_stalls_cas",
+              [this] { return stats_.refreshStallsCas; });
+    reg.histogram("dram.read_latency", &stats_.readLatency);
+    reg.histogram("dram.write_latency", &stats_.writeLatency);
 }
 
 } // namespace cop

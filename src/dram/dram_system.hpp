@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "dram/config.hpp"
+#include "stats/histogram.hpp"
+#include "stats/stats_registry.hpp"
 
 namespace cop {
 
@@ -46,8 +48,13 @@ struct DramStats
     u64 rowHits = 0;
     u64 rowMisses = 0;
     u64 rowConflicts = 0;
-    u64 refreshStalls = 0;
+    u64 refreshStalls = 0; ///< ACT commands delayed past a tRFC window.
     Cycle totalReadLatency = 0;
+    /** Column commands (CAS) delayed past a tRFC window. */
+    u64 refreshStallsCas = 0;
+    /** Per-access arrival-to-last-beat latency (simulated cycles). */
+    Histogram readLatency;
+    Histogram writeLatency;
 
     double
     rowHitRate() const
@@ -83,7 +90,19 @@ class DramSystem
     const DramStats &stats() const { return stats_; }
     void resetStats() { stats_ = DramStats{}; }
 
-    /** Earliest cycle the addressed bank could start a new activate. */
+    /**
+     * Register this DRAM system's counters and latency histograms into
+     * @p reg under the "dram." namespace. The registry must not outlive
+     * this object.
+     */
+    void registerStats(StatsRegistry &reg) const;
+
+    /**
+     * Earliest cycle the addressed bank could issue the first command
+     * of a new access (CAS on an open-row hit, ACT otherwise),
+     * consulting the same per-rank tRRD/tFAW windows and refresh state
+     * as access() — but const: no statistics are mutated.
+     */
     Cycle bankReadyHint(Addr addr) const;
 
   private:
@@ -114,8 +133,19 @@ class DramSystem
     Bank &bankAt(const DramLocation &loc);
     Rank &rankAt(const DramLocation &loc);
 
-    /** Delay @p cycle past any refresh window it lands in. */
+    /**
+     * @p cycle delayed past any refresh window it lands in (identity
+     * when refresh is off). Pure: the stat-bumping wrappers below and
+     * the const bankReadyHint() share it.
+     */
+    Cycle refreshAdjusted(Cycle cycle) const;
+    /** Delay an ACT past refresh; counts stats_.refreshStalls. */
     Cycle adjustForRefresh(Cycle cycle);
+    /** Delay a column command past refresh; counts refreshStallsCas. */
+    Cycle adjustForRefreshColumn(Cycle cycle);
+
+    /** Earliest ACT issue respecting per-rank tRRD/tFAW windows. */
+    Cycle rankActConstraint(const Rank &rank, Cycle earliest) const;
 
     DramConfig cfg_;
     AddressMap map_;

@@ -111,6 +111,39 @@ MemoryController::noteWrite(Addr addr, Cycle now)
     lastWrite_[addr] = now;
 }
 
+void
+MemoryController::registerStats(StatsRegistry &reg) const
+{
+    reg.gauge("mem.fills",
+              [this] { return stats_.reads - stats_.metaReads; });
+    reg.gauge("mem.writebacks", [this] {
+        return stats_.protectedWrites + stats_.unprotectedWrites;
+    });
+    reg.gauge("mem.protected_writes",
+              [this] { return stats_.protectedWrites; });
+    reg.gauge("mem.unprotected_writes",
+              [this] { return stats_.unprotectedWrites; });
+    reg.gauge("mem.alias_rejects", [this] { return stats_.aliasRejects; });
+    reg.gauge("mem.meta_reads", [this] { return stats_.metaReads; });
+    reg.gauge("mem.meta_writes", [this] { return stats_.metaWrites; });
+    reg.gauge("mem.meta_cache_hits",
+              [this] { return stats_.metaCacheHits; });
+    reg.gauge("mem.meta_cache_misses",
+              [this] { return stats_.metaCacheMisses; });
+    reg.gauge("err.corrected", [this] { return fault_.log.corrected; });
+    reg.gauge("err.detected", [this] { return fault_.log.detected; });
+    reg.gauge("err.silent", [this] { return fault_.log.silent; });
+    reg.gauge("err.benign", [this] { return fault_.log.benign; });
+    reg.gauge("err.read_retries",
+              [this] { return fault_.log.readRetries; });
+    reg.gauge("err.recovery_rewrites",
+              [this] { return fault_.log.recoveryRewrites; });
+    reg.gauge("err.retired_pages",
+              [this] { return fault_.log.retiredPages; });
+    reg.gauge("err.scrubbed_blocks",
+              [this] { return fault_.log.scrubbedBlocks; });
+}
+
 // ---------------------------------------------------------------------
 // Fault injection and the recovery pipeline
 // ---------------------------------------------------------------------

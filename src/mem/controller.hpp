@@ -153,6 +153,15 @@ class MemoryController
         return false;
     }
 
+    /**
+     * Register this controller's counters into @p reg under the "mem."
+     * and "err." namespaces: fill/writeback/alias-reject rates,
+     * metadata traffic and meta-cache hit rate, and the recovery
+     * pipeline's event counters. Variants override to add their own
+     * instruments (and must call the base).
+     */
+    virtual void registerStats(StatsRegistry &reg) const;
+
     DramSystem &dram() { return dram_; }
     const MemStats &stats() const { return stats_; }
     const VulnLog &vulnLog() const { return vuln_; }

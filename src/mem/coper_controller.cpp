@@ -12,6 +12,21 @@ CopErController::CopErController(DramSystem &dram, ContentSource content,
 }
 
 void
+CopErController::registerStats(StatsRegistry &reg) const
+{
+    MemoryController::registerStats(reg);
+    reg.gauge("coper.entry_allocs",
+              [this] { return erStats_.entryAllocs; });
+    reg.gauge("coper.entry_reuses",
+              [this] { return erStats_.entryReuses; });
+    reg.gauge("coper.entry_frees", [this] { return erStats_.entryFrees; });
+    reg.gauge("coper.dealias_retries",
+              [this] { return erStats_.deAliasRetries; });
+    reg.gauge("coper.pointer_reads",
+              [this] { return erStats_.pointerReads; });
+}
+
+void
 CopErController::chargeTreeTouches(Cycle now)
 {
     const EccRegion::TouchRecord &touches = region_.lastTouches();

@@ -45,6 +45,9 @@ class CopErController : public MemoryController
     MemWriteResult writeback(Addr addr, const CacheBlock &data, Cycle now,
                              bool was_uncompressed) override;
 
+    /** Base instruments plus the ECC-region entry life cycle. */
+    void registerStats(StatsRegistry &reg) const override;
+
     /**
      * Compressible blocks store 512 bits in place; incompressible ones
      * additionally expose their 46-bit ECC-region entry (34 displaced +

@@ -70,7 +70,15 @@ writeReport(const SystemResults &results, const SystemConfig &cfg,
         line(out, "row-hit rate", results.dram.rowHitRate());
         line(out, "avg read latency", results.dram.avgReadLatency(),
              "cycles");
+        const HistogramSummary read_lat =
+            results.dram.readLatency.summary();
+        lineCount(out, "read latency p50", read_lat.p50);
+        lineCount(out, "read latency p95", read_lat.p95);
+        lineCount(out, "read latency p99", read_lat.p99);
+        lineCount(out, "read latency max", read_lat.max);
         lineCount(out, "refresh stalls", results.dram.refreshStalls);
+        lineCount(out, "refresh stalls (CAS)",
+                  results.dram.refreshStallsCas);
     }
 
     if (options.controller) {
@@ -95,9 +103,9 @@ writeReport(const SystemResults &results, const SystemConfig &cfg,
         }
         static const char *scheme_names[] = {"MSB", "RLE", "TXT"};
         for (unsigned s = 0; s < 3; ++s) {
-            out << "  scheme " << scheme_names[s] << " writes"
-                << std::right << std::setw(16 + 28 - 18)
-                << results.mem.schemeWrites[s] << "\n";
+            const std::string label =
+                std::string("scheme ") + scheme_names[s] + " writes";
+            lineCount(out, label.c_str(), results.mem.schemeWrites[s]);
         }
         if (results.eccRegionBytes > 0) {
             line(out, "ECC region (high water)",

@@ -214,7 +214,21 @@ appendResultsJson(std::string &out, const SystemResults &r)
     field(out, "err_scrub_reads", r.errors.scrubReads);
     field(out, "err_scrub_writes", r.errors.scrubWrites);
     field(out, "err_scrub_corrected", r.errors.scrubCorrected);
-    field(out, "err_scrub_detected", r.errors.scrubDetected, false);
+    field(out, "err_scrub_detected", r.errors.scrubDetected);
+    // Observability-layer additions. Strictly after every pre-existing
+    // field: downstream consumers (and the byte-stability test) rely on
+    // the prefix up to err_scrub_detected never changing.
+    field(out, "dram_refresh_stalls_cas", r.dram.refreshStallsCas);
+    const HistogramSummary read_lat = r.dram.readLatency.summary();
+    const HistogramSummary write_lat = r.dram.writeLatency.summary();
+    field(out, "dram_read_lat_p50", read_lat.p50);
+    field(out, "dram_read_lat_p95", read_lat.p95);
+    field(out, "dram_read_lat_p99", read_lat.p99);
+    field(out, "dram_read_lat_max", read_lat.max);
+    field(out, "dram_write_lat_p50", write_lat.p50);
+    field(out, "dram_write_lat_p95", write_lat.p95);
+    field(out, "dram_write_lat_p99", write_lat.p99);
+    field(out, "dram_write_lat_max", write_lat.max, false);
     out += '}';
 }
 

@@ -1,6 +1,7 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <fstream>
 
 #include "mem/coper_controller.hpp"
 #include "mem/coper_naive_controller.hpp"
@@ -83,6 +84,50 @@ System::System(const WorkloadProfile &profile, const SystemConfig &cfg)
         injector_ = std::make_unique<LiveInjector>(
             cfg_.fault, *controller_, footprint, cfg_.seedSalt);
     }
+
+    if (!cfg_.traceStatsPath.empty() && cfg_.traceStatsEpochInterval == 0)
+        COP_FATAL("traceStatsEpochInterval must be positive");
+    registerAllStats();
+}
+
+void
+System::registerAllStats()
+{
+    dram_.registerStats(statsRegistry_);
+    controller_->registerStats(statsRegistry_);
+    statsRegistry_.gauge("codec.encode_calls",
+                         [this] { return encodeMemo_->lookups(); });
+    statsRegistry_.gauge("codec.memo_hits",
+                         [this] { return encodeMemo_->hits(); });
+    statsRegistry_.gauge("codec.scheme_trials",
+                         [this] { return encodeMemo_->schemeTrials(); });
+    statsRegistry_.gauge("llc.hits",
+                         [this] { return llc_.stats().hits; });
+    statsRegistry_.gauge("llc.misses",
+                         [this] { return llc_.stats().misses; });
+    statsRegistry_.gauge("sys.llc_misses", [this] { return missCount_; });
+    statsRegistry_.gauge("sys.writebacks", [this] { return writebacks_; });
+    statsRegistry_.gauge("sys.instructions", [this] {
+        u64 total = 0;
+        for (const Core &core : cores_)
+            total += core.instructions;
+        return total;
+    });
+    statsRegistry_.gauge("sys.epochs", [this] {
+        u64 total = 0;
+        for (const Core &core : cores_)
+            total += core.epochsDone;
+        return total;
+    });
+}
+
+Cycle
+System::maxCoreClock() const
+{
+    Cycle clock = 0;
+    for (const Core &core : cores_)
+        clock = std::max(clock, core.clock);
+    return clock;
 }
 
 System::~System() = default;
@@ -219,6 +264,19 @@ System::runEpoch(Core &core)
 SystemResults
 System::run()
 {
+    // Optional observability trace: one JSONL snapshot of the stats
+    // registry every traceStatsEpochInterval completed epochs. When
+    // the path is empty nothing below touches the registry, so a
+    // tracing-off run is byte-identical to one without the feature.
+    std::ofstream trace;
+    if (!cfg_.traceStatsPath.empty()) {
+        trace.open(cfg_.traceStatsPath);
+        if (!trace)
+            COP_FATAL("cannot open stats trace " + cfg_.traceStatsPath);
+    }
+    u64 epochsDone = 0;
+    u64 epochsSinceSnapshot = 0;
+
     // Global-time interleaving: always advance the core that is
     // furthest behind, so DRAM sees each core's requests in a
     // plausibly-ordered merge.
@@ -235,6 +293,19 @@ System::run()
         if (injector_)
             injector_->advanceTo(next->clock);
         runEpoch(*next);
+        ++epochsDone;
+        if (trace.is_open() &&
+            ++epochsSinceSnapshot >= cfg_.traceStatsEpochInterval) {
+            trace << statsRegistry_.drainEpochJson(epochsDone,
+                                                   maxCoreClock())
+                  << "\n";
+            epochsSinceSnapshot = 0;
+        }
+    }
+    if (trace.is_open()) {
+        // Final snapshot so the trace always sums to the run totals.
+        trace << statsRegistry_.drainEpochJson(epochsDone, maxCoreClock())
+              << "\n";
     }
 
     SystemResults results;

@@ -13,6 +13,7 @@
 #define COP_SIM_SYSTEM_HPP
 
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "core/encode_memo.hpp"
 #include "mem/controller.hpp"
 #include "reliability/live_injector.hpp"
+#include "stats/stats_registry.hpp"
 #include "workloads/trace_gen.hpp"
 
 namespace cop {
@@ -77,6 +79,19 @@ struct SystemConfig
     u64 seedSalt = 0;
     /** Live fault injection + error recovery (off by default). */
     FaultConfig fault;
+    /**
+     * JSONL stats-trace sink (observability layer). Empty (the
+     * default) disables tracing entirely; with tracing off a run's
+     * stdout tables and results JSON are byte-identical to a run of
+     * the same configuration that never had the field. When set, the
+     * System drains its StatsRegistry into this file: one snapshot of
+     * per-counter deltas and histogram summaries every
+     * traceStatsEpochInterval completed epochs plus a final one.
+     * Validate / tabulate with scripts/agg_stats.py.
+     */
+    std::string traceStatsPath;
+    /** Completed epochs (across cores) between trace snapshots. */
+    u64 traceStatsEpochInterval = 256;
 };
 
 /** Aggregate results of one run. */
@@ -122,6 +137,8 @@ class System
 
     MemoryController &controller() { return *controller_; }
     SetAssocCache &llc() { return llc_; }
+    /** The observability registry every subsystem registered into. */
+    StatsRegistry &statsRegistry() { return statsRegistry_; }
 
   private:
     struct Core
@@ -134,6 +151,10 @@ class System
 
     BlockContentPool &poolFor(Addr addr);
     void runEpoch(Core &core);
+    /** Hook every subsystem's counters into statsRegistry_. */
+    void registerAllStats();
+    /** Highest core clock reached (trace snapshot timestamps). */
+    Cycle maxCoreClock() const;
     /** Apply the proactive alias policy to a freshly-written line. */
     void proactiveAliasCheck(Addr addr);
     /** Handle an L3 miss: fill from memory, install, write back victim. */
@@ -142,6 +163,7 @@ class System
 
     const WorkloadProfile &profile_;
     SystemConfig cfg_;
+    StatsRegistry statsRegistry_;
     DramSystem dram_;
     SetAssocCache llc_;
     std::unique_ptr<EncodeMemo> encodeMemo_;

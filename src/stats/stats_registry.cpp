@@ -1,0 +1,90 @@
+#include "stats/stats_registry.hpp"
+
+namespace cop {
+
+void
+StatsRegistry::claimName(const std::string &name)
+{
+    if (name.empty())
+        COP_PANIC("stats instrument needs a name");
+    if (!names_.insert(name).second)
+        COP_PANIC("duplicate stats instrument: " + name);
+}
+
+void
+StatsRegistry::gauge(const std::string &name, Probe probe)
+{
+    COP_ASSERT(probe != nullptr);
+    claimName(name);
+    gauges_.push_back(GaugeEntry{name, std::move(probe), 0});
+}
+
+void
+StatsRegistry::histogram(const std::string &name, const Histogram *hist)
+{
+    COP_ASSERT(hist != nullptr);
+    claimName(name);
+    hists_.push_back(HistEntry{name, hist, 0});
+}
+
+namespace {
+
+void
+appendField(std::string &out, const std::string &name, u64 value,
+            bool first)
+{
+    if (!first)
+        out += ',';
+    out += '"';
+    out += name; // instrument names are code-controlled identifiers
+    out += "\":";
+    out += std::to_string(static_cast<unsigned long long>(value));
+}
+
+} // namespace
+
+std::string
+StatsRegistry::drainEpochJson(u64 epoch, u64 cycle)
+{
+    std::string out = "{\"epoch\":";
+    out += std::to_string(static_cast<unsigned long long>(epoch));
+    out += ",\"cycle\":";
+    out += std::to_string(static_cast<unsigned long long>(cycle));
+
+    out += ",\"counters\":{";
+    bool first = true;
+    for (GaugeEntry &g : gauges_) {
+        const u64 now = g.probe();
+        const u64 delta = now >= g.last ? now - g.last : 0;
+        g.last = now;
+        appendField(out, g.name, delta, first);
+        first = false;
+    }
+    out += "}";
+
+    out += ",\"histograms\":{";
+    first = true;
+    for (HistEntry &h : hists_) {
+        const HistogramSummary s = h.hist->summary();
+        const u64 delta =
+            s.count >= h.lastCount ? s.count - h.lastCount : 0;
+        h.lastCount = s.count;
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += h.name;
+        out += "\":{";
+        appendField(out, "count", s.count, true);
+        appendField(out, "delta_count", delta, false);
+        appendField(out, "p50", s.p50, false);
+        appendField(out, "p95", s.p95, false);
+        appendField(out, "p99", s.p99, false);
+        appendField(out, "max", s.max, false);
+        out += '}';
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace cop

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * StatsRegistry: the observability hub every subsystem registers into.
+ * Two kinds of instruments:
+ *
+ *  - gauges: named counters sampled through a probe callback, so
+ *    subsystems keep their existing (hot-path-cheap) counter fields and
+ *    pay nothing per event — the registry reads them only when a
+ *    snapshot is drained;
+ *  - histograms: externally-owned Histogram objects (e.g. the DRAM
+ *    latency histograms embedded in DramStats), referenced by pointer.
+ *
+ * drainEpochJson() emits one JSONL snapshot: per-gauge deltas since the
+ * previous drain plus cumulative histogram summaries. Registration
+ * order is emission order, so traces from identical runs are
+ * byte-identical. When nothing ever drains (tracing off), the registry
+ * costs one vector of closures at construction and nothing afterwards —
+ * the zero-overhead-when-off invariant the benches rely on.
+ */
+
+#ifndef COP_STATS_STATS_REGISTRY_HPP
+#define COP_STATS_STATS_REGISTRY_HPP
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace cop {
+
+class StatsRegistry
+{
+  public:
+    /** Samples the current cumulative value of a named counter. */
+    using Probe = std::function<u64()>;
+
+    /** Register a named counter probe. Duplicate names panic. */
+    void gauge(const std::string &name, Probe probe);
+
+    /**
+     * Register an externally-owned histogram. @p hist must outlive the
+     * registry. Duplicate names panic.
+     */
+    void histogram(const std::string &name, const Histogram *hist);
+
+    /**
+     * One JSONL snapshot line (no trailing newline): gauge deltas since
+     * the previous drain, histogram cumulative summaries plus the count
+     * delta for rate computation.
+     */
+    std::string drainEpochJson(u64 epoch, u64 cycle);
+
+    size_t gaugeCount() const { return gauges_.size(); }
+    size_t histogramCount() const { return hists_.size(); }
+
+  private:
+    struct GaugeEntry
+    {
+        std::string name;
+        Probe probe;
+        u64 last = 0;
+    };
+
+    struct HistEntry
+    {
+        std::string name;
+        const Histogram *hist;
+        u64 lastCount = 0;
+    };
+
+    void claimName(const std::string &name);
+
+    std::vector<GaugeEntry> gauges_;
+    std::vector<HistEntry> hists_;
+    std::unordered_set<std::string> names_;
+};
+
+} // namespace cop
+
+#endif // COP_STATS_STATS_REGISTRY_HPP
