@@ -1,0 +1,149 @@
+/**
+ * @file
+ * End-to-end system throughput harness: simulated epochs/sec and LLC
+ * misses/sec for a full Table-1 System per memory-controller kind, on
+ * one memory-intensive profile. Where micro_codec measures the codec
+ * kernels in isolation, this measures everything the grid runner pays
+ * for per cell — trace generation, the LLC, functional memory
+ * (BlockContentPool), the controller decode/encode paths and the DRAM
+ * timing model — so wins and regressions in any layer show up here.
+ *
+ * Results print to stdout and land in bench/results/micro_system.json
+ * (directory overridable via COP_BENCH_RESULTS). BENCH_system.json at
+ * the repo root records the before/after numbers of the end-to-end
+ * throughput work (content cache + flat hash storage + hot-path
+ * dedup) measured with this exact methodology.
+ *
+ * `--quick` shortens the run for the CI perf-smoke job; the numbers
+ * are noisier but the regression gate in scripts/check_perf.py leaves
+ * margin for that.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "run_util.hpp"
+
+namespace cop {
+namespace {
+
+double
+nowMs()
+{
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               Clock::now().time_since_epoch())
+        .count();
+}
+
+struct KindRow
+{
+    ControllerKind kind;
+    const char *key; ///< JSON key (stable across schemes renames).
+};
+
+constexpr KindRow kKinds[] = {
+    {ControllerKind::Unprotected, "unprot"},
+    {ControllerKind::EccDimm, "ecc_dimm"},
+    {ControllerKind::EccRegion, "ecc_region"},
+    {ControllerKind::Cop4, "cop4"},
+    {ControllerKind::Cop8, "cop8"},
+    {ControllerKind::CopEr, "coper"},
+    {ControllerKind::CopErNaive, "coper_naive"},
+};
+
+int
+run(bool quick, const std::string &profile_name)
+{
+    // Fixed epoch count per System run: every pass constructs a fresh
+    // System (state does not carry over), runs it to completion and is
+    // timed end to end, construction included — exactly what one grid
+    // cell costs. Deliberately independent of COP_BENCH_EPOCHS so the
+    // measurement is not silently reconfigurable.
+    const u64 epochs_per_core = quick ? 250 : 1500;
+    const double target_ms = quick ? 200 : 1500;
+    const WorkloadProfile &profile =
+        WorkloadRegistry::byName(profile_name);
+
+    bench::JsonObjectBuilder epochs_per_sec;
+    bench::JsonObjectBuilder misses_per_sec;
+    bench::JsonObjectBuilder blockfor_hit_rate;
+    std::printf("%-12s %14s %14s %12s\n", "scheme", "epochs/s",
+                "misses/s", "pool hit%");
+    for (const KindRow &row : kKinds) {
+        SystemConfig cfg = bench::paperConfig(row.kind);
+        cfg.epochsPerCore = epochs_per_core;
+
+        u64 passes = 0;
+        u64 misses = 0;
+        u64 pool_calls = 0;
+        u64 pool_hits = 0;
+        {
+            // Untimed warm-up pass (allocator, page cache).
+            System sys(profile, cfg);
+            (void)sys.run();
+        }
+        const double t0 = nowMs();
+        double t1 = t0;
+        do {
+            System sys(profile, cfg);
+            const SystemResults r = sys.run();
+            misses += r.llcMisses;
+            pool_calls += r.poolBlockForCalls;
+            pool_hits += r.poolContentCacheHits;
+            ++passes;
+            t1 = nowMs();
+        } while (t1 - t0 < target_ms);
+        const double secs = (t1 - t0) / 1000.0;
+        const double epochs =
+            static_cast<double>(passes * epochs_per_core * cfg.cores);
+        const double eps = epochs / secs;
+        const double mps = static_cast<double>(misses) / secs;
+        const double hit_rate =
+            pool_calls ? static_cast<double>(pool_hits) /
+                             static_cast<double>(pool_calls)
+                       : 0.0;
+        std::printf("%-12s %14.0f %14.0f %11.1f%%\n", row.key, eps, mps,
+                    hit_rate * 100.0);
+        epochs_per_sec.add(row.key, eps);
+        misses_per_sec.add(row.key, mps);
+        blockfor_hit_rate.add(row.key, hit_rate);
+    }
+
+    bench::JsonObjectBuilder top;
+    top.add("bench", std::string("micro_system"));
+    top.add("quick", static_cast<u64>(quick ? 1 : 0));
+    top.add("profile", profile.name);
+    top.add("epochs_per_core", epochs_per_core);
+    top.addRaw("epochs_per_sec", epochs_per_sec.str());
+    top.addRaw("misses_per_sec", misses_per_sec.str());
+    top.addRaw("blockfor_hit_rate", blockfor_hit_rate.str());
+    bench::writeResultsFile("micro_system.json", top.str());
+    return 0;
+}
+
+} // namespace
+} // namespace cop
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string profile = "gcc";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--profile") == 0 &&
+                   i + 1 < argc) {
+            profile = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--profile NAME]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    return cop::run(quick, profile);
+}

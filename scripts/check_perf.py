@@ -1,64 +1,122 @@
 #!/usr/bin/env python3
-"""CI perf-smoke gate for the codec hot paths.
+"""CI perf-smoke gate for the codec hot paths and the end-to-end
+simulation loop.
 
-Compares a fresh `micro_codec --quick` run against the checked-in
-baseline (BENCH_codec.json at the repo root, the "after" numbers of the
-word-wise-kernel rewrite) and fails when encode throughput regresses by
-more than the allowed fraction.
+Two independent gates, each comparing a fresh `--quick` bench run
+against a checked-in baseline at the repo root:
+
+  codec   `micro_codec --quick`   vs BENCH_codec.json  ("after")
+  system  `micro_system --quick`  vs BENCH_system.json ("after")
+
+A gate fails when throughput regresses by more than the allowed
+fraction; a gate whose fresh-results file is missing is skipped with a
+notice (so partial local runs still work).
 
 The threshold is deliberately loose (30%): --quick runs on shared CI
-runners are noisy, and the gate exists to catch order-of-magnitude
-regressions (e.g. a kernel silently falling back to the bit-serial
-path), not single-digit drift. For a change that legitimately trades
-encode throughput away, apply the `perf-override` label to the PR —
-the CI job skips itself when the label is present — and refresh
-BENCH_codec.json per EXPERIMENTS.md.
+runners are noisy, and the gates exist to catch order-of-magnitude
+regressions (a kernel silently falling back to the bit-serial path, a
+content-cache or flat-map path reverting to regeneration), not
+single-digit drift. For a change that legitimately trades throughput
+away, apply the `perf-override` label to the PR — the CI job skips
+itself when the label is present — and refresh the baseline file per
+EXPERIMENTS.md.
 
-Usage: scripts/check_perf.py [--baseline BENCH_codec.json]
-                             [--results bench/results/micro_codec.json]
-                             [--max-regression 0.30]
+Usage: scripts/check_perf.py
+         [--codec-baseline BENCH_codec.json]
+         [--codec-results bench/results/micro_codec.json]
+         [--system-baseline BENCH_system.json]
+         [--system-results bench/results/micro_system.json]
+         [--max-regression 0.30]
 """
 
 import argparse
 import json
+import os
 import sys
 
-GATED_KEYS = ["encode_cop4", "encode_cop8"]
+CODEC_KEYS = ["encode_cop4", "encode_cop8"]
+# End-to-end epochs/sec per controller scheme. The COP-family schemes
+# are the ones the content-cache / flat-hash / dedup work targets (and
+# the ones a regression would silently slow down); the unprotected
+# baseline rides along as a sanity floor for the System loop itself.
+SYSTEM_KEYS = ["unprot", "cop4", "cop8", "coper", "coper_naive"]
+
+
+def gate(name, pairs, max_regression):
+    """pairs: list of (key, baseline, fresh). Returns True on failure."""
+    floor_frac = 1.0 - max_regression
+    failed = False
+    for key, base, now in pairs:
+        floor = base * floor_frac
+        verdict = "ok" if now >= floor else "FAIL"
+        print(f"{name}/{key}: {now:,.0f}/s vs baseline {base:,.0f} "
+              f"(floor {floor:,.0f}) ... {verdict}")
+        failed |= now < floor
+    return failed
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", default="BENCH_codec.json")
-    parser.add_argument("--results",
+    parser.add_argument("--codec-baseline", default="BENCH_codec.json")
+    parser.add_argument("--codec-results",
                         default="bench/results/micro_codec.json")
+    parser.add_argument("--system-baseline", default="BENCH_system.json")
+    parser.add_argument("--system-results",
+                        default="bench/results/micro_system.json")
+    # Back-compat aliases for the original codec-only interface.
+    parser.add_argument("--baseline", dest="codec_baseline",
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--results", dest="codec_results",
+                        help=argparse.SUPPRESS)
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="maximum allowed fractional drop (0.30 = "
                              "fail below 70%% of baseline)")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)["after"]
-    with open(args.results) as f:
-        fresh = json.load(f)["throughput_blocks_per_sec"]
-
-    floor_frac = 1.0 - args.max_regression
     failed = False
-    for key in GATED_KEYS:
-        base = float(baseline[key])
-        now = float(fresh[key])
-        floor = base * floor_frac
-        verdict = "ok" if now >= floor else "FAIL"
-        print(f"{key}: {now:,.0f} blocks/s vs baseline {base:,.0f} "
-              f"(floor {floor:,.0f}) ... {verdict}")
-        failed |= now < floor
+    ran_any = False
 
+    if os.path.exists(args.codec_results):
+        ran_any = True
+        with open(args.codec_baseline) as f:
+            base = json.load(f)["after"]
+        with open(args.codec_results) as f:
+            fresh = json.load(f)["throughput_blocks_per_sec"]
+        failed |= gate("codec",
+                       [(k, float(base[k]), float(fresh[k]))
+                        for k in CODEC_KEYS],
+                       args.max_regression)
+    else:
+        print(f"codec: {args.codec_results} not found, skipping gate")
+
+    if os.path.exists(args.system_results):
+        ran_any = True
+        # Gate against the recorded --quick floor, not the full-mode
+        # "after" showcase: quick passes are constructor-dominated and
+        # systematically slower than full passes.
+        with open(args.system_baseline) as f:
+            base = json.load(f)["after_quick"]["epochs_per_sec"]
+        with open(args.system_results) as f:
+            fresh = json.load(f)["epochs_per_sec"]
+        failed |= gate("system",
+                       [(k, float(base[k]), float(fresh[k]))
+                        for k in SYSTEM_KEYS],
+                       args.max_regression)
+    else:
+        print(f"system: {args.system_results} not found, skipping gate")
+
+    if not ran_any:
+        print("perf-smoke: no fresh bench results found — run "
+              "micro_codec --quick / micro_system --quick first.",
+              file=sys.stderr)
+        return 1
     if failed:
-        print("\nperf-smoke: encode throughput regressed more than "
-              f"{args.max_regression:.0%} vs BENCH_codec.json.",
+        print("\nperf-smoke: throughput regressed more than "
+              f"{args.max_regression:.0%} vs the checked-in baseline.",
               file=sys.stderr)
         print("If intentional, add the 'perf-override' label to the PR "
-              "and refresh BENCH_codec.json (see EXPERIMENTS.md).",
-              file=sys.stderr)
+              "and refresh BENCH_codec.json / BENCH_system.json (see "
+              "EXPERIMENTS.md).", file=sys.stderr)
         return 1
     print("perf-smoke: within budget.")
     return 0

@@ -7,24 +7,24 @@ namespace cop {
 SetAssocCache::SetAssocCache(const CacheConfig &cfg) : cfg_(cfg)
 {
     cfg_.validate();
-    sets_.resize(cfg_.sets());
-    for (auto &set : sets_)
-        set.ways.resize(cfg_.ways);
+    lines_.resize(cfg_.sets() * cfg_.ways);
+    spill_.resize(cfg_.sets());
+    setMask_ = cfg_.sets() - 1;
 }
 
 u64
 SetAssocCache::setIndex(Addr block_addr) const
 {
-    return (block_addr / kBlockBytes) & (cfg_.sets() - 1);
+    return (block_addr / kBlockBytes) & setMask_;
 }
 
 SetAssocCache::Line *
 SetAssocCache::lookup(Addr block_addr)
 {
-    Set &set = sets_[setIndex(block_addr)];
-    for (auto &line : set.ways) {
-        if (line.valid && line.tag == block_addr)
-            return &line;
+    Line *base = setBase(setIndex(block_addr));
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == block_addr)
+            return base + w;
     }
     return nullptr;
 }
@@ -32,10 +32,10 @@ SetAssocCache::lookup(Addr block_addr)
 const SetAssocCache::Line *
 SetAssocCache::lookup(Addr block_addr) const
 {
-    const Set &set = sets_[setIndex(block_addr)];
-    for (const auto &line : set.ways) {
-        if (line.valid && line.tag == block_addr)
-            return &line;
+    const Line *base = setBase(setIndex(block_addr));
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == block_addr)
+            return base + w;
     }
     return nullptr;
 }
@@ -58,8 +58,7 @@ SetAssocCache::access(Addr block_addr, bool is_write)
     }
     // Spill list (overflowed pinned set): a hit here models following
     // the per-set overflow pointer into DRAM.
-    Set &set = sets_[setIndex(block_addr)];
-    for (auto &[addr, state] : set.spill) {
+    for (auto &[addr, state] : spill_[setIndex(block_addr)]) {
         if (addr == block_addr) {
             state.dirty |= is_write;
             ++stats_.hits;
@@ -76,8 +75,7 @@ SetAssocCache::probe(Addr block_addr) const
 {
     if (lookup(block_addr) != nullptr)
         return true;
-    const Set &set = sets_[setIndex(block_addr)];
-    for (const auto &[addr, state] : set.spill) {
+    for (const auto &[addr, state] : spill_[setIndex(block_addr)]) {
         if (addr == block_addr)
             return true;
     }
@@ -86,40 +84,51 @@ SetAssocCache::probe(Addr block_addr) const
 
 CacheEviction
 SetAssocCache::insert(Addr block_addr, bool dirty,
-                      const EvictFilter &can_evict)
+                      const EvictFilter &can_evict,
+                      CacheLineState **installed)
 {
     ++clock_;
-    Set &set = sets_[setIndex(block_addr)];
-    // Reachable through any caller that races lookup/insert: inserting
-    // a resident block would leave two lines for one address.
-    if (lookup(block_addr) != nullptr)
-        COP_PANIC("insert of already-resident block " +
-                  std::to_string(block_addr));
+    const u64 set = setIndex(block_addr);
+    Line *base = setBase(set);
+
+    // One fused pass: duplicate check (reachable through any caller
+    // that races lookup/insert — inserting a resident block would
+    // leave two lines for one address), first invalid way, and the
+    // LRU-minimum among unpinned lines. Way order and the strict `<`
+    // keep victim choice identical to separate scans.
+    Line *victim = nullptr;
+    Line *candidate = nullptr;
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            if (victim == nullptr)
+                victim = &line;
+            continue;
+        }
+        if (line.tag == block_addr)
+            COP_PANIC("insert of already-resident block " +
+                      std::to_string(block_addr));
+        if (!line.state.alias &&
+            (candidate == nullptr || line.lru < candidate->lru))
+            candidate = &line;
+    }
 
     // Victim selection: invalid way first, then LRU among lines that
     // are not alias-pinned. A dirty candidate the filter rejects is
     // itself an alias: pin it and move on to the next-LRU line.
-    Line *victim = nullptr;
-    for (auto &line : set.ways) {
-        if (!line.valid) {
-            victim = &line;
-            break;
-        }
-    }
-    while (victim == nullptr) {
-        Line *candidate = nullptr;
-        for (auto &line : set.ways) {
-            if (line.state.alias)
-                continue;
-            if (candidate == nullptr || line.lru < candidate->lru)
-                candidate = &line;
-        }
-        if (candidate == nullptr)
-            break; // every way pinned
+    while (victim == nullptr && candidate != nullptr) {
         if (can_evict && candidate->state.dirty &&
             !can_evict(candidate->tag, candidate->state)) {
             candidate->state.alias = true;
             ++stats_.aliasPinned;
+            candidate = nullptr;
+            for (unsigned w = 0; w < cfg_.ways; ++w) {
+                Line &line = base[w];
+                if (line.state.alias)
+                    continue;
+                if (candidate == nullptr || line.lru < candidate->lru)
+                    candidate = &line;
+            }
             continue;
         }
         victim = candidate;
@@ -130,8 +139,10 @@ SetAssocCache::insert(Addr block_addr, bool dirty,
         // Every way pinned: overflow the set (Section 3.1's linked-list
         // spill). Exceedingly rare; correctness only.
         ++stats_.setOverflows;
-        set.spill.push_back(
+        spill_[set].push_back(
             {block_addr, CacheLineState{dirty, false, false}});
+        if (installed != nullptr)
+            *installed = &spill_[set].back().second;
         return evicted;
     }
 
@@ -148,6 +159,8 @@ SetAssocCache::insert(Addr block_addr, bool dirty,
     victim->tag = block_addr;
     victim->lru = clock_;
     victim->state = CacheLineState{dirty, false, false};
+    if (installed != nullptr)
+        *installed = &victim->state;
     return evicted;
 }
 
@@ -156,8 +169,7 @@ SetAssocCache::findState(Addr block_addr)
 {
     if (Line *line = lookup(block_addr))
         return &line->state;
-    Set &set = sets_[setIndex(block_addr)];
-    for (auto &[addr, state] : set.spill) {
+    for (auto &[addr, state] : spill_[setIndex(block_addr)]) {
         if (addr == block_addr)
             return &state;
     }
@@ -171,11 +183,17 @@ SetAssocCache::setAlias(Addr block_addr, bool alias)
     if (state == nullptr)
         COP_PANIC("setAlias on non-resident block " +
                   std::to_string(block_addr));
-    if (alias && !state->alias)
+    setAlias(*state, alias);
+}
+
+void
+SetAssocCache::setAlias(CacheLineState &state, bool alias)
+{
+    if (alias && !state.alias)
         ++stats_.aliasPinned;
-    else if (!alias && state->alias)
+    else if (!alias && state.alias)
         --stats_.aliasPinned;
-    state->alias = alias;
+    state.alias = alias;
 }
 
 void
@@ -187,8 +205,7 @@ SetAssocCache::invalidate(Addr block_addr)
         *line = Line{};
         return;
     }
-    Set &set = sets_[setIndex(block_addr)];
-    std::erase_if(set.spill,
+    std::erase_if(spill_[setIndex(block_addr)],
                   [&](const auto &e) { return e.first == block_addr; });
 }
 
@@ -196,14 +213,18 @@ std::vector<CacheEviction>
 SetAssocCache::drainDirty()
 {
     std::vector<CacheEviction> drained;
-    for (auto &set : sets_) {
-        for (auto &line : set.ways) {
+    // Per-set (ways, then that set's spill) order — callers replay the
+    // drained writebacks in sequence, so the order is part of results.
+    for (u64 s = 0; s <= setMask_; ++s) {
+        Line *base = setBase(s);
+        for (unsigned w = 0; w < cfg_.ways; ++w) {
+            Line &line = base[w];
             if (line.valid && line.state.dirty) {
                 drained.push_back({true, line.tag, line.state});
                 line.state.dirty = false;
             }
         }
-        for (auto &[addr, state] : set.spill) {
+        for (auto &[addr, state] : spill_[s]) {
             if (state.dirty) {
                 drained.push_back({true, addr, state});
                 state.dirty = false;

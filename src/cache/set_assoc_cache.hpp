@@ -118,15 +118,27 @@ class SetAssocCache
      * @param can_evict optional filter consulted for dirty victims; a
      *        rejected victim is pinned (alias bit) and the next-LRU
      *        line is tried instead.
+     * @param installed when non-null, receives a pointer to the newly
+     *        installed line's state (valid until the next structural
+     *        change), saving the findState lookup callers on the miss
+     *        path would otherwise re-do.
      */
     CacheEviction insert(Addr block_addr, bool dirty,
-                         const EvictFilter &can_evict = nullptr);
+                         const EvictFilter &can_evict = nullptr,
+                         CacheLineState **installed = nullptr);
 
     /** Per-line state bits (line must be resident). */
     CacheLineState *findState(Addr block_addr);
 
     /** Pin or unpin a resident line as an incompressible alias. */
     void setAlias(Addr block_addr, bool alias);
+
+    /**
+     * Same, through a state pointer previously returned by insert or
+     * findState — keeps the aliasPinned gauge right without another
+     * set scan.
+     */
+    void setAlias(CacheLineState &state, bool alias);
 
     /** Remove a resident line without writeback (for tests/drain). */
     void invalidate(Addr block_addr);
@@ -145,19 +157,29 @@ class SetAssocCache
         CacheLineState state;
     };
 
-    struct Set
-    {
-        std::vector<Line> ways;
-        /** Overflowed (spilled) blocks, modelling the linked list. */
-        std::vector<std::pair<Addr, CacheLineState>> spill;
-    };
+    /** Overflowed (spilled) blocks of one set, modelling the list. */
+    using SpillList = std::vector<std::pair<Addr, CacheLineState>>;
 
     u64 setIndex(Addr block_addr) const;
+    /** First way of a set in the flat line array. */
+    Line *setBase(u64 set) { return lines_.data() + set * cfg_.ways; }
+    const Line *
+    setBase(u64 set) const
+    {
+        return lines_.data() + set * cfg_.ways;
+    }
     Line *lookup(Addr block_addr);
     const Line *lookup(Addr block_addr) const;
 
     CacheConfig cfg_;
-    std::vector<Set> sets_;
+    /**
+     * All lines in one flat array (sets x ways, set-major) — one
+     * allocation, one indirection on the hot lookup path instead of a
+     * per-set vector hop.
+     */
+    std::vector<Line> lines_;
+    std::vector<SpillList> spill_;
+    u64 setMask_ = 0;
     u64 clock_ = 0;
     CacheStats stats_;
 };

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Open-addressing hash containers for u64 keys (addresses, block
+ * indices): FlatMap<V> and FlatSet. One contiguous slot array,
+ * power-of-two capacity, linear probing with backward-shift deletion
+ * (no tombstones, so probe chains never rot), splitmix64 key mixing
+ * (simulated addresses are multiples of 64 and metadata spaces sit at
+ * 1<<40 / 1<<41 — the raw keys are catastrophically non-uniform).
+ *
+ * These replace std::unordered_map/set on the simulator's hot paths
+ * (stored images, write timestamps, version maps, check sidecars),
+ * where the node-based layout costs an allocation plus a dependent
+ * pointer chase per lookup. Semantics match the std containers for the
+ * operations offered, with one deliberate difference: references and
+ * iterators are invalidated by ANY insertion (the slot array may
+ * rehash), not just by rehash-past-load-factor. Callers must not hold
+ * a reference across an insert into the same container.
+ *
+ * Iteration order is unspecified and changes across rehashes — exactly
+ * like the std containers. Call sites that need determinism sort, as
+ * MemoryController::imageAddressesSorted always has.
+ */
+
+#ifndef COP_COMMON_FLAT_MAP_HPP
+#define COP_COMMON_FLAT_MAP_HPP
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace cop {
+
+namespace detail {
+
+/** splitmix64 finaliser: full-avalanche mix of a 64-bit key. */
+inline u64
+flatHash(u64 key)
+{
+    key += 0x9e3779b97f4a7c15ULL;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+    return key ^ (key >> 31);
+}
+
+/** Smallest power of two >= @p n (and >= 16). */
+inline u64
+flatCapacityFor(u64 n)
+{
+    u64 cap = 16;
+    while (cap < n)
+        cap <<= 1;
+    return cap;
+}
+
+} // namespace detail
+
+/**
+ * Open-addressing hash map from u64 keys to @p V. Grows at 7/8 load
+ * (linear probing stays fast well past the usual 0.7 rule of thumb
+ * because deletion backward-shifts instead of leaving tombstones;
+ * 7/8 keeps the footprint-reserved maps compact).
+ */
+template <typename V> class FlatMap
+{
+  private:
+    struct Slot
+    {
+        std::pair<u64, V> kv{};
+        bool used = false;
+    };
+
+  public:
+    using value_type = std::pair<u64, V>;
+
+    template <bool Const> class Iter
+    {
+      public:
+        using SlotPtr = std::conditional_t<Const, const Slot *, Slot *>;
+        using Ref =
+            std::conditional_t<Const, const value_type &, value_type &>;
+        using Ptr =
+            std::conditional_t<Const, const value_type *, value_type *>;
+
+        Iter() = default;
+        Iter(SlotPtr pos, SlotPtr end) : pos_(pos), end_(end)
+        {
+            skipEmpty();
+        }
+
+        /** iterator -> const_iterator conversion. */
+        template <bool WasConst,
+                  typename = std::enable_if_t<Const && !WasConst>>
+        Iter(const Iter<WasConst> &o) : pos_(o.pos_), end_(o.end_)
+        {
+        }
+
+        Ref operator*() const { return pos_->kv; }
+        Ptr operator->() const { return &pos_->kv; }
+
+        Iter &
+        operator++()
+        {
+            ++pos_;
+            skipEmpty();
+            return *this;
+        }
+
+        bool operator==(const Iter &o) const { return pos_ == o.pos_; }
+        bool operator!=(const Iter &o) const { return pos_ != o.pos_; }
+
+      private:
+        template <bool> friend class Iter;
+
+        void
+        skipEmpty()
+        {
+            while (pos_ != end_ && !pos_->used)
+                ++pos_;
+        }
+
+        SlotPtr pos_ = nullptr;
+        SlotPtr end_ = nullptr;
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    FlatMap() = default;
+
+    /** Pre-size so @p n entries fit without rehashing. */
+    void
+    reserve(u64 n)
+    {
+        const u64 want = detail::flatCapacityFor(n + n / 7 + 1);
+        if (want > slots_.size())
+            rehash(want);
+    }
+
+    iterator
+    find(u64 key)
+    {
+        const size_t pos = findSlot(key);
+        if (pos == kNotFound)
+            return end();
+        return iterator(slots_.data() + pos, slotsEnd());
+    }
+
+    const_iterator
+    find(u64 key) const
+    {
+        const size_t pos = findSlot(key);
+        if (pos == kNotFound)
+            return end();
+        return const_iterator(slots_.data() + pos, slotsEnd());
+    }
+
+    size_t
+    count(u64 key) const
+    {
+        return findSlot(key) == kNotFound ? 0 : 1;
+    }
+
+    /**
+     * Insert (key, V(args...)) unless the key is present; returns the
+     * entry's iterator and whether it was inserted. Value construction
+     * is skipped entirely when the key already exists.
+     */
+    template <typename... Args>
+    std::pair<iterator, bool>
+    emplace(u64 key, Args &&...args)
+    {
+        growIfNeeded();
+        size_t pos = static_cast<size_t>(detail::flatHash(key)) & mask_;
+        while (slots_[pos].used) {
+            if (slots_[pos].kv.first == key)
+                return {iterator(slots_.data() + pos, slotsEnd()),
+                        false};
+            pos = (pos + 1) & mask_;
+        }
+        slots_[pos].kv =
+            value_type(key, V(std::forward<Args>(args)...));
+        slots_[pos].used = true;
+        ++size_;
+        return {iterator(slots_.data() + pos, slotsEnd()), true};
+    }
+
+    V &operator[](u64 key) { return emplace(key).first->second; }
+
+    /** Erase by key; returns the number of entries removed (0 or 1). */
+    size_t
+    erase(u64 key)
+    {
+        size_t pos = findSlot(key);
+        if (pos == kNotFound)
+            return 0;
+        // Backward-shift deletion: pull every displaced follower of the
+        // probe chain one hole back, so lookups never need tombstones.
+        size_t hole = pos;
+        for (size_t next = (hole + 1) & mask_; slots_[next].used;
+             next = (next + 1) & mask_) {
+            const size_t home =
+                static_cast<size_t>(
+                    detail::flatHash(slots_[next].kv.first)) &
+                mask_;
+            // `next` may fill the hole iff its home slot does not lie
+            // in the cyclic range (hole, next] — otherwise moving it
+            // would place it before its home and break its own chain.
+            if (((next - home) & mask_) >= ((next - hole) & mask_)) {
+                slots_[hole].kv = std::move(slots_[next].kv);
+                hole = next;
+            }
+        }
+        slots_[hole].kv = value_type();
+        slots_[hole].used = false;
+        --size_;
+        return 1;
+    }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        mask_ = 0;
+        size_ = 0;
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    /** Allocated slot count (load-factor observability). */
+    u64 capacity() const { return slots_.size(); }
+
+    iterator begin() { return iterator(slots_.data(), slotsEnd()); }
+    iterator end() { return iterator(slotsEnd(), slotsEnd()); }
+    const_iterator
+    begin() const
+    {
+        return const_iterator(slots_.data(), slotsEnd());
+    }
+    const_iterator
+    end() const
+    {
+        return const_iterator(slotsEnd(), slotsEnd());
+    }
+
+  private:
+    static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+    Slot *slotsEnd() { return slots_.data() + slots_.size(); }
+    const Slot *
+    slotsEnd() const
+    {
+        return slots_.data() + slots_.size();
+    }
+
+    size_t
+    findSlot(u64 key) const
+    {
+        if (slots_.empty())
+            return kNotFound;
+        size_t pos = static_cast<size_t>(detail::flatHash(key)) & mask_;
+        while (slots_[pos].used) {
+            if (slots_[pos].kv.first == key)
+                return pos;
+            pos = (pos + 1) & mask_;
+        }
+        return kNotFound;
+    }
+
+    void
+    growIfNeeded()
+    {
+        if (slots_.empty()) {
+            rehash(16);
+        } else if (size_ + 1 > slots_.size() - slots_.size() / 8) {
+            rehash(slots_.size() * 2);
+        }
+    }
+
+    void
+    rehash(u64 new_capacity)
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(static_cast<size_t>(new_capacity), Slot{});
+        mask_ = static_cast<size_t>(new_capacity - 1);
+        for (Slot &slot : old) {
+            if (!slot.used)
+                continue;
+            size_t pos =
+                static_cast<size_t>(detail::flatHash(slot.kv.first)) &
+                mask_;
+            while (slots_[pos].used)
+                pos = (pos + 1) & mask_;
+            slots_[pos].kv = std::move(slot.kv);
+            slots_[pos].used = true;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+};
+
+/** Open-addressing hash set of u64 keys; a FlatMap with empty values. */
+class FlatSet
+{
+  public:
+    /** Insert @p key; returns true when it was not already present. */
+    bool insert(u64 key) { return map_.emplace(key).second; }
+    size_t count(u64 key) const { return map_.count(key); }
+    size_t erase(u64 key) { return map_.erase(key); }
+    void reserve(u64 n) { map_.reserve(n); }
+    void clear() { map_.clear(); }
+    size_t size() const { return map_.size(); }
+    bool empty() const { return map_.empty(); }
+    u64 capacity() const { return map_.capacity(); }
+
+  private:
+    struct Empty
+    {
+    };
+
+    FlatMap<Empty> map_;
+};
+
+} // namespace cop
+
+#endif // COP_COMMON_FLAT_MAP_HPP

@@ -1,5 +1,8 @@
 #include "compress/rle.hpp"
 
+#include <array>
+#include <bit>
+
 namespace cop {
 
 namespace {
@@ -98,34 +101,53 @@ RleCompressor::compress(const CacheBlock &block, unsigned budget_bits,
 
     // Select the minimal prefix of runs (in address order) that frees
     // enough bits. Encoding more runs than needed would change where the
-    // decoder believes the metadata ends.
-    std::vector<RleRun> all = findRuns(block);
-    std::vector<RleRun> used;
-    unsigned freed = 0;
-    for (const auto &run : all) {
-        if (freed >= need)
-            break;
-        used.push_back(run);
-        freed += freedBits(run);
+    // decoder believes the metadata ends. At most 32 runs exist (each
+    // consumes at least one of the 32 16-bit words), so a fixed array
+    // replaces the heap-allocated vectors of the original scan.
+    u64 zero = 0;
+    u64 ones = 0;
+    for (unsigned w = 0; w < 8; ++w) {
+        const u64 v = block.word64(w);
+        zero |= static_cast<u64>(zeroByteMask(v)) << (w * 8);
+        ones |= static_cast<u64>(zeroByteMask(~v)) << (w * 8);
     }
+    std::array<RleRun, 32> used;
+    unsigned count = 0;
+    unsigned freed = 0;
+    walkRuns(zero, ones, [&](const RleRun &run) {
+        used[count++] = run;
+        freed += freedBits(run);
+        return freed < need;
+    });
     if (freed < need)
         return false;
 
-    for (const auto &run : used) {
+    u64 covered = 0; // bit i set iff byte i is covered by a run
+    for (unsigned r = 0; r < count; ++r) {
+        const RleRun &run = used[r];
         out.write(run.value == 0xFF ? 1 : 0, 1);
         out.write(run.length == 3 ? 1 : 0, 1);
         out.write(run.offset / 2, 5);
+        covered |= ((run.length == 3 ? 0x7ULL : 0x3ULL) << run.offset);
     }
-    // Literal data: every byte not covered by an encoded run.
-    std::vector<bool> covered(kBlockBytes, false);
-    for (const auto &run : used) {
-        for (unsigned i = 0; i < run.length; ++i)
-            covered[run.offset + i] = true;
-    }
+    // Literal data: every byte not covered by an encoded run, in address
+    // order. Batched into up-to-64-bit writes — LSB-first concatenation
+    // of 8-bit fields makes the stream identical to per-byte writes.
+    u64 packed = 0;
+    unsigned packed_bits = 0;
     for (unsigned i = 0; i < kBlockBytes; ++i) {
-        if (!covered[i])
-            out.write(block.byte(i), 8);
+        if ((covered >> i) & 1)
+            continue;
+        packed |= static_cast<u64>(block.byte(i)) << packed_bits;
+        packed_bits += 8;
+        if (packed_bits == 64) {
+            out.write(packed, 64);
+            packed = 0;
+            packed_bits = 0;
+        }
     }
+    if (packed_bits > 0)
+        out.write(packed, packed_bits);
     return true;
 }
 
@@ -143,7 +165,7 @@ RleCompressor::decompress(BitReader &in, unsigned budget_bits,
     // a code word was flagged uncorrectable (the data is lost either
     // way) — so every read is bounds-checked; malformed input yields a
     // well-defined (if meaningless) block instead of tripping asserts.
-    std::vector<RleRun> runs;
+    u64 covered = 0; // bit i set iff byte i is covered by a run
     unsigned freed = 0;
     while (freed < need && in.bitsLeft() >= kMetaBits) {
         RleRun run;
@@ -151,23 +173,40 @@ RleCompressor::decompress(BitReader &in, unsigned budget_bits,
         run.length = in.read(1) ? 3 : 2;
         run.offset = static_cast<unsigned>(in.read(5)) * 2;
         freed += freedBits(run);
-        if (run.offset + run.length <= kBlockBytes)
-            runs.push_back(run);
+        if (run.offset + run.length <= kBlockBytes) {
+            for (unsigned i = 0; i < run.length; ++i)
+                out.setByte(run.offset + i, run.value);
+            covered |= ((run.length == 3 ? 0x7ULL : 0x3ULL) << run.offset);
+        }
     }
 
-    std::vector<bool> covered(kBlockBytes, false);
-    for (const auto &run : runs) {
-        for (unsigned i = 0; i < run.length; ++i) {
-            out.setByte(run.offset + i, run.value);
-            covered[run.offset + i] = true;
-        }
-    }
+    // Literal bytes, batched into up-to-64-bit reads. The per-byte
+    // original read only while >= 8 bits remained and substituted zero
+    // afterwards, so exactly min(literals, bitsLeft/8) bytes come from
+    // the stream — reading them in chunks consumes the same bits.
+    const unsigned literals =
+        kBlockBytes - static_cast<unsigned>(std::popcount(covered));
+    const unsigned readable =
+        static_cast<unsigned>(in.bitsLeft() / 8);
+    unsigned remaining = literals < readable ? literals : readable;
+    u64 buf = 0;
+    unsigned buf_bytes = 0;
     for (unsigned i = 0; i < kBlockBytes; ++i) {
-        if (!covered[i]) {
-            out.setByte(i, in.bitsLeft() >= 8
-                               ? static_cast<u8>(in.read(8))
-                               : 0);
+        if ((covered >> i) & 1)
+            continue;
+        if (buf_bytes == 0 && remaining > 0) {
+            const unsigned chunk = remaining < 8 ? remaining : 8;
+            buf = in.read(chunk * 8);
+            buf_bytes = chunk;
+            remaining -= chunk;
         }
+        u8 byte = 0;
+        if (buf_bytes > 0) {
+            byte = static_cast<u8>(buf);
+            buf >>= 8;
+            --buf_bytes;
+        }
+        out.setByte(i, byte);
     }
 }
 

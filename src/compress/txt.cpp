@@ -36,8 +36,16 @@ TxtCompressor::compress(const CacheBlock &block, unsigned budget_bits,
 {
     if (!canCompress(block, budget_bits))
         return false;
-    for (unsigned i = 0; i < kBlockBytes; ++i)
-        out.write(block.byte(i) & 0x7F, 7);
+    // Eight 7-bit fields packed into one 56-bit write per word: LSB-first
+    // concatenation makes the stream identical to writing each byte's low
+    // seven bits individually.
+    for (unsigned w = 0; w < 8; ++w) {
+        const u64 v = block.word64(w);
+        u64 packed = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            packed |= ((v >> (b * 8)) & 0x7F) << (b * 7);
+        out.write(packed, 56);
+    }
     return true;
 }
 
@@ -46,8 +54,13 @@ TxtCompressor::decompress(BitReader &in, unsigned budget_bits,
                           CacheBlock &out) const
 {
     (void)budget_bits;
-    for (unsigned i = 0; i < kBlockBytes; ++i)
-        out.setByte(i, static_cast<u8>(in.read(7)));
+    for (unsigned w = 0; w < 8; ++w) {
+        const u64 packed = in.read(56);
+        u64 v = 0;
+        for (unsigned b = 0; b < 8; ++b)
+            v |= ((packed >> (b * 7)) & 0x7F) << (b * 8);
+        out.setWord64(w, v);
+    }
 }
 
 } // namespace cop

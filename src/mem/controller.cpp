@@ -61,12 +61,11 @@ MemoryController::dramWrite(Addr addr, Cycle now)
 }
 
 const CacheBlock &
-MemoryController::storedImage(
-    Addr addr, const std::function<CacheBlock(const CacheBlock &)> &init)
+MemoryController::storedImage(Addr addr)
 {
     auto it = image_.find(addr);
     if (it == image_.end()) {
-        it = image_.emplace(addr, init(content_(addr))).first;
+        it = image_.emplace(addr, content_(addr)).first;
         imageWritten(addr);
         if (fault_.enabled)
             applyStuckBits(addr);
@@ -408,7 +407,7 @@ UnprotectedController::readImpl(Addr addr, Cycle now)
     result.complete = dramRead(addr, now);
     result.dramAccesses = 1;
     result.data =
-        storedImage(addr, [](const CacheBlock &data) { return data; });
+        storedImage(addr);
     logVuln(VulnClass::Unprotected, addr, now);
     return result;
 }
@@ -473,7 +472,7 @@ EccDimmController::readImpl(Addr addr, Cycle now)
     result.complete = dramRead(addr, now);
     result.dramAccesses = 1;
     const CacheBlock &img =
-        storedImage(addr, [](const CacheBlock &data) { return data; });
+        storedImage(addr);
     if (isFaulted(addr)) {
         // Run the real (72,64) decode against the faulted image plus
         // its check-byte sidecar.

@@ -35,11 +35,10 @@
 #define COP_MEM_CONTROLLER_HPP
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/cache_block.hpp"
+#include "common/flat_map.hpp"
 #include "dram/dram_system.hpp"
 #include "mem/error_log.hpp"
 #include "mem/vuln_log.hpp"
@@ -117,7 +116,12 @@ class MemoryController
 {
   public:
     /** Supplies the initial (pre-trace) content of any block. */
-    using ContentSource = std::function<CacheBlock(Addr)>;
+    /**
+     * Functional-memory lookup. Returns a reference (valid until the
+     * next source invocation) so the per-read hot path does not copy a
+     * whole block; callees that keep the content must copy it.
+     */
+    using ContentSource = std::function<const CacheBlock &(Addr)>;
 
     MemoryController(DramSystem &dram, ContentSource content);
     virtual ~MemoryController() = default;
@@ -173,6 +177,21 @@ class MemoryController
     void setImage(Addr addr, const CacheBlock &stored);
     /** Distinct blocks with a stored image (touched footprint). */
     u64 imageBlockCount() const { return image_.size(); }
+    /** Allocated image hash slots (load-factor observability). */
+    u64 imageSlotCount() const { return image_.capacity(); }
+
+    /**
+     * Pre-size the stored-image and write-timestamp maps for an
+     * expected touched footprint of @p blocks. Purely an allocation
+     * hint — variants override to also reserve their check sidecars
+     * (and must call the base).
+     */
+    virtual void
+    reserveFootprint(u64 blocks)
+    {
+        image_.reserve(blocks);
+        lastWrite_.reserve(blocks);
+    }
 
     // --- fault injection and error recovery ----------------------------
 
@@ -275,16 +294,21 @@ class MemoryController
     /** Schedule a DRAM write of @p addr; bumps stats. */
     Cycle dramWrite(Addr addr, Cycle now);
 
-    /** Initial application content of a block. */
-    CacheBlock initialContent(Addr addr) const { return content_(addr); }
+    /**
+     * Initial application content of a block (reference into the
+     * functional-memory pool; valid until the next content lookup).
+     */
+    const CacheBlock &initialContent(Addr addr) const
+    {
+        return content_(addr);
+    }
 
     /**
-     * Fetch the stored image, initialising it on first touch via
-     * @p init (which maps application data to a stored image).
+     * Fetch the stored image, initialising it on first touch with the
+     * raw application content (the store-it-verbatim schemes; COP
+     * variants initialise through their encoder and setImage instead).
      */
-    const CacheBlock &
-    storedImage(Addr addr,
-                const std::function<CacheBlock(const CacheBlock &)> &init);
+    const CacheBlock &storedImage(Addr addr);
 
     /** Record a read-from-DRAM reliability observation. */
     void logVuln(VulnClass cls, Addr addr, Cycle now);
@@ -302,8 +326,8 @@ class MemoryController
     ContentSource content_;
     MemStats stats_;
     VulnLog vuln_;
-    std::unordered_map<Addr, CacheBlock> image_;
-    std::unordered_map<Addr, Cycle> lastWrite_;
+    FlatMap<CacheBlock> image_;
+    FlatMap<Cycle> lastWrite_;
     OpMode opMode_ = OpMode::Demand;
 
   private:
@@ -314,15 +338,15 @@ class MemoryController
         RecoveryConfig cfg;
         ErrorLog log;
         /** Blocks whose stored image currently carries faults. */
-        std::unordered_set<Addr> faulted;
+        FlatSet faulted;
         /** Silent corruptions already counted (image still wrong). */
-        std::unordered_set<Addr> silentKnown;
+        FlatSet silentKnown;
         /** Stuck bits re-applied on every image rewrite. */
-        std::unordered_map<Addr, std::vector<unsigned>> stuck;
+        FlatMap<std::vector<unsigned>> stuck;
         /** Retired page base addresses. */
-        std::unordered_set<Addr> retired;
+        FlatSet retired;
         /** Uncorrectable-error count per page base. */
-        std::unordered_map<Addr, unsigned> pageDue;
+        FlatMap<unsigned> pageDue;
     };
 
     Addr pageBase(Addr addr) const;
@@ -392,7 +416,7 @@ class EccDimmController : public MemoryController
     /** Lazily materialised (72,64) check bytes, one per 64-bit word. */
     std::array<u8, 8> &checkBytes(Addr addr);
 
-    std::unordered_map<Addr, std::array<u8, 8>> check_;
+    FlatMap<std::array<u8, 8>> check_;
 };
 
 } // namespace cop

@@ -153,10 +153,23 @@ CopErController::readImpl(Addr addr, Cycle now)
 {
     // First touch: initial memory was stored through the same encoder.
     if (image_.find(addr) == image_.end()) {
-        const CacheBlock data = initialContent(addr);
+        const CacheBlock &data = initialContent(addr);
         const CopEncodeResult enc = encodeBlock(data);
         if (enc.status == EncodeStatus::Protected) {
             setImage(addr, enc.stored);
+            if (!faultInjectionEnabled()) {
+                // The image was created by the line above, so nothing
+                // can have corrupted it before this fill: decoding it
+                // is the codec roundtrip identity (decode(encode(x)) ==
+                // (x, clean flags)). Serve the fill from the content
+                // directly and skip the decode.
+                MemReadResult result;
+                result.complete = dramRead(addr, now) + decodeLatency_;
+                result.dramAccesses = 1;
+                result.data = data;
+                logVuln(VulnClass::CopProtected4, addr, now);
+                return result;
+            }
         } else {
             setImage(addr, storeIncompressible(addr, data, now, false, 0));
         }

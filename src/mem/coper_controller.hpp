@@ -12,7 +12,6 @@
 #ifndef COP_MEM_COPER_CONTROLLER_HPP
 #define COP_MEM_COPER_CONTROLLER_HPP
 
-#include <unordered_set>
 
 #include "core/coper_codec.hpp"
 #include "core/ecc_region.hpp"
@@ -146,7 +145,7 @@ class CopErController : public MemoryController
     Cycle decodeLatency_;
     CopErStats erStats_;
     u64 treeAddrSalt_ = 0;
-    std::unordered_set<Addr> everIncompressible_;
+    FlatSet everIncompressible_;
 };
 
 } // namespace cop

@@ -83,7 +83,7 @@ class CopErNaiveController : public MemoryController
     CopCodec codec_;
     MetaCache meta_;
     Cycle decodeLatency_;
-    std::unordered_map<Addr, u16> check_;
+    FlatMap<u16> check_;
 };
 
 } // namespace cop

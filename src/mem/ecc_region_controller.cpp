@@ -68,7 +68,7 @@ EccRegionController::readImpl(Addr addr, Cycle now)
     result.complete = std::max(data_done, meta_done);
     result.dramAccesses = 1 + (meta_done > now ? 1 : 0);
     const CacheBlock &img =
-        storedImage(addr, [](const CacheBlock &data) { return data; });
+        storedImage(addr);
     if (isFaulted(addr)) {
         CacheBlock data = img;
         const EccResult ecc = CoperCodec::wideDecode(data, wideCheck(addr));

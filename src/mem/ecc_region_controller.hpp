@@ -78,7 +78,7 @@ class EccRegionController : public MemoryController
     u16 &wideCheck(Addr addr);
 
     MetaCache meta_;
-    std::unordered_map<Addr, u16> check_;
+    FlatMap<u16> check_;
 };
 
 } // namespace cop

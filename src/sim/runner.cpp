@@ -228,7 +228,13 @@ appendResultsJson(std::string &out, const SystemResults &r)
     field(out, "dram_write_lat_p50", write_lat.p50);
     field(out, "dram_write_lat_p95", write_lat.p95);
     field(out, "dram_write_lat_p99", write_lat.p99);
-    field(out, "dram_write_lat_max", write_lat.max, false);
+    field(out, "dram_write_lat_max", write_lat.max);
+    // Functional-memory perf counters (content-cache PR) — again
+    // appended strictly after everything that existed before them.
+    field(out, "pool_block_for_calls", r.poolBlockForCalls);
+    field(out, "pool_content_cache_hits", r.poolContentCacheHits);
+    field(out, "pool_content_cache_misses", r.poolContentCacheMisses,
+          false);
     out += '}';
 }
 

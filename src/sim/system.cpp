@@ -66,14 +66,41 @@ System::System(const WorkloadProfile &profile, const SystemConfig &cfg)
     COP_ASSERT(cfg_.cores >= 1);
     cores_.resize(cfg_.cores);
     for (unsigned c = 0; c < cfg_.cores; ++c) {
-        cores_[c].gen = std::make_unique<TraceGenerator>(profile, c,
-                                                         cfg_.seedSalt);
+        cores_[c].gen = std::make_unique<TraceGenerator>(
+            profile, c, cfg_.seedSalt, cfg_.contentCacheEntries);
     }
     encodeMemo_ = std::make_unique<EncodeMemo>(cfg_.encodeMemoEntries);
     controller_ = makeController(
         cfg_.kind, dram_,
-        [this](Addr addr) { return poolFor(addr).blockFor(addr); },
+        [this](Addr addr) -> const CacheBlock & {
+            return poolFor(addr).blockForRef(addr);
+        },
         cfg_.decodeLatency, cfg_.metaCacheBytes, encodeMemo_.get());
+    evictFilter_ = [this](Addr victim, const CacheLineState &) {
+        probedData_ = poolFor(victim).blockForRef(victim);
+        probedAddr_ = victim;
+        probed_ = true;
+        return !controller_->wouldAliasReject(probedData_);
+    };
+
+    // Footprint-based pre-sizing of the flat hash state: the touched
+    // footprint is bounded by both the address space and the reference
+    // count ((1 + 2*mlp)/2 expected references per epoch), with a hard
+    // cap so short unit-test runs stay tiny and huge sweeps do not
+    // over-allocate. Purely an allocation hint — growth is automatic.
+    const u64 poolRegions =
+        (profile_.sharedFootprint || cfg_.cores == 1) ? 1 : cfg_.cores;
+    const u64 expectedRefs =
+        cfg_.epochsPerCore * cfg_.cores * (2 * profile_.mlp + 1) / 2;
+    const u64 touchEstimate =
+        std::min({poolRegions * profile_.footprintBlocks, expectedRefs,
+                  u64{1} << 19});
+    controller_->reserveFootprint(touchEstimate);
+    const u64 writeEstimate = static_cast<u64>(
+        static_cast<double>(touchEstimate / poolRegions) *
+        profile_.writeFraction);
+    for (unsigned c = 0; c < poolRegions; ++c)
+        cores_[c].gen->pool().reserveVersions(writeEstimate);
 
     if (cfg_.fault.enabled) {
         controller_->enableFaultInjection(cfg_.fault.recovery);
@@ -119,6 +146,43 @@ System::registerAllStats()
             total += core.epochsDone;
         return total;
     });
+    // Functional-memory content cache + flat-map load factors. Summed
+    // over every core pool (idle pools contribute zero in
+    // shared-footprint mode).
+    statsRegistry_.gauge("pool.block_for_calls", [this] {
+        u64 total = 0;
+        for (const Core &core : cores_)
+            total += core.gen->pool().blockForCalls();
+        return total;
+    });
+    statsRegistry_.gauge("pool.content_cache_hits", [this] {
+        u64 total = 0;
+        for (const Core &core : cores_)
+            total += core.gen->pool().contentCacheHits();
+        return total;
+    });
+    statsRegistry_.gauge("pool.content_cache_misses", [this] {
+        u64 total = 0;
+        for (const Core &core : cores_)
+            total += core.gen->pool().contentCacheMisses();
+        return total;
+    });
+    statsRegistry_.gauge("pool.version_map_entries", [this] {
+        u64 total = 0;
+        for (const Core &core : cores_)
+            total += core.gen->pool().versionMapEntries();
+        return total;
+    });
+    statsRegistry_.gauge("pool.version_map_slots", [this] {
+        u64 total = 0;
+        for (const Core &core : cores_)
+            total += core.gen->pool().versionMapSlots();
+        return total;
+    });
+    statsRegistry_.gauge("pool.image_entries",
+                         [this] { return controller_->imageBlockCount(); });
+    statsRegistry_.gauge("pool.image_slots",
+                         [this] { return controller_->imageSlotCount(); });
 }
 
 Cycle
@@ -151,12 +215,14 @@ System::poolFor(Addr addr)
 }
 
 void
-System::performWriteback(const CacheEviction &ev, Cycle now)
+System::performWriteback(const CacheEviction &ev, Cycle now,
+                         const CacheBlock *data)
 {
     COP_ASSERT(ev.valid && ev.state.dirty);
-    const CacheBlock data = poolFor(ev.addr).blockFor(ev.addr);
+    const CacheBlock &block =
+        data != nullptr ? *data : poolFor(ev.addr).blockForRef(ev.addr);
     const MemWriteResult wr = controller_->writeback(
-        ev.addr, data, now, ev.state.wasUncompressed);
+        ev.addr, block, now, ev.state.wasUncompressed);
     // The insert-time filter already pinned true aliases; a rejection
     // here would mean the filter and the encoder disagree.
     COP_ASSERT(!wr.aliasRejected);
@@ -174,7 +240,7 @@ System::handleMiss(Addr addr, bool is_write, Cycle now)
         // memory. Without fault injection any mismatch is an encoder/
         // decoder bug and aborts; with it, a mismatch nobody flagged
         // is silent data corruption and is counted as such.
-        const CacheBlock expect = poolFor(addr).blockFor(addr);
+        const CacheBlock &expect = poolFor(addr).blockForRef(addr);
         const bool match = fill.data == expect;
         if (!match && !fill.detectedUncorrectable) {
             if (cfg_.fault.enabled) {
@@ -196,22 +262,26 @@ System::handleMiss(Addr addr, bool is_write, Cycle now)
     if (fill.wasUncompressed)
         everUncompressed_.insert(addr / kBlockBytes * kBlockBytes);
 
-    const SetAssocCache::EvictFilter filter =
-        [this](Addr victim, const CacheLineState &) {
-            const CacheBlock data = poolFor(victim).blockFor(victim);
-            return !controller_->wouldAliasReject(data);
-        };
-    const CacheEviction ev = llc_.insert(addr, is_write, filter);
-    if (ev.valid && ev.state.dirty)
-        performWriteback(ev, now);
+    // The filter's victim block is kept so a filter-approved eviction
+    // writes back exactly that block instead of regenerating it (the
+    // version cannot change between the probe and the writeback below).
+    probed_ = false;
+    CacheLineState *installed = nullptr;
+    const CacheEviction ev =
+        llc_.insert(addr, is_write, evictFilter_, &installed);
+    if (ev.valid && ev.state.dirty) {
+        performWriteback(ev, now,
+                         probed_ && probedAddr_ == ev.addr ? &probedData_
+                                                           : nullptr);
+    }
 
-    if (CacheLineState *state = llc_.findState(addr)) {
-        state->wasUncompressed = fill.wasUncompressed;
+    if (installed != nullptr) {
+        installed->wasUncompressed = fill.wasUncompressed;
         if (fill.aliasPinned) {
             // First touch of an incompressible alias: it only exists
             // here, so it is dirty and pinned.
-            state->dirty = true;
-            llc_.setAlias(addr, true);
+            installed->dirty = true;
+            llc_.setAlias(*installed, true);
         }
     }
     return fill.complete;
@@ -224,14 +294,14 @@ System::proactiveAliasCheck(Addr addr)
         return;
     if (llc_.findState(addr) == nullptr)
         return;
-    if (controller_->wouldAliasReject(poolFor(addr).blockFor(addr)))
+    if (controller_->wouldAliasReject(poolFor(addr).blockForRef(addr)))
         llc_.setAlias(addr, true);
 }
 
 void
 System::runEpoch(Core &core)
 {
-    const Epoch epoch = core.gen->next();
+    const Epoch &epoch = core.gen->next();
 
     // Compute phase at the perfect-L3 IPC; the epoch's misses overlap
     // with it and with each other (interval simulation).
@@ -332,6 +402,13 @@ System::run()
 
     // Footprint actually touched: distinct blocks with a DRAM image.
     results.touchedBlocks = controller_->imageBlockCount();
+    for (const auto &core : cores_) {
+        results.poolBlockForCalls += core.gen->pool().blockForCalls();
+        results.poolContentCacheHits +=
+            core.gen->pool().contentCacheHits();
+        results.poolContentCacheMisses +=
+            core.gen->pool().contentCacheMisses();
+    }
     results.eccRegionBytes = 0;
     if (auto *coper = dynamic_cast<CopErController *>(controller_.get())) {
         results.eccRegionBytes = coper->storageBytesHighWater();

@@ -14,7 +14,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/set_assoc_cache.hpp"
@@ -76,6 +75,14 @@ struct SystemConfig
      * (see core/encode_memo.hpp).
      */
     unsigned encodeMemoEntries = 1u << 13;
+    /**
+     * blockFor content-cache slots per BlockContentPool (direct-mapped
+     * memo of functional-memory content, keyed on (addr, version)).
+     * 0 disables caching but keeps the perf counters; the cache cannot
+     * change simulated behaviour — content is a pure function of the
+     * key (see workloads/trace_gen.hpp and DESIGN.md).
+     */
+    unsigned contentCacheEntries = kDefaultContentCacheEntries;
     u64 seedSalt = 0;
     /** Live fault injection + error recovery (off by default). */
     FaultConfig fault;
@@ -120,6 +127,10 @@ struct SystemResults
     u64 eccRegionBytesNoDealloc = 0;
     /** Error-recovery bookkeeping (all zero unless faults injected). */
     ErrorLog errors;
+    /** Functional-memory perf counters (summed over the core pools). */
+    u64 poolBlockForCalls = 0;
+    u64 poolContentCacheHits = 0;
+    u64 poolContentCacheMisses = 0;
 };
 
 /** One simulated system instance for one benchmark. */
@@ -159,7 +170,13 @@ class System
     void proactiveAliasCheck(Addr addr);
     /** Handle an L3 miss: fill from memory, install, write back victim. */
     Cycle handleMiss(Addr addr, bool is_write, Cycle now);
-    void performWriteback(const CacheEviction &ev, Cycle now);
+    /**
+     * Write back a dirty victim. @p data is the victim's content when
+     * the caller already produced it (the evict filter's block, threaded
+     * through so it is not regenerated); null regenerates from the pool.
+     */
+    void performWriteback(const CacheEviction &ev, Cycle now,
+                          const CacheBlock *data = nullptr);
 
     const WorkloadProfile &profile_;
     SystemConfig cfg_;
@@ -170,9 +187,19 @@ class System
     std::unique_ptr<MemoryController> controller_;
     std::unique_ptr<LiveInjector> injector_;
     std::vector<Core> cores_;
-    std::unordered_set<Addr> everUncompressed_;
+    FlatSet everUncompressed_;
     u64 writebacks_ = 0;
     u64 missCount_ = 0;
+    /**
+     * Persistent eviction filter + probe scratch: constructing a
+     * std::function per miss heap-allocates (the captures exceed the
+     * small-buffer size), so one is built in the constructor and the
+     * probe state lives here, reset before each insert.
+     */
+    SetAssocCache::EvictFilter evictFilter_;
+    bool probed_ = false;
+    Addr probedAddr_ = 0;
+    CacheBlock probedData_;
 };
 
 /**

@@ -16,11 +16,25 @@ mix64(u64 z)
     return z ^ (z >> 31);
 }
 
+/** Power-of-two content-cache slot count (0 stays 0: counting only). */
+u64
+cacheSlotsFor(unsigned entries)
+{
+    if (entries == 0)
+        return 0;
+    u64 slots = 1;
+    while (slots < entries)
+        slots <<= 1;
+    return slots;
+}
+
 } // namespace
 
 BlockContentPool::BlockContentPool(const WorkloadProfile &profile,
-                                   u64 seed_salt)
-    : profile_(profile), seed_(profile.seed() ^ seed_salt)
+                                   u64 seed_salt, unsigned cache_entries)
+    : profile_(profile), seed_(profile.seed() ^ seed_salt),
+      cacheSlots_(cacheSlotsFor(cache_entries)),
+      cacheMask_(cacheSlots_ == 0 ? 0 : cacheSlots_ - 1)
 {
     double acc = 0;
     for (unsigned c = 0; c < kBlockCategories; ++c) {
@@ -36,10 +50,8 @@ BlockContentPool::mixHash(Addr block_addr) const
 }
 
 BlockCategory
-BlockContentPool::categoryOf(Addr block_addr) const
+BlockContentPool::categoryFromUniform(double u) const
 {
-    const double u =
-        static_cast<double>(mixHash(block_addr) >> 11) * 0x1.0p-53;
     for (unsigned c = 0; c < kBlockCategories; ++c) {
         if (u < cdf_[c])
             return static_cast<BlockCategory>(c);
@@ -47,14 +59,50 @@ BlockContentPool::categoryOf(Addr block_addr) const
     return BlockCategory::Random;
 }
 
-CacheBlock
-BlockContentPool::blockFor(Addr block_addr) const
+BlockCategory
+BlockContentPool::categoryOf(Addr block_addr) const
 {
+    const double u =
+        static_cast<double>(mixHash(block_addr) >> 11) * 0x1.0p-53;
+    return categoryFromUniform(u);
+}
+
+const CacheBlock &
+BlockContentPool::blockForRef(Addr block_addr) const
+{
+    ++blockForCalls_;
     u32 version = 0;
-    if (auto it = versions_.find(block_addr); it != versions_.end())
-        version = it->second;
+    if (!versions_.empty()) {
+        if (auto it = versions_.find(block_addr); it != versions_.end())
+            version = it->second;
+    }
+
+    if (cacheSlots_ == 0) {
+        Rng rng(mixHash(block_addr) ^
+                mix64(version * 0xD6E8FEB86659FD93ULL));
+        scratch_ = generateBlock(categoryOf(block_addr), profile_.gen, rng);
+        return scratch_;
+    }
+    if (cache_.empty())
+        cache_.resize(cacheSlots_);
+
+    // Direct-mapped on the block index: the hot working set is a
+    // contiguous slice of the footprint, so it maps conflict-free. A
+    // version bump leaves the stale entry in place — the full
+    // (addr, version) compare rejects it and the regeneration below
+    // overwrites the slot, so old versions can never be returned.
+    CacheSlot &slot = cache_[(block_addr / kBlockBytes) & cacheMask_];
+    if (slot.valid && slot.addr == block_addr &&
+        slot.version == version) {
+        ++contentCacheHits_;
+        return slot.block;
+    }
     Rng rng(mixHash(block_addr) ^ mix64(version * 0xD6E8FEB86659FD93ULL));
-    return generateBlock(categoryOf(block_addr), profile_.gen, rng);
+    slot.block = generateBlock(categoryOf(block_addr), profile_.gen, rng);
+    slot.addr = block_addr;
+    slot.version = version;
+    slot.valid = true;
+    return slot.block;
 }
 
 void
@@ -70,27 +118,22 @@ BlockContentPool::sample(unsigned n, u64 seed) const
     std::vector<CacheBlock> blocks;
     blocks.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
-        const double u = rng.uniform();
-        BlockCategory c = BlockCategory::Random;
-        for (unsigned k = 0; k < kBlockCategories; ++k) {
-            if (u < cdf_[k]) {
-                c = static_cast<BlockCategory>(k);
-                break;
-            }
-        }
+        const BlockCategory c = categoryFromUniform(rng.uniform());
         blocks.push_back(generateBlock(c, profile_.gen, rng));
     }
     return blocks;
 }
 
 TraceGenerator::TraceGenerator(const WorkloadProfile &profile,
-                               unsigned core_id, u64 seed_salt)
+                               unsigned core_id, u64 seed_salt,
+                               unsigned content_cache_entries)
     : profile_(profile),
       rng_(profile.seed() ^ mix64(core_id + 1) ^ seed_salt),
       base_(profile.sharedFootprint
                 ? 0
                 : core_id * profile.footprintBlocks * kBlockBytes),
-      pool_(profile, profile.sharedFootprint ? 0 : mix64(core_id))
+      pool_(profile, profile.sharedFootprint ? 0 : mix64(core_id),
+            content_cache_entries)
 {
     cursor_ = rng_.below(profile.footprintBlocks);
 }
@@ -112,10 +155,11 @@ TraceGenerator::pickAddress()
     return base_ + cursor_ * kBlockBytes;
 }
 
-Epoch
+const Epoch &
 TraceGenerator::next()
 {
-    Epoch epoch;
+    Epoch &epoch = epoch_;
+    epoch.accesses.clear();
     // Epoch length: profile.mlp overlappable references per epoch, with
     // the instruction count implied by the L3 reference rate. Jitter of
     // +/- 50% keeps the stream from being perfectly periodic.

@@ -10,30 +10,62 @@
 #ifndef COP_WORKLOADS_TRACE_GEN_HPP
 #define COP_WORKLOADS_TRACE_GEN_HPP
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "workloads/profile.hpp"
 
 namespace cop {
+
+/**
+ * Default blockFor content-cache slots per pool (~1.3 MB). Plenty for
+ * the hot working set the trace generator clusters on (1/16th of the
+ * footprint); SystemConfig::contentCacheEntries overrides.
+ */
+inline constexpr unsigned kDefaultContentCacheEntries = 1u << 14;
 
 /**
  * Deterministic functional memory: the content of every block is a pure
  * function of (profile, address, version); stores bump the version.
  * The category of an address never changes — data structures keep their
  * type — so compressibility is stationary per benchmark, as in reality.
+ *
+ * blockFor is memoised through a direct-mapped cache keyed on
+ * (addr, version): a repeated call for an unchanged block is a copy,
+ * not a regeneration through the RNG. Because content is a pure
+ * function of the key, the cache cannot change any result — only the
+ * hit/miss counters observe it (see DESIGN.md "functional-memory
+ * purity"). 0 entries disables caching but keeps the counters.
  */
 class BlockContentPool
 {
   public:
-    explicit BlockContentPool(const WorkloadProfile &profile,
-                              u64 seed_salt = 0);
+    explicit BlockContentPool(
+        const WorkloadProfile &profile, u64 seed_salt = 0,
+        unsigned cache_entries = kDefaultContentCacheEntries);
 
     /** Stationary data category of an address. */
     BlockCategory categoryOf(Addr block_addr) const;
 
+    /**
+     * Category for one uniform draw in [0,1): the CDF walk shared by
+     * categoryOf (hashed-address draw) and sample (RNG draw).
+     */
+    BlockCategory categoryFromUniform(double u) const;
+
     /** Current content of a block. */
-    CacheBlock blockFor(Addr block_addr) const;
+    CacheBlock blockFor(Addr block_addr) const
+    {
+        return blockForRef(block_addr);
+    }
+
+    /**
+     * Current content of a block, without the copy. The reference is
+     * valid until the next blockFor/blockForRef call on this pool (it
+     * points into the content cache, or into a scratch slot when
+     * caching is disabled).
+     */
+    const CacheBlock &blockForRef(Addr block_addr) const;
 
     /** Record a store: the block's content changes deterministically. */
     void bumpVersion(Addr block_addr);
@@ -46,14 +78,53 @@ class BlockContentPool
      */
     std::vector<CacheBlock> sample(unsigned n, u64 seed) const;
 
+    /** Pre-size the version map for an expected store footprint. */
+    void reserveVersions(u64 blocks) { versions_.reserve(blocks); }
+
+    // --- perf observability (pool.* gauges, results JSON) -------------
+    /** Total blockFor invocations (hot-path dedup regression metric). */
+    u64 blockForCalls() const { return blockForCalls_; }
+    /** blockFor calls served from the content cache. */
+    u64 contentCacheHits() const { return contentCacheHits_; }
+    u64
+    contentCacheMisses() const
+    {
+        return blockForCalls_ - contentCacheHits_;
+    }
+    /** Version-map load-factor observability. */
+    u64 versionMapEntries() const { return versions_.size(); }
+    u64 versionMapSlots() const { return versions_.capacity(); }
+
   private:
+    /** One direct-mapped content-cache slot. */
+    struct CacheSlot
+    {
+        Addr addr = 0;
+        u32 version = 0;
+        bool valid = false;
+        CacheBlock block;
+    };
+
     u64 mixHash(Addr block_addr) const;
 
     const WorkloadProfile &profile_;
     u64 seed_;
     /** Cumulative mix distribution for category sampling. */
     std::array<double, kBlockCategories> cdf_{};
-    std::unordered_map<Addr, u32> versions_;
+    FlatMap<u32> versions_;
+    /**
+     * blockFor is logically const; the cache and counters are not.
+     * Allocated lazily on the first blockFor call — pools on cores
+     * that never miss (or Systems built only to read config) skip the
+     * multi-megabyte zero-fill entirely.
+     */
+    mutable std::vector<CacheSlot> cache_;
+    u64 cacheSlots_ = 0;
+    u64 cacheMask_ = 0;
+    /** blockForRef return storage when the cache is disabled. */
+    mutable CacheBlock scratch_;
+    mutable u64 blockForCalls_ = 0;
+    mutable u64 contentCacheHits_ = 0;
 };
 
 /** One L3 reference. */
@@ -79,10 +150,16 @@ class TraceGenerator
 {
   public:
     TraceGenerator(const WorkloadProfile &profile, unsigned core_id,
-                   u64 seed_salt = 0);
+                   u64 seed_salt = 0,
+                   unsigned content_cache_entries =
+                       kDefaultContentCacheEntries);
 
-    /** Produce the next epoch. */
-    Epoch next();
+    /**
+     * Produce the next epoch. The reference stays valid until the next
+     * call on this generator (the epoch buffer is reused — no per-epoch
+     * allocation); copy-construct an Epoch to retain one.
+     */
+    const Epoch &next();
 
     /** Block content pool for this core's address region. */
     BlockContentPool &pool() { return pool_; }
@@ -99,6 +176,8 @@ class TraceGenerator
     Addr base_;
     u64 cursor_ = 0;
     BlockContentPool pool_;
+    /** Reused next() buffer — avoids a heap round-trip per epoch. */
+    Epoch epoch_;
 };
 
 } // namespace cop

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Functional-memory purity tests for the blockFor content cache: the
+ * cache is a pure memo keyed on (addr, version), so any cache size —
+ * including 0 (off) — must produce bit-identical block contents, and a
+ * full System run must produce byte-identical results JSON once the
+ * pool hit/miss counters (the only observers of the cache) are
+ * blanked. Also pins the hot-path de-duplication: at most one content
+ * regeneration per LLC miss (the old fill path regenerated twice).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workloads/trace_gen.hpp"
+
+namespace cop {
+namespace {
+
+TEST(PoolContentCache, CacheSizeCannotChangeContents)
+{
+    const auto &profile = WorkloadRegistry::byName("mcf");
+    BlockContentPool big(profile, 0);           // default cache
+    BlockContentPool tiny(profile, 0, 4);       // pathological thrash
+    BlockContentPool off(profile, 0, 0);        // counting only
+
+    // Interleaved reads and version bumps over a conflict-heavy
+    // address set (every pool must agree at every step).
+    for (unsigned round = 0; round < 4; ++round) {
+        for (Addr addr = 0; addr < 256 * kBlockBytes;
+             addr += kBlockBytes) {
+            const CacheBlock want = off.blockFor(addr);
+            ASSERT_EQ(big.blockFor(addr), want)
+                << "round " << round << " addr " << addr;
+            ASSERT_EQ(tiny.blockFor(addr), want)
+                << "round " << round << " addr " << addr;
+        }
+        for (Addr addr = 0; addr < 256 * kBlockBytes;
+             addr += 3 * kBlockBytes) {
+            big.bumpVersion(addr);
+            tiny.bumpVersion(addr);
+            off.bumpVersion(addr);
+        }
+    }
+
+    // Same observable work, different cache effectiveness.
+    EXPECT_EQ(big.blockForCalls(), off.blockForCalls());
+    EXPECT_EQ(tiny.blockForCalls(), off.blockForCalls());
+    EXPECT_EQ(off.contentCacheHits(), 0u);
+    EXPECT_GT(big.contentCacheHits(), tiny.contentCacheHits());
+    EXPECT_EQ(big.contentCacheHits() + big.contentCacheMisses(),
+              big.blockForCalls());
+}
+
+TEST(PoolContentCache, VersionBumpInvalidatesExactlyThatBlock)
+{
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    BlockContentPool pool(profile, 0);
+    const Addr a = 0, b = kBlockBytes;
+    const CacheBlock a0 = pool.blockFor(a);
+    const CacheBlock b0 = pool.blockFor(b);
+    EXPECT_EQ(pool.blockFor(a), a0); // repeat: cache hit, same bits
+    EXPECT_GE(pool.contentCacheHits(), 1u);
+
+    pool.bumpVersion(a);
+    EXPECT_NE(pool.blockFor(a), a0) << "bump must change content";
+    EXPECT_EQ(pool.blockFor(b), b0) << "bump must not leak to b";
+    // The stale (a, version 0) slot can never be served again.
+    const CacheBlock a1 = pool.blockFor(a);
+    EXPECT_EQ(pool.blockFor(a), a1);
+}
+
+TEST(CategoryFromUniform, MatchesMixWeights)
+{
+    const auto &profile = WorkloadRegistry::byName("mcf");
+    BlockContentPool pool(profile, 0);
+
+    // The CDF walk at the exact draw reproduces the configured mix.
+    std::array<u64, kBlockCategories> counts{};
+    Rng rng(0xCDF);
+    constexpr unsigned kDraws = 200000;
+    for (unsigned i = 0; i < kDraws; ++i)
+        ++counts[static_cast<unsigned>(
+            pool.categoryFromUniform(rng.uniform()))];
+
+    for (unsigned c = 0; c < kBlockCategories; ++c) {
+        const double expect = profile.mix.weight[c];
+        const double got =
+            static_cast<double>(counts[c]) / kDraws;
+        EXPECT_NEAR(got, expect, 0.01)
+            << "category " << c << " frequency drifted";
+    }
+
+    // categoryOf is categoryFromUniform over a hashed-address draw:
+    // address-indexed frequencies converge to the same mix.
+    std::array<u64, kBlockCategories> byAddr{};
+    constexpr unsigned kBlocks = 100000;
+    for (Addr a = 0; a < u64{kBlocks} * kBlockBytes; a += kBlockBytes)
+        ++byAddr[static_cast<unsigned>(pool.categoryOf(a))];
+    for (unsigned c = 0; c < kBlockCategories; ++c) {
+        EXPECT_NEAR(static_cast<double>(byAddr[c]) / kBlocks,
+                    profile.mix.weight[c], 0.015)
+            << "category " << c;
+    }
+}
+
+SystemConfig
+smallConfig(ControllerKind kind, unsigned cache_entries)
+{
+    SystemConfig cfg;
+    cfg.cores = 2;
+    cfg.kind = kind;
+    cfg.epochsPerCore = 800;
+    cfg.llc = CacheConfig{256ULL << 10, 8, 34};
+    cfg.verifyData = true;
+    cfg.contentCacheEntries = cache_entries;
+    return cfg;
+}
+
+/** Results JSON with the pool counters (the cache's only observable
+ *  side channel) blanked. */
+std::string
+blankedJson(SystemResults r)
+{
+    r.poolBlockForCalls = 0;
+    r.poolContentCacheHits = 0;
+    r.poolContentCacheMisses = 0;
+    std::string out;
+    appendResultsJson(out, r);
+    return out;
+}
+
+TEST(SystemContentCache, ByteIdenticalResultsAcrossCacheSizes)
+{
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    for (ControllerKind kind :
+         {ControllerKind::Cop4, ControllerKind::Unprotected,
+          ControllerKind::CopEr}) {
+        System on(profile, smallConfig(kind, kDefaultContentCacheEntries));
+        System tiny(profile, smallConfig(kind, 4));
+        System off(profile, smallConfig(kind, 0));
+        const std::string ref = blankedJson(on.run());
+        EXPECT_EQ(ref, blankedJson(tiny.run()))
+            << controllerKindName(kind) << ": tiny cache diverged";
+        EXPECT_EQ(ref, blankedJson(off.run()))
+            << controllerKindName(kind) << ": cache-off diverged";
+    }
+}
+
+TEST(SystemContentCache, ByteIdenticalUnderFaultInjection)
+{
+    const auto &profile = WorkloadRegistry::byName("mcf");
+    auto faulty = [&](unsigned cache_entries) {
+        SystemConfig cfg = smallConfig(ControllerKind::Cop4,
+                                       cache_entries);
+        cfg.fault.enabled = true;
+        cfg.fault.eventsPerMegacycle = 20000.0;
+        cfg.fault.flipsPerEvent = 2;
+        cfg.fault.scrubIntervalCycles = 500000;
+        return cfg;
+    };
+    System on(profile, faulty(kDefaultContentCacheEntries));
+    System off(profile, faulty(0));
+    const SystemResults ron = on.run();
+    // Uniform strikes over the whole footprint mostly land on
+    // never-touched blocks (cold faults); either counter proves the
+    // injector ran.
+    EXPECT_GT(ron.errors.faultEvents + ron.errors.coldFaults, 0u)
+        << "campaign must inject";
+    EXPECT_EQ(blankedJson(ron), blankedJson(off.run()));
+}
+
+TEST(SystemContentCache, ByteIdenticalWithStatsTracing)
+{
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    SystemConfig plain = smallConfig(ControllerKind::Cop4,
+                                     kDefaultContentCacheEntries);
+    SystemConfig traced = plain;
+    traced.traceStatsPath =
+        ::testing::TempDir() + "content_cache_trace.jsonl";
+    traced.traceStatsEpochInterval = 128;
+    System a(profile, plain);
+    System b(profile, traced);
+    const SystemResults ra = a.run();
+    const SystemResults rb = b.run();
+    std::string ja, jb;
+    appendResultsJson(ja, ra);
+    appendResultsJson(jb, rb);
+    EXPECT_EQ(ja, jb) << "tracing must not perturb results";
+}
+
+TEST(SystemContentCache, AtMostOneRegenerationPerMiss)
+{
+    // The hot-path dedup contract: a miss regenerates functional
+    // content at most once (fill OR oracle, never both — the second
+    // consumer hits the cache), plus at most the filter probe and the
+    // writeback for evictions. The pre-dedup fill path regenerated
+    // twice per miss and fails this bound.
+    const auto &profile = WorkloadRegistry::byName("mcf");
+    System sys(profile, smallConfig(ControllerKind::Cop4,
+                                    kDefaultContentCacheEntries));
+    const SystemResults r = sys.run();
+    ASSERT_GT(r.llcMisses, 0u);
+    EXPECT_GE(r.poolBlockForCalls, r.llcMisses)
+        << "oracle consults functional memory on every miss";
+    EXPECT_LE(r.poolContentCacheMisses,
+              r.llcMisses + 2 * r.writebacks)
+        << "a miss must not regenerate content more than once";
+}
+
+} // namespace
+} // namespace cop

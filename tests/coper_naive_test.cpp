@@ -25,7 +25,9 @@ class NaiveCoperTest : public ::testing::Test
         cfg.refreshEnabled = false;
         dram = std::make_unique<DramSystem>(cfg);
         ctrl = std::make_unique<CopErNaiveController>(
-            *dram, [this](Addr a) { return pool.blockFor(a); });
+            *dram, [this](Addr a) -> const CacheBlock & {
+                return pool.blockForRef(a);
+            });
     }
 
     const WorkloadProfile &profile;

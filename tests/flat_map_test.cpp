@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Randomized equivalence tests for the open-addressing FlatMap/FlatSet
+ * against std::unordered_map/std::unordered_set: same operation
+ * sequence, same observable contents. Exercises backward-shift deletion
+ * under heavy collision chains, rehash growth, and non-trivial value
+ * types (CacheBlock, std::vector).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/cache_block.hpp"
+#include "common/flat_map.hpp"
+#include "common/rng.hpp"
+
+namespace cop {
+namespace {
+
+/** Draw keys the simulator actually uses: block-aligned addresses from
+ *  a small (collision-heavy) domain plus far-away metadata spaces. */
+u64
+drawKey(Rng &rng)
+{
+    const u64 r = rng.below(3);
+    if (r == 0)
+        return rng.below(512) * 64;
+    if (r == 1)
+        return (1ULL << 40) + rng.below(256) * 64;
+    return rng.next();
+}
+
+TEST(FlatMap, RandomizedEquivalenceWithUnorderedMap)
+{
+    Rng rng(0xF1A7);
+    FlatMap<u64> flat;
+    std::unordered_map<u64, u64> ref;
+
+    for (unsigned op = 0; op < 50000; ++op) {
+        const u64 key = drawKey(rng);
+        switch (rng.below(5)) {
+          case 0:
+          case 1: { // emplace
+            const u64 val = rng.next();
+            const auto [fit, finserted] = flat.emplace(key, val);
+            const auto [rit, rinserted] = ref.emplace(key, val);
+            EXPECT_EQ(finserted, rinserted);
+            EXPECT_EQ(fit->second, rit->second);
+            break;
+          }
+          case 2: { // operator[]
+            const u64 val = rng.next();
+            flat[key] = val;
+            ref[key] = val;
+            break;
+          }
+          case 3: // erase
+            EXPECT_EQ(flat.erase(key), ref.erase(key));
+            break;
+          default: { // lookup
+            EXPECT_EQ(flat.count(key), ref.count(key));
+            const auto fit = flat.find(key);
+            const auto rit = ref.find(key);
+            ASSERT_EQ(fit == flat.end(), rit == ref.end());
+            if (rit != ref.end()) {
+                EXPECT_EQ(fit->second, rit->second);
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+
+    // Full-content equivalence, both directions.
+    u64 iterated = 0;
+    for (const auto &[key, val] : flat) {
+        const auto rit = ref.find(key);
+        ASSERT_NE(rit, ref.end()) << key;
+        EXPECT_EQ(val, rit->second);
+        ++iterated;
+    }
+    EXPECT_EQ(iterated, ref.size());
+    for (const auto &[key, val] : ref)
+        EXPECT_EQ(flat.find(key)->second, val);
+}
+
+TEST(FlatSet, RandomizedEquivalenceWithUnorderedSet)
+{
+    Rng rng(0x5E7);
+    FlatSet flat;
+    std::unordered_set<u64> ref;
+
+    for (unsigned op = 0; op < 30000; ++op) {
+        const u64 key = drawKey(rng);
+        if (rng.chance(0.3)) {
+            EXPECT_EQ(flat.erase(key), ref.erase(key));
+        } else {
+            EXPECT_EQ(flat.insert(key), ref.insert(key).second);
+        }
+        EXPECT_EQ(flat.count(key), ref.count(key));
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+    for (const u64 key : ref)
+        EXPECT_EQ(flat.count(key), 1u);
+}
+
+TEST(FlatMap, BackwardShiftEraseKeepsDenseChainsIntact)
+{
+    // Dense consecutive small keys probe into long collision chains
+    // after mixing; deleting every other key forces the backward-shift
+    // path to repair chains rather than leave tombstones.
+    FlatMap<u64> flat;
+    constexpr u64 kN = 4096;
+    for (u64 k = 0; k < kN; ++k)
+        flat.emplace(k, k * 3);
+    for (u64 k = 0; k < kN; k += 2)
+        EXPECT_EQ(flat.erase(k), 1u);
+    EXPECT_EQ(flat.size(), kN / 2);
+    for (u64 k = 0; k < kN; ++k) {
+        if (k % 2 == 0) {
+            EXPECT_EQ(flat.count(k), 0u) << k;
+        } else {
+            ASSERT_EQ(flat.count(k), 1u) << k;
+            EXPECT_EQ(flat.find(k)->second, k * 3);
+        }
+    }
+    // Erased keys can be reinserted afterwards.
+    for (u64 k = 0; k < kN; k += 2)
+        flat.emplace(k, k + 1);
+    EXPECT_EQ(flat.size(), kN);
+    EXPECT_EQ(flat.find(10)->second, 11u);
+    EXPECT_EQ(flat.find(11)->second, 33u);
+}
+
+TEST(FlatMap, ReserveAvoidsRehashAndGrowthIsAutomatic)
+{
+    FlatMap<u64> flat;
+    flat.reserve(10000);
+    const u64 cap = flat.capacity();
+    EXPECT_GE(cap, 10000u);
+    for (u64 k = 0; k < 10000; ++k)
+        flat.emplace(k * 64, k);
+    EXPECT_EQ(flat.capacity(), cap) << "reserve() must pre-size";
+
+    FlatMap<u64> growing;
+    for (u64 k = 0; k < 10000; ++k)
+        growing.emplace(k * 64, k);
+    EXPECT_EQ(growing.size(), 10000u);
+    for (u64 k = 0; k < 10000; ++k)
+        ASSERT_EQ(growing.find(k * 64)->second, k);
+}
+
+TEST(FlatMap, CacheBlockValuesSurviveRehash)
+{
+    FlatMap<CacheBlock> flat;
+    for (u64 k = 0; k < 300; ++k) {
+        CacheBlock b;
+        b.setWord64(0, k ^ 0xDEADBEEFULL);
+        b.setByte(63, static_cast<u8>(k));
+        flat.emplace(k * 64, b);
+    }
+    for (u64 k = 0; k < 300; ++k) {
+        const auto it = flat.find(k * 64);
+        ASSERT_NE(it, flat.end());
+        EXPECT_EQ(it->second.word64(0), k ^ 0xDEADBEEFULL);
+        EXPECT_EQ(it->second.byte(63), static_cast<u8>(k));
+    }
+}
+
+TEST(FlatMap, VectorValuesAndEmplaceSkipsConstructionWhenPresent)
+{
+    FlatMap<std::vector<unsigned>> flat;
+    flat.emplace(7, std::vector<unsigned>{1, 2, 3});
+    // Second emplace with a different payload must not overwrite.
+    const auto [it, inserted] =
+        flat.emplace(7, std::vector<unsigned>{9, 9});
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(it->second, (std::vector<unsigned>{1, 2, 3}));
+    flat[7].push_back(4);
+    EXPECT_EQ(flat.find(7)->second.back(), 4u);
+    flat[8]; // operator[] default-constructs
+    EXPECT_TRUE(flat.find(8)->second.empty());
+    EXPECT_EQ(flat.size(), 2u);
+}
+
+TEST(FlatMap, ClearResetsToEmpty)
+{
+    FlatMap<u64> flat;
+    for (u64 k = 0; k < 100; ++k)
+        flat.emplace(k, k);
+    flat.clear();
+    EXPECT_TRUE(flat.empty());
+    EXPECT_EQ(flat.count(5), 0u);
+    EXPECT_EQ(flat.begin(), flat.end());
+    flat.emplace(5, 50);
+    EXPECT_EQ(flat.find(5)->second, 50u);
+}
+
+} // namespace
+} // namespace cop

@@ -37,7 +37,9 @@ class LiveFaultTest : public ::testing::Test
     MemoryController::ContentSource
     source()
     {
-        return [this](Addr a) { return pool.blockFor(a); };
+        return [this](Addr a) -> const CacheBlock & {
+            return pool.blockForRef(a);
+        };
     }
 
     /** First address whose fill under @p ctrl is compressed (or not). */

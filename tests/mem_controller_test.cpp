@@ -30,7 +30,9 @@ class ControllerTest : public ::testing::Test
     MemoryController::ContentSource
     source()
     {
-        return [this](Addr a) { return pool.blockFor(a); };
+        return [this](Addr a) -> const CacheBlock & {
+            return pool.blockForRef(a);
+        };
     }
 
     const WorkloadProfile &profile;
