@@ -3,15 +3,30 @@
  * Energy comparison backing the paper's motivation (Section 1): an ECC
  * DIMM pays a 9th chip on every access and in standby; the ECC-region
  * approach keeps 8 chips but adds DRAM traffic; COP keeps both the
- * chip count and the access count. Reported as memory-system energy
- * per kilo-instruction for a representative benchmark slice; the
- * (benchmark x scheme) grid executes on the experiment runner.
+ * chip count and the access count. The bandwidth-compression column
+ * (COP+BW) additionally ships compressed blocks in shortened bursts,
+ * so burst and I/O energy scale with beats actually transferred.
+ * Reported as memory-system energy per kilo-instruction for a
+ * representative benchmark slice; the (benchmark x scheme) grid
+ * executes on the experiment runner.
  */
 
 #include "dram/energy.hpp"
 #include "run_util.hpp"
 
 using namespace cop;
+
+namespace {
+
+SystemConfig
+bwConfig(ControllerKind kind)
+{
+    SystemConfig cfg = bench::paperConfig(kind);
+    cfg.bandwidthCompression = true;
+    return cfg;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -29,16 +44,24 @@ main(int argc, char **argv)
         const WorkloadProfile &p = WorkloadRegistry::byName(name);
         for (const ControllerKind kind : kinds)
             grid.add(p, kind);
+        grid.add(p, bwConfig(ControllerKind::Cop4), "COP+BW");
     }
     grid.run();
 
     std::printf("Memory-system energy (nJ per kilo-instruction), "
                 "4-core Table 1 system\n\n");
-    std::printf("%-14s %10s %10s %10s %10s %10s\n", "benchmark",
-                "Unprot.", "ECC DIMM", "ECC Reg.", "COP", "COP-ER");
-    std::printf("%s\n", std::string(70, '-').c_str());
+    std::printf("%-14s %10s %10s %10s %10s %10s %10s\n", "benchmark",
+                "Unprot.", "ECC DIMM", "ECC Reg.", "COP", "COP-ER",
+                "COP+BW");
+    std::printf("%s\n", std::string(81, '-').c_str());
 
-    std::vector<double> sums(5, 0.0);
+    auto njPerKi = [&model](const SystemResults &r, unsigned chips) {
+        const DramEnergyReport e = model.evaluate(r.dram, r.cycles, chips);
+        return e.totalMj() * 1e6 /
+               (static_cast<double>(r.instructions) / 1000.0);
+    };
+
+    std::vector<double> sums(6, 0.0);
     for (const char *name : names) {
         const WorkloadProfile &p = WorkloadRegistry::byName(name);
         std::printf("%-14s", name);
@@ -47,29 +70,30 @@ main(int argc, char **argv)
             const SystemResults &r = grid.result(p, kind);
             const unsigned chips =
                 kind == ControllerKind::EccDimm ? 9 : 8;
-            const DramEnergyReport e =
-                model.evaluate(r.dram, r.cycles, chips);
-            const double nj_per_ki =
-                e.totalMj() * 1e6 /
-                (static_cast<double>(r.instructions) / 1000.0);
+            const double nj_per_ki = njPerKi(r, chips);
             std::printf(" %10.1f", nj_per_ki);
             sums[col++] += nj_per_ki;
         }
-        std::printf("\n");
+        const double bw_nj = njPerKi(grid.result(p.name, "COP+BW"), 8);
+        std::printf(" %10.1f\n", bw_nj);
+        sums[col] += bw_nj;
     }
-    std::printf("%s\n", std::string(70, '-').c_str());
+    std::printf("%s\n", std::string(81, '-').c_str());
     std::printf("%-14s", "mean");
     for (const double s : sums)
         std::printf(" %10.1f", s / 4.0);
     std::printf("\n\nECC DIMM pays the 9th chip everywhere (~12.5%% "
                 "dynamic + background);\nECC Reg. pays extra accesses "
-                "and longer runtime; COP pays neither.\n");
+                "and longer runtime; COP pays neither; COP+BW\nalso "
+                "saves burst + I/O energy on every shortened "
+                "transfer.\n");
 
     grid.addScalar("mean_nj_per_ki_unprot", sums[0] / 4.0);
     grid.addScalar("mean_nj_per_ki_eccdimm", sums[1] / 4.0);
     grid.addScalar("mean_nj_per_ki_eccreg", sums[2] / 4.0);
     grid.addScalar("mean_nj_per_ki_cop", sums[3] / 4.0);
     grid.addScalar("mean_nj_per_ki_coper", sums[4] / 4.0);
+    grid.addScalar("mean_nj_per_ki_cop_bw", sums[5] / 4.0);
     grid.writeJson();
     return 0;
 }

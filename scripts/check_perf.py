@@ -2,11 +2,19 @@
 """CI perf-smoke gate for the codec hot paths and the end-to-end
 simulation loop.
 
-Two independent gates, each comparing a fresh `--quick` bench run
-against a checked-in baseline at the repo root:
+Three independent gates. The first two compare a fresh `--quick` bench
+run against a checked-in baseline at the repo root:
 
   codec   `micro_codec --quick`   vs BENCH_codec.json  ("after")
   system  `micro_system --quick`  vs BENCH_system.json ("after")
+
+The third is self-relative: `fig13_bandwidth --quick` records the best
+COP+BW speedup over protection-only COP across the bandwidth-bound
+profiles, and the gate requires it to stay above 1.0 — the shortened-
+burst mode must keep beating protection-only somewhere, or the mode
+has silently stopped shortening. The speedup is a ratio of simulated
+IPCs (deterministic), so unlike the throughput gates it is immune to
+runner noise.
 
 A gate fails when throughput regresses by more than the allowed
 fraction; a gate whose fresh-results file is missing is skipped with a
@@ -26,6 +34,7 @@ Usage: scripts/check_perf.py
          [--codec-results bench/results/micro_codec.json]
          [--system-baseline BENCH_system.json]
          [--system-results bench/results/micro_system.json]
+         [--bandwidth-results bench/results/fig13_bandwidth.json]
          [--max-regression 0.30]
 """
 
@@ -63,6 +72,8 @@ def main() -> int:
     parser.add_argument("--system-baseline", default="BENCH_system.json")
     parser.add_argument("--system-results",
                         default="bench/results/micro_system.json")
+    parser.add_argument("--bandwidth-results",
+                        default="bench/results/fig13_bandwidth.json")
     # Back-compat aliases for the original codec-only interface.
     parser.add_argument("--baseline", dest="codec_baseline",
                         help=argparse.SUPPRESS)
@@ -104,6 +115,24 @@ def main() -> int:
                        args.max_regression)
     else:
         print(f"system: {args.system_results} not found, skipping gate")
+
+    if os.path.exists(args.bandwidth_results):
+        ran_any = True
+        with open(args.bandwidth_results) as f:
+            derived = json.load(f)["derived"]
+        best = float(derived["cop_bw_best_speedup"])
+        verdict = "ok" if best > 1.0 else "FAIL"
+        print(f"bandwidth/cop_bw_best_speedup: {best:.3f}x "
+              f"(must exceed 1.0) ... {verdict}")
+        if best <= 1.0:
+            failed = True
+            print("bandwidth: COP+BW no longer beats protection-only "
+                  "COP on any bandwidth-bound profile — the shortened-"
+                  "burst mode has stopped paying for itself.",
+                  file=sys.stderr)
+    else:
+        print(f"bandwidth: {args.bandwidth_results} not found, "
+              "skipping gate")
 
     if not ran_any:
         print("perf-smoke: no fresh bench results found — run "

@@ -44,6 +44,15 @@ struct CopEncodeResult
     SchemeId scheme = SchemeId::Msb;
     /** Scheme admission checks this encode performed (perf counter). */
     unsigned schemeTrials = 0;
+    /**
+     * Smallest in-budget compressed size of the block across all
+     * participating schemes, in bits (excluding the 2-bit tag), or -1
+     * when not computed (CopConfig::computeTransferBits off or status
+     * != Protected). The stored image is always a full padded block;
+     * this is the information content a bandwidth-mode controller may
+     * size a shortened bus transfer from.
+     */
+    int minCompressedBits = -1;
 
     bool isProtected() const { return status == EncodeStatus::Protected; }
 };
@@ -77,6 +86,13 @@ class CopCodec
 
     const CopConfig &config() const { return cfg_; }
     const CombinedCompressor &compressor() const { return compressor_; }
+
+    /**
+     * Arm per-encode transfer sizing (CopConfig::computeTransferBits):
+     * subsequent Protected encodes also report minCompressedBits.
+     * Setup-time only; stored images are unaffected.
+     */
+    void enableTransferSizing() { cfg_.computeTransferBits = true; }
 
     /**
      * Encode a writeback: compress + protect if possible, otherwise pass

@@ -14,6 +14,11 @@
 
 namespace cop {
 
+/** Bits one data beat moves on the 64-bit channel bus. */
+inline constexpr unsigned kBusBitsPerBeat = 64;
+/** Beats a full 64-byte block transfer occupies. */
+inline constexpr unsigned kBeatsPerBlock = kBlockBits / kBusBitsPerBeat;
+
 /**
  * Row-buffer management policy. The paper's system (and the embedded-
  * ECC related work it cites) assumes open-row; closed-page is provided
@@ -51,6 +56,8 @@ struct DramConfig
     Cycle tRRD = 24;   ///< ACT -> ACT, same rank (6 mem clocks).
     Cycle tFAW = 128;  ///< Four-activate window per rank (32 mem clocks).
     Cycle tCCD = 16;   ///< CAS -> CAS, same rank.
+    Cycle tWTR = 16;   ///< Write burst end -> read CAS (4 mem clocks).
+    Cycle tRTW = 8;    ///< Read->write bus turnaround gap (2 mem clocks).
 
     // --- refresh ---
     bool refreshEnabled = true;

@@ -1,6 +1,7 @@
 #include "dram/dram_system.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace cop {
 
@@ -140,22 +141,41 @@ DramSystem::access(const DramRequest &req)
     // stalling here is pure refresh exposure, not bank contention.
     cas = adjustForRefreshColumn(cas);
 
-    // Data transfer on the shared channel bus.
+    // Data transfer on the shared channel bus. The burst occupies the
+    // bus for burstBeats/8 of a full tBURST (2 CPU cycles per beat at
+    // the default timing); a direction flip against the previous burst
+    // first pays the tWTR (write->read) or tRTW (read->write)
+    // turnaround gap.
+    COP_ASSERT(req.burstBeats >= 1 && req.burstBeats <= 8);
+    const Cycle burst = cfg_.tBURST * req.burstBeats / 8;
     const Cycle cas_to_data = req.isWrite ? cfg_.tCWL : cfg_.tCL;
-    Cycle data = std::max(cas + cas_to_data, channel.busFree);
-    channel.busFree = data + cfg_.tBURST;
-    result.complete = data + cfg_.tBURST;
+    Cycle bus_ready = channel.busFree;
+    if (channel.hasTransfer && channel.lastWasWrite != req.isWrite) {
+        bus_ready += channel.lastWasWrite ? cfg_.tWTR : cfg_.tRTW;
+        ++stats_.busTurnarounds;
+    }
+    Cycle data = std::max(cas + cas_to_data, bus_ready);
+    channel.busFree = data + burst;
+    channel.hasTransfer = true;
+    channel.lastWasWrite = req.isWrite;
+    channel.busBusy += burst;
+    stats_.busBusyCycles += burst;
+    stats_.beatsSaved += 8 - req.burstBeats;
+    result.complete = data + burst;
 
     // Back-annotate bank state.
     const Cycle effective_cas = data - cas_to_data;
     bank.casReady = std::max(bank.casReady, effective_cas + cfg_.tCCD);
     if (req.isWrite) {
         ++stats_.writes;
+        stats_.writeBeats += req.burstBeats;
         bank.preReady =
             std::max(bank.preReady, result.complete + cfg_.tWR);
+        stats_.totalWriteLatency += result.complete - req.arrival;
         stats_.writeLatency.record(result.complete - req.arrival);
     } else {
         ++stats_.reads;
+        stats_.readBeats += req.burstBeats;
         bank.preReady =
             std::max(bank.preReady, effective_cas + cfg_.tRTP);
         stats_.totalReadLatency += result.complete - req.arrival;
@@ -184,6 +204,19 @@ DramSystem::registerStats(StatsRegistry &reg) const
               [this] { return stats_.refreshStalls; });
     reg.gauge("dram.refresh_stalls_cas",
               [this] { return stats_.refreshStallsCas; });
+    reg.gauge("dram.bus_read_beats", [this] { return stats_.readBeats; });
+    reg.gauge("dram.bus_write_beats",
+              [this] { return stats_.writeBeats; });
+    reg.gauge("dram.bus_beats_saved",
+              [this] { return stats_.beatsSaved; });
+    reg.gauge("dram.bus_busy_cycles",
+              [this] { return stats_.busBusyCycles; });
+    reg.gauge("dram.bus_turnarounds",
+              [this] { return stats_.busTurnarounds; });
+    for (unsigned c = 0; c < cfg_.channels; ++c) {
+        reg.gauge("dram.bus_busy_cycles_ch" + std::to_string(c),
+                  [this, c] { return channels_[c].busBusy; });
+    }
     reg.histogram("dram.read_latency", &stats_.readLatency);
     reg.histogram("dram.write_latency", &stats_.writeLatency);
 }

@@ -27,6 +27,13 @@ struct DramRequest
     Addr addr = 0;
     bool isWrite = false;
     Cycle arrival = 0;
+    /**
+     * Data beats this transfer occupies on the channel bus (1..8). A
+     * full 64-byte block is 8 beats on the 64-bit bus; the bandwidth-
+     * compression mode ships compressed blocks in fewer. Command timing
+     * (ACT/CAS) is unaffected — only bus occupancy scales.
+     */
+    unsigned burstBeats = 8;
 };
 
 /** Timing outcome of one request. */
@@ -52,6 +59,17 @@ struct DramStats
     Cycle totalReadLatency = 0;
     /** Column commands (CAS) delayed past a tRFC window. */
     u64 refreshStallsCas = 0;
+    Cycle totalWriteLatency = 0;
+    /** Data beats actually transferred on the bus, by direction. */
+    u64 readBeats = 0;
+    u64 writeBeats = 0;
+    /** Beats a full 8-beat burst would have used but a shortened one
+     *  did not (8 - burstBeats summed over all accesses). */
+    u64 beatsSaved = 0;
+    /** Cycles the channel data buses spent transferring (all channels). */
+    Cycle busBusyCycles = 0;
+    /** Bus direction flips that imposed a tWTR/tRTW turnaround gap. */
+    u64 busTurnarounds = 0;
     /** Per-access arrival-to-last-beat latency (simulated cycles). */
     Histogram readLatency;
     Histogram writeLatency;
@@ -67,6 +85,13 @@ struct DramStats
     avgReadLatency() const
     {
         return reads ? static_cast<double>(totalReadLatency) / reads : 0.0;
+    }
+
+    double
+    avgWriteLatency() const
+    {
+        return writes ? static_cast<double>(totalWriteLatency) / writes
+                      : 0.0;
     }
 };
 
@@ -88,7 +113,13 @@ class DramSystem
 
     const DramConfig &config() const { return cfg_; }
     const DramStats &stats() const { return stats_; }
-    void resetStats() { stats_ = DramStats{}; }
+    void
+    resetStats()
+    {
+        stats_ = DramStats{};
+        for (auto &ch : channels_)
+            ch.busBusy = 0;
+    }
 
     /**
      * Register this DRAM system's counters and latency histograms into
@@ -128,6 +159,9 @@ class DramSystem
         std::vector<Bank> banks;  ///< ranksPerChannel * banksPerRank.
         std::vector<Rank> ranks;
         Cycle busFree = 0;
+        bool hasTransfer = false; ///< A burst has used this bus before.
+        bool lastWasWrite = false; ///< Direction of the last burst.
+        Cycle busBusy = 0; ///< Cycles this channel's bus transferred data.
     };
 
     Bank &bankAt(const DramLocation &loc);

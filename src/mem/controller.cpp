@@ -42,7 +42,7 @@ MemoryController::dramRead(Addr addr, Cycle now)
         ++fault_.log.scrubReads;
         break;
     }
-    return dram_.access({addr, false, now}).complete;
+    return dram_.access({addr, false, now, transferBeats(addr)}).complete;
 }
 
 Cycle
@@ -57,7 +57,21 @@ MemoryController::dramWrite(Addr addr, Cycle now)
         ++fault_.log.scrubWrites;
         break;
     }
-    return dram_.access({addr, true, now}).complete;
+    return dram_.access({addr, true, now, transferBeats(addr)}).complete;
+}
+
+void
+MemoryController::noteTransferBits(Addr addr, unsigned bits)
+{
+    if (!bwMode_)
+        return;
+    const unsigned beats =
+        std::max(1u, (bits + kBusBitsPerBeat - 1) / kBusBitsPerBeat);
+    const unsigned clamped = std::max(beats, bwBeatFloor_);
+    if (clamped >= kBeatsPerBlock)
+        xferBeats_.erase(addr);
+    else
+        xferBeats_[addr] = static_cast<u8>(clamped);
 }
 
 const CacheBlock &
@@ -333,8 +347,10 @@ MemoryController::recoveryWriteback(Addr addr, const CacheBlock &data,
     if (wr.aliasRejected) {
         // The repaired content is an incompressible alias, which can
         // never live in DRAM; drop the stored image so the next miss
-        // re-runs first-touch handling (and pins the line).
+        // re-runs first-touch handling (and pins the line). The
+        // transfer-size sidecar entry belongs to the dropped image.
         image_.erase(addr);
+        xferBeats_.erase(addr);
         fault_.faulted.erase(addr);
         fault_.silentKnown.erase(addr);
     }

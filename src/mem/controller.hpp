@@ -166,6 +166,27 @@ class MemoryController
      */
     virtual void registerStats(StatsRegistry &reg) const;
 
+    /**
+     * Arm the CRAM-style bandwidth-compression mode: data-block
+     * transfers whose recorded compressed size fits fewer bus beats
+     * ship in shortened bursts. @p beat_floor (1..8) is the smallest
+     * burst any transfer may shrink to; a floor of 8 keeps every burst
+     * full-length (the mode's machinery runs but timing is identical
+     * to the mode being off — the byte-identity lever the tests use).
+     *
+     * Variants that run a COP codec override to also arm per-encode
+     * transfer sizing; controllers without compression accept the call
+     * but never shorten anything.
+     */
+    virtual void
+    enableBandwidthMode(unsigned beat_floor)
+    {
+        COP_ASSERT(beat_floor >= 1 && beat_floor <= 8);
+        bwMode_ = true;
+        bwBeatFloor_ = beat_floor;
+    }
+    bool bandwidthModeEnabled() const { return bwMode_; }
+
     DramSystem &dram() { return dram_; }
     const MemStats &stats() const { return stats_; }
     const VulnLog &vulnLog() const { return vuln_; }
@@ -295,6 +316,26 @@ class MemoryController
     Cycle dramWrite(Addr addr, Cycle now);
 
     /**
+     * Record that the stored image of @p addr carries @p bits of
+     * information (compressed data + check bits), so its bus transfers
+     * may shorten to ceil(bits / 64) beats, clamped to the configured
+     * beat floor. Pass kBlockBits (or more) to restore the full-burst
+     * default. No-op when the bandwidth mode is off. Call at every
+     * image-store site *before* the DRAM access that ships the block.
+     */
+    void noteTransferBits(Addr addr, unsigned bits);
+
+    /** Beats the data transfer of @p addr occupies (8 unless shortened). */
+    unsigned
+    transferBeats(Addr addr) const
+    {
+        if (!bwMode_)
+            return 8;
+        const auto it = xferBeats_.find(addr);
+        return it == xferBeats_.end() ? 8 : it->second;
+    }
+
+    /**
      * Initial application content of a block (reference into the
      * functional-memory pool; valid until the next content lookup).
      */
@@ -361,6 +402,17 @@ class MemoryController
     FaultState fault_;
     /** Class of the most recent readImpl fill (set by logVuln). */
     VulnClass lastFillClass_ = VulnClass::Unprotected;
+
+    // --- bandwidth-compression mode state -----------------------------
+    bool bwMode_ = false;
+    unsigned bwBeatFloor_ = 8;
+    /**
+     * Shortened-transfer sidecar: data-block address -> burst beats.
+     * Only sub-8-beat entries are stored (full bursts stay absent), and
+     * metadata addresses (memlayout::kMetaBase / kTreeBase spaces) are
+     * never recorded, so their transfers default to 8 beats.
+     */
+    FlatMap<u8> xferBeats_;
 };
 
 /** Plain non-ECC DIMM: no protection, no overheads. */

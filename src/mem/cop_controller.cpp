@@ -31,6 +31,7 @@ CopController::readImpl(Addr addr, Cycle now)
             result.dramAccesses = 1;
             return result;
         }
+        noteTransferBits(addr, copTransferBits(enc, codec_.config()));
         setImage(addr, enc.stored); // through setImage: stuck bits apply
         if (!faultInjectionEnabled()) {
             // The image was created by the line above, so nothing can
@@ -85,6 +86,7 @@ CopController::writeback(Addr addr, const CacheBlock &data, Cycle now,
         break;
     }
 
+    noteTransferBits(addr, copTransferBits(enc, codec_.config()));
     result.complete = dramWrite(addr, now);
     result.dramAccesses = 1;
     setImage(addr, enc.stored);

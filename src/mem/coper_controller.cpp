@@ -155,6 +155,10 @@ CopErController::readImpl(Addr addr, Cycle now)
     if (image_.find(addr) == image_.end()) {
         const CacheBlock &data = initialContent(addr);
         const CopEncodeResult enc = encodeBlock(data);
+        // Incompressible blocks ship raw (pointer in place of check
+        // bits): copTransferBits yields a full block and clears any
+        // stale shortening for the address.
+        noteTransferBits(addr, copTransferBits(enc, codec_.config()));
         if (enc.status == EncodeStatus::Protected) {
             setImage(addr, enc.stored);
             if (!faultInjectionEnabled()) {
@@ -240,6 +244,11 @@ CopErController::writeback(Addr addr, const CacheBlock &data, Cycle now,
     const bool compressible = enc.status == EncodeStatus::Protected;
     // (EncodeStatus::AliasRejected also means incompressible; COP-ER
     // stores such blocks through the de-aliasing entry path.)
+
+    // Record the new image's transfer size after the old-pointer read
+    // above (which still ships at the old image's burst length) but
+    // before the data write below.
+    noteTransferBits(addr, copTransferBits(enc, codec_.config()));
 
     if (compressible) {
         ++stats_.protectedWrites;

@@ -62,6 +62,13 @@ class CopErController : public MemoryController
         return false;
     }
 
+    void
+    enableBandwidthMode(unsigned beat_floor) override
+    {
+        MemoryController::enableBandwidthMode(beat_floor);
+        codec_.enableTransferSizing();
+    }
+
     const CopCodec &codec() const { return codec_; }
     const EccRegion &region() const { return region_; }
     const CopErStats &erStats() const { return erStats_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/coper_codec.hpp"
+#include "mem/cop_controller.hpp"
 
 namespace cop {
 
@@ -88,6 +89,7 @@ CopErNaiveController::readImpl(Addr addr, Cycle now)
             result.dramAccesses = 1;
             return result;
         }
+        noteTransferBits(addr, copTransferBits(enc, codec_.config()));
         setImage(addr, enc.stored);
         if (!faultInjectionEnabled()) {
             // The image was created by the line above, so nothing can
@@ -178,6 +180,7 @@ CopErNaiveController::writeback(Addr addr, const CacheBlock &data,
         break;
     }
 
+    noteTransferBits(addr, copTransferBits(enc, codec_.config()));
     result.complete = dramWrite(addr, now);
     result.dramAccesses = 1;
     setImage(addr, enc.stored);

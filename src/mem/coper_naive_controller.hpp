@@ -43,6 +43,13 @@ class CopErNaiveController : public MemoryController
                              bool was_uncompressed) override;
     bool wouldAliasReject(const CacheBlock &data) const override;
 
+    void
+    enableBandwidthMode(unsigned beat_floor) override
+    {
+        MemoryController::enableBandwidthMode(beat_floor);
+        codec_.enableTransferSizing();
+    }
+
     const CopCodec &codec() const { return codec_; }
 
     /**

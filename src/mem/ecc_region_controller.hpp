@@ -34,7 +34,14 @@ eccRegionEntryAddr(Addr data_addr)
 
 } // namespace memlayout
 
-/** The ECC-region ("Virtualized ECC"-like) baseline controller. */
+/**
+ * The ECC-region ("Virtualized ECC"-like) baseline controller.
+ *
+ * The bandwidth-compression mode is inert here (as for the unprotected
+ * and ECC-DIMM baselines): without a compressor there is no shortened
+ * image to ship, so enableBandwidthMode() records nothing and every
+ * transfer keeps the full 8-beat burst.
+ */
 class EccRegionController : public MemoryController
 {
   public:

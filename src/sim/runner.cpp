@@ -233,8 +233,15 @@ appendResultsJson(std::string &out, const SystemResults &r)
     // appended strictly after everything that existed before them.
     field(out, "pool_block_for_calls", r.poolBlockForCalls);
     field(out, "pool_content_cache_hits", r.poolContentCacheHits);
-    field(out, "pool_content_cache_misses", r.poolContentCacheMisses,
-          false);
+    field(out, "pool_content_cache_misses", r.poolContentCacheMisses);
+    // Bandwidth-compression / bus-timing additions — appended strictly
+    // after everything that existed before them (same convention).
+    field(out, "dram_total_write_latency", r.dram.totalWriteLatency);
+    field(out, "dram_bus_read_beats", r.dram.readBeats);
+    field(out, "dram_bus_write_beats", r.dram.writeBeats);
+    field(out, "dram_bus_beats_saved", r.dram.beatsSaved);
+    field(out, "dram_bus_busy_cycles", r.dram.busBusyCycles);
+    field(out, "dram_bus_turnarounds", r.dram.busTurnarounds, false);
     out += '}';
 }
 

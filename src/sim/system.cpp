@@ -76,6 +76,11 @@ System::System(const WorkloadProfile &profile, const SystemConfig &cfg)
             return poolFor(addr).blockForRef(addr);
         },
         cfg_.decodeLatency, cfg_.metaCacheBytes, encodeMemo_.get());
+    if (cfg_.bandwidthCompression) {
+        if (cfg_.bandwidthBeatFloor < 1 || cfg_.bandwidthBeatFloor > 8)
+            COP_FATAL("bandwidthBeatFloor must be in [1, 8]");
+        controller_->enableBandwidthMode(cfg_.bandwidthBeatFloor);
+    }
     evictFilter_ = [this](Addr victim, const CacheLineState &) {
         probedData_ = poolFor(victim).blockForRef(victim);
         probedAddr_ = victim;

@@ -99,6 +99,23 @@ struct SystemConfig
     std::string traceStatsPath;
     /** Completed epochs (across cores) between trace snapshots. */
     u64 traceStatsEpochInterval = 256;
+    /**
+     * CRAM-style bandwidth-compression mode: COP-family controllers
+     * ship blocks whose compressed size (data + check bits) fits fewer
+     * bus beats in a shortened burst. Off by default — protection-only
+     * behaviour (and its results JSON) is byte-identical to builds
+     * without the mode. Inert for controllers without a compressor.
+     */
+    bool bandwidthCompression = false;
+    /**
+     * Smallest burst a shortened transfer may shrink to, in beats
+     * (1..8). COP's budget-driven compressors free at most ~4-8 bytes
+     * plus check bits, so real transfers bottom out at 5 beats; the
+     * default floor of 4 is therefore never binding. A floor of 8
+     * forces every burst full-length while keeping the mode's code
+     * paths live (the byte-identity test lever).
+     */
+    unsigned bandwidthBeatFloor = 4;
 };
 
 /** Aggregate results of one run. */

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * System-level contracts of the bandwidth-compression mode. The mode's
+ * only legal effect is bus occupancy: with the beat floor forced to 8
+ * every burst stays full-length, so a mode-enabled run must produce
+ * byte-identical results JSON to a mode-disabled run — for every
+ * controller kind, serially and under the parallel runner, with fault
+ * injection, and with stats tracing. With the default floor the mode
+ * must actually save beats on compressible workloads without touching
+ * protection semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/runner.hpp"
+#include "sim/system.hpp"
+#include "workloads/trace_gen.hpp"
+
+namespace cop {
+namespace {
+
+constexpr ControllerKind kAllKinds[] = {
+    ControllerKind::Unprotected, ControllerKind::EccDimm,
+    ControllerKind::EccRegion,   ControllerKind::Cop4,
+    ControllerKind::Cop8,        ControllerKind::CopEr,
+    ControllerKind::CopErNaive,
+};
+
+SystemConfig
+smallConfig(ControllerKind kind)
+{
+    SystemConfig cfg;
+    cfg.cores = 2;
+    cfg.kind = kind;
+    cfg.epochsPerCore = 800;
+    cfg.llc = CacheConfig{256ULL << 10, 8, 34};
+    cfg.verifyData = true;
+    return cfg;
+}
+
+SystemConfig
+floorEightConfig(ControllerKind kind)
+{
+    SystemConfig cfg = smallConfig(kind);
+    cfg.bandwidthCompression = true;
+    cfg.bandwidthBeatFloor = 8; // every burst full-length, paths live
+    return cfg;
+}
+
+std::string
+resultsJson(const SystemResults &r)
+{
+    std::string out;
+    appendResultsJson(out, r);
+    return out;
+}
+
+TEST(BandwidthMode, FloorEightByteIdenticalForEveryScheme)
+{
+    // No blanking: the beats counters accrue 8 per access in both runs,
+    // so even the new dram_bus_* fields must match bit-for-bit.
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    for (const ControllerKind kind : kAllKinds) {
+        System off(profile, smallConfig(kind));
+        System on(profile, floorEightConfig(kind));
+        EXPECT_EQ(resultsJson(off.run()), resultsJson(on.run()))
+            << controllerKindName(kind)
+            << ": floor-8 bandwidth mode diverged from mode-off";
+    }
+}
+
+TEST(BandwidthMode, FloorEightByteIdenticalUnderParallelRunner)
+{
+    // The same identity must hold when the cells execute on the
+    // parallel experiment runner — grid results are keyed by cell, not
+    // completion order, so worker count cannot perturb them.
+    const auto &profile = WorkloadRegistry::byName("mcf");
+    std::vector<SystemConfig> cfgs;
+    for (const ControllerKind kind :
+         {ControllerKind::Cop4, ControllerKind::CopEr}) {
+        cfgs.push_back(smallConfig(kind));
+        cfgs.push_back(floorEightConfig(kind));
+    }
+    auto runAll = [&](bool serial) {
+        RunnerOptions opts;
+        opts.serial = serial;
+        opts.jobs = serial ? 0 : 4;
+        return runCollected<std::string>(
+            cfgs.size(),
+            [&](size_t i) {
+                System sys(profile, cfgs[i]);
+                return resultsJson(sys.run());
+            },
+            opts);
+    };
+    const std::vector<std::string> serial = runAll(true);
+    const std::vector<std::string> parallel = runAll(false);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); i += 2) {
+        EXPECT_EQ(serial[i], serial[i + 1]) << "serial cell " << i;
+        EXPECT_EQ(parallel[i], parallel[i + 1]) << "parallel cell " << i;
+        EXPECT_EQ(serial[i], parallel[i]) << "jobs changed cell " << i;
+    }
+}
+
+TEST(BandwidthMode, FloorEightByteIdenticalUnderFaultInjection)
+{
+    const auto &profile = WorkloadRegistry::byName("mcf");
+    auto faulty = [&](bool bandwidth) {
+        SystemConfig cfg = bandwidth
+                               ? floorEightConfig(ControllerKind::Cop4)
+                               : smallConfig(ControllerKind::Cop4);
+        cfg.fault.enabled = true;
+        cfg.fault.eventsPerMegacycle = 20000.0;
+        cfg.fault.flipsPerEvent = 2;
+        cfg.fault.scrubIntervalCycles = 500000;
+        return cfg;
+    };
+    System off(profile, faulty(false));
+    System on(profile, faulty(true));
+    const SystemResults roff = off.run();
+    EXPECT_GT(roff.errors.faultEvents + roff.errors.coldFaults, 0u)
+        << "campaign must inject";
+    EXPECT_EQ(resultsJson(roff), resultsJson(on.run()));
+}
+
+TEST(BandwidthMode, FloorEightByteIdenticalWithStatsTracing)
+{
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    SystemConfig plain = smallConfig(ControllerKind::CopEr);
+    SystemConfig traced = floorEightConfig(ControllerKind::CopEr);
+    traced.traceStatsPath =
+        ::testing::TempDir() + "bandwidth_mode_trace.jsonl";
+    traced.traceStatsEpochInterval = 128;
+    System a(profile, plain);
+    System b(profile, traced);
+    EXPECT_EQ(resultsJson(a.run()), resultsJson(b.run()))
+        << "tracing + floor-8 mode must not perturb results";
+}
+
+TEST(BandwidthMode, DefaultFloorSavesBeatsWithoutHurtingIpc)
+{
+    // With the real floor, compressible fills/writebacks must actually
+    // ship short — and cutting bus occupancy can only help timing.
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    for (const ControllerKind kind :
+         {ControllerKind::Cop4, ControllerKind::Cop8,
+          ControllerKind::CopEr, ControllerKind::CopErNaive}) {
+        System base(profile, smallConfig(kind));
+        SystemConfig bw_cfg = smallConfig(kind);
+        bw_cfg.bandwidthCompression = true; // default floor of 4
+        System bw(profile, bw_cfg);
+        const SystemResults rbase = base.run();
+        const SystemResults rbw = bw.run();
+        EXPECT_GT(rbw.dram.beatsSaved, 0u)
+            << controllerKindName(kind) << ": no burst ever shortened";
+        EXPECT_GE(rbw.ipc, rbase.ipc)
+            << controllerKindName(kind)
+            << ": shorter bursts must not cost IPC";
+        EXPECT_LT(rbw.dram.busBusyCycles, rbase.dram.busBusyCycles)
+            << controllerKindName(kind);
+        // Protection semantics untouched: verifyData crosschecks every
+        // fill, and no fault was injected, so nothing may be flagged.
+        EXPECT_EQ(rbw.errors.detected, 0u);
+        EXPECT_EQ(rbw.errors.silent, 0u);
+    }
+}
+
+TEST(BandwidthMode, InertForControllersWithoutCompressor)
+{
+    // Unprotected / ECC DIMM / ECC region have no compressed image to
+    // shorten: the mode runs but never records a sub-8 transfer.
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    for (const ControllerKind kind :
+         {ControllerKind::Unprotected, ControllerKind::EccDimm,
+          ControllerKind::EccRegion}) {
+        SystemConfig cfg = smallConfig(kind);
+        cfg.bandwidthCompression = true; // default floor of 4
+        System off(profile, smallConfig(kind));
+        System on(profile, cfg);
+        const SystemResults ron = on.run();
+        EXPECT_EQ(ron.dram.beatsSaved, 0u) << controllerKindName(kind);
+        EXPECT_EQ(resultsJson(off.run()), resultsJson(ron))
+            << controllerKindName(kind);
+    }
+}
+
+TEST(BandwidthMode, RejectsOutOfRangeBeatFloor)
+{
+    const auto &profile = WorkloadRegistry::byName("gcc");
+    SystemConfig cfg = smallConfig(ControllerKind::Cop4);
+    cfg.bandwidthCompression = true;
+    cfg.bandwidthBeatFloor = 0;
+    EXPECT_DEATH({ System sys(profile, cfg); }, "bandwidthBeatFloor");
+    cfg.bandwidthBeatFloor = 9;
+    EXPECT_DEATH({ System sys(profile, cfg); }, "bandwidthBeatFloor");
+}
+
+} // namespace
+} // namespace cop

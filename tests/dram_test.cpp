@@ -158,6 +158,33 @@ TEST(Dram, StatsTrackHitAndMissCounts)
     EXPECT_NEAR(s.rowHitRate(), 2.0 / 3, 1e-9);
 }
 
+TEST(Dram, WriteLatencyAccumulatesAndAverages)
+{
+    DramSystem dram(quietConfig());
+    // Two writes with distinct arrivals; the second (bank idle, row
+    // open) is a pure row hit. Write latency must accumulate per
+    // request exactly as read latency always has — the pre-fix stats
+    // recorded the histogram but never the running total, so
+    // avgWriteLatency() reported 0 for every run.
+    const DramResult w1 = dram.access({0, true, 0});
+    const Cycle t2 = 5000;
+    const DramResult w2 = dram.access({128, true, t2});
+    const DramStats &s = dram.stats();
+    EXPECT_EQ(s.totalWriteLatency, w1.complete + (w2.complete - t2));
+    EXPECT_EQ(s.writeLatency.sum(), s.totalWriteLatency);
+    EXPECT_NEAR(s.avgWriteLatency(),
+                static_cast<double>(s.totalWriteLatency) / 2.0, 1e-9);
+    EXPECT_GT(s.avgWriteLatency(), 0.0);
+}
+
+TEST(Dram, AvgWriteLatencyZeroWithoutWrites)
+{
+    DramSystem dram(quietConfig());
+    dram.access({0, false, 0});
+    EXPECT_EQ(dram.stats().avgWriteLatency(), 0.0);
+    EXPECT_EQ(dram.stats().totalWriteLatency, 0u);
+}
+
 TEST(Dram, RefreshDelaysActivatesInWindow)
 {
     DramConfig cfg;

@@ -208,6 +208,101 @@ TEST(DramTiming, OpenAndClosedAgreeOnActReadyBookkeeping)
               closed_dram.access({other, false, 0}).complete);
 }
 
+TEST(DramTiming, WriteToReadTurnaroundPaysTwtr)
+{
+    DramSystem dram(quietConfig());
+    const DramConfig &cfg = dram.config();
+
+    // Write to a fresh bank: ACT at 0, CAS at tRCD, data after tCWL.
+    const DramResult w = dram.access({0, true, 0});
+    EXPECT_EQ(w.complete, cfg.tRCD + cfg.tCWL + cfg.tBURST);
+
+    // Same-row read on the same channel: its column command is ready at
+    // effective-CAS + tCCD = (tRCD + tCWL - tCWL) + tCCD, but the bus
+    // must first drain the write burst AND pay the write->read
+    // turnaround, which here is the binding constraint:
+    //   data = writeComplete + tWTR, complete = data + tBURST.
+    // The pre-fix model skipped tWTR and finished tWTR cycles early.
+    const DramResult r = dram.access({128, false, 0});
+    EXPECT_TRUE(r.rowHit);
+    EXPECT_EQ(r.complete, w.complete + cfg.tWTR + cfg.tBURST);
+    EXPECT_EQ(dram.stats().busTurnarounds, 1u);
+}
+
+TEST(DramTiming, ReadToWriteTurnaroundPaysTrtw)
+{
+    DramSystem dram(quietConfig());
+    const DramConfig &cfg = dram.config();
+
+    const DramResult r = dram.access({0, false, 0});
+    EXPECT_EQ(r.complete, cfg.tRCD + cfg.tCL + cfg.tBURST);
+
+    // Same-row write: CAS could issue at effective-CAS + tCCD with data
+    // tCWL later (tRCD + tCCD + tCWL = 92 < readComplete), so the bus —
+    // free at readComplete plus the read->write gap — binds:
+    //   complete = readComplete + tRTW + tBURST.
+    const DramResult w = dram.access({128, true, 0});
+    EXPECT_TRUE(w.rowHit);
+    EXPECT_EQ(w.complete, r.complete + cfg.tRTW + cfg.tBURST);
+    EXPECT_EQ(dram.stats().busTurnarounds, 1u);
+}
+
+TEST(DramTiming, SameDirectionBurstsPayNoTurnaround)
+{
+    DramSystem dram(quietConfig());
+    const DramConfig &cfg = dram.config();
+
+    // Two same-row reads: the second's burst starts the cycle the
+    // first's ends — bus serialisation only, no turnaround gap.
+    const DramResult first = dram.access({0, false, 0});
+    const DramResult second = dram.access({128, false, 0});
+    EXPECT_TRUE(second.rowHit);
+    EXPECT_EQ(second.complete, first.complete + cfg.tBURST);
+    EXPECT_EQ(dram.stats().busTurnarounds, 0u);
+}
+
+TEST(DramTiming, ShortenedBurstScalesBusOccupancy)
+{
+    DramSystem dram(quietConfig());
+    const DramConfig &cfg = dram.config();
+
+    // A 5-beat burst (the smallest a compressed COP block can reach:
+    // 2 tag + 240 stream + 32 check bits = 274 bits) occupies the bus
+    // for 5/8 of tBURST; command timing is unchanged.
+    const DramResult r = dram.access({0, false, 0, 5});
+    EXPECT_EQ(r.complete, cfg.tRCD + cfg.tCL + cfg.tBURST * 5 / 8);
+
+    const DramStats &s = dram.stats();
+    EXPECT_EQ(s.readBeats, 5u);
+    EXPECT_EQ(s.beatsSaved, 3u);
+    EXPECT_EQ(s.busBusyCycles, cfg.tBURST * 5 / 8);
+}
+
+TEST(DramTiming, ShortenedWriteBurstCountsWriteBeats)
+{
+    DramSystem dram(quietConfig());
+    const DramConfig &cfg = dram.config();
+
+    const DramResult w = dram.access({0, true, 0, 6});
+    EXPECT_EQ(w.complete, cfg.tRCD + cfg.tCWL + cfg.tBURST * 6 / 8);
+
+    const DramStats &s = dram.stats();
+    EXPECT_EQ(s.writeBeats, 6u);
+    EXPECT_EQ(s.readBeats, 0u);
+    EXPECT_EQ(s.beatsSaved, 2u);
+}
+
+TEST(DramTiming, FullBurstsAccrueBeatsWithNothingSaved)
+{
+    DramSystem dram(quietConfig());
+    dram.access({0, false, 0});
+    dram.access({128, true, 0});
+    const DramStats &s = dram.stats();
+    EXPECT_EQ(s.readBeats, 8u);
+    EXPECT_EQ(s.writeBeats, 8u);
+    EXPECT_EQ(s.beatsSaved, 0u);
+}
+
 TEST(DramTiming, ReadLatencyHistogramTracksAccesses)
 {
     DramSystem dram(quietConfig());
