@@ -1,16 +1,25 @@
 /**
  * @file
  * Live fault-injection campaign: a (benchmark x scheme x flips-per-
- * event) grid of full-system runs with the in-simulation injector
- * striking real stored images at an accelerated Poisson rate, the
- * recovery pipeline (retry, scrub-on-read, page retirement) armed, and
- * verifyData acting as the ground-truth SDC oracle. For every scheme
- * the measured outcome split (benign / corrected / detected / silent)
- * is printed next to the analytic conditional-outcome prediction of
- * the Section 4 error model — the live counterpart of Figure 10's
- * purely analytic comparison, and the end-to-end check that the
- * decoders, the recovery path and the model agree about what N flips
- * do to each scheme.
+ * event x on-die-ECC) grid of full-system runs with the in-simulation
+ * injector striking real stored images at an accelerated Poisson rate,
+ * the recovery pipeline (retry, scrub-on-read, page retirement) armed,
+ * and verifyData acting as the ground-truth SDC oracle. For every
+ * scheme the measured outcome split (benign / corrected / detected /
+ * silent) is printed next to the analytic conditional-outcome
+ * prediction of the Section 4 error model — the live counterpart of
+ * Figure 10's purely analytic comparison, and the end-to-end check
+ * that the decoders, the recovery path and the model agree about what
+ * N flips do to each scheme.
+ *
+ * PR 7 extensions: an on-die SEC filter column (each scheme rerun with
+ * per-chip (136,128) correction beneath the rank-level code, analytic
+ * columns from the OndieEcc Monte-Carlo model), 3-flip rows exercising
+ * the Monte-Carlo extension of the conditional-outcome model, and
+ * adaptive ECC-region-capacity cells (ECC Reg. / COP-ER) measuring
+ * reclaimed metadata capacity with live faults in flight. A --quick
+ * mode runs a reduced grid sized for the CI perf-smoke budget while
+ * still producing every gated scalar.
  *
  * The split is aggregated per scheme rather than per protection class
  * because the interesting COP failure mode crosses classes: a 2-flip
@@ -19,11 +28,14 @@
  * was stored as CopProtected4.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "reliability/error_model.hpp"
+#include "reliability/ondie_ecc.hpp"
 #include "run_util.hpp"
 
 using namespace cop;
@@ -37,25 +49,46 @@ namespace {
  */
 constexpr double kEventsPerMegacycle = 800.0;
 
-SystemConfig
-faultConfig(ControllerKind kind, unsigned flips)
+/** Trials / seed of the analytic on-die model columns. */
+constexpr u64 kOndieModelTrials = 200000;
+constexpr u64 kOndieModelSeed = 0x0D1E0DE1ULL;
+
+/** One grid cell beyond the (benchmark) axis. */
+struct CellSpec
 {
-    SystemConfig cfg = bench::paperConfig(kind);
+    ControllerKind kind;
+    unsigned flips;
+    bool ondie = false;
+    bool adaptive = false;
+};
+
+SystemConfig
+faultConfig(const CellSpec &cell, u64 epochs)
+{
+    SystemConfig cfg = bench::paperConfig(cell.kind);
+    cfg.epochsPerCore = epochs;
     // Shrink the LLC so faulted blocks are re-read from DRAM instead
     // of staying resident (a fault is only observable at a fill).
     cfg.llc = CacheConfig{256ULL << 10, 8, 34};
     cfg.fault.enabled = true;
     cfg.fault.eventsPerMegacycle = kEventsPerMegacycle;
-    cfg.fault.flipsPerEvent = flips;
+    cfg.fault.flipsPerEvent = cell.flips;
     cfg.fault.seed = 0xC0FFEE;
+    cfg.fault.ondieEcc = cell.ondie;
+    cfg.adaptiveEccCapacity = cell.adaptive;
     return cfg;
 }
 
 std::string
-schemeLabel(ControllerKind kind, unsigned flips)
+cellLabel(const CellSpec &cell)
 {
-    return std::string(controllerKindName(kind)) + " f" +
-           std::to_string(flips);
+    std::string label = std::string(controllerKindName(cell.kind)) +
+                        " f" + std::to_string(cell.flips);
+    if (cell.ondie)
+        label += "+od";
+    if (cell.adaptive)
+        label += "+ad";
+    return label;
 }
 
 /**
@@ -95,12 +128,47 @@ frac(u64 part, u64 whole)
 int
 main(int argc, char **argv)
 {
-    static const ControllerKind kinds[] = {
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    static const ControllerKind kAllKinds[] = {
         ControllerKind::Unprotected, ControllerKind::EccDimm,
         ControllerKind::EccRegion,   ControllerKind::Cop4,
         ControllerKind::Cop8,        ControllerKind::CopEr,
         ControllerKind::CopErNaive};
-    static const unsigned flipCounts[] = {1, 2};
+    static const ControllerKind kQuickKinds[] = {
+        ControllerKind::EccDimm, ControllerKind::Cop4,
+        ControllerKind::CopEr};
+    // Multi-flip Monte-Carlo extension rows (3 flips exceed the closed
+    // forms, so the analytic columns come from the seeded estimator).
+    static const ControllerKind kTripleKinds[] = {
+        ControllerKind::EccDimm, ControllerKind::Cop4,
+        ControllerKind::CopEr};
+    // Adaptive-capacity cells: the two schemes with an ECC region.
+    static const ControllerKind kAdaptiveKinds[] = {
+        ControllerKind::EccRegion, ControllerKind::CopEr};
+
+    std::vector<CellSpec> cells;
+    if (quick) {
+        for (const ControllerKind kind : kQuickKinds) {
+            cells.push_back({kind, 2, false, false});
+            cells.push_back({kind, 2, true, false});
+        }
+    } else {
+        for (const ControllerKind kind : kAllKinds) {
+            for (const unsigned flips : {1u, 2u}) {
+                cells.push_back({kind, flips, false, false});
+                cells.push_back({kind, flips, true, false});
+            }
+        }
+        for (const ControllerKind kind : kTripleKinds)
+            cells.push_back({kind, 3, false, false});
+    }
+    for (const ControllerKind kind : kAdaptiveKinds)
+        cells.push_back({kind, 1, false, true});
 
     // Two memory-intensive benchmarks, with the working set shrunk so
     // a bench-length run touches a substantial share of it: uniform
@@ -108,9 +176,10 @@ main(int argc, char **argv)
     // all land on blocks with no stored image yet (counted as cold,
     // observed never), starving the statistics.
     const auto intensive = WorkloadRegistry::memoryIntensive();
+    const size_t nProfiles = quick ? 1 : 2;
     std::vector<WorkloadProfile> campaign;
-    campaign.reserve(2);
-    for (size_t i = 0; i < 2; ++i) {
+    campaign.reserve(nProfiles);
+    for (size_t i = 0; i < nProfiles; ++i) {
         WorkloadProfile p = *intensive[i];
         p.footprintBlocks = 1u << 13; // 512 KB/core: misses, but warm
         campaign.push_back(p);
@@ -119,70 +188,122 @@ main(int argc, char **argv)
     for (const WorkloadProfile &p : campaign)
         profiles.push_back(&p);
 
+    const u64 epochs =
+        quick ? std::min<u64>(bench::benchEpochs(), 3000)
+              : bench::benchEpochs();
+
     bench::GridRunner grid("fault_campaign", argc, argv);
     for (const auto *p : profiles) {
-        for (const ControllerKind kind : kinds) {
-            for (const unsigned flips : flipCounts)
-                grid.add(*p, faultConfig(kind, flips),
-                         schemeLabel(kind, flips));
-        }
+        for (const CellSpec &cell : cells)
+            grid.add(*p, faultConfig(cell, epochs), cellLabel(cell));
     }
     grid.run();
 
     std::printf("Fault campaign: live injection at %.0f events/Mcycle, "
-                "recovery armed\n", kEventsPerMegacycle);
+                "recovery armed%s\n", kEventsPerMegacycle,
+                quick ? " (--quick grid)" : "");
     std::printf("(observed = fault outcomes at demand reads, summed over"
-                " %zu benchmarks)\n\n", profiles.size());
-    std::printf("%-11s %2s %6s  %7s %7s %7s %7s   %7s %7s %7s\n",
+                " %zu benchmarks;\n +od = per-chip on-die SEC beneath "
+                "the scheme, +ad = adaptive ECC capacity)\n\n",
+                profiles.size());
+    std::printf("%-14s %2s %6s  %7s %7s %7s %7s   %7s %7s %7s\n",
                 "scheme", "f", "obs", "benign", "corr", "DUE", "silent",
                 "corr*", "DUE*", "silent*");
-    std::printf("%s\n", std::string(82, '-').c_str());
+    std::printf("%s\n", std::string(85, '-').c_str());
 
     double cop4MeasSilent2 = -1, cop4ModelSilent2 = -1;
-    for (const ControllerKind kind : kinds) {
-        for (const unsigned flips : flipCounts) {
-            // Scheme-level outcome totals over the benchmarks.
-            u64 benign = 0, corrected = 0, detected = 0, silent = 0;
-            for (const auto *p : profiles) {
-                const ErrorLog &e =
-                    grid.result(p->name, schemeLabel(kind, flips))
-                        .errors;
-                benign += e.benign;
-                corrected += e.corrected;
-                detected += e.detected;
-                silent += e.silent;
+    double cop4OndieSilent2 = -1;
+    u64 ondieF2Injected = 0, ondieF2Miscorrected = 0;
+    u64 adaptiveReclaimed = 0, adaptiveDemotions = 0;
+    u64 adaptiveSilent = 0, injectSkipped = 0;
+    for (const CellSpec &cell : cells) {
+        // Scheme-level outcome totals over the benchmarks.
+        u64 benign = 0, corrected = 0, detected = 0, silent = 0;
+        u64 odInjected = 0, odMiscorrected = 0;
+        for (const auto *p : profiles) {
+            const SystemResults &r =
+                grid.result(p->name, cellLabel(cell));
+            benign += r.errors.benign;
+            corrected += r.errors.corrected;
+            detected += r.errors.detected;
+            silent += r.errors.silent;
+            odInjected += r.errors.ondieInjected;
+            odMiscorrected += r.errors.ondieMiscorrected;
+            injectSkipped += r.errors.injectSkipped;
+            if (cell.adaptive) {
+                adaptiveReclaimed += r.adaptive.slotsReclaimed;
+                adaptiveDemotions += r.adaptive.demotions;
+                adaptiveSilent += r.errors.silent;
             }
-            const u64 n = benign + corrected + detected + silent;
-            const ConditionalOutcome model =
-                ErrorRateModel::conditionalOutcome(primaryClass(kind),
-                                                   flips);
-            std::printf("%-11s %2u %6llu  %6.1f%% %6.1f%% %6.1f%% "
-                        "%6.1f%%   %6.1f%% %6.1f%% %6.1f%%\n",
-                        controllerKindName(kind), flips,
-                        static_cast<unsigned long long>(n),
-                        100.0 * frac(benign, n),
-                        100.0 * frac(corrected, n),
-                        100.0 * frac(detected, n),
-                        100.0 * frac(silent, n),
-                        100.0 * model.corrected, 100.0 * model.detected,
-                        100.0 * model.silent);
-            if (kind == ControllerKind::Cop4 && flips == 2) {
-                const u64 uncorrected = detected + silent;
+        }
+        const u64 n = benign + corrected + detected + silent;
+        // Analytic columns: raw-flip conditional outcome, or — under
+        // the on-die filter — the outcome conditioned on a pattern
+        // arriving at the rank-level decoder at all.
+        ConditionalOutcome model;
+        if (cell.ondie) {
+            model = OndieEcc::model(primaryClass(cell.kind), cell.flips,
+                                    kOndieModelTrials, kOndieModelSeed)
+                        .onArrival;
+        } else {
+            model = ErrorRateModel::conditionalOutcome(
+                primaryClass(cell.kind), cell.flips);
+        }
+        std::printf("%-14s %2u %6llu  %6.1f%% %6.1f%% %6.1f%% "
+                    "%6.1f%%   %6.1f%% %6.1f%% %6.1f%%\n",
+                    cellLabel(cell).c_str(), cell.flips,
+                    static_cast<unsigned long long>(n),
+                    100.0 * frac(benign, n), 100.0 * frac(corrected, n),
+                    100.0 * frac(detected, n), 100.0 * frac(silent, n),
+                    100.0 * model.corrected, 100.0 * model.detected,
+                    100.0 * model.silent);
+        if (cell.kind == ControllerKind::Cop4 && cell.flips == 2 &&
+            !cell.adaptive) {
+            const u64 uncorrected = detected + silent;
+            if (cell.ondie) {
+                cop4OndieSilent2 = frac(silent, uncorrected);
+            } else {
                 cop4MeasSilent2 = frac(silent, uncorrected);
                 cop4ModelSilent2 =
                     model.silent / (model.silent + model.detected);
             }
         }
+        if (cell.ondie && cell.flips == 2) {
+            ondieF2Injected += odInjected;
+            ondieF2Miscorrected += odMiscorrected;
+        }
     }
     std::printf("\n(corr*/DUE*/silent* = analytic conditional outcome "
                 "for exactly f uniform flips\nin the scheme's dominant "
-                "protection class; measured rows drift from the model\n"
-                "when blocks are stored raw, or when separate events "
-                "pile up on one block\nbefore its next read.)\n");
+                "protection class; +od rows condition on the pattern\n"
+                "surviving the on-die filter. Measured rows drift from "
+                "the model when blocks\nare stored raw, or when separate "
+                "events pile up on one block before its\nnext read.)\n");
+
+    const double ondieMcFrac = frac(ondieF2Miscorrected, ondieF2Injected);
+    std::printf("\non-die filter, f=2 raw events: %llu injected, "
+                "%.3f miscorrected on die\n",
+                static_cast<unsigned long long>(ondieF2Injected),
+                ondieMcFrac);
+    std::printf("adaptive cells (f=1): %llu region slots reclaimed, "
+                "%llu demotions, %llu silent\n",
+                static_cast<unsigned long long>(adaptiveReclaimed),
+                static_cast<unsigned long long>(adaptiveDemotions),
+                static_cast<unsigned long long>(adaptiveSilent));
 
     grid.addScalar("events_per_megacycle", kEventsPerMegacycle);
     grid.addScalar("cop4_f2_measured_silent_frac", cop4MeasSilent2);
     grid.addScalar("cop4_f2_model_silent_frac", cop4ModelSilent2);
+    grid.addScalar("cop4_f2_ondie_silent_frac", cop4OndieSilent2);
+    grid.addScalar("ondie_f2_miscorrect_frac", ondieMcFrac);
+    grid.addScalar("adaptive_slots_reclaimed",
+                   static_cast<double>(adaptiveReclaimed));
+    grid.addScalar("adaptive_demotions",
+                   static_cast<double>(adaptiveDemotions));
+    grid.addScalar("adaptive_f1_silent",
+                   static_cast<double>(adaptiveSilent));
+    grid.addScalar("inject_skipped",
+                   static_cast<double>(injectSkipped));
     grid.writeJson();
     return 0;
 }

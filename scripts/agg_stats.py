@@ -67,6 +67,57 @@ def check_bus_gauges(path, lineno, counters):
              "per-channel bus busy cycles do not sum to the total")
 
 
+ONDIE_GAUGES = ("ondie.injected", "ondie.corrected",
+                "ondie.miscorrected", "ondie.forwarded")
+ADAPTIVE_GAUGES = ("adaptive.slots_reclaimed", "adaptive.demotions",
+                   "adaptive.victim_evictions",
+                   "adaptive.released_blocks_hw")
+
+
+def check_ondie_gauges(path, lineno, counters):
+    """Validate the on-die SEC filter gauges of one snapshot's deltas.
+
+    The filter partitions every injected raw pattern into exactly one
+    outcome, so per snapshot
+      delta(corrected + miscorrected + forwarded) == delta(injected).
+    """
+    if "ondie.injected" not in counters:
+        return
+    for name in ONDIE_GAUGES:
+        if name not in counters:
+            fail(path, lineno, f"missing on-die gauge {name!r}")
+    filtered = (counters["ondie.corrected"]
+                + counters["ondie.miscorrected"]
+                + counters["ondie.forwarded"])
+    if filtered != counters["ondie.injected"]:
+        fail(path, lineno,
+             f"on-die outcomes not conserved: {filtered} classified != "
+             f"{counters['ondie.injected']} injected")
+
+
+def check_adaptive_gauges(path, lineno, counters, running):
+    """Validate the adaptive-capacity gauges (running totals).
+
+    Every demotion reclaims a slot that was previously released, so
+    over any prefix of the run demotions <= slots_reclaimed, and each
+    demotion evicts exactly one victim.
+    """
+    if "adaptive.slots_reclaimed" not in counters:
+        return
+    for name in ADAPTIVE_GAUGES:
+        if name not in counters:
+            fail(path, lineno, f"missing adaptive gauge {name!r}")
+        running[name] = running.get(name, 0) + counters[name]
+    if running["adaptive.demotions"] > running["adaptive.slots_reclaimed"]:
+        fail(path, lineno,
+             f"adaptive demotions ({running['adaptive.demotions']}) "
+             f"exceed slots ever reclaimed "
+             f"({running['adaptive.slots_reclaimed']})")
+    if counters["adaptive.victim_evictions"] != counters["adaptive.demotions"]:
+        fail(path, lineno,
+             "adaptive victim evictions != demotions in snapshot")
+
+
 def load(path):
     """Parse and schema-check one trace; returns the snapshot list."""
     snapshots = []
@@ -75,6 +126,7 @@ def load(path):
     counter_keys = None
     hist_keys = None
     prev_hist_counts = {}
+    adaptive_running = {}
     with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -110,6 +162,9 @@ def load(path):
             elif set(counters) != counter_keys:
                 fail(path, lineno, "counter key set changed mid-trace")
             check_bus_gauges(path, lineno, counters)
+            check_ondie_gauges(path, lineno, counters)
+            check_adaptive_gauges(path, lineno, counters,
+                                  adaptive_running)
 
             hists = snap["histograms"]
             if not isinstance(hists, dict):

@@ -29,12 +29,23 @@ away, apply the `perf-override` label to the PR — the CI job skips
 itself when the label is present — and refresh the baseline file per
 EXPERIMENTS.md.
 
+A fourth gate is fully deterministic: `fault_campaign --quick` records
+the fraction of injected 2-flip raw events the on-die SEC filter
+miscorrects and the number of ECC-region slots the adaptive-capacity
+mode reclaims. Both are functions of seeded simulation state, so they
+are gated as exact bands rather than noise-tolerant floors: the
+miscorrection fraction must sit in [0.02, 0.40] (outside it the filter
+is either inert or pathologically expanding patterns) and the
+reclaimed-slot count must be positive on the campaign's compressible
+profiles.
+
 Usage: scripts/check_perf.py
          [--codec-baseline BENCH_codec.json]
          [--codec-results bench/results/micro_codec.json]
          [--system-baseline BENCH_system.json]
          [--system-results bench/results/micro_system.json]
          [--bandwidth-results bench/results/fig13_bandwidth.json]
+         [--fault-results bench/results/fault_campaign.json]
          [--max-regression 0.30]
 """
 
@@ -74,6 +85,8 @@ def main() -> int:
                         default="bench/results/micro_system.json")
     parser.add_argument("--bandwidth-results",
                         default="bench/results/fig13_bandwidth.json")
+    parser.add_argument("--fault-results",
+                        default="bench/results/fault_campaign.json")
     # Back-compat aliases for the original codec-only interface.
     parser.add_argument("--baseline", dest="codec_baseline",
                         help=argparse.SUPPRESS)
@@ -133,6 +146,41 @@ def main() -> int:
     else:
         print(f"bandwidth: {args.bandwidth_results} not found, "
               "skipping gate")
+
+    if os.path.exists(args.fault_results):
+        ran_any = True
+        with open(args.fault_results) as f:
+            derived = json.load(f)["derived"]
+        # Deterministic band, not a noise floor: both scalars are pure
+        # functions of the seeded simulation.
+        mc_frac = float(derived["ondie_f2_miscorrect_frac"])
+        mc_ok = 0.02 <= mc_frac <= 0.40
+        print(f"fault/ondie_f2_miscorrect_frac: {mc_frac:.3f} "
+              f"(band [0.02, 0.40]) ... {'ok' if mc_ok else 'FAIL'}")
+        if not mc_ok:
+            failed = True
+            print("fault: the on-die SEC filter's 2-flip miscorrection "
+                  "fraction left its band — the filter is inert or "
+                  "mis-wired.", file=sys.stderr)
+        reclaimed = float(derived["adaptive_slots_reclaimed"])
+        ad_ok = reclaimed > 0
+        print(f"fault/adaptive_slots_reclaimed: {reclaimed:.0f} "
+              f"(must be positive) ... {'ok' if ad_ok else 'FAIL'}")
+        if not ad_ok:
+            failed = True
+            print("fault: adaptive capacity reclaimed nothing on the "
+                  "campaign's compressible profiles.", file=sys.stderr)
+        ad_silent = float(derived["adaptive_f1_silent"])
+        sdc_ok = ad_silent == 0
+        print(f"fault/adaptive_f1_silent: {ad_silent:.0f} "
+              f"(must be zero) ... {'ok' if sdc_ok else 'FAIL'}")
+        if not sdc_ok:
+            failed = True
+            print("fault: single-flip faults under adaptive capacity "
+                  "produced silent corruption — a demotion corrupted "
+                  "committed data.", file=sys.stderr)
+    else:
+        print(f"fault: {args.fault_results} not found, skipping gate")
 
     if not ran_any:
         print("perf-smoke: no fresh bench results found — run "

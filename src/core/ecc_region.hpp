@@ -89,6 +89,18 @@ class EccRegion
 
     /** Currently valid entries. */
     u64 validEntries() const { return valid_entries_; }
+
+    /**
+     * Valid entries currently in entry block @p entry_block (0 for
+     * blocks past the grown region). The adaptive-capacity controller
+     * uses this to spot entry blocks that drained to empty.
+     */
+    u16
+    validInBlock(u64 entry_block) const
+    {
+        return blockCount(entry_block);
+    }
+
     /** Highest entry count ever reached (entries are packed low-first). */
     u64 highWaterEntries() const { return high_water_; }
 

@@ -231,6 +231,13 @@ pointer34()
     return code;
 }
 
+const HammingCode &
+ondie136()
+{
+    static const HammingCode code(128, 8);
+    return code;
+}
+
 } // namespace codes
 
 } // namespace cop

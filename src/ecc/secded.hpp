@@ -103,6 +103,14 @@ class HsiaoCode
     /** Column (syndrome signature) of bit @p idx — exposed for tests. */
     u32 column(unsigned idx) const { return columns_[idx]; }
 
+    /**
+     * Codeword bit the decoder would flip for syndrome @p s, or -1 when
+     * @p s is not a single-error signature. Lets reliability models run
+     * the decode algebra on flip *patterns* without materialising
+     * codeword buffers.
+     */
+    int bitForSyndrome(u32 s) const { return synToBit_[s]; }
+
   private:
     unsigned k_;
     unsigned r_;
@@ -142,6 +150,12 @@ class HammingCode
     /** Column (syndrome signature) of bit @p idx — exposed for tests. */
     u32 column(unsigned idx) const { return columns_[idx]; }
 
+    /**
+     * Codeword bit the decoder would flip for syndrome @p s, or -1 when
+     * @p s is not a single-error signature (see HsiaoCode::bitForSyndrome).
+     */
+    int bitForSyndrome(u32 s) const { return synToBit_[s]; }
+
   private:
     unsigned k_;
     unsigned r_;
@@ -167,6 +181,12 @@ const HsiaoCode &wide523();
 const HsiaoCode &validBits512();
 /** (34,28): COP-ER pointer SEC code. */
 const HammingCode &pointer34();
+/**
+ * (136,128): per-chip on-die SEC over one 128-bit internal word
+ * (8 hidden check bits per word, Patel arXiv 2204.10387). Used by the
+ * reliability layer's OndieEcc pre-filter, never by the stored format.
+ */
+const HammingCode &ondie136();
 
 } // namespace codes
 

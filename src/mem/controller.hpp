@@ -34,6 +34,7 @@
 #ifndef COP_MEM_CONTROLLER_HPP
 #define COP_MEM_CONTROLLER_HPP
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
@@ -186,6 +187,32 @@ class MemoryController
         bwBeatFloor_ = beat_floor;
     }
     bool bandwidthModeEnabled() const { return bwMode_; }
+
+    /** Counters of the adaptive ECC-region capacity mode. */
+    struct AdaptiveStats
+    {
+        u64 slotsReclaimed = 0;  ///< Region blocks released for data use.
+        u64 demotions = 0;       ///< Released blocks reclaimed for ECC.
+        u64 victimEvictions = 0; ///< Data victims evicted by a demotion.
+        u64 releasedBlocks = 0;  ///< Currently-released region blocks.
+        u64 releasedBlocksHighWater = 0;
+    };
+
+    /**
+     * Arm the adaptive ECC-region capacity mode (Luo et al., arXiv
+     * 1706.08870): controllers that keep an ECC region release region
+     * blocks whose protected data is fully compressible (the check
+     * bits ride inline in the freed compression slack) back to the
+     * data free-list, and demote — reclaim the block, evicting the
+     * victim data through the writeback machinery — when protected
+     * data turns incompressible. Placement and accounting only: the
+     * stored images, the decode paths, and the PR 2 recovery pipeline
+     * are untouched, so runs with the mode off stay byte-identical.
+     * Controllers without a region accept the call but never reclaim.
+     */
+    virtual void enableAdaptiveCapacity() { adaptiveMode_ = true; }
+    bool adaptiveCapacityEnabled() const { return adaptiveMode_; }
+    const AdaptiveStats &adaptiveStats() const { return adaptive_; }
 
     DramSystem &dram() { return dram_; }
     const MemStats &stats() const { return stats_; }
@@ -363,6 +390,28 @@ class MemoryController
         return fault_.enabled && fault_.faulted.count(addr) != 0;
     }
 
+    /** Adaptive mode: one region block released to the data free-list. */
+    void
+    noteSlotReclaimed()
+    {
+        ++adaptive_.slotsReclaimed;
+        ++adaptive_.releasedBlocks;
+        adaptive_.releasedBlocksHighWater = std::max(
+            adaptive_.releasedBlocksHighWater, adaptive_.releasedBlocks);
+    }
+
+    /** Adaptive mode: a released block reclaimed, its data evicted. */
+    void
+    noteDemotion()
+    {
+        COP_ASSERT(adaptive_.releasedBlocks > 0);
+        ++adaptive_.demotions;
+        ++adaptive_.victimEvictions;
+        --adaptive_.releasedBlocks;
+    }
+
+    bool adaptiveMode_ = false;
+
     DramSystem &dram_;
     ContentSource content_;
     MemStats stats_;
@@ -400,6 +449,7 @@ class MemoryController
                            bool was_uncompressed);
 
     FaultState fault_;
+    AdaptiveStats adaptive_;
     /** Class of the most recent readImpl fill (set by logVuln). */
     VulnClass lastFillClass_ = VulnClass::Unprotected;
 

@@ -68,6 +68,34 @@ CopErController::pointerOf(const CacheBlock &stored) const
     return coper_.extractPointer(stored).entryIndex;
 }
 
+void
+CopErController::maybeReleaseEntryBlock(u32 index)
+{
+    if (!adaptiveMode_)
+        return;
+    const u64 block = index / EccRegion::kEntriesPerBlock;
+    if (region_.validInBlock(block) == 0 &&
+        releasedEntryBlocks_.insert(block))
+        noteSlotReclaimed();
+}
+
+void
+CopErController::maybeReclaimEntryBlock(u32 index, Cycle now)
+{
+    if (!adaptiveMode_)
+        return;
+    const u64 block = index / EccRegion::kEntriesPerBlock;
+    if (releasedEntryBlocks_.erase(block) != 0) {
+        // Demotion: the entry block must come back from the data
+        // free-list, and the data victim living in the reclaimed slot
+        // is evicted through the writeback machinery — one read out of
+        // the slot, one write to its new home — before the entry lands.
+        noteDemotion();
+        dramRead(entryBlockAddr(index), now);
+        dramWrite(entryBlockAddr(index), now);
+    }
+}
+
 CacheBlock
 CopErController::storeIncompressible(Addr addr, const CacheBlock &data,
                                      Cycle now, bool reuse_existing,
@@ -82,6 +110,7 @@ CopErController::storeIncompressible(Addr addr, const CacheBlock &data,
         ++erStats_.entryAllocs;
         index = region_.allocate();
         chargeTreeTouches(now);
+        maybeReclaimEntryBlock(index, now);
     }
 
     CoperEncodeResult enc = coper_.encodeIncompressible(data, index);
@@ -95,7 +124,9 @@ CopErController::storeIncompressible(Addr addr, const CacheBlock &data,
         ++erStats_.deAliasRetries;
         const u32 next = region_.allocate();
         chargeTreeTouches(now);
+        maybeReclaimEntryBlock(next, now);
         region_.free(index);
+        maybeReleaseEntryBlock(index);
         index = next;
         enc = coper_.encodeIncompressible(data, index);
     }
@@ -259,6 +290,7 @@ CopErController::writeback(Addr addr, const CacheBlock &data, Cycle now,
             ++erStats_.entryFrees;
             region_.free(old_index);
             chargeTreeTouches(now);
+            maybeReleaseEntryBlock(old_index);
             entryAccess(old_index, now, true);
         }
         setImage(addr, enc.stored);

@@ -74,6 +74,25 @@ class CopErController : public MemoryController
     const CopErStats &erStats() const { return erStats_; }
 
     /**
+     * Adaptive capacity (base enableAdaptiveCapacity(), no extra
+     * setup): an ECC-entry block whose 11 entries all drain (every
+     * covered block re-compressed) is released to the data free-list.
+     * A later allocation landing in a released block demotes it: the
+     * slot is reclaimed and the victim data living there is evicted
+     * through the writeback machinery before the entry lands. Entry
+     * payloads, the valid-bit tree, and the recovery pipeline are
+     * untouched — placement and accounting only, so with the mode off
+     * every image and timing stream is byte-identical.
+     *
+     * Is ECC-entry block @p entry_block currently released? (tests)
+     */
+    bool
+    entryBlockReleased(u64 entry_block) const
+    {
+        return releasedEntryBlocks_.count(entry_block) != 0;
+    }
+
+    /**
      * ECC storage in use at high water, in bytes (entry blocks plus the
      * valid-bit tree).
      */
@@ -135,6 +154,11 @@ class CopErController : public MemoryController
     /** Extract the entry index embedded in a stored image. */
     u32 pointerOf(const CacheBlock &stored) const;
 
+    /** Adaptive mode: release @p index's entry block if it drained. */
+    void maybeReleaseEntryBlock(u32 index);
+    /** Adaptive mode: demote @p index's entry block if released. */
+    void maybeReclaimEntryBlock(u32 index, Cycle now);
+
     /** codec_.encode through the memo (when attached). */
     CopEncodeResult
     encodeBlock(const CacheBlock &data) const
@@ -153,6 +177,8 @@ class CopErController : public MemoryController
     CopErStats erStats_;
     u64 treeAddrSalt_ = 0;
     FlatSet everIncompressible_;
+    /** Entry-block indices currently on the data free-list. */
+    FlatSet releasedEntryBlocks_;
 };
 
 } // namespace cop

@@ -31,6 +31,64 @@ EccRegionController::metaAccess(Addr data_addr, Cycle now, bool dirty)
     return dramRead(meta_addr, now);
 }
 
+void
+EccRegionController::enableAdaptiveCapacity()
+{
+    MemoryController::enableAdaptiveCapacity();
+    if (!adaptComp_)
+        adaptComp_ = std::make_unique<CombinedCompressor>(4);
+}
+
+bool
+EccRegionController::groupReleased(Addr data_addr) const
+{
+    const auto it =
+        groups_.find(memlayout::eccRegionEntryAddr(data_addr));
+    return it != groups_.end() && it->second.released;
+}
+
+void
+EccRegionController::noteBlockContent(Addr addr, const CacheBlock &data,
+                                      Cycle now)
+{
+    const bool comp = adaptComp_->compressible(data);
+    const Addr group_addr = memlayout::eccRegionEntryAddr(addr);
+    GroupState &gs = groups_[group_addr];
+    const auto it = blockCompressible_.find(addr);
+    if (it == blockCompressible_.end()) {
+        blockCompressible_.emplace(addr, comp ? u8{1} : u8{0});
+        ++gs.touched;
+        if (!comp)
+            ++gs.incompressible;
+    } else if ((it->second != 0) != comp) {
+        it->second = comp ? 1 : 0;
+        if (comp) {
+            COP_ASSERT(gs.incompressible > 0);
+            --gs.incompressible;
+        } else {
+            ++gs.incompressible;
+        }
+    }
+
+    if (gs.released && gs.incompressible > 0) {
+        // Demotion: the group needs its region block back. The data
+        // victim living in the reclaimed slot is evicted through the
+        // writeback machinery — one read out of the slot, one write to
+        // its new home — before the entries can land.
+        gs.released = false;
+        noteDemotion();
+        dramRead(group_addr, now);
+        dramWrite(group_addr, now);
+    } else if (!gs.released && gs.touched > 0 &&
+               gs.incompressible == 0) {
+        // Every touched block of the group is compressible: the check
+        // bits ride inline in the compression slack, and the region
+        // block joins the data free-list.
+        gs.released = true;
+        noteSlotReclaimed();
+    }
+}
+
 u16 &
 EccRegionController::wideCheck(Addr addr)
 {
@@ -61,10 +119,18 @@ MemReadResult
 EccRegionController::readImpl(Addr addr, Cycle now)
 {
     MemReadResult result;
+    // Adaptive mode classifies first-touch content before any timing
+    // is charged (storedImage is functional-only, no DRAM traffic).
+    if (adaptiveMode_ && imageOf(addr) == nullptr)
+        noteBlockContent(addr, storedImage(addr), now);
     // Data and ECC reads are independent and overlap; the fill completes
     // when both are home and the wide code has been checked.
     const Cycle data_done = dramRead(addr, now);
-    const Cycle meta_done = metaAccess(addr, now, false);
+    // A released group's check bits travel inline with the (compressed)
+    // data, so the fill needs no metadata access at all.
+    const Cycle meta_done = adaptiveMode_ && groupReleased(addr)
+                                ? now
+                                : metaAccess(addr, now, false);
     result.complete = std::max(data_done, meta_done);
     result.dramAccesses = 1 + (meta_done > now ? 1 : 0);
     const CacheBlock &img =
@@ -88,10 +154,17 @@ EccRegionController::writeback(Addr addr, const CacheBlock &data,
 {
     (void)was_uncompressed;
     MemWriteResult result;
+    // Reclassify before charging timing: a compressibility transition
+    // may demote (reclaim + victim eviction) or release the group, and
+    // the metadata decision below must see the post-transition state.
+    if (adaptiveMode_)
+        noteBlockContent(addr, data, now);
     result.complete = dramWrite(addr, now);
     // The entry's check bits are recomputed and merged into the cached
-    // ECC block (read-modify-write; the fill is charged on a miss).
-    metaAccess(addr, now, true);
+    // ECC block (read-modify-write; the fill is charged on a miss) —
+    // unless the group is released, in which case they ship inline.
+    if (!(adaptiveMode_ && groupReleased(addr)))
+        metaAccess(addr, now, true);
     result.dramAccesses = 1;
     setImage(addr, data);
     noteWrite(addr, now);

@@ -11,6 +11,9 @@
 #ifndef COP_MEM_ECC_REGION_CONTROLLER_HPP
 #define COP_MEM_ECC_REGION_CONTROLLER_HPP
 
+#include <memory>
+
+#include "compress/combined.hpp"
 #include "mem/controller.hpp"
 #include "mem/meta_cache.hpp"
 
@@ -54,6 +57,23 @@ class EccRegionController : public MemoryController
 
     const MetaCache &metaCache() const { return meta_; }
 
+    /**
+     * Adaptive capacity: an entry group (one region block, 32 entries
+     * covering 2 KiB of data) whose touched blocks are all
+     * compressible carries its 11 check bits inline in the freed
+     * compression slack, so the region block is released to the data
+     * free-list (no metadata traffic for the group either). A block
+     * turning incompressible demotes the group: the slot is reclaimed
+     * and the victim data evicted through the writeback machinery.
+     * The stored images, check sidecar, and wide-code decode path are
+     * untouched — placement and accounting only — so the recovery
+     * pipeline on top is unchanged.
+     */
+    void enableAdaptiveCapacity() override;
+
+    /** Is @p data_addr's entry group currently released? (tests) */
+    bool groupReleased(Addr data_addr) const;
+
     /** 512 data bits + 11 wide-code check bits in the ECC region. */
     unsigned
     storedBits(Addr addr) const override
@@ -79,13 +99,27 @@ class EccRegionController : public MemoryController
     void imageWritten(Addr addr) override { check_.erase(addr); }
 
   private:
+    /** Per-entry-group adaptive state (keyed by region-block address). */
+    struct GroupState
+    {
+        u32 touched = 0;        ///< Distinct data blocks seen.
+        u32 incompressible = 0; ///< Of those, currently incompressible.
+        bool released = false;  ///< Region block on the data free-list.
+    };
+
     /** Access an ECC metadata block; returns its completion cycle. */
     Cycle metaAccess(Addr data_addr, Cycle now, bool dirty);
     /** Lazily materialised (523,512) check bits for a block. */
     u16 &wideCheck(Addr addr);
+    /** Adaptive mode: reclassify @p data, promote/demote its group. */
+    void noteBlockContent(Addr addr, const CacheBlock &data, Cycle now);
 
     MetaCache meta_;
     FlatMap<u16> check_;
+    /** Compressibility probe (COP 4-byte config), adaptive mode only. */
+    std::unique_ptr<CombinedCompressor> adaptComp_;
+    FlatMap<u8> blockCompressible_; ///< Data addr -> last verdict.
+    FlatMap<GroupState> groups_;    ///< Region-block addr -> state.
 };
 
 } // namespace cop

@@ -91,6 +91,22 @@ struct ErrorLog
     u64 bitsFlipped = 0;   ///< Total bits flipped by those events.
     u64 coldFaults = 0;    ///< Events on blocks with no image yet.
     u64 faultsOnRetiredPages = 0; ///< Events dropped by retirement.
+    /**
+     * Campaign faults skipped because their scripted bit pattern no
+     * longer fits the block's current stored geometry (e.g. a COP-ER
+     * block that re-compressed under the script). Long campaigns
+     * survive and count these instead of dying mid-cell; an explicit
+     * single-shot injectFault with out-of-range bits still panics.
+     */
+    u64 injectSkipped = 0;
+
+    // On-die SEC pre-filter (FaultConfig::ondieEcc). Conservation:
+    // ondieInjected == ondieCorrected + ondieMiscorrected +
+    // ondieForwarded (checked by agg_stats.py --check).
+    u64 ondieInjected = 0;     ///< Raw events entering the filter.
+    u64 ondieCorrected = 0;    ///< Fully scrubbed on die; image untouched.
+    u64 ondieMiscorrected = 0; ///< SEC added a flip; pattern forwarded.
+    u64 ondieForwarded = 0;    ///< Forwarded without miscorrection.
 
     // Demand-fill outcomes (sum over byClass).
     u64 benign = 0;

@@ -1,6 +1,12 @@
 #include "reliability/error_model.hpp"
 
+#include <algorithm>
+#include <map>
+#include <mutex>
 #include <string>
+
+#include "common/rng.hpp"
+#include "ecc/secded.hpp"
 
 namespace cop {
 
@@ -25,6 +31,65 @@ doubleAcrossWords(double p, unsigned word_bits, unsigned words)
     const double total_bits = static_cast<double>(word_bits) * words;
     const double all_pairs = 0.5 * total_bits * (total_bits - 1);
     return (all_pairs - doubleInOneWord(1.0, word_bits, words)) * p * p;
+}
+
+/**
+ * Word layout of one protection class for the pattern classifier:
+ * which SECDED code guards each word, how a stored-bit index maps to
+ * (word, codeword position), below which codeword position a residual
+ * flip corrupts *data* (check residue is invisible to the data-compare
+ * oracle), and COP's minimum valid-codeword count (0 = no threshold).
+ */
+struct ClassGeometry
+{
+    const HsiaoCode *code;
+    unsigned words;
+    unsigned dataPosLimit;
+    unsigned validThreshold;
+    /** Stored-bit index -> (word, codeword position). */
+    void (*locate)(unsigned bit, unsigned &word, unsigned &pos);
+};
+
+ClassGeometry
+geometryOf(VulnClass cls)
+{
+    switch (cls) {
+      case VulnClass::EccDimm:
+        // 512 data bits in 8x64 + 64 check bits appended 8 per word.
+        return {&codes::dimm72(), 8, 64, 0,
+                [](unsigned b, unsigned &w, unsigned &p) {
+                    if (b < 512) {
+                        w = b / 64;
+                        p = b % 64;
+                    } else {
+                        w = (b - 512) / 8;
+                        p = 64 + (b - 512) % 8;
+                    }
+                }};
+      case VulnClass::CopProtected4:
+        return {&codes::full128(), 4, 120, 3,
+                [](unsigned b, unsigned &w, unsigned &p) {
+                    w = b / 128;
+                    p = b % 128;
+                }};
+      case VulnClass::CopProtected8:
+        return {&codes::short64(), 8, 56, 5,
+                [](unsigned b, unsigned &w, unsigned &p) {
+                    w = b / 64;
+                    p = b % 64;
+                }};
+      case VulnClass::WideCode:
+      case VulnClass::CopErUncompressed:
+        return {&codes::wide523(), 1, 512, 0,
+                [](unsigned b, unsigned &w, unsigned &p) {
+                    w = 0;
+                    p = b;
+                }};
+      case VulnClass::Unprotected:
+      case VulnClass::kCount:
+        break;
+    }
+    COP_PANIC("bad vuln class");
 }
 
 } // namespace
@@ -90,9 +155,44 @@ ErrorRateModel::conditionalOutcome(VulnClass cls, unsigned flips)
         out.corrected = 1.0; // every class corrects singles
         return out;
     }
-    if (flips > 2)
-        COP_FATAL("conditionalOutcome supports at most 2 flips, got " +
-                  std::to_string(flips));
+    if (flips > 2) {
+        // Beyond the closed-form regime (on-die miscorrection can
+        // expand a 2-flip raw event into 3 stored flips): seeded
+        // Monte-Carlo over uniform patterns, each classified exactly
+        // by the column-algebra classifier. Cached per (class, flips);
+        // deterministic, so campaigns can gate on the numbers.
+        static std::mutex mutex;
+        static std::map<std::pair<unsigned, unsigned>, ConditionalOutcome>
+            cache;
+        const std::pair<unsigned, unsigned> key{
+            static_cast<unsigned>(cls), flips};
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+
+        constexpr u64 kTrials = 200000;
+        const unsigned nbits = storedBitsOf(cls);
+        COP_ASSERT(flips <= nbits);
+        Rng rng(0x0D1ECA57ULL ^ (static_cast<u64>(cls) << 32) ^ flips);
+        std::vector<unsigned> bits;
+        u64 tally[4] = {0, 0, 0, 0};
+        for (u64 t = 0; t < kTrials; ++t) {
+            bits.clear();
+            while (bits.size() < flips) {
+                const auto b = static_cast<unsigned>(rng.below(nbits));
+                if (std::find(bits.begin(), bits.end(), b) == bits.end())
+                    bits.push_back(b);
+            }
+            ++tally[static_cast<unsigned>(classifyPattern(cls, bits))];
+        }
+        out.benign = static_cast<double>(tally[0]) / kTrials;
+        out.corrected = static_cast<double>(tally[1]) / kTrials;
+        out.detected = static_cast<double>(tally[2]) / kTrials;
+        out.silent = static_cast<double>(tally[3]) / kTrials;
+        cache.emplace(key, out);
+        return out;
+    }
 
     // Two uniform flips over N stored bits split into n words of w
     // bits: P(same word) = n * C(w,2) / C(N,2).
@@ -137,6 +237,103 @@ ErrorRateModel::conditionalOutcome(VulnClass cls, unsigned flips)
         COP_PANIC("bad vuln class");
     }
     return out;
+}
+
+OutcomeKind
+ErrorRateModel::classifyPattern(VulnClass cls,
+                                const std::vector<unsigned> &bits)
+{
+    if (bits.empty())
+        return OutcomeKind::Benign;
+    if (cls == VulnClass::Unprotected)
+        return OutcomeKind::Silent; // all 512 stored bits are data
+
+    const ClassGeometry geo = geometryOf(cls);
+    const unsigned nbits = storedBitsOf(cls);
+
+    // Gather the flips of each word as codeword positions; patterns
+    // are tiny, so a per-word rescan beats allocating buckets.
+    bool any_uncorrectable = false;
+    bool any_corrected = false;
+    bool wrong_data = false;
+    unsigned invalid_words = 0;
+    std::vector<unsigned> pos;
+    for (unsigned w = 0; w < geo.words; ++w) {
+        pos.clear();
+        for (const unsigned b : bits) {
+            COP_ASSERT(b < nbits);
+            unsigned bw, bp;
+            geo.locate(b, bw, bp);
+            if (bw == w)
+                pos.push_back(bp);
+        }
+        if (pos.empty())
+            continue;
+
+        u32 syn = 0;
+        for (const unsigned p : pos)
+            syn ^= geo.code->column(p);
+        if (syn == 0) {
+            // Flips form a codeword of the word's code: the decoder
+            // sees a clean word and every flip survives (alias).
+            for (const unsigned p : pos)
+                wrong_data |= p < geo.dataPosLimit;
+            continue;
+        }
+        ++invalid_words;
+        const int fix = geo.code->bitForSyndrome(syn);
+        if (fix < 0) {
+            any_uncorrectable = true;
+            continue;
+        }
+        // Single-error signature: the decoder flips bit `fix`. For a
+        // lone flip that undoes it; for multi-flip words `fix` is (all
+        // but degenerately) a *new* position — a miscorrection whose
+        // residue is flips (+) {fix}.
+        any_corrected = true;
+        const auto it =
+            std::find(pos.begin(), pos.end(), static_cast<unsigned>(fix));
+        if (it != pos.end())
+            pos.erase(it);
+        else
+            pos.push_back(static_cast<unsigned>(fix));
+        for (const unsigned p : pos)
+            wrong_data |= p < geo.dataPosLimit;
+    }
+
+    // COP first counts valid codewords; below the threshold the block
+    // is misclassified as raw and handed over undecoded — the stored
+    // (compressed + hashed) bits are not the data, so it is silent
+    // regardless of where the flips sit (Section 3.1).
+    if (geo.validThreshold != 0 &&
+        geo.words - invalid_words < geo.validThreshold)
+        return OutcomeKind::Silent;
+    if (any_uncorrectable)
+        return OutcomeKind::Detected;
+    if (wrong_data)
+        return OutcomeKind::Silent;
+    if (any_corrected)
+        return OutcomeKind::Corrected;
+    return OutcomeKind::Benign; // residue confined to check bits
+}
+
+unsigned
+ErrorRateModel::storedBitsOf(VulnClass cls)
+{
+    switch (cls) {
+      case VulnClass::Unprotected:
+      case VulnClass::CopProtected4:
+      case VulnClass::CopProtected8:
+        return 512;
+      case VulnClass::EccDimm:
+        return 576;
+      case VulnClass::WideCode:
+      case VulnClass::CopErUncompressed:
+        return 523;
+      case VulnClass::kCount:
+        break;
+    }
+    COP_PANIC("bad vuln class");
 }
 
 ErrorRateReport

@@ -12,9 +12,19 @@
 #ifndef COP_RELIABILITY_ERROR_MODEL_HPP
 #define COP_RELIABILITY_ERROR_MODEL_HPP
 
+#include <vector>
+
 #include "mem/vuln_log.hpp"
 
 namespace cop {
+
+/** One read's classification — the one-hot form of ConditionalOutcome. */
+enum class OutcomeKind : u8 {
+    Benign,    ///< No host-visible data effect.
+    Corrected, ///< All flips repaired transparently.
+    Detected,  ///< Detected but uncorrectable (DUE).
+    Silent,    ///< Wrong data handed over with no error.
+};
 
 /** Physical parameters of the error model. */
 struct ReliabilityParams
@@ -129,11 +139,34 @@ class ErrorRateModel
      * class: 512 inline bits for COP, 576 for an ECC DIMM, 523 for the
      * wide code). This is what a live fault-injection campaign at a
      * fixed flips-per-event samples, so measured class rates can be
-     * checked against it directly. Supports flips <= 2 (the regimes the
-     * second-order exposure model distinguishes); more flips aborts.
+     * checked against it directly. For flips <= 2 this is the exact
+     * closed form (the regimes the second-order exposure model
+     * distinguishes); for 3+ flips — reachable once on-die
+     * miscorrection can expand a 2-flip raw event into 3 stored flips —
+     * it degrades to a documented, seeded Monte-Carlo estimate: uniform
+     * patterns classified exactly by classifyPattern(), cached per
+     * (class, flips), deterministic run-to-run.
      */
     static ConditionalOutcome conditionalOutcome(VulnClass cls,
                                                  unsigned flips);
+
+    /**
+     * Exact classification of one explicit flip pattern (stored-bit
+     * indices, no duplicates) under @p cls, obtained by running the
+     * real codes' column algebra: per-word syndromes, single-error
+     * correction, COP's valid-codeword threshold, and the data-versus-
+     * check position of every residual flip (check-bit residue is
+     * invisible to the verifyData oracle, which compares data bytes).
+     */
+    static OutcomeKind classifyPattern(VulnClass cls,
+                                       const std::vector<unsigned> &bits);
+
+    /**
+     * Stored-bit count of the model geometry for @p cls (512 inline
+     * bits for COP and unprotected, 576 for an ECC DIMM, 523 for the
+     * wide code) — the space conditionalOutcome samples patterns over.
+     */
+    static unsigned storedBitsOf(VulnClass cls);
 
     /** Aggregate a run's vulnerability log. */
     ErrorRateReport evaluate(const VulnLog &log) const;

@@ -68,8 +68,14 @@ FaultInjector::injectCopPattern(const CopCodec &codec,
     outcome.trials = trials;
 
     const CopEncodeResult enc = codec.encode(data);
-    if (enc.status == EncodeStatus::AliasRejected)
+    if (enc.status == EncodeStatus::AliasRejected) {
+        if (skipAliasRejected_) {
+            outcome.trials = 0;
+            outcome.skipped = trials;
+            return outcome;
+        }
         COP_FATAL("cannot inject into an alias-rejected block");
+    }
     const bool was_protected = enc.isProtected();
 
     std::vector<unsigned> bits;
@@ -251,8 +257,14 @@ FaultInjector::injectChipkillPattern(const ChipkillCodec &codec,
     outcome.trials = trials;
 
     const CopEncodeResult enc = codec.encode(data);
-    if (enc.status == EncodeStatus::AliasRejected)
+    if (enc.status == EncodeStatus::AliasRejected) {
+        if (skipAliasRejected_) {
+            outcome.trials = 0;
+            outcome.skipped = trials;
+            return outcome;
+        }
         COP_FATAL("cannot inject into an alias-rejected block");
+    }
     const bool was_protected = enc.isProtected();
 
     std::vector<unsigned> bits;

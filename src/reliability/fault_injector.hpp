@@ -27,6 +27,12 @@ struct InjectionOutcome
     u64 corrected = 0; ///< Errors repaired; data intact.
     u64 detected = 0;  ///< Flagged uncorrectable; data lost but known.
     u64 silent = 0;    ///< Wrong data returned with no indication.
+    /**
+     * Trials skipped because the block could not be injected at all
+     * (alias-rejected encode under skipAliasRejected). Excluded from
+     * `trials`, so the rate denominators stay meaningful.
+     */
+    u64 skipped = 0;
 
     double
     silentRate() const
@@ -50,6 +56,7 @@ struct InjectionOutcome
         corrected += o.corrected;
         detected += o.detected;
         silent += o.silent;
+        skipped += o.skipped;
         return *this;
     }
 };
@@ -69,6 +76,15 @@ class FaultInjector
     using FlipGen = std::function<void(Rng &, std::vector<unsigned> &)>;
 
     explicit FaultInjector(u64 seed = 0xFau) : rng_(seed) {}
+
+    /**
+     * Campaign mode: an alias-rejected block skips its trials
+     * (InjectionOutcome::skipped) instead of COP_FATALing, so a long
+     * sweep survives blocks that cannot be stored protected. Off by
+     * default — explicit single-shot injection keeps the hard failure.
+     */
+    void setSkipAliasRejected(bool on) { skipAliasRejected_ = on; }
+    bool skipAliasRejected() const { return skipAliasRejected_; }
 
     /** Inject into a COP-protected (or raw, if incompressible) block. */
     InjectionOutcome injectCop(const CopCodec &codec,
@@ -118,6 +134,7 @@ class FaultInjector
     FlipGen uniformGen(unsigned flips);
 
     Rng rng_;
+    bool skipAliasRejected_ = false;
 };
 
 } // namespace cop

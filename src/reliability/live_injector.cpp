@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "reliability/ondie_ecc.hpp"
+
 namespace cop {
 
 double
@@ -62,14 +64,36 @@ LiveInjector::poissonEvent(Cycle now)
         return;
     }
     const unsigned nbits = ctl_.storedBits(addr);
+    const unsigned draw_bits =
+        cfg_.ondieEcc ? OndieEcc::extendedBits(nbits) : nbits;
     std::vector<unsigned> bits;
     bits.reserve(cfg_.flipsPerEvent);
     while (bits.size() < cfg_.flipsPerEvent) {
-        const unsigned b = static_cast<unsigned>(rng_.below(nbits));
+        const unsigned b = static_cast<unsigned>(rng_.below(draw_bits));
         if (std::find(bits.begin(), bits.end(), b) == bits.end())
             bits.push_back(b);
     }
-    ctl_.injectFault(addr, bits, now, false);
+    if (!cfg_.ondieEcc) {
+        ctl_.injectFault(addr, bits, now, false);
+        return;
+    }
+    // Per-chip SEC filters the raw pattern before it can reach the
+    // stored image; only the post-filter flips strike.
+    ErrorLog &log = ctl_.errorLog();
+    ++log.ondieInjected;
+    std::vector<unsigned> forwarded;
+    switch (OndieEcc::filter(nbits, bits, forwarded)) {
+      case OndieOutcome::Corrected:
+        ++log.ondieCorrected;
+        return;
+      case OndieOutcome::Miscorrected:
+        ++log.ondieMiscorrected;
+        break;
+      case OndieOutcome::Forwarded:
+        ++log.ondieForwarded;
+        break;
+    }
+    ctl_.injectFault(addr, forwarded, now, false);
 }
 
 void
@@ -118,6 +142,24 @@ LiveInjector::advanceTo(Cycle now)
         switch (what) {
           case Campaign: {
             const PlannedFault &f = campaign_[campaignIdx_++];
+            // A scripted pattern can outlive its geometry: a COP-ER
+            // block re-compressing shrinks storedBits under the
+            // script, and letting injectFault panic would kill the
+            // whole campaign cell. Skip-and-count instead; direct
+            // single-shot injectFault calls keep the hard panic.
+            // (Persistent faults already tolerate shrinkage inside
+            // injectFault, and cold blocks keep their cold-fault
+            // accounting there too.)
+            if (!f.persistent && ctl_.imageOf(f.addr) != nullptr) {
+                const unsigned nbits = ctl_.storedBits(f.addr);
+                const bool fits = std::all_of(
+                    f.bits.begin(), f.bits.end(),
+                    [nbits](unsigned b) { return b < nbits; });
+                if (!fits) {
+                    ++ctl_.errorLog().injectSkipped;
+                    break;
+                }
+            }
             ctl_.injectFault(f.addr, f.bits, now, f.persistent);
             break;
           }

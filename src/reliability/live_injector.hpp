@@ -54,6 +54,17 @@ struct FaultConfig
     double eventsPerMegacycle = 0.0;
     /** Bits flipped per Poisson event (within one block). */
     unsigned flipsPerEvent = 1;
+    /**
+     * Model per-chip on-die SEC beneath the rank-level scheme: Poisson
+     * events are drawn over the *extended* geometry (stored bits plus
+     * 8 hidden check bits per 128-bit on-die word) and run through the
+     * OndieEcc filter; only the post-filter pattern reaches the stored
+     * image. Campaign faults bypass the filter by design — their bit
+     * lists are already post-on-die arrival patterns. Off by default;
+     * when off, the raw-arrival draw stream is byte-identical to
+     * builds without the on-die layer.
+     */
+    bool ondieEcc = false;
     /** Injector RNG seed (combined with the System's seed salt). */
     u64 seed = 0xFA157;
     /** Patrol-scrub full-pass interval; 0 disables the scrubber. */

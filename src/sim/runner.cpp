@@ -241,7 +241,19 @@ appendResultsJson(std::string &out, const SystemResults &r)
     field(out, "dram_bus_write_beats", r.dram.writeBeats);
     field(out, "dram_bus_beats_saved", r.dram.beatsSaved);
     field(out, "dram_bus_busy_cycles", r.dram.busBusyCycles);
-    field(out, "dram_bus_turnarounds", r.dram.busTurnarounds, false);
+    field(out, "dram_bus_turnarounds", r.dram.busTurnarounds);
+    // On-die ECC + adaptive-capacity additions — appended strictly
+    // after everything that existed before them (same convention).
+    field(out, "err_inject_skipped", r.errors.injectSkipped);
+    field(out, "ondie_injected", r.errors.ondieInjected);
+    field(out, "ondie_corrected", r.errors.ondieCorrected);
+    field(out, "ondie_miscorrected", r.errors.ondieMiscorrected);
+    field(out, "ondie_forwarded", r.errors.ondieForwarded);
+    field(out, "adaptive_slots_reclaimed", r.adaptive.slotsReclaimed);
+    field(out, "adaptive_demotions", r.adaptive.demotions);
+    field(out, "adaptive_victim_evictions", r.adaptive.victimEvictions);
+    field(out, "adaptive_released_blocks_hw",
+          r.adaptive.releasedBlocksHighWater, false);
     out += '}';
 }
 

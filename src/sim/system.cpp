@@ -81,6 +81,8 @@ System::System(const WorkloadProfile &profile, const SystemConfig &cfg)
             COP_FATAL("bandwidthBeatFloor must be in [1, 8]");
         controller_->enableBandwidthMode(cfg_.bandwidthBeatFloor);
     }
+    if (cfg_.adaptiveEccCapacity)
+        controller_->enableAdaptiveCapacity();
     evictFilter_ = [this](Addr victim, const CacheLineState &) {
         probedData_ = poolFor(victim).blockForRef(victim);
         probedAddr_ = victim;
@@ -188,6 +190,36 @@ System::registerAllStats()
                          [this] { return controller_->imageBlockCount(); });
     statsRegistry_.gauge("pool.image_slots",
                          [this] { return controller_->imageSlotCount(); });
+    // On-die SEC filter conservation counters: every injected raw
+    // pattern is exactly one of corrected / miscorrected / forwarded
+    // (agg_stats.py --check enforces the per-snapshot identity).
+    statsRegistry_.gauge("ondie.injected", [this] {
+        return controller_->errorLog().ondieInjected;
+    });
+    statsRegistry_.gauge("ondie.corrected", [this] {
+        return controller_->errorLog().ondieCorrected;
+    });
+    statsRegistry_.gauge("ondie.miscorrected", [this] {
+        return controller_->errorLog().ondieMiscorrected;
+    });
+    statsRegistry_.gauge("ondie.forwarded", [this] {
+        return controller_->errorLog().ondieForwarded;
+    });
+    // Adaptive-capacity accounting. Only monotonic counters are
+    // registered (the trace checker requires non-negative deltas), so
+    // the current released-block count is exported as its high water.
+    statsRegistry_.gauge("adaptive.slots_reclaimed", [this] {
+        return controller_->adaptiveStats().slotsReclaimed;
+    });
+    statsRegistry_.gauge("adaptive.demotions", [this] {
+        return controller_->adaptiveStats().demotions;
+    });
+    statsRegistry_.gauge("adaptive.victim_evictions", [this] {
+        return controller_->adaptiveStats().victimEvictions;
+    });
+    statsRegistry_.gauge("adaptive.released_blocks_hw", [this] {
+        return controller_->adaptiveStats().releasedBlocksHighWater;
+    });
 }
 
 Cycle
@@ -403,6 +435,7 @@ System::run()
     results.mem.schemeTrials = encodeMemo_->schemeTrials();
     results.vuln = controller_->vulnLog();
     results.errors = controller_->errorLog();
+    results.adaptive = controller_->adaptiveStats();
     results.everUncompressedBlocks = everUncompressed_.size();
 
     // Footprint actually touched: distinct blocks with a DRAM image.

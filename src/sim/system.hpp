@@ -116,6 +116,17 @@ struct SystemConfig
      * paths live (the byte-identity test lever).
      */
     unsigned bandwidthBeatFloor = 4;
+    /**
+     * Adaptive ECC-region capacity: metadata blocks whose coverage no
+     * longer needs them (an ECC Reg. entry group whose blocks are all
+     * compressible; a COP-ER entry block that drained to empty) are
+     * released to the data free-list, with a demotion path (victim
+     * eviction through the writeback machinery) when they are needed
+     * back. Off by default — every scheme's results are byte-identical
+     * to builds without the mode. Inert for schemes without an ECC
+     * region (Unprotected / ECC DIMM / COP / COP-8B).
+     */
+    bool adaptiveEccCapacity = false;
 };
 
 /** Aggregate results of one run. */
@@ -144,6 +155,8 @@ struct SystemResults
     u64 eccRegionBytesNoDealloc = 0;
     /** Error-recovery bookkeeping (all zero unless faults injected). */
     ErrorLog errors;
+    /** Adaptive-capacity accounting (all zero unless the mode is on). */
+    MemoryController::AdaptiveStats adaptive;
     /** Functional-memory perf counters (summed over the core pools). */
     u64 poolBlockForCalls = 0;
     u64 poolContentCacheHits = 0;
