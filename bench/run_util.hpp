@@ -176,6 +176,7 @@ class GridRunner
     run()
     {
         COP_ASSERT(results_.empty());
+        applySimThreads();
         using Clock = std::chrono::steady_clock;
         const Clock::time_point start = Clock::now();
         results_ = runCollected<SystemResults>(
@@ -262,6 +263,11 @@ class GridRunner
         JsonObjectBuilder top_timing;
         top_timing.add("bench", name_);
         top_timing.add("jobs", static_cast<u64>(opts_.effectiveJobs()));
+        top_timing.add("sim_threads", static_cast<u64>(simThreads_));
+        top_timing.add("sim_threads_requested",
+                       static_cast<u64>(opts_.simThreads));
+        top_timing.add("sim_threads_clamped",
+                       static_cast<u64>(simThreadsClamped_ ? 1 : 0));
         top_timing.add("wall_ms_total", totalMs_);
         top_timing.add("elapsed_ms", elapsedMs_);
         top_timing.add("cells_per_sec",
@@ -285,6 +291,32 @@ class GridRunner
     key(const std::string &bench, const std::string &scheme)
     {
         return {bench, scheme};
+    }
+
+    /**
+     * Propagate the requested per-cell simThreads into every cell's
+     * config. Grid workers and shard workers multiply, so when the
+     * grid itself is parallel (effectiveJobs > 1) a request for
+     * intra-cell threading is clamped to 1 — loudly, because the user
+     * asked for something the run is not doing.
+     */
+    void
+    applySimThreads()
+    {
+        simThreads_ = opts_.simThreads;
+        if (simThreads_ != 1 && opts_.effectiveJobs() > 1 &&
+            cells_.size() > 1) {
+            std::fprintf(
+                stderr,
+                "[runner] %s: --sim-threads %u ignored (clamped to 1): "
+                "%u grid jobs already oversubscribe the host; use "
+                "--serial or --jobs 1 for intra-cell threading\n",
+                name_.c_str(), opts_.simThreads, opts_.effectiveJobs());
+            simThreads_ = 1;
+            simThreadsClamped_ = true;
+        }
+        for (Cell &cell : cells_)
+            cell.cfg.simThreads = simThreads_;
     }
 
     /** Point a cell's trace sink into COP_TRACE_STATS, if set. */
@@ -359,6 +391,8 @@ class GridRunner
     std::vector<double> wallMs_;
     double totalMs_ = 0;
     double elapsedMs_ = 0;
+    unsigned simThreads_ = 1;
+    bool simThreadsClamped_ = false;
     JsonObjectBuilder derived_;
 };
 

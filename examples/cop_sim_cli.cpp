@@ -20,6 +20,8 @@
  *     --trace-stats <file>   write a JSONL stats trace (see
  *                            scripts/agg_stats.py)
  *     --trace-interval <n>   epochs between trace snapshots
+ *     --sim-threads <n>      sharded-simulation thread budget; results
+ *                            are byte-identical to 1 (0 = all cores)
  *     --list                 list built-in benchmarks and exit
  */
 
@@ -113,6 +115,10 @@ main(int argc, char **argv)
         } else if (arg == "--trace-interval") {
             cfg.traceStatsEpochInterval =
                 parsePositiveU64(next(), "--trace-interval");
+        } else if (arg == "--sim-threads") {
+            // 0 is the resolve-to-hardware-concurrency request.
+            cfg.simThreads = static_cast<unsigned>(
+                parseU64(next(), "--sim-threads"));
         } else if (arg == "--list") {
             return listBenchmarks();
         } else {

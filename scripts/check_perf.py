@@ -29,6 +29,17 @@ away, apply the `perf-override` label to the PR — the CI job skips
 itself when the label is present — and refresh the baseline file per
 EXPERIMENTS.md.
 
+A sharded-core gate covers the thread-parallel simulation path:
+`micro_system --quick --threads 4` records, per scheme, the wall
+speedup of simThreads=4 over simThreads=1 plus the deterministic
+offload telemetry (warm-store hit rates, and the Amdahl speedup
+modeled from them). The modeled `sharded_speedup_min` scalar and the
+COP-scheme offload hit rates are pure functions of the seeded
+simulation, so they gate on any host; the wall-clock ratio is gated
+only when the recording host had >= 4 CPUs (on smaller hosts — like
+single-CPU CI containers — a wall speedup is physically impossible and
+the check is skipped loudly).
+
 A fourth gate is fully deterministic: `fault_campaign --quick` records
 the fraction of injected 2-flip raw events the on-die SEC filter
 miscorrects and the number of ECC-region slots the adaptive-capacity
@@ -44,9 +55,12 @@ Usage: scripts/check_perf.py
          [--codec-results bench/results/micro_codec.json]
          [--system-baseline BENCH_system.json]
          [--system-results bench/results/micro_system.json]
+         [--system-threads-results
+              bench/results/micro_system_threads.json]
          [--bandwidth-results bench/results/fig13_bandwidth.json]
          [--fault-results bench/results/fault_campaign.json]
          [--max-regression 0.30]
+         [--sharded-speedup-min 1.8]
 """
 
 import argparse
@@ -83,6 +97,8 @@ def main() -> int:
     parser.add_argument("--system-baseline", default="BENCH_system.json")
     parser.add_argument("--system-results",
                         default="bench/results/micro_system.json")
+    parser.add_argument("--system-threads-results",
+                        default="bench/results/micro_system_threads.json")
     parser.add_argument("--bandwidth-results",
                         default="bench/results/fig13_bandwidth.json")
     parser.add_argument("--fault-results",
@@ -95,6 +111,9 @@ def main() -> int:
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="maximum allowed fractional drop (0.30 = "
                              "fail below 70%% of baseline)")
+    parser.add_argument("--sharded-speedup-min", type=float, default=1.8,
+                        help="floor for the deterministic modeled "
+                             "sharded speedup (min over cop4/coper)")
     args = parser.parse_args()
 
     failed = False
@@ -128,6 +147,55 @@ def main() -> int:
                        args.max_regression)
     else:
         print(f"system: {args.system_results} not found, skipping gate")
+
+    if os.path.exists(args.system_threads_results):
+        ran_any = True
+        with open(args.system_threads_results) as f:
+            sweep = json.load(f)
+        # Deterministic gates first: the modeled speedup and the warm-
+        # store hit rates are pure functions of the seeded simulation.
+        smin = float(sweep["sharded_speedup_min"])
+        smin_ok = smin >= args.sharded_speedup_min
+        print(f"sharded/sharded_speedup_min: {smin:.2f}x "
+              f"(floor {args.sharded_speedup_min:.2f}x) "
+              f"... {'ok' if smin_ok else 'FAIL'}")
+        if not smin_ok:
+            failed = True
+            print("sharded: the modeled sharded speedup fell below its "
+                  "floor — the workers are no longer delivering the "
+                  "offloadable work ahead of the merge loop.",
+                  file=sys.stderr)
+        for key in ("cop4", "coper"):
+            hr = float(sweep["offload_hit_rate"][key])
+            hr_ok = hr >= 0.75
+            print(f"sharded/offload_hit_rate/{key}: {hr:.3f} "
+                  f"(floor 0.75) ... {'ok' if hr_ok else 'FAIL'}")
+            if not hr_ok:
+                failed = True
+                print(f"sharded: warm-store hit rate for {key} "
+                      "collapsed — staged results no longer cover the "
+                      "inline hot paths.", file=sys.stderr)
+        # Wall-clock ratio only means something with real parallelism
+        # under it: skip (loudly) when the recording host was too small.
+        host_cpus = int(sweep["host_cpus"])
+        if host_cpus >= 4:
+            wall = float(sweep["wall_speedup"]["cop4"])
+            wall_ok = wall >= 1.1
+            print(f"sharded/wall_speedup/cop4: {wall:.2f}x "
+                  f"(floor 1.10x, host_cpus={host_cpus}) "
+                  f"... {'ok' if wall_ok else 'FAIL'}")
+            if not wall_ok:
+                failed = True
+                print("sharded: simThreads=4 is not beating serial on "
+                      "a multi-core host — the sharded path costs more "
+                      "than it hides.", file=sys.stderr)
+        else:
+            print(f"sharded/wall_speedup: skipped (host_cpus="
+                  f"{host_cpus} < 4 — no parallelism to measure; the "
+                  "modeled gate above still applies)")
+    else:
+        print(f"sharded: {args.system_threads_results} not found, "
+              "skipping gate")
 
     if os.path.exists(args.bandwidth_results):
         ran_any = True

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/codec.hpp"
+#include "core/warm_codec.hpp"
 
 namespace cop {
 
@@ -54,7 +55,7 @@ class EncodeMemo
     {
         ++lookups_;
         if (slots_.empty()) {
-            scratch_ = codec.encode(data);
+            scratch_ = missEncode(codec, data);
             schemeTrials_ += scratch_.schemeTrials;
             return scratch_;
         }
@@ -65,10 +66,19 @@ class EncodeMemo
         }
         slot.valid = true;
         slot.key = data;
-        slot.result = codec.encode(data);
+        slot.result = missEncode(codec, data);
         schemeTrials_ += slot.result.schemeTrials;
         return slot.result;
     }
+
+    /**
+     * Attach a shard-worker warm store (sharded mode only; see
+     * core/warm_codec.hpp). On a memo miss the warm store substitutes
+     * the precomputed encode for the inline one — the lookup/hit/
+     * scheme-trial counters above are untouched, so every counter the
+     * results JSON and stats trace see stays byte-identical.
+     */
+    void attachWarmStore(const WarmEncodeStore *warm) { warm_ = warm; }
 
     /** Slot count (0 = counting-only). */
     unsigned capacity() const
@@ -92,16 +102,22 @@ class EncodeMemo
     static u64
     contentHash(const CacheBlock &data)
     {
-        u64 h = 0x9e3779b97f4a7c15ULL;
-        for (unsigned w = 0; w < 8; ++w) {
-            h ^= data.word64(w);
-            h *= 0xff51afd7ed558ccdULL;
-            h ^= h >> 33;
+        return blockContentHash(data);
+    }
+
+    /** The encode behind a memo miss: warm store first, then codec. */
+    CopEncodeResult
+    missEncode(const CopCodec &codec, const CacheBlock &data) const
+    {
+        if (warm_ != nullptr) {
+            if (const CopEncodeResult *enc = warm_->lookup(data))
+                return *enc;
         }
-        return h;
+        return codec.encode(data);
     }
 
     std::vector<Entry> slots_;
+    const WarmEncodeStore *warm_ = nullptr;
     u64 mask_ = 0;
     u64 lookups_ = 0;
     u64 hits_ = 0;

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Warm result stores for the thread-parallel sharded simulation core
+ * (SystemConfig::simThreads > 1, see DESIGN.md §8 and sim/shard.hpp).
+ *
+ * A warm store is a coordinator-private, direct-mapped table of
+ * precomputed pure-function results produced ahead of time by shard
+ * workers: encode results keyed on the full 64-byte source content,
+ * decode results keyed on the full 64-byte stored image. Lookups only
+ * answer when the stored key compares equal, and both CopCodec::encode
+ * and CopCodec::decode are pure functions of their 64-byte input plus
+ * the immutable codec configuration — so substituting a warm result
+ * for an inline computation can never change any simulated outcome,
+ * exactly the argument that already covers EncodeMemo and the
+ * BlockContentPool content cache. The stores are written only by the
+ * simulation coordinator thread at deterministic install points
+ * (bundle dequeue, immediately before the owning epoch runs), so their
+ * hit/miss telemetry is itself a pure function of the configuration.
+ *
+ * Telemetry counters are deliberately NOT exported through the results
+ * JSON or the StatsRegistry: both must stay byte-identical between
+ * simThreads=1 and simThreads=N. System::shardTelemetry() exposes them
+ * out of band for the micro_system bench.
+ */
+
+#ifndef COP_CORE_WARM_CODEC_HPP
+#define COP_CORE_WARM_CODEC_HPP
+
+#include <vector>
+
+#include "core/codec.hpp"
+
+namespace cop {
+
+/** Multiply-xor mix of the eight block words (shared with EncodeMemo). */
+inline u64
+blockContentHash(const CacheBlock &data)
+{
+    u64 h = 0x9e3779b97f4a7c15ULL;
+    for (unsigned w = 0; w < 8; ++w) {
+        h ^= data.word64(w);
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+    }
+    return h;
+}
+
+/** Direct-mapped block-keyed store of precomputed results. */
+template <typename Result> class WarmBlockStore
+{
+  public:
+    explicit WarmBlockStore(unsigned entries)
+    {
+        unsigned cap = 1;
+        while (cap < entries)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /** The precomputed result for @p key, or null (counts a lookup). */
+    const Result *
+    lookup(const CacheBlock &key) const
+    {
+        ++lookups_;
+        const Entry &slot = slots_[blockContentHash(key) & mask_];
+        if (slot.valid && slot.key == key) {
+            ++hits_;
+            return &slot.result;
+        }
+        return nullptr;
+    }
+
+    void
+    install(const CacheBlock &key, const Result &result)
+    {
+        Entry &slot = slots_[blockContentHash(key) & mask_];
+        slot.valid = true;
+        slot.key = key;
+        slot.result = result;
+    }
+
+    u64 lookups() const { return lookups_; }
+    u64 hits() const { return hits_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        CacheBlock key;
+        Result result;
+    };
+
+    std::vector<Entry> slots_;
+    u64 mask_ = 0;
+    /** Telemetry only (lookup is logically const). */
+    mutable u64 lookups_ = 0;
+    mutable u64 hits_ = 0;
+};
+
+/** Worker-precomputed CopCodec::encode results, keyed on the content. */
+using WarmEncodeStore = WarmBlockStore<CopEncodeResult>;
+/** Worker-precomputed CopCodec::decode results, keyed on the image. */
+using WarmDecodeStore = WarmBlockStore<CopDecodeResult>;
+
+/**
+ * Decode @p stored through the warm store when possible, inline
+ * otherwise. @p scratch holds the result on the inline path (mirrors
+ * EncodeMemo's counting-only scratch). A faulted image never matches a
+ * worker-produced key, so it decodes inline — and a coincidental full
+ * 64-byte match would by definition yield the identical pure result.
+ */
+inline const CopDecodeResult &
+warmOrDecode(const WarmDecodeStore *warm, const CopCodec &codec,
+             const CacheBlock &stored, CopDecodeResult &scratch)
+{
+    if (warm != nullptr) {
+        if (const CopDecodeResult *dec = warm->lookup(stored))
+            return *dec;
+    }
+    scratch = codec.decode(stored);
+    return scratch;
+}
+
+} // namespace cop
+
+#endif // COP_CORE_WARM_CODEC_HPP

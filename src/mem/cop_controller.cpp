@@ -52,7 +52,8 @@ CopController::readImpl(Addr addr, Cycle now)
     }
 
     const Cycle data_done = dramRead(addr, now);
-    const CopDecodeResult dec = codec_.decode(it->second);
+    const CopDecodeResult &dec =
+        warmOrDecode(warmDecode_, codec_, it->second, decodeScratch_);
     result.complete = data_done + decodeLatency_;
     result.dramAccesses = 1;
     result.data = dec.data;

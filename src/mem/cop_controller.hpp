@@ -62,6 +62,12 @@ class CopController : public MemoryController
 
     const CopCodec &codec() const { return codec_; }
 
+    void
+    attachWarmDecode(const WarmDecodeStore *warm) override
+    {
+        warmDecode_ = warm;
+    }
+
   protected:
     MemReadResult readImpl(Addr addr, Cycle now) override;
 
@@ -92,6 +98,9 @@ class CopController : public MemoryController
     CopCodec codec_;
     Cycle decodeLatency_;
     EncodeMemo *memo_;
+    const WarmDecodeStore *warmDecode_ = nullptr;
+    /** Inline-decode result holder for warmOrDecode. */
+    mutable CopDecodeResult decodeScratch_;
 };
 
 } // namespace cop

@@ -215,7 +215,8 @@ CopErController::readImpl(Addr addr, Cycle now)
     const Cycle data_done = dramRead(addr, now);
     result.dramAccesses = 1;
 
-    const CopDecodeResult dec = codec_.decode(stored);
+    const CopDecodeResult &dec =
+        warmOrDecode(warmDecode_, codec_, stored, decodeScratch_);
     if (dec.compressed) {
         result.complete = data_done + decodeLatency_;
         result.data = dec.data;

@@ -121,7 +121,8 @@ CopErNaiveController::readImpl(Addr addr, Cycle now)
     const Cycle data_done = dramRead(addr, now);
     result.dramAccesses = 1;
 
-    const CopDecodeResult dec = codec_.decode(stored);
+    const CopDecodeResult &dec =
+        warmOrDecode(warmDecode_, codec_, stored, decodeScratch_);
     result.data = dec.data;
     result.detectedUncorrectable = dec.detectedUncorrectable;
     result.correctedError = dec.correctedWords > 0;

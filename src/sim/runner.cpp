@@ -30,6 +30,10 @@ parseRunnerOptions(int argc, char **argv)
         opts.jobs = static_cast<unsigned>(
             parsePositiveU64(env, "COP_BENCH_JOBS"));
     }
+    if (const char *env = std::getenv("COP_SIM_THREADS")) {
+        opts.simThreads =
+            static_cast<unsigned>(parseU64(env, "COP_SIM_THREADS"));
+    }
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--serial") {
@@ -39,6 +43,11 @@ parseRunnerOptions(int argc, char **argv)
                 COP_FATAL("--jobs needs a value");
             opts.jobs = static_cast<unsigned>(
                 parsePositiveU64(argv[++i], "--jobs"));
+        } else if (arg == "--sim-threads") {
+            if (i + 1 >= argc)
+                COP_FATAL("--sim-threads needs a value");
+            opts.simThreads = static_cast<unsigned>(
+                parseU64(argv[++i], "--sim-threads"));
         }
     }
     return opts;

@@ -30,6 +30,14 @@ struct RunnerOptions
     unsigned jobs = 0;
     /** Run cells in submission order on the calling thread. */
     bool serial = false;
+    /**
+     * Per-cell SystemConfig::simThreads request (COP_SIM_THREADS /
+     * --sim-threads; 0 means hardware concurrency). Grid- and
+     * cell-level parallelism multiply, so consumers running cells
+     * under more than one grid worker must clamp this to 1 — the
+     * GridRunner does, loudly.
+     */
+    unsigned simThreads = 1;
 
     /** The worker count actually used (resolves 0 and serial). */
     unsigned effectiveJobs() const;
@@ -39,8 +47,10 @@ struct RunnerOptions
  * Runner options from the environment and command line: COP_BENCH_JOBS
  * (positive integer) sets the worker count; `--serial` forces
  * single-threaded in-order execution; `--jobs N` overrides the
- * environment. Unrecognised arguments are ignored (benches keep their
- * own flags, e.g. fig11's `--config`).
+ * environment; COP_SIM_THREADS / `--sim-threads N` set the per-cell
+ * sharded-simulation thread budget (0 = hardware concurrency).
+ * Unrecognised arguments are ignored (benches keep their own flags,
+ * e.g. fig11's `--config`).
  */
 RunnerOptions parseRunnerOptions(int argc, char **argv);
 

@@ -1,0 +1,215 @@
+#include "sim/shard.hpp"
+
+namespace cop {
+
+bool
+ShardQueue::tryPush(ShardBundle &bundle)
+{
+    const std::lock_guard<std::mutex> lock(m_);
+    if (aborted_)
+        return true; // swallow; the producer exits on its abort check
+    if (q_.size() >= cap_)
+        return false;
+    q_.push_back(std::move(bundle));
+    notEmpty_.notify_one();
+    return true;
+}
+
+bool
+ShardQueue::pop(ShardBundle &out)
+{
+    std::unique_lock<std::mutex> lock(m_);
+    notEmpty_.wait(lock, [this] { return !q_.empty() || aborted_; });
+    if (q_.empty())
+        return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    notFull_.notify_one();
+    return true;
+}
+
+void
+ShardQueue::waitNotFull(std::chrono::microseconds timeout) const
+{
+    std::unique_lock<std::mutex> lock(m_);
+    notFull_.wait_for(lock, timeout, [this] {
+        return q_.size() < cap_ || aborted_;
+    });
+}
+
+void
+ShardQueue::abort(const std::string &msg)
+{
+    const std::lock_guard<std::mutex> lock(m_);
+    if (!aborted_) {
+        aborted_ = true;
+        msg_ = msg;
+    }
+    notEmpty_.notify_all();
+    notFull_.notify_all();
+}
+
+bool
+ShardQueue::aborted() const
+{
+    const std::lock_guard<std::mutex> lock(m_);
+    return aborted_;
+}
+
+std::string
+ShardQueue::abortMessage() const
+{
+    const std::lock_guard<std::mutex> lock(m_);
+    return msg_;
+}
+
+ShardProducer::ShardProducer(const WorkloadProfile &profile,
+                             unsigned core_id, u64 seed_salt,
+                             bool content_offload,
+                             const CopConfig *codec_cfg,
+                             bool transfer_sizing)
+    // Content cache 0: the replica only needs the pure generateAt path
+    // (and the identical seeds), not the multi-megabyte cache.
+    : gen_(profile, core_id, seed_salt, 0),
+      contentOffload_(content_offload)
+{
+    if (contentOffload_ && codec_cfg != nullptr) {
+        codec_ = std::make_unique<CopCodec>(*codec_cfg);
+        if (transfer_sizing)
+            codec_->enableTransferSizing();
+    }
+    if (contentOffload_) {
+        contentSeen_.resize(kSeenSlots);
+        if (codec_)
+            codecSeen_.resize(kSeenSlots);
+    }
+}
+
+void
+ShardProducer::emitBlock(Addr addr, u32 version, ShardBundle &out)
+{
+    SeenContent &seen =
+        contentSeen_[(addr / kBlockBytes) & (kSeenSlots - 1)];
+    if (seen.valid && seen.addr == addr && seen.version == version)
+        return;
+    seen.addr = addr;
+    seen.version = version;
+    seen.valid = true;
+
+    ShardContentEntry entry;
+    entry.addr = addr;
+    entry.version = version;
+    entry.block = gen_.pool().generateAt(addr, version);
+    if (codec_) {
+        SeenBlock &cs =
+            codecSeen_[blockContentHash(entry.block) & (kSeenSlots - 1)];
+        if (!(cs.valid && cs.key == entry.block)) {
+            cs.valid = true;
+            cs.key = entry.block;
+            ShardCodecEntry ce;
+            ce.content = entry.block;
+            ce.enc = codec_->encode(entry.block);
+            ce.dec = codec_->decode(ce.enc.stored);
+            out.codec.push_back(std::move(ce));
+        }
+    }
+    out.content.push_back(std::move(entry));
+}
+
+void
+ShardProducer::produce(ShardBundle &out)
+{
+    const Epoch &epoch = gen_.next();
+    out.epoch.instructions = epoch.instructions;
+    out.epoch.accesses = epoch.accesses;
+    out.content.clear();
+    out.codec.clear();
+    if (!contentOffload_)
+        return;
+
+    // Replay the version timeline exactly as the coordinator will: a
+    // write access reads the pre-bump content (the miss fill) and
+    // bumps afterwards (its post-bump content is what a later eviction
+    // writes back), so both versions are staged.
+    for (const TraceAccess &access : epoch.accesses) {
+        u32 version = 0;
+        if (auto it = versions_.find(access.addr);
+            it != versions_.end())
+            version = it->second;
+        emitBlock(access.addr, version, out);
+        if (access.isWrite) {
+            const u32 bumped = ++versions_[access.addr];
+            emitBlock(access.addr, bumped, out);
+        }
+    }
+}
+
+void
+shardWorkerMain(const WorkloadProfile &profile,
+                const ShardWorkerConfig &cfg,
+                const std::vector<std::unique_ptr<ShardQueue>> &queues)
+{
+    struct OwnedCore
+    {
+        unsigned core = 0;
+        std::unique_ptr<ShardProducer> producer;
+        u64 produced = 0;
+        ShardBundle pending;
+        bool pendingReady = false;
+    };
+    std::vector<OwnedCore> owned;
+    for (unsigned c = cfg.workerIndex; c < cfg.cores;
+         c += cfg.workerCount) {
+        OwnedCore oc;
+        oc.core = c;
+        oc.producer = std::make_unique<ShardProducer>(
+            profile, c, cfg.seedSalt, cfg.contentOffload,
+            cfg.codecConfig, cfg.transferSizing);
+        owned.push_back(std::move(oc));
+    }
+
+    try {
+        while (true) {
+            bool progress = false;
+            bool anyRemaining = false;
+            const OwnedCore *stalled = nullptr;
+            for (OwnedCore &oc : owned) {
+                if (!oc.pendingReady &&
+                    oc.produced >= cfg.epochsPerCore)
+                    continue; // this core's stream is fully delivered
+                anyRemaining = true;
+                ShardQueue &queue = *queues[oc.core];
+                if (queue.aborted())
+                    return;
+                if (!oc.pendingReady) {
+                    oc.producer->produce(oc.pending);
+                    oc.pendingReady = true;
+                    ++oc.produced;
+                }
+                if (queue.tryPush(oc.pending)) {
+                    oc.pendingReady = false;
+                    progress = true;
+                } else {
+                    stalled = &oc;
+                }
+            }
+            if (!anyRemaining)
+                return;
+            if (!progress && stalled != nullptr) {
+                // Every undelivered core's window is full: wait for
+                // the coordinator to drain one. Timed, so an aborting
+                // run can never wedge this thread.
+                queues[stalled->core]->waitNotFull(
+                    std::chrono::microseconds(500));
+            }
+        }
+    } catch (const std::exception &e) {
+        for (const OwnedCore &oc : owned)
+            queues[oc.core]->abort(e.what());
+    } catch (...) {
+        for (const OwnedCore &oc : owned)
+            queues[oc.core]->abort("unknown exception");
+    }
+}
+
+} // namespace cop

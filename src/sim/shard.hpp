@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Thread-parallel sharded simulation core (SystemConfig::simThreads).
+ *
+ * The byte-identity contract (results, stats traces and every counter
+ * must match simThreads=1 exactly, for all schemes and modes) rules
+ * out any parallelisation that changes the interleaving over shared
+ * state. This design therefore keeps the serial furthest-behind merge
+ * loop — LLC, controller, DRAM timing and fault injection all stay on
+ * one coordinator thread, executed in the exact serial order — and
+ * moves the *pure* per-core work ahead of it onto shard workers:
+ *
+ *   - the epoch stream itself (TraceGenerator is pure RNG-driven, no
+ *     timing feedback — the per-shard RNG salting from PR 2 already
+ *     makes each core's stream self-contained);
+ *   - functional block content, a pure function of (profile, addr,
+ *     version) where the version is the count of prior writes in the
+ *     owning core's stream (rate mode);
+ *   - CopCodec::encode of that content and CopCodec::decode of the
+ *     resulting stored image, both pure functions of their input.
+ *
+ * Each worker replays a replica of its cores' generators (same seeds,
+ * so identical streams and version timelines) and delivers one
+ * ShardBundle per epoch through a bounded per-core queue — the queue
+ * depth is the "quantum window": a worker may run at most
+ * kShardWindowEpochs epochs ahead of the coordinator's consumption of
+ * its stream. The coordinator dequeues a core's bundle at the exact
+ * point the serial loop would generate that epoch, installs the
+ * precomputed results into coordinator-private warm stores
+ * (WarmContentStore / WarmEncodeStore / WarmDecodeStore), and runs the
+ * unchanged epoch body. Warm stores substitute identical values for
+ * inline recomputation on authoritative-cache misses, so no simulated
+ * outcome — and no counter — can depend on OS scheduling. See
+ * DESIGN.md §8.
+ */
+
+#ifndef COP_SIM_SHARD_HPP
+#define COP_SIM_SHARD_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/warm_codec.hpp"
+#include "workloads/trace_gen.hpp"
+
+namespace cop {
+
+/**
+ * Epochs a worker may run ahead of the coordinator per core (the
+ * bounded-queue capacity). Large enough to absorb the merge loop's
+ * uneven per-core consumption, small enough to bound staging memory.
+ */
+inline constexpr size_t kShardWindowEpochs = 64;
+
+/** One precomputed functional-memory block: content of (addr, version). */
+struct ShardContentEntry
+{
+    Addr addr = 0;
+    u32 version = 0;
+    CacheBlock block;
+};
+
+/** One precomputed codec round trip for a content block. */
+struct ShardCodecEntry
+{
+    CacheBlock content;
+    CopEncodeResult enc;
+    /** decode(enc.stored) — the fill-path decode of the clean image. */
+    CopDecodeResult dec;
+};
+
+/** Everything a worker precomputes for one (core, epoch). */
+struct ShardBundle
+{
+    Epoch epoch;
+    std::vector<ShardContentEntry> content;
+    std::vector<ShardCodecEntry> codec;
+};
+
+/**
+ * Offload telemetry for one sharded run. Deterministic (installs and
+ * lookups happen at deterministic points of the serial merge order),
+ * but deliberately kept out of the results JSON and the StatsRegistry
+ * so simThreads=1 and simThreads=N stay byte-identical there; the
+ * micro_system bench reads it through System::shardTelemetry().
+ */
+struct ShardTelemetry
+{
+    unsigned workerThreads = 0;
+    u64 bundles = 0;      ///< Epochs delivered by workers (all of them).
+    u64 contentStaged = 0;
+    u64 codecStaged = 0;
+    u64 warmContentLookups = 0;
+    u64 warmContentHits = 0;
+    u64 warmEncodeLookups = 0;
+    u64 warmEncodeHits = 0;
+    u64 warmDecodeLookups = 0;
+    u64 warmDecodeHits = 0;
+};
+
+/**
+ * Bounded single-producer single-consumer bundle queue (one per core;
+ * the core's worker produces, the coordinator consumes). Mutex-based:
+ * at epoch granularity the lock is uncontended noise, and it keeps the
+ * TSan story trivial.
+ */
+class ShardQueue
+{
+  public:
+    explicit ShardQueue(size_t capacity) : cap_(capacity) {}
+
+    /**
+     * Push @p bundle unless the window is full. Returns false — with
+     * @p bundle untouched — when full; true when enqueued (or when the
+     * queue is aborted, so a dying run cannot wedge its producer).
+     */
+    bool tryPush(ShardBundle &bundle);
+
+    /**
+     * Pop the next bundle, blocking while the queue is empty. Returns
+     * false when the queue was aborted and fully drained.
+     */
+    bool pop(ShardBundle &out);
+
+    /** Block until the window has space, an abort, or @p timeout. */
+    void waitNotFull(std::chrono::microseconds timeout) const;
+
+    /** Fail the stream: wakes both ends; pop drains then reports. */
+    void abort(const std::string &msg);
+
+    bool aborted() const;
+    std::string abortMessage() const;
+
+  private:
+    mutable std::mutex m_;
+    mutable std::condition_variable notEmpty_;
+    mutable std::condition_variable notFull_;
+    std::deque<ShardBundle> q_;
+    size_t cap_;
+    bool aborted_ = false;
+    std::string msg_;
+};
+
+/**
+ * Replica producer for one core: re-runs the core's TraceGenerator
+ * (identical seeds → identical stream), tracks the core's version
+ * timeline, and precomputes content blocks and codec round trips.
+ * Touches no simulation state — safe on any thread.
+ */
+class ShardProducer
+{
+  public:
+    /**
+     * @param content_offload stage functional-memory blocks (rate-mode
+     *        profiles; a shared footprint interleaves versions across
+     *        cores, so only the epoch stream offloads there).
+     * @param codec_cfg codec configuration of the scheme under test,
+     *        or null for schemes without a COP codec.
+     * @param transfer_sizing mirror of SystemConfig::bandwidthCompression
+     *        (it changes CopEncodeResult::minCompressedBits, which the
+     *        controller's burst sizing consumes).
+     */
+    ShardProducer(const WorkloadProfile &profile, unsigned core_id,
+                  u64 seed_salt, bool content_offload,
+                  const CopConfig *codec_cfg, bool transfer_sizing);
+
+    /** Produce the next epoch's bundle (reuses @p out's buffers). */
+    void produce(ShardBundle &out);
+
+  private:
+    void emitBlock(Addr addr, u32 version, ShardBundle &out);
+
+    TraceGenerator gen_;
+    FlatMap<u32> versions_;
+    bool contentOffload_;
+    std::unique_ptr<CopCodec> codec_;
+
+    /**
+     * Emission dedup (worker-private, effectiveness-only): re-emitting
+     * a block the coordinator already staged is wasted queue traffic,
+     * not an error, so bounded direct-mapped filters suffice.
+     */
+    static constexpr size_t kSeenSlots = size_t{1} << 13;
+    struct SeenContent
+    {
+        Addr addr = 0;
+        u32 version = 0;
+        bool valid = false;
+    };
+    struct SeenBlock
+    {
+        bool valid = false;
+        CacheBlock key;
+    };
+    std::vector<SeenContent> contentSeen_;
+    std::vector<SeenBlock> codecSeen_;
+};
+
+/** Worker-thread parameters (everything but the profile, by value). */
+struct ShardWorkerConfig
+{
+    unsigned workerIndex = 0;
+    unsigned workerCount = 1;
+    unsigned cores = 1;
+    u64 epochsPerCore = 0;
+    u64 seedSalt = 0;
+    bool contentOffload = false;
+    /** Owned copy; null when the scheme has no COP codec. */
+    const CopConfig *codecConfig = nullptr;
+    bool transferSizing = false;
+};
+
+/**
+ * Worker-thread body: produce bundles for cores workerIndex,
+ * workerIndex + workerCount, ... round-robin, preferring cores whose
+ * queue ran empty (the coordinator may be blocked on them). Exceptions
+ * are captured and surfaced through ShardQueue::abort so the
+ * coordinator fails loudly by core, mirroring runner.cpp's per-cell
+ * capture.
+ */
+void shardWorkerMain(const WorkloadProfile &profile,
+                     const ShardWorkerConfig &cfg,
+                     const std::vector<std::unique_ptr<ShardQueue>> &queues);
+
+} // namespace cop
+
+#endif // COP_SIM_SHARD_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <thread>
 
 #include "mem/coper_controller.hpp"
 #include "mem/coper_naive_controller.hpp"
@@ -336,10 +337,8 @@ System::proactiveAliasCheck(Addr addr)
 }
 
 void
-System::runEpoch(Core &core)
+System::runEpoch(Core &core, const Epoch &epoch)
 {
-    const Epoch &epoch = core.gen->next();
-
     // Compute phase at the perfect-L3 IPC; the epoch's misses overlap
     // with it and with each other (interval simulation).
     const auto compute = static_cast<Cycle>(
@@ -368,19 +367,10 @@ System::runEpoch(Core &core)
     ++core.epochsDone;
 }
 
-SystemResults
-System::run()
+template <typename EpochFor>
+void
+System::mergeLoop(EpochFor &&epochFor, std::ofstream &trace)
 {
-    // Optional observability trace: one JSONL snapshot of the stats
-    // registry every traceStatsEpochInterval completed epochs. When
-    // the path is empty nothing below touches the registry, so a
-    // tracing-off run is byte-identical to one without the feature.
-    std::ofstream trace;
-    if (!cfg_.traceStatsPath.empty()) {
-        trace.open(cfg_.traceStatsPath);
-        if (!trace)
-            COP_FATAL("cannot open stats trace " + cfg_.traceStatsPath);
-    }
     u64 epochsDone = 0;
     u64 epochsSinceSnapshot = 0;
 
@@ -389,17 +379,21 @@ System::run()
     // plausibly-ordered merge.
     while (true) {
         Core *next = nullptr;
-        for (auto &core : cores_) {
+        unsigned nextIdx = 0;
+        for (unsigned c = 0; c < cores_.size(); ++c) {
+            Core &core = cores_[c];
             if (core.epochsDone >= cfg_.epochsPerCore)
                 continue;
-            if (next == nullptr || core.clock < next->clock)
+            if (next == nullptr || core.clock < next->clock) {
                 next = &core;
+                nextIdx = c;
+            }
         }
         if (next == nullptr)
             break;
         if (injector_)
             injector_->advanceTo(next->clock);
-        runEpoch(*next);
+        runEpoch(*next, epochFor(*next, nextIdx));
         ++epochsDone;
         if (trace.is_open() &&
             ++epochsSinceSnapshot >= cfg_.traceStatsEpochInterval) {
@@ -413,6 +407,158 @@ System::run()
         // Final snapshot so the trace always sums to the run totals.
         trace << statsRegistry_.drainEpochJson(epochsDone, maxCoreClock())
               << "\n";
+    }
+}
+
+unsigned
+System::resolvedSimThreads() const
+{
+    if (cfg_.simThreads != 0)
+        return cfg_.simThreads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+System::runSharded(std::ofstream &trace)
+{
+    const unsigned workers =
+        std::min<unsigned>(cfg_.cores, resolvedSimThreads() - 1);
+    COP_ASSERT(workers >= 1);
+
+    // Content (and with it codec) offload needs a per-core version
+    // timeline the worker can replay from its core's stream alone; a
+    // shared footprint with several writers interleaves versions in
+    // merge order, so only the epoch streams offload there.
+    const bool contentOffload =
+        !profile_.sharedFootprint || cfg_.cores == 1;
+
+    // The codec the scheme under test runs — workers precompute encode
+    // round trips with an identically-configured replica.
+    CopConfig codecCfg;
+    const CopConfig *codecCfgPtr = nullptr;
+    switch (cfg_.kind) {
+      case ControllerKind::Cop4:
+      case ControllerKind::CopEr:
+      case ControllerKind::CopErNaive:
+        codecCfg = CopConfig::fourByte();
+        codecCfgPtr = &codecCfg;
+        break;
+      case ControllerKind::Cop8:
+        codecCfg = CopConfig::eightByte();
+        codecCfgPtr = &codecCfg;
+        break;
+      default:
+        break;
+    }
+
+    if (contentOffload) {
+        warmContent_ = std::make_unique<WarmContentStore>(1u << 14);
+        for (Core &core : cores_)
+            core.gen->pool().attachWarmStore(warmContent_.get());
+        if (codecCfgPtr != nullptr) {
+            warmEncode_ = std::make_unique<WarmEncodeStore>(1u << 14);
+            warmDecode_ = std::make_unique<WarmDecodeStore>(1u << 14);
+            encodeMemo_->attachWarmStore(warmEncode_.get());
+            controller_->attachWarmDecode(warmDecode_.get());
+        }
+    }
+
+    std::vector<std::unique_ptr<ShardQueue>> queues;
+    queues.reserve(cfg_.cores);
+    for (unsigned c = 0; c < cfg_.cores; ++c)
+        queues.push_back(
+            std::make_unique<ShardQueue>(kShardWindowEpochs));
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        ShardWorkerConfig wc;
+        wc.workerIndex = w;
+        wc.workerCount = workers;
+        wc.cores = cfg_.cores;
+        wc.epochsPerCore = cfg_.epochsPerCore;
+        wc.seedSalt = cfg_.seedSalt;
+        wc.contentOffload = contentOffload;
+        wc.codecConfig = codecCfgPtr;
+        wc.transferSizing = cfg_.bandwidthCompression;
+        pool.emplace_back(shardWorkerMain, std::cref(profile_), wc,
+                          std::cref(queues));
+    }
+
+    std::vector<ShardBundle> current(cfg_.cores);
+    try {
+        mergeLoop(
+            [&](Core &, unsigned idx) -> const Epoch & {
+                ShardBundle &b = current[idx];
+                if (!queues[idx]->pop(b)) {
+                    const std::string msg = queues[idx]->abortMessage();
+                    for (auto &q : queues)
+                        q->abort(msg);
+                    for (std::thread &t : pool)
+                        t.join();
+                    COP_FATAL("shard worker failed for core " +
+                              std::to_string(idx) + ": " + msg);
+                }
+                ++shardTelemetry_.bundles;
+                for (const ShardContentEntry &e : b.content)
+                    warmContent_->install(e.addr, e.version, e.block);
+                for (const ShardCodecEntry &e : b.codec) {
+                    warmEncode_->install(e.content, e.enc);
+                    warmDecode_->install(e.enc.stored, e.dec);
+                }
+                shardTelemetry_.contentStaged += b.content.size();
+                shardTelemetry_.codecStaged += b.codec.size();
+                return b.epoch;
+            },
+            trace);
+    } catch (...) {
+        for (auto &q : queues)
+            q->abort("coordinator failed");
+        for (std::thread &t : pool)
+            t.join();
+        throw;
+    }
+    for (std::thread &t : pool)
+        t.join();
+
+    shardTelemetry_.workerThreads = workers;
+    if (warmContent_) {
+        shardTelemetry_.warmContentLookups = warmContent_->lookups();
+        shardTelemetry_.warmContentHits = warmContent_->hits();
+    }
+    if (warmEncode_) {
+        shardTelemetry_.warmEncodeLookups = warmEncode_->lookups();
+        shardTelemetry_.warmEncodeHits = warmEncode_->hits();
+    }
+    if (warmDecode_) {
+        shardTelemetry_.warmDecodeLookups = warmDecode_->lookups();
+        shardTelemetry_.warmDecodeHits = warmDecode_->hits();
+    }
+}
+
+SystemResults
+System::run()
+{
+    // Optional observability trace: one JSONL snapshot of the stats
+    // registry every traceStatsEpochInterval completed epochs. When
+    // the path is empty nothing below touches the registry, so a
+    // tracing-off run is byte-identical to one without the feature.
+    std::ofstream trace;
+    if (!cfg_.traceStatsPath.empty()) {
+        trace.open(cfg_.traceStatsPath);
+        if (!trace)
+            COP_FATAL("cannot open stats trace " + cfg_.traceStatsPath);
+    }
+
+    if (resolvedSimThreads() <= 1) {
+        mergeLoop(
+            [](Core &core, unsigned) -> const Epoch & {
+                return core.gen->next();
+            },
+            trace);
+    } else {
+        runSharded(trace);
     }
 
     SystemResults results;

@@ -20,6 +20,7 @@
 #include "core/encode_memo.hpp"
 #include "mem/controller.hpp"
 #include "reliability/live_injector.hpp"
+#include "sim/shard.hpp"
 #include "stats/stats_registry.hpp"
 #include "workloads/trace_gen.hpp"
 
@@ -127,6 +128,21 @@ struct SystemConfig
      * region (Unprotected / ECC DIMM / COP / COP-8B).
      */
     bool adaptiveEccCapacity = false;
+    /**
+     * Thread budget for this one System run (the intra-cell
+     * parallelism knob; grid-level parallelism stays with the runner's
+     * --jobs). 1 — the default — is the serial reference path. N > 1
+     * keeps the exact serial merge loop on the calling thread as the
+     * coordinator of all shared state (LLC, controller, DRAM timing,
+     * fault injection) and spawns min(cores, N-1) shard workers that
+     * precompute the pure per-core work — epoch streams, functional
+     * block content, codec encodes/decodes — delivered through
+     * bounded per-core queues and consumed at deterministic points, so
+     * results, stats traces and every counter are byte-identical to
+     * simThreads=1 for every scheme and mode (see sim/shard.hpp and
+     * DESIGN.md §8). 0 resolves to the hardware concurrency.
+     */
+    unsigned simThreads = 1;
 };
 
 /** Aggregate results of one run. */
@@ -180,6 +196,15 @@ class System
     SetAssocCache &llc() { return llc_; }
     /** The observability registry every subsystem registered into. */
     StatsRegistry &statsRegistry() { return statsRegistry_; }
+    /**
+     * Offload telemetry of the last run (all zero for simThreads<=1).
+     * Deterministic, but exposed only here — never through the results
+     * JSON or the StatsRegistry (byte-identity across thread counts).
+     */
+    const ShardTelemetry &shardTelemetry() const
+    {
+        return shardTelemetry_;
+    }
 
   private:
     struct Core
@@ -191,7 +216,19 @@ class System
     };
 
     BlockContentPool &poolFor(Addr addr);
-    void runEpoch(Core &core);
+    void runEpoch(Core &core, const Epoch &epoch);
+    /**
+     * The furthest-behind merge loop, shared verbatim by the serial
+     * and sharded paths; @p epochFor (Core&, core index) supplies each
+     * epoch — the generator itself serially, the core's bundle queue
+     * when sharded.
+     */
+    template <typename EpochFor>
+    void mergeLoop(EpochFor &&epochFor, std::ofstream &trace);
+    /** simThreads with 0 resolved to hardware concurrency. */
+    unsigned resolvedSimThreads() const;
+    /** The sharded run path: workers + warm stores + the merge loop. */
+    void runSharded(std::ofstream &trace);
     /** Hook every subsystem's counters into statsRegistry_. */
     void registerAllStats();
     /** Highest core clock reached (trace snapshot timestamps). */
@@ -230,6 +267,11 @@ class System
     bool probed_ = false;
     Addr probedAddr_ = 0;
     CacheBlock probedData_;
+    /** Sharded-mode staging (null for simThreads<=1). */
+    std::unique_ptr<WarmContentStore> warmContent_;
+    std::unique_ptr<WarmEncodeStore> warmEncode_;
+    std::unique_ptr<WarmDecodeStore> warmDecode_;
+    ShardTelemetry shardTelemetry_;
 };
 
 /**

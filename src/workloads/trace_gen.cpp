@@ -67,6 +67,13 @@ BlockContentPool::categoryOf(Addr block_addr) const
     return categoryFromUniform(u);
 }
 
+CacheBlock
+BlockContentPool::generateAt(Addr block_addr, u32 version) const
+{
+    Rng rng(mixHash(block_addr) ^ mix64(version * 0xD6E8FEB86659FD93ULL));
+    return generateBlock(categoryOf(block_addr), profile_.gen, rng);
+}
+
 const CacheBlock &
 BlockContentPool::blockForRef(Addr block_addr) const
 {
@@ -78,9 +85,13 @@ BlockContentPool::blockForRef(Addr block_addr) const
     }
 
     if (cacheSlots_ == 0) {
-        Rng rng(mixHash(block_addr) ^
-                mix64(version * 0xD6E8FEB86659FD93ULL));
-        scratch_ = generateBlock(categoryOf(block_addr), profile_.gen, rng);
+        if (warm_ != nullptr) {
+            if (const CacheBlock *b = warm_->lookup(block_addr, version)) {
+                scratch_ = *b;
+                return scratch_;
+            }
+        }
+        scratch_ = generateAt(block_addr, version);
         return scratch_;
     }
     if (cache_.empty())
@@ -97,8 +108,19 @@ BlockContentPool::blockForRef(Addr block_addr) const
         ++contentCacheHits_;
         return slot.block;
     }
-    Rng rng(mixHash(block_addr) ^ mix64(version * 0xD6E8FEB86659FD93ULL));
-    slot.block = generateBlock(categoryOf(block_addr), profile_.gen, rng);
+    // Cache miss: a shard-worker warm block (identical by purity)
+    // replaces the regeneration when one is staged; either way the
+    // slot is filled as if regenerated, so the hit/miss stream — and
+    // every counter — is what the serial path produces.
+    if (warm_ != nullptr) {
+        if (const CacheBlock *b = warm_->lookup(block_addr, version)) {
+            slot.block = *b;
+        } else {
+            slot.block = generateAt(block_addr, version);
+        }
+    } else {
+        slot.block = generateAt(block_addr, version);
+    }
     slot.addr = block_addr;
     slot.version = version;
     slot.valid = true;

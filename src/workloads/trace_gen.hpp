@@ -25,6 +25,71 @@ namespace cop {
 inline constexpr unsigned kDefaultContentCacheEntries = 1u << 14;
 
 /**
+ * Warm functional-memory content, precomputed by shard workers for the
+ * thread-parallel simulation core (SystemConfig::simThreads > 1).
+ * Direct-mapped on the block index, keyed on the full (addr, version)
+ * pair — content is a pure function of (profile, addr, version), so a
+ * warm hit substitutes an identical block for the RNG regeneration a
+ * pool miss would otherwise run. Written only by the coordinator
+ * thread at deterministic bundle-install points; the telemetry
+ * counters stay out of the results JSON / StatsRegistry (see
+ * core/warm_codec.hpp for the byte-identity argument).
+ */
+class WarmContentStore
+{
+  public:
+    explicit WarmContentStore(unsigned entries)
+    {
+        unsigned cap = 1;
+        while (cap < entries)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    const CacheBlock *
+    lookup(Addr addr, u32 version) const
+    {
+        ++lookups_;
+        const Entry &slot = slots_[(addr / kBlockBytes) & mask_];
+        if (slot.valid && slot.addr == addr &&
+            slot.version == version) {
+            ++hits_;
+            return &slot.block;
+        }
+        return nullptr;
+    }
+
+    void
+    install(Addr addr, u32 version, const CacheBlock &block)
+    {
+        Entry &slot = slots_[(addr / kBlockBytes) & mask_];
+        slot.addr = addr;
+        slot.version = version;
+        slot.valid = true;
+        slot.block = block;
+    }
+
+    u64 lookups() const { return lookups_; }
+    u64 hits() const { return hits_; }
+
+  private:
+    struct Entry
+    {
+        Addr addr = 0;
+        u32 version = 0;
+        bool valid = false;
+        CacheBlock block;
+    };
+
+    std::vector<Entry> slots_;
+    u64 mask_ = 0;
+    /** Telemetry only (lookup is logically const). */
+    mutable u64 lookups_ = 0;
+    mutable u64 hits_ = 0;
+};
+
+/**
  * Deterministic functional memory: the content of every block is a pure
  * function of (profile, address, version); stores bump the version.
  * The category of an address never changes — data structures keep their
@@ -69,6 +134,21 @@ class BlockContentPool
 
     /** Record a store: the block's content changes deterministically. */
     void bumpVersion(Addr block_addr);
+
+    /**
+     * Generate the content of @p block_addr at an explicit @p version,
+     * bypassing the version map, the content cache and every counter.
+     * A pure function of immutable state (profile, seed, CDF) — safe
+     * to call concurrently from shard workers on a replica pool.
+     */
+    CacheBlock generateAt(Addr block_addr, u32 version) const;
+
+    /**
+     * Attach a shard-worker warm store (sharded mode only). A content-
+     * cache miss copies the warm block instead of regenerating it; the
+     * blockForCalls / contentCacheHits counters are untouched.
+     */
+    void attachWarmStore(const WarmContentStore *warm) { warm_ = warm; }
 
     const WorkloadProfile &profile() const { return profile_; }
 
@@ -125,6 +205,7 @@ class BlockContentPool
     mutable CacheBlock scratch_;
     mutable u64 blockForCalls_ = 0;
     mutable u64 contentCacheHits_ = 0;
+    const WarmContentStore *warm_ = nullptr;
 };
 
 /** One L3 reference. */
