@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_naive_coper.
+# This may be replaced when dependencies are built.

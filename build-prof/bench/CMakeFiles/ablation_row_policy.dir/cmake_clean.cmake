@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_row_policy.dir/ablation_row_policy.cpp.o"
+  "CMakeFiles/ablation_row_policy.dir/ablation_row_policy.cpp.o.d"
+  "ablation_row_policy"
+  "ablation_row_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_row_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

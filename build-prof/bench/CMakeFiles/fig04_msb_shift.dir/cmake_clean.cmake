@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_msb_shift.dir/fig04_msb_shift.cpp.o"
+  "CMakeFiles/fig04_msb_shift.dir/fig04_msb_shift.cpp.o.d"
+  "fig04_msb_shift"
+  "fig04_msb_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_msb_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

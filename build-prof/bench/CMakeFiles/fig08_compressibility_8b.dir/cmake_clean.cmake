@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_compressibility_8b.dir/fig08_compressibility_8b.cpp.o"
+  "CMakeFiles/fig08_compressibility_8b.dir/fig08_compressibility_8b.cpp.o.d"
+  "fig08_compressibility_8b"
+  "fig08_compressibility_8b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_compressibility_8b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

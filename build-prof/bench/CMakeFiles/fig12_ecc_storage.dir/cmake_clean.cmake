@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ecc_storage.dir/fig12_ecc_storage.cpp.o"
+  "CMakeFiles/fig12_ecc_storage.dir/fig12_ecc_storage.cpp.o.d"
+  "fig12_ecc_storage"
+  "fig12_ecc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ecc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

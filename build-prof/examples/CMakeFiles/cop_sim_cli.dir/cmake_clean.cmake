@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_sim_cli.dir/cop_sim_cli.cpp.o"
+  "CMakeFiles/cop_sim_cli.dir/cop_sim_cli.cpp.o.d"
+  "cop_sim_cli"
+  "cop_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_injection_demo.dir/fault_injection_demo.cpp.o"
+  "CMakeFiles/fault_injection_demo.dir/fault_injection_demo.cpp.o.d"
+  "fault_injection_demo"
+  "fault_injection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-prof/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("ecc")
+subdirs("compress")
+subdirs("core")
+subdirs("dram")
+subdirs("cache")
+subdirs("mem")
+subdirs("workloads")
+subdirs("sim")
+subdirs("reliability")

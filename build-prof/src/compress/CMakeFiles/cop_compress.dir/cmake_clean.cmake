@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_compress.dir/bdi.cpp.o"
+  "CMakeFiles/cop_compress.dir/bdi.cpp.o.d"
+  "CMakeFiles/cop_compress.dir/combined.cpp.o"
+  "CMakeFiles/cop_compress.dir/combined.cpp.o.d"
+  "CMakeFiles/cop_compress.dir/fpc.cpp.o"
+  "CMakeFiles/cop_compress.dir/fpc.cpp.o.d"
+  "CMakeFiles/cop_compress.dir/msb.cpp.o"
+  "CMakeFiles/cop_compress.dir/msb.cpp.o.d"
+  "CMakeFiles/cop_compress.dir/rle.cpp.o"
+  "CMakeFiles/cop_compress.dir/rle.cpp.o.d"
+  "CMakeFiles/cop_compress.dir/txt.cpp.o"
+  "CMakeFiles/cop_compress.dir/txt.cpp.o.d"
+  "libcop_compress.a"
+  "libcop_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

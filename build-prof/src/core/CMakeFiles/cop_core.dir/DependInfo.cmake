@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chipkill_codec.cpp" "src/core/CMakeFiles/cop_core.dir/chipkill_codec.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/chipkill_codec.cpp.o.d"
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/cop_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/coper_codec.cpp" "src/core/CMakeFiles/cop_core.dir/coper_codec.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/coper_codec.cpp.o.d"
+  "/root/repo/src/core/ecc_region.cpp" "src/core/CMakeFiles/cop_core.dir/ecc_region.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/ecc_region.cpp.o.d"
+  "/root/repo/src/core/pointer_codec.cpp" "src/core/CMakeFiles/cop_core.dir/pointer_codec.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/pointer_codec.cpp.o.d"
+  "/root/repo/src/core/static_hash.cpp" "src/core/CMakeFiles/cop_core.dir/static_hash.cpp.o" "gcc" "src/core/CMakeFiles/cop_core.dir/static_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/common/CMakeFiles/cop_common.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/ecc/CMakeFiles/cop_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/compress/CMakeFiles/cop_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/controller.cpp" "src/mem/CMakeFiles/cop_mem.dir/controller.cpp.o" "gcc" "src/mem/CMakeFiles/cop_mem.dir/controller.cpp.o.d"
+  "/root/repo/src/mem/cop_controller.cpp" "src/mem/CMakeFiles/cop_mem.dir/cop_controller.cpp.o" "gcc" "src/mem/CMakeFiles/cop_mem.dir/cop_controller.cpp.o.d"
+  "/root/repo/src/mem/coper_controller.cpp" "src/mem/CMakeFiles/cop_mem.dir/coper_controller.cpp.o" "gcc" "src/mem/CMakeFiles/cop_mem.dir/coper_controller.cpp.o.d"
+  "/root/repo/src/mem/coper_naive_controller.cpp" "src/mem/CMakeFiles/cop_mem.dir/coper_naive_controller.cpp.o" "gcc" "src/mem/CMakeFiles/cop_mem.dir/coper_naive_controller.cpp.o.d"
+  "/root/repo/src/mem/ecc_region_controller.cpp" "src/mem/CMakeFiles/cop_mem.dir/ecc_region_controller.cpp.o" "gcc" "src/mem/CMakeFiles/cop_mem.dir/ecc_region_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/common/CMakeFiles/cop_common.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/core/CMakeFiles/cop_core.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/dram/CMakeFiles/cop_dram.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/cache/CMakeFiles/cop_cache.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/ecc/CMakeFiles/cop_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/compress/CMakeFiles/cop_compress.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/stats/CMakeFiles/cop_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

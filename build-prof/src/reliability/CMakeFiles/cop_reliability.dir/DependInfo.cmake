@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/error_model.cpp" "src/reliability/CMakeFiles/cop_reliability.dir/error_model.cpp.o" "gcc" "src/reliability/CMakeFiles/cop_reliability.dir/error_model.cpp.o.d"
+  "/root/repo/src/reliability/failure_modes.cpp" "src/reliability/CMakeFiles/cop_reliability.dir/failure_modes.cpp.o" "gcc" "src/reliability/CMakeFiles/cop_reliability.dir/failure_modes.cpp.o.d"
+  "/root/repo/src/reliability/fault_injector.cpp" "src/reliability/CMakeFiles/cop_reliability.dir/fault_injector.cpp.o" "gcc" "src/reliability/CMakeFiles/cop_reliability.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/reliability/live_injector.cpp" "src/reliability/CMakeFiles/cop_reliability.dir/live_injector.cpp.o" "gcc" "src/reliability/CMakeFiles/cop_reliability.dir/live_injector.cpp.o.d"
+  "/root/repo/src/reliability/ondie_ecc.cpp" "src/reliability/CMakeFiles/cop_reliability.dir/ondie_ecc.cpp.o" "gcc" "src/reliability/CMakeFiles/cop_reliability.dir/ondie_ecc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-prof/src/common/CMakeFiles/cop_common.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/core/CMakeFiles/cop_core.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/mem/CMakeFiles/cop_mem.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/ecc/CMakeFiles/cop_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/compress/CMakeFiles/cop_compress.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/dram/CMakeFiles/cop_dram.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/stats/CMakeFiles/cop_stats.dir/DependInfo.cmake"
+  "/root/repo/build-prof/src/cache/CMakeFiles/cop_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

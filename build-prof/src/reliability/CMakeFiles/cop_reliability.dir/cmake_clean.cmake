@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_reliability.dir/error_model.cpp.o"
+  "CMakeFiles/cop_reliability.dir/error_model.cpp.o.d"
+  "CMakeFiles/cop_reliability.dir/failure_modes.cpp.o"
+  "CMakeFiles/cop_reliability.dir/failure_modes.cpp.o.d"
+  "CMakeFiles/cop_reliability.dir/fault_injector.cpp.o"
+  "CMakeFiles/cop_reliability.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/cop_reliability.dir/live_injector.cpp.o"
+  "CMakeFiles/cop_reliability.dir/live_injector.cpp.o.d"
+  "CMakeFiles/cop_reliability.dir/ondie_ecc.cpp.o"
+  "CMakeFiles/cop_reliability.dir/ondie_ecc.cpp.o.d"
+  "libcop_reliability.a"
+  "libcop_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_sim.dir/report.cpp.o"
+  "CMakeFiles/cop_sim.dir/report.cpp.o.d"
+  "CMakeFiles/cop_sim.dir/runner.cpp.o"
+  "CMakeFiles/cop_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/cop_sim.dir/system.cpp.o"
+  "CMakeFiles/cop_sim.dir/system.cpp.o.d"
+  "CMakeFiles/cop_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/cop_sim.dir/trace_io.cpp.o.d"
+  "libcop_sim.a"
+  "libcop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

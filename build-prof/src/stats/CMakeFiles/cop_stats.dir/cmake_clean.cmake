@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_stats.dir/stats_registry.cpp.o"
+  "CMakeFiles/cop_stats.dir/stats_registry.cpp.o.d"
+  "libcop_stats.a"
+  "libcop_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_workloads.dir/block_gen.cpp.o"
+  "CMakeFiles/cop_workloads.dir/block_gen.cpp.o.d"
+  "CMakeFiles/cop_workloads.dir/profile.cpp.o"
+  "CMakeFiles/cop_workloads.dir/profile.cpp.o.d"
+  "CMakeFiles/cop_workloads.dir/profile_io.cpp.o"
+  "CMakeFiles/cop_workloads.dir/profile_io.cpp.o.d"
+  "CMakeFiles/cop_workloads.dir/trace_gen.cpp.o"
+  "CMakeFiles/cop_workloads.dir/trace_gen.cpp.o.d"
+  "libcop_workloads.a"
+  "libcop_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

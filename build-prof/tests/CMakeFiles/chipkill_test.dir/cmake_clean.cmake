@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chipkill_test.dir/chipkill_test.cpp.o"
+  "CMakeFiles/chipkill_test.dir/chipkill_test.cpp.o.d"
+  "chipkill_test"
+  "chipkill_test.pdb"
+  "chipkill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chipkill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

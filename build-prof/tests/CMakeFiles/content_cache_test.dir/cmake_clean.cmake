@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_cache_test.dir/content_cache_test.cpp.o"
+  "CMakeFiles/content_cache_test.dir/content_cache_test.cpp.o.d"
+  "content_cache_test"
+  "content_cache_test.pdb"
+  "content_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

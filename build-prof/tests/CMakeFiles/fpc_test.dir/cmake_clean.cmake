@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpc_test.dir/fpc_test.cpp.o"
+  "CMakeFiles/fpc_test.dir/fpc_test.cpp.o.d"
+  "fpc_test"
+  "fpc_test.pdb"
+  "fpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

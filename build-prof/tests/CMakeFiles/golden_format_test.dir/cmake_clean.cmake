@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_format_test.dir/golden_format_test.cpp.o"
+  "CMakeFiles/golden_format_test.dir/golden_format_test.cpp.o.d"
+  "golden_format_test"
+  "golden_format_test.pdb"
+  "golden_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

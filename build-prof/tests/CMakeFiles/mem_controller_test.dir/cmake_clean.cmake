@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_controller_test.dir/mem_controller_test.cpp.o"
+  "CMakeFiles/mem_controller_test.dir/mem_controller_test.cpp.o.d"
+  "mem_controller_test"
+  "mem_controller_test.pdb"
+  "mem_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

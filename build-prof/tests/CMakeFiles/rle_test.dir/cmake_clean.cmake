@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rle_test.dir/rle_test.cpp.o"
+  "CMakeFiles/rle_test.dir/rle_test.cpp.o.d"
+  "rle_test"
+  "rle_test.pdb"
+  "rle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_hash_test.dir/static_hash_test.cpp.o"
+  "CMakeFiles/static_hash_test.dir/static_hash_test.cpp.o.d"
+  "static_hash_test"
+  "static_hash_test.pdb"
+  "static_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

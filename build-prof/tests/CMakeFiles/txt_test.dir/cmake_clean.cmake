@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txt_test.dir/txt_test.cpp.o"
+  "CMakeFiles/txt_test.dir/txt_test.cpp.o.d"
+  "txt_test"
+  "txt_test.pdb"
+  "txt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

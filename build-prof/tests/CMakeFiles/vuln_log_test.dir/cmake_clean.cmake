@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vuln_log_test.dir/vuln_log_test.cpp.o"
+  "CMakeFiles/vuln_log_test.dir/vuln_log_test.cpp.o.d"
+  "vuln_log_test"
+  "vuln_log_test.pdb"
+  "vuln_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vuln_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

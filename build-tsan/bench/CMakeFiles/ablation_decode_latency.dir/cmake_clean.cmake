@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decode_latency.dir/ablation_decode_latency.cpp.o"
+  "CMakeFiles/ablation_decode_latency.dir/ablation_decode_latency.cpp.o.d"
+  "ablation_decode_latency"
+  "ablation_decode_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decode_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_msb_bdi.dir/ablation_msb_bdi.cpp.o"
+  "CMakeFiles/ablation_msb_bdi.dir/ablation_msb_bdi.cpp.o.d"
+  "ablation_msb_bdi"
+  "ablation_msb_bdi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_msb_bdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

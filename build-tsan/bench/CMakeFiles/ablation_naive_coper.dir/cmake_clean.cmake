@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_naive_coper.dir/ablation_naive_coper.cpp.o"
+  "CMakeFiles/ablation_naive_coper.dir/ablation_naive_coper.cpp.o.d"
+  "ablation_naive_coper"
+  "ablation_naive_coper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_naive_coper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_row_policy.cpp" "bench/CMakeFiles/ablation_row_policy.dir/ablation_row_policy.cpp.o" "gcc" "bench/CMakeFiles/ablation_row_policy.dir/ablation_row_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/cop_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workloads/CMakeFiles/cop_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/reliability/CMakeFiles/cop_reliability.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mem/CMakeFiles/cop_mem.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dram/CMakeFiles/cop_dram.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/cop_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cache/CMakeFiles/cop_cache.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/cop_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ecc/CMakeFiles/cop_ecc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/compress/CMakeFiles/cop_compress.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/cop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_dimm_compare.dir/ecc_dimm_compare.cpp.o"
+  "CMakeFiles/ecc_dimm_compare.dir/ecc_dimm_compare.cpp.o.d"
+  "ecc_dimm_compare"
+  "ecc_dimm_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_dimm_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_comparison.dir/energy_comparison.cpp.o"
+  "CMakeFiles/energy_comparison.dir/energy_comparison.cpp.o.d"
+  "energy_comparison"
+  "energy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_chipkill.dir/extension_chipkill.cpp.o"
+  "CMakeFiles/extension_chipkill.dir/extension_chipkill.cpp.o.d"
+  "extension_chipkill"
+  "extension_chipkill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_chipkill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

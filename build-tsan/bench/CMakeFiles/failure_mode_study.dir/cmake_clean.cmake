@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_mode_study.dir/failure_mode_study.cpp.o"
+  "CMakeFiles/failure_mode_study.dir/failure_mode_study.cpp.o.d"
+  "failure_mode_study"
+  "failure_mode_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_mode_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

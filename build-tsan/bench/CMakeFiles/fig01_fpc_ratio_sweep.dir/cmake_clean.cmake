@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_fpc_ratio_sweep.dir/fig01_fpc_ratio_sweep.cpp.o"
+  "CMakeFiles/fig01_fpc_ratio_sweep.dir/fig01_fpc_ratio_sweep.cpp.o.d"
+  "fig01_fpc_ratio_sweep"
+  "fig01_fpc_ratio_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_fpc_ratio_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_compressibility_4b.dir/fig09_compressibility_4b.cpp.o"
+  "CMakeFiles/fig09_compressibility_4b.dir/fig09_compressibility_4b.cpp.o.d"
+  "fig09_compressibility_4b"
+  "fig09_compressibility_4b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_compressibility_4b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_compressibility_4b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_error_rate.dir/fig10_error_rate.cpp.o"
+  "CMakeFiles/fig10_error_rate.dir/fig10_error_rate.cpp.o.d"
+  "fig10_error_rate"
+  "fig10_error_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_error_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

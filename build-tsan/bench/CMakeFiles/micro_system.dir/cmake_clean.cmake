@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_system.dir/micro_system.cpp.o"
+  "CMakeFiles/micro_system.dir/micro_system.cpp.o.d"
+  "micro_system"
+  "micro_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

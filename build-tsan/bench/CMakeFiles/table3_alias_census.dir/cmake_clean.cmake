@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_alias_census.dir/table3_alias_census.cpp.o"
+  "CMakeFiles/table3_alias_census.dir/table3_alias_census.cpp.o.d"
+  "table3_alias_census"
+  "table3_alias_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_alias_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

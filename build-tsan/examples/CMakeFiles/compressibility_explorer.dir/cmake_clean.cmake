@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressibility_explorer.dir/compressibility_explorer.cpp.o"
+  "CMakeFiles/compressibility_explorer.dir/compressibility_explorer.cpp.o.d"
+  "compressibility_explorer"
+  "compressibility_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressibility_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_memory_sim.dir/protected_memory_sim.cpp.o"
+  "CMakeFiles/protected_memory_sim.dir/protected_memory_sim.cpp.o.d"
+  "protected_memory_sim"
+  "protected_memory_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_memory_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_cache.dir/set_assoc_cache.cpp.o"
+  "CMakeFiles/cop_cache.dir/set_assoc_cache.cpp.o.d"
+  "libcop_cache.a"
+  "libcop_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

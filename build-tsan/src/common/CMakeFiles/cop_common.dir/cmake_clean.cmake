@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_common.dir/cache_block.cpp.o"
+  "CMakeFiles/cop_common.dir/cache_block.cpp.o.d"
+  "libcop_common.a"
+  "libcop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

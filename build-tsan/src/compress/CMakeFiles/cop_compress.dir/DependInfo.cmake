@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bdi.cpp" "src/compress/CMakeFiles/cop_compress.dir/bdi.cpp.o" "gcc" "src/compress/CMakeFiles/cop_compress.dir/bdi.cpp.o.d"
+  "/root/repo/src/compress/combined.cpp" "src/compress/CMakeFiles/cop_compress.dir/combined.cpp.o" "gcc" "src/compress/CMakeFiles/cop_compress.dir/combined.cpp.o.d"
+  "/root/repo/src/compress/fpc.cpp" "src/compress/CMakeFiles/cop_compress.dir/fpc.cpp.o" "gcc" "src/compress/CMakeFiles/cop_compress.dir/fpc.cpp.o.d"
+  "/root/repo/src/compress/msb.cpp" "src/compress/CMakeFiles/cop_compress.dir/msb.cpp.o" "gcc" "src/compress/CMakeFiles/cop_compress.dir/msb.cpp.o.d"
+  "/root/repo/src/compress/rle.cpp" "src/compress/CMakeFiles/cop_compress.dir/rle.cpp.o" "gcc" "src/compress/CMakeFiles/cop_compress.dir/rle.cpp.o.d"
+  "/root/repo/src/compress/txt.cpp" "src/compress/CMakeFiles/cop_compress.dir/txt.cpp.o" "gcc" "src/compress/CMakeFiles/cop_compress.dir/txt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/cop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

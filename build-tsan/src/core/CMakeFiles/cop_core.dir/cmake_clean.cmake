@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_core.dir/chipkill_codec.cpp.o"
+  "CMakeFiles/cop_core.dir/chipkill_codec.cpp.o.d"
+  "CMakeFiles/cop_core.dir/codec.cpp.o"
+  "CMakeFiles/cop_core.dir/codec.cpp.o.d"
+  "CMakeFiles/cop_core.dir/coper_codec.cpp.o"
+  "CMakeFiles/cop_core.dir/coper_codec.cpp.o.d"
+  "CMakeFiles/cop_core.dir/ecc_region.cpp.o"
+  "CMakeFiles/cop_core.dir/ecc_region.cpp.o.d"
+  "CMakeFiles/cop_core.dir/pointer_codec.cpp.o"
+  "CMakeFiles/cop_core.dir/pointer_codec.cpp.o.d"
+  "CMakeFiles/cop_core.dir/static_hash.cpp.o"
+  "CMakeFiles/cop_core.dir/static_hash.cpp.o.d"
+  "libcop_core.a"
+  "libcop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_dram.dir/dram_system.cpp.o"
+  "CMakeFiles/cop_dram.dir/dram_system.cpp.o.d"
+  "libcop_dram.a"
+  "libcop_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/reed_solomon.cpp" "src/ecc/CMakeFiles/cop_ecc.dir/reed_solomon.cpp.o" "gcc" "src/ecc/CMakeFiles/cop_ecc.dir/reed_solomon.cpp.o.d"
+  "/root/repo/src/ecc/secded.cpp" "src/ecc/CMakeFiles/cop_ecc.dir/secded.cpp.o" "gcc" "src/ecc/CMakeFiles/cop_ecc.dir/secded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/cop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

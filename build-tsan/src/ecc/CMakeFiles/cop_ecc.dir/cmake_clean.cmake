@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_ecc.dir/reed_solomon.cpp.o"
+  "CMakeFiles/cop_ecc.dir/reed_solomon.cpp.o.d"
+  "CMakeFiles/cop_ecc.dir/secded.cpp.o"
+  "CMakeFiles/cop_ecc.dir/secded.cpp.o.d"
+  "libcop_ecc.a"
+  "libcop_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

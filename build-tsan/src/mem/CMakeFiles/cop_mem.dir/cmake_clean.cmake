@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cop_mem.dir/controller.cpp.o"
+  "CMakeFiles/cop_mem.dir/controller.cpp.o.d"
+  "CMakeFiles/cop_mem.dir/cop_controller.cpp.o"
+  "CMakeFiles/cop_mem.dir/cop_controller.cpp.o.d"
+  "CMakeFiles/cop_mem.dir/coper_controller.cpp.o"
+  "CMakeFiles/cop_mem.dir/coper_controller.cpp.o.d"
+  "CMakeFiles/cop_mem.dir/coper_naive_controller.cpp.o"
+  "CMakeFiles/cop_mem.dir/coper_naive_controller.cpp.o.d"
+  "CMakeFiles/cop_mem.dir/ecc_region_controller.cpp.o"
+  "CMakeFiles/cop_mem.dir/ecc_region_controller.cpp.o.d"
+  "libcop_mem.a"
+  "libcop_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cop_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/block_gen.cpp" "src/workloads/CMakeFiles/cop_workloads.dir/block_gen.cpp.o" "gcc" "src/workloads/CMakeFiles/cop_workloads.dir/block_gen.cpp.o.d"
+  "/root/repo/src/workloads/profile.cpp" "src/workloads/CMakeFiles/cop_workloads.dir/profile.cpp.o" "gcc" "src/workloads/CMakeFiles/cop_workloads.dir/profile.cpp.o.d"
+  "/root/repo/src/workloads/profile_io.cpp" "src/workloads/CMakeFiles/cop_workloads.dir/profile_io.cpp.o" "gcc" "src/workloads/CMakeFiles/cop_workloads.dir/profile_io.cpp.o.d"
+  "/root/repo/src/workloads/trace_gen.cpp" "src/workloads/CMakeFiles/cop_workloads.dir/trace_gen.cpp.o" "gcc" "src/workloads/CMakeFiles/cop_workloads.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/cop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

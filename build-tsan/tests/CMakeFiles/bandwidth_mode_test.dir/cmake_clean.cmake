@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_mode_test.dir/bandwidth_mode_test.cpp.o"
+  "CMakeFiles/bandwidth_mode_test.dir/bandwidth_mode_test.cpp.o.d"
+  "bandwidth_mode_test"
+  "bandwidth_mode_test.pdb"
+  "bandwidth_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdi_test.dir/bdi_test.cpp.o"
+  "CMakeFiles/bdi_test.dir/bdi_test.cpp.o.d"
+  "bdi_test"
+  "bdi_test.pdb"
+  "bdi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

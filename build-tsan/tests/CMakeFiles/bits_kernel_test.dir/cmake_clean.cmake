@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bits_kernel_test.dir/bits_kernel_test.cpp.o"
+  "CMakeFiles/bits_kernel_test.dir/bits_kernel_test.cpp.o.d"
+  "bits_kernel_test"
+  "bits_kernel_test.pdb"
+  "bits_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bits_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_block_test.dir/cache_block_test.cpp.o"
+  "CMakeFiles/cache_block_test.dir/cache_block_test.cpp.o.d"
+  "cache_block_test"
+  "cache_block_test.pdb"
+  "cache_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

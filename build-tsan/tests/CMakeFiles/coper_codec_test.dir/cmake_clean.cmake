@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coper_codec_test.dir/coper_codec_test.cpp.o"
+  "CMakeFiles/coper_codec_test.dir/coper_codec_test.cpp.o.d"
+  "coper_codec_test"
+  "coper_codec_test.pdb"
+  "coper_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coper_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coper_naive_test.dir/coper_naive_test.cpp.o"
+  "CMakeFiles/coper_naive_test.dir/coper_naive_test.cpp.o.d"
+  "coper_naive_test"
+  "coper_naive_test.pdb"
+  "coper_naive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coper_naive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digest_test.dir/digest_test.cpp.o"
+  "CMakeFiles/digest_test.dir/digest_test.cpp.o.d"
+  "digest_test"
+  "digest_test.pdb"
+  "digest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_modes_test.dir/failure_modes_test.cpp.o"
+  "CMakeFiles/failure_modes_test.dir/failure_modes_test.cpp.o.d"
+  "failure_modes_test"
+  "failure_modes_test.pdb"
+  "failure_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_map_test.dir/flat_map_test.cpp.o"
+  "CMakeFiles/flat_map_test.dir/flat_map_test.cpp.o.d"
+  "flat_map_test"
+  "flat_map_test.pdb"
+  "flat_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

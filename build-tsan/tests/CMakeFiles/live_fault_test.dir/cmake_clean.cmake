@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_fault_test.dir/live_fault_test.cpp.o"
+  "CMakeFiles/live_fault_test.dir/live_fault_test.cpp.o.d"
+  "live_fault_test"
+  "live_fault_test.pdb"
+  "live_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_cache_test.dir/meta_cache_test.cpp.o"
+  "CMakeFiles/meta_cache_test.dir/meta_cache_test.cpp.o.d"
+  "meta_cache_test"
+  "meta_cache_test.pdb"
+  "meta_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

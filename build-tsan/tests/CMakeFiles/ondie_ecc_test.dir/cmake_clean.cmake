@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ondie_ecc_test.dir/ondie_ecc_test.cpp.o"
+  "CMakeFiles/ondie_ecc_test.dir/ondie_ecc_test.cpp.o.d"
+  "ondie_ecc_test"
+  "ondie_ecc_test.pdb"
+  "ondie_ecc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ondie_ecc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

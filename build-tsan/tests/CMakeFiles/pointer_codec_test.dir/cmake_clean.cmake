@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_codec_test.dir/pointer_codec_test.cpp.o"
+  "CMakeFiles/pointer_codec_test.dir/pointer_codec_test.cpp.o.d"
+  "pointer_codec_test"
+  "pointer_codec_test.pdb"
+  "pointer_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_system_test.dir/sharded_system_test.cpp.o"
+  "CMakeFiles/sharded_system_test.dir/sharded_system_test.cpp.o.d"
+  "sharded_system_test"
+  "sharded_system_test.pdb"
+  "sharded_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
