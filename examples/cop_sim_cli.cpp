@@ -22,14 +22,28 @@
  *     --trace-interval <n>   epochs between trace snapshots
  *     --sim-threads <n>      sharded-simulation thread budget; results
  *                            are byte-identical to 1 (0 = all cores)
+ *     --trace-in <file>      replay a captured trace instead of the
+ *                            synthetic generator; repeat once per core
+ *                            (cores = number of --trace-in files)
+ *     --trace-format <f>     auto | bin | text | gz  (default auto)
+ *     --fit-profile          estimate the workload profile from the
+ *                            first trace (--bench/--profile then only
+ *                            supply the block-content model)
+ *     --fit-epochs <n>       trace prefix the fit scans (default 10000)
  *     --list                 list built-in benchmarks and exit
+ *
+ * Without --epochs, a replay runs every epoch the shortest trace holds.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "common/parse.hpp"
 #include "sim/report.hpp"
+#include "trace/fit.hpp"
+#include "trace/replay.hpp"
 #include "workloads/profile_io.hpp"
 
 using namespace cop;
@@ -74,6 +88,11 @@ main(int argc, char **argv)
 {
     std::string bench = "mcf";
     std::string profile_path;
+    std::vector<std::string> trace_paths;
+    TraceFormat trace_format = TraceFormat::Auto;
+    bool fit_profile = false;
+    u64 fit_epochs = 10000;
+    bool epochs_set = false;
     SystemConfig cfg;
     cfg.kind = ControllerKind::Cop4;
     cfg.epochsPerCore = 8000;
@@ -93,6 +112,15 @@ main(int argc, char **argv)
             cfg.kind = parseScheme(next());
         } else if (arg == "--epochs") {
             cfg.epochsPerCore = parsePositiveU64(next(), "--epochs");
+            epochs_set = true;
+        } else if (arg == "--trace-in") {
+            trace_paths.emplace_back(next());
+        } else if (arg == "--trace-format") {
+            trace_format = parseTraceFormat(next());
+        } else if (arg == "--fit-profile") {
+            fit_profile = true;
+        } else if (arg == "--fit-epochs") {
+            fit_epochs = parsePositiveU64(next(), "--fit-epochs");
         } else if (arg == "--cores") {
             cfg.cores = static_cast<unsigned>(
                 parsePositiveU64(next(), "--cores"));
@@ -135,6 +163,38 @@ main(int argc, char **argv)
         profile = &custom;
     } else {
         profile = &WorkloadRegistry::byName(bench);
+    }
+
+    if (fit_profile && trace_paths.empty())
+        COP_FATAL("--fit-profile needs a --trace-in trace");
+
+    WorkloadProfile fitted; // must also outlive the System
+    if (!trace_paths.empty()) {
+        // One trace per core: the replay's core count is the file
+        // count, not --cores (which only shapes synthetic runs).
+        cfg.cores = static_cast<unsigned>(trace_paths.size());
+        if (fit_profile) {
+            const auto src =
+                openTraceSource(trace_paths[0], trace_format);
+            TraceFitOptions opts;
+            opts.maxEpochs = fit_epochs;
+            opts.contentTemplate = profile;
+            fitted = fitProfileFromTrace(
+                *src, "fitted(" + profile->name + ")", opts);
+            profile = &fitted;
+        }
+        if (!epochs_set) {
+            u64 available = ~0ULL;
+            for (const std::string &path : trace_paths) {
+                available = std::min(
+                    available, replayEpochCount(path, trace_format));
+            }
+            if (available == 0)
+                COP_FATAL("trace replay: a trace has no epochs");
+            cfg.epochsPerCore = available;
+        }
+        cfg.epochSource =
+            makeTraceReplayFactory(*profile, trace_paths, trace_format);
     }
 
     System system(*profile, cfg);

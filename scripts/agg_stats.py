@@ -95,6 +95,38 @@ def check_ondie_gauges(path, lineno, counters):
              f"{counters['ondie.injected']} injected")
 
 
+TRACE_GAUGES = ("trace.epochs_read", "trace.accesses_read",
+                "trace.epochs_replayed", "trace.accesses_replayed")
+
+
+def check_trace_gauges(path, lineno, counters):
+    """Validate the trace-replay gauges of one snapshot's deltas.
+
+    Replay runs register conservation counters: every epoch (and every
+    access) a trace source hands out is consumed by the simulation
+    before the snapshot is cut, so per snapshot
+      delta(epochs_read) == delta(epochs_replayed)  and
+      delta(accesses_read) == delta(accesses_replayed).
+    Synthetic runs carry none of these gauges.
+    """
+    if "trace.epochs_read" not in counters:
+        return
+    for name in TRACE_GAUGES:
+        if name not in counters:
+            fail(path, lineno, f"missing trace gauge {name!r}")
+    if counters["trace.epochs_read"] != counters["trace.epochs_replayed"]:
+        fail(path, lineno,
+             f"trace epochs not conserved: "
+             f"{counters['trace.epochs_read']} read != "
+             f"{counters['trace.epochs_replayed']} replayed")
+    if (counters["trace.accesses_read"]
+            != counters["trace.accesses_replayed"]):
+        fail(path, lineno,
+             f"trace accesses not conserved: "
+             f"{counters['trace.accesses_read']} read != "
+             f"{counters['trace.accesses_replayed']} replayed")
+
+
 def check_adaptive_gauges(path, lineno, counters, running):
     """Validate the adaptive-capacity gauges (running totals).
 
@@ -163,6 +195,7 @@ def load(path):
                 fail(path, lineno, "counter key set changed mid-trace")
             check_bus_gauges(path, lineno, counters)
             check_ondie_gauges(path, lineno, counters)
+            check_trace_gauges(path, lineno, counters)
             check_adaptive_gauges(path, lineno, counters,
                                   adaptive_running)
 

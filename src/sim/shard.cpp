@@ -67,12 +67,17 @@ ShardProducer::ShardProducer(const WorkloadProfile &profile,
                              unsigned core_id, u64 seed_salt,
                              bool content_offload,
                              const CopConfig *codec_cfg,
-                             bool transfer_sizing)
+                             bool transfer_sizing,
+                             const EpochSourceFactory *epoch_source)
     // Content cache 0: the replica only needs the pure generateAt path
     // (and the identical seeds), not the multi-megabyte cache.
-    : gen_(profile, core_id, seed_salt, 0),
+    : gen_(epoch_source != nullptr
+               ? (*epoch_source)(core_id, 0)
+               : std::make_unique<TraceGenerator>(profile, core_id,
+                                                  seed_salt, 0)),
       contentOffload_(content_offload)
 {
+    COP_ASSERT(gen_ != nullptr);
     if (contentOffload_ && codec_cfg != nullptr) {
         codec_ = std::make_unique<CopCodec>(*codec_cfg);
         if (transfer_sizing)
@@ -99,7 +104,7 @@ ShardProducer::emitBlock(Addr addr, u32 version, ShardBundle &out)
     ShardContentEntry entry;
     entry.addr = addr;
     entry.version = version;
-    entry.block = gen_.pool().generateAt(addr, version);
+    entry.block = gen_->pool().generateAt(addr, version);
     if (codec_) {
         SeenBlock &cs =
             codecSeen_[blockContentHash(entry.block) & (kSeenSlots - 1)];
@@ -119,7 +124,7 @@ ShardProducer::emitBlock(Addr addr, u32 version, ShardBundle &out)
 void
 ShardProducer::produce(ShardBundle &out)
 {
-    const Epoch &epoch = gen_.next();
+    const Epoch &epoch = gen_->next();
     out.epoch.instructions = epoch.instructions;
     out.epoch.accesses = epoch.accesses;
     out.content.clear();
@@ -164,7 +169,7 @@ shardWorkerMain(const WorkloadProfile &profile,
         oc.core = c;
         oc.producer = std::make_unique<ShardProducer>(
             profile, c, cfg.seedSalt, cfg.contentOffload,
-            cfg.codecConfig, cfg.transferSizing);
+            cfg.codecConfig, cfg.transferSizing, cfg.epochSource);
         owned.push_back(std::move(oc));
     }
 

@@ -164,10 +164,14 @@ class ShardProducer
      * @param transfer_sizing mirror of SystemConfig::bandwidthCompression
      *        (it changes CopEncodeResult::minCompressedBits, which the
      *        controller's burst sizing consumes).
+     * @param epoch_source replica factory for trace replay, or null to
+     *        re-run the synthetic TraceGenerator. Either way the
+     *        replica's stream equals the coordinator core's stream.
      */
     ShardProducer(const WorkloadProfile &profile, unsigned core_id,
                   u64 seed_salt, bool content_offload,
-                  const CopConfig *codec_cfg, bool transfer_sizing);
+                  const CopConfig *codec_cfg, bool transfer_sizing,
+                  const EpochSourceFactory *epoch_source = nullptr);
 
     /** Produce the next epoch's bundle (reuses @p out's buffers). */
     void produce(ShardBundle &out);
@@ -175,7 +179,7 @@ class ShardProducer
   private:
     void emitBlock(Addr addr, u32 version, ShardBundle &out);
 
-    TraceGenerator gen_;
+    std::unique_ptr<EpochSource> gen_;
     FlatMap<u32> versions_;
     bool contentOffload_;
     std::unique_ptr<CopCodec> codec_;
@@ -213,6 +217,12 @@ struct ShardWorkerConfig
     /** Owned copy; null when the scheme has no COP codec. */
     const CopConfig *codecConfig = nullptr;
     bool transferSizing = false;
+    /**
+     * Replica factory for trace replay (null for synthetic runs).
+     * Points at the System's SystemConfig::epochSource, which outlives
+     * the workers.
+     */
+    const EpochSourceFactory *epochSource = nullptr;
 };
 
 /**

@@ -67,8 +67,15 @@ System::System(const WorkloadProfile &profile, const SystemConfig &cfg)
     COP_ASSERT(cfg_.cores >= 1);
     cores_.resize(cfg_.cores);
     for (unsigned c = 0; c < cfg_.cores; ++c) {
-        cores_[c].gen = std::make_unique<TraceGenerator>(
-            profile, c, cfg_.seedSalt, cfg_.contentCacheEntries);
+        if (cfg_.epochSource) {
+            cores_[c].gen =
+                cfg_.epochSource(c, cfg_.contentCacheEntries);
+            COP_ASSERT(cores_[c].gen != nullptr);
+        } else {
+            cores_[c].gen = std::make_unique<TraceGenerator>(
+                profile, c, cfg_.seedSalt, cfg_.contentCacheEntries);
+        }
+        cores_[c].pool = &cores_[c].gen->pool();
     }
     encodeMemo_ = std::make_unique<EncodeMemo>(cfg_.encodeMemoEntries);
     controller_ = makeController(
@@ -206,6 +213,39 @@ System::registerAllStats()
     statsRegistry_.gauge("ondie.forwarded", [this] {
         return controller_->errorLog().ondieForwarded;
     });
+    // Trace-replay conservation counters (only registered when this
+    // System replays captured traces, so a synthetic run's stats trace
+    // is untouched by the feature): every epoch and access a source
+    // reads must be replayed through the LLC in the same merge step —
+    // agg_stats.py --check enforces read == replayed per snapshot.
+    if (cfg_.epochSource) {
+        const auto readCounters = [this] {
+            ReplaySourceCounters total;
+            for (const Core &core : cores_) {
+                ReplaySourceCounters one;
+                if (core.gen->replayCounters(one)) {
+                    total.epochs += one.epochs;
+                    total.accesses += one.accesses;
+                }
+            }
+            return total;
+        };
+        statsRegistry_.gauge("trace.epochs_read", [readCounters] {
+            return readCounters().epochs;
+        });
+        statsRegistry_.gauge("trace.accesses_read", [readCounters] {
+            return readCounters().accesses;
+        });
+        statsRegistry_.gauge("trace.epochs_replayed", [this] {
+            u64 total = 0;
+            for (const Core &core : cores_)
+                total += core.epochsDone;
+            return total;
+        });
+        statsRegistry_.gauge("trace.accesses_replayed", [this] {
+            return llc_.stats().hits + llc_.stats().misses;
+        });
+    }
     // Adaptive-capacity accounting. Only monotonic counters are
     // registered (the trace checker requires non-negative deltas), so
     // the current released-block count is exported as its high water.
@@ -238,7 +278,7 @@ BlockContentPool &
 System::poolFor(Addr addr)
 {
     if (profile_.sharedFootprint || cfg_.cores == 1)
-        return cores_[0].gen->pool();
+        return *cores_[0].pool;
     const u64 region = profile_.footprintBlocks * kBlockBytes;
     const u64 core = addr / region;
     // Unconditional: an address at or past cores * region would index
@@ -249,7 +289,7 @@ System::poolFor(Addr addr)
                   " per-core footprint regions of " +
                   std::to_string(region) + " bytes");
     }
-    return cores_[core].gen->pool();
+    return *cores_[core].pool;
 }
 
 void
@@ -482,6 +522,7 @@ System::runSharded(std::ofstream &trace)
         wc.contentOffload = contentOffload;
         wc.codecConfig = codecCfgPtr;
         wc.transferSizing = cfg_.bandwidthCompression;
+        wc.epochSource = cfg_.epochSource ? &cfg_.epochSource : nullptr;
         pool.emplace_back(shardWorkerMain, std::cref(profile_), wc,
                           std::cref(queues));
     }
@@ -489,7 +530,7 @@ System::runSharded(std::ofstream &trace)
     std::vector<ShardBundle> current(cfg_.cores);
     try {
         mergeLoop(
-            [&](Core &, unsigned idx) -> const Epoch & {
+            [&](Core &core, unsigned idx) -> const Epoch & {
                 ShardBundle &b = current[idx];
                 if (!queues[idx]->pop(b)) {
                     const std::string msg = queues[idx]->abortMessage();
@@ -509,6 +550,14 @@ System::runSharded(std::ofstream &trace)
                 }
                 shardTelemetry_.contentStaged += b.content.size();
                 shardTelemetry_.codecStaged += b.codec.size();
+                // Trace replay keeps the coordinator's own sources as
+                // the authority for the epoch stream (the worker's
+                // replica bundle carries an identical copy): the
+                // trace.* read counters then advance on this thread in
+                // serial merge order, so they — like every other
+                // counter — are byte-identical to simThreads=1.
+                if (cfg_.epochSource)
+                    return core.gen->next();
                 return b.epoch;
             },
             trace);

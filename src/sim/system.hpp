@@ -143,6 +143,18 @@ struct SystemConfig
      * DESIGN.md §8). 0 resolves to the hardware concurrency.
      */
     unsigned simThreads = 1;
+    /**
+     * Per-core epoch source factory. Empty (the default) runs the
+     * synthetic TraceGenerator; set it to replay captured traces
+     * (makeTraceReplayFactory in trace/replay.hpp). The factory must
+     * mint independent equal streams on every call for the same core —
+     * shard workers build replicas with it. When set, the System also
+     * exports trace.* gauges (epochs/accesses read and replayed) into
+     * the stats registry; the results JSON is untouched, so a replay
+     * of a captured run stays byte-comparable to the run that captured
+     * it (DESIGN.md §9).
+     */
+    EpochSourceFactory epochSource;
 };
 
 /** Aggregate results of one run. */
@@ -209,7 +221,9 @@ class System
   private:
     struct Core
     {
-        std::unique_ptr<TraceGenerator> gen;
+        std::unique_ptr<EpochSource> gen;
+        /** Cached gen->pool() — keeps poolFor's hot path devirtualised. */
+        BlockContentPool *pool = nullptr;
         Cycle clock = 0;
         u64 instructions = 0;
         u64 epochsDone = 0;

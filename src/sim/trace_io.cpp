@@ -1,39 +1,19 @@
 #include "sim/trace_io.hpp"
 
-#include <cstring>
 #include <istream>
-#include <limits>
 #include <ostream>
 #include <unordered_set>
 
+#include "trace/format.hpp"
+
 namespace cop {
 
-namespace {
-
-constexpr char kMagic[8] = {'C', 'O', 'P', 'T', 'R', 'C', '1', '\0'};
-
-template <typename T>
-void
-writeScalar(std::ostream &out, T value)
+TraceWriter::TraceWriter(std::ostream &out, u64 declared)
+    : out_(out), declared_(declared)
 {
-    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
-}
-
-template <typename T>
-bool
-readScalar(std::istream &in, T &value)
-{
-    in.read(reinterpret_cast<char *>(&value), sizeof(value));
-    return in.gcount() == sizeof(value);
-}
-
-} // namespace
-
-TraceWriter::TraceWriter(std::ostream &out) : out_(out)
-{
-    out_.write(kMagic, sizeof(kMagic));
+    out_.write(trace::kMagicV2, trace::kMagicBytes);
     countPos_ = out_.tellp(); // -1 on unseekable streams (pipes)
-    writeScalar<u32>(out_, 0); // patched by finish() when seekable
+    trace::writeScalarLe<u64>(out_, declared);
 }
 
 TraceWriter::~TraceWriter()
@@ -45,11 +25,12 @@ void
 TraceWriter::write(const Epoch &epoch)
 {
     COP_ASSERT(!finished_);
-    writeScalar<u64>(out_, epoch.instructions);
-    writeScalar<u32>(out_, static_cast<u32>(epoch.accesses.size()));
+    trace::writeScalarLe<u64>(out_, epoch.instructions);
+    trace::writeScalarLe<u32>(out_, static_cast<u32>(epoch.accesses.size()));
     for (const TraceAccess &access : epoch.accesses) {
         COP_ASSERT(access.addr % kBlockBytes == 0);
-        writeScalar<u64>(out_, access.addr | (access.isWrite ? 1u : 0u));
+        trace::writeScalarLe<u64>(out_,
+                                  access.addr | (access.isWrite ? 1u : 0u));
     }
     ++count_;
 }
@@ -62,71 +43,37 @@ TraceWriter::finish()
     finished_ = true;
     // Back-patch the header's epoch count so readers can tell a
     // complete file from one truncated at an epoch boundary. On
-    // unseekable sinks the count stays 0: "read until EOF".
-    if (countPos_ == std::streampos(-1) ||
-        count_ > std::numeric_limits<u32>::max()) {
-        return;
+    // unseekable sinks the count stays whatever the constructor was
+    // given (0 = "read until EOF").
+    if (countPos_ != std::streampos(-1)) {
+        const std::streampos end = out_.tellp();
+        out_.seekp(countPos_);
+        trace::writeScalarLe<u64>(out_, count_);
+        out_.seekp(end);
+    } else if (declared_ != 0 && declared_ != count_) {
+        COP_FATAL("trace writer declared " + std::to_string(declared_) +
+                  " epochs up front but wrote " + std::to_string(count_));
     }
-    const std::streampos end = out_.tellp();
-    out_.seekp(countPos_);
-    writeScalar<u32>(out_, static_cast<u32>(count_));
-    out_.seekp(end);
-}
-
-TraceReader::TraceReader(std::istream &in) : in_(in)
-{
-    char magic[8];
-    in_.read(magic, sizeof(magic));
-    if (in_.gcount() != sizeof(magic) ||
-        std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
-        COP_FATAL("not a COP trace stream (bad magic)");
-    }
-    if (!readScalar(in_, declared_))
-        COP_FATAL("truncated trace header");
-}
-
-bool
-TraceReader::read(Epoch &epoch)
-{
-    u64 instructions;
-    if (!readScalar(in_, instructions)) {
-        // End of stream at an epoch boundary: only legitimate when the
-        // header declared no count or exactly this many epochs.
-        if (declared_ != 0 && count_ != declared_) {
-            COP_FATAL("trace declares " + std::to_string(declared_) +
-                      " epochs but the stream ended after " +
-                      std::to_string(count_));
-        }
-        return false;
-    }
-    u32 count;
-    if (!readScalar(in_, count))
-        COP_FATAL("truncated trace epoch header");
-    epoch.instructions = instructions;
-    epoch.accesses.clear();
-    epoch.accesses.reserve(count);
-    for (u32 i = 0; i < count; ++i) {
-        u64 word;
-        if (!readScalar(in_, word))
-            COP_FATAL("truncated trace access record");
-        epoch.accesses.push_back(
-            {word & ~static_cast<u64>(1), (word & 1) != 0});
-    }
-    ++count_;
-    return true;
+    out_.flush();
+    // A full disk or closed pipe must not produce a file that parses
+    // as a complete trace.
+    if (!out_)
+        COP_FATAL("trace write failed (disk full or sink closed?)");
 }
 
 TraceSummary
-summarizeTrace(std::istream &in)
+summarizeTrace(TraceSource &src)
 {
-    TraceReader reader(in);
     TraceSummary summary;
     std::unordered_set<Addr> blocks;
-    Addr prev = ~0ULL;
     Epoch epoch;
-    while (reader.read(epoch)) {
+    while (src.next(epoch)) {
         ++summary.epochs;
         summary.instructions += epoch.instructions;
+        // Sequentiality is a per-epoch property: an epoch boundary is
+        // a scheduling discontinuity, so `prev` must not leak across
+        // it and mint a phantom sequential pair.
+        Addr prev = ~0ULL;
         for (const TraceAccess &access : epoch.accesses) {
             ++summary.accesses;
             summary.writes += access.isWrite;
@@ -140,14 +87,24 @@ summarizeTrace(std::istream &in)
     return summary;
 }
 
+TraceSummary
+summarizeTrace(std::istream &in)
+{
+    BinaryTraceSource src(in);
+    return summarizeTrace(static_cast<TraceSource &>(src));
+}
+
 u64
 captureTrace(const WorkloadProfile &profile, unsigned core_id,
              u64 epochs, std::ostream &out)
 {
     TraceGenerator gen(profile, core_id);
-    TraceWriter writer(out);
+    // Preset the declared count: unseekable sinks (gzip, pipes) then
+    // still produce traces whose completeness readers can verify.
+    TraceWriter writer(out, epochs);
     for (u64 i = 0; i < epochs; ++i)
         writer.write(gen.next());
+    writer.finish();
     return writer.epochsWritten();
 }
 

@@ -6,19 +6,22 @@
  * binary format, inspected, and replayed, so downstream users can feed
  * their own captured traces instead of the synthetic generators.
  *
- * Format (little-endian):
- *   header : magic "COPTRC1\0" (8 bytes), u32 epoch count (0 if
+ * The on-disk format (v2, little-endian regardless of host):
+ *   header : magic "COPTRC2\0" (8 bytes), u64 epoch count (0 if
  *            unknown at write time -> read until EOF)
  *   epoch  : u64 instructions, u32 access count,
  *            accesses as u64 words: (block address) | 1 if write
  *            (block addresses are 64-byte aligned, so bit 0 is free).
+ * Readers also accept the legacy v1 header ("COPTRC1\0", u32 count).
  *
  * On seekable sinks the writer back-patches the header count when
- * finished, and the reader refuses a stream that ends after a
- * different number of epochs than the header declares — so a file
- * truncated at an epoch boundary no longer summarises like a complete
- * one. A count of 0 (unseekable sink) keeps the read-until-EOF
- * behaviour.
+ * finished; on unseekable sinks (pipes, gzip) pass the count to the
+ * constructor when known. finish() is fatal if the sink failed — a
+ * disk-full capture can no longer masquerade as a complete trace.
+ *
+ * Reading lives in src/trace/ (TraceSource and friends): this header
+ * keeps TraceReader as an alias of the binary reader so existing
+ * capture/summarise call sites stay source-compatible.
  */
 
 #ifndef COP_SIM_TRACE_IO_HPP
@@ -28,16 +31,22 @@
 #include <iosfwd>
 #include <string>
 
+#include "trace/binary_source.hpp"
 #include "workloads/trace_gen.hpp"
 
 namespace cop {
 
-/** Serialises epochs to a binary stream. */
+/** Serialises epochs to a binary stream (always the v2 format). */
 class TraceWriter
 {
   public:
-    /** Writes the header immediately. */
-    explicit TraceWriter(std::ostream &out);
+    /**
+     * Writes the header immediately. Pass @p declared when the epoch
+     * count is known up front and @p out is unseekable (a pipe or a
+     * gzip deflater) — seekable sinks are back-patched by finish()
+     * regardless.
+     */
+    explicit TraceWriter(std::ostream &out, u64 declared = 0);
 
     /** Calls finish(). */
     ~TraceWriter();
@@ -49,7 +58,8 @@ class TraceWriter
     void write(const Epoch &epoch);
 
     /**
-     * Back-patch the header's epoch count (seekable streams only).
+     * Back-patch the header's epoch count (seekable streams only) and
+     * verify the sink took every byte; fatal on a failed stream.
      * Idempotent; no further write() calls are allowed after it.
      */
     void finish();
@@ -60,31 +70,15 @@ class TraceWriter
     std::ostream &out_;
     std::streampos countPos_{-1};
     u64 count_ = 0;
+    u64 declared_ = 0;
     bool finished_ = false;
 };
 
-/** Reads epochs back; validates the header eagerly. */
-class TraceReader
-{
-  public:
-    explicit TraceReader(std::istream &in);
-
-    /**
-     * @return false at end of stream. Fatal if the stream ends after
-     * a different number of epochs than the header declared.
-     */
-    bool read(Epoch &epoch);
-
-    u64 epochsRead() const { return count_; }
-
-    /** Epoch count the header declared (0 = unknown, read to EOF). */
-    u32 declaredEpochs() const { return declared_; }
-
-  private:
-    std::istream &in_;
-    u32 declared_ = 0;
-    u64 count_ = 0;
-};
+/**
+ * Binary trace reader. The implementation moved to trace/ — this alias
+ * keeps old call sites compiling (note: the epoch step is `next()`).
+ */
+using TraceReader = BinaryTraceSource;
 
 /** Summary statistics of a trace (the trace_tool report). */
 struct TraceSummary
@@ -94,7 +88,7 @@ struct TraceSummary
     u64 accesses = 0;
     u64 writes = 0;
     u64 distinctBlocks = 0;
-    u64 sequentialPairs = 0; ///< addr == prev + 64 transitions.
+    u64 sequentialPairs = 0; ///< addr == prev + 64 within one epoch.
 
     double
     writeFraction() const
@@ -111,7 +105,10 @@ struct TraceSummary
     }
 };
 
-/** Scan a trace stream and summarise it. */
+/** Scan any trace source and summarise it. */
+TraceSummary summarizeTrace(TraceSource &src);
+
+/** Scan a binary trace stream and summarise it. */
 TraceSummary summarizeTrace(std::istream &in);
 
 /** Capture @p epochs epochs of a synthetic workload to @p out. */

@@ -1,0 +1,250 @@
+#include "trace/binary_source.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COP_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define COP_TRACE_HAVE_MMAP 0
+#endif
+
+#include "trace/format.hpp"
+
+namespace cop {
+
+namespace {
+
+/**
+ * Reserve cap when the stream size is unknown (pipes, gzip): big
+ * enough that honest epochs never reallocate, small enough that a
+ * corrupt 0xFFFFFFFF count cannot demand a ~32 GB allocation before
+ * the truncated-access read catches it.
+ */
+constexpr u32 kUnboundedReserveCap = 4096;
+
+[[noreturn]] void
+truncatedAccesses(u64 declared, u64 deliverable)
+{
+    COP_FATAL("trace epoch declares " + std::to_string(declared) +
+              " accesses but only " + std::to_string(deliverable) +
+              " more fit in the remaining stream bytes");
+}
+
+} // namespace
+
+BinaryTraceSource::BinaryTraceSource(std::istream &in) : in_(in)
+{
+    readHeader();
+}
+
+BinaryTraceSource::BinaryTraceSource(std::unique_ptr<std::istream> in)
+    : owned_(std::move(in)), in_(*owned_)
+{
+    readHeader();
+}
+
+void
+BinaryTraceSource::readHeader()
+{
+    // Measure the stream once so per-epoch access counts can be
+    // validated before any allocation. tellg/seekg fail harmlessly on
+    // pipes — the reader then runs in capped-reserve mode.
+    const std::streampos here = in_.tellg();
+    if (here != std::streampos(-1)) {
+        in_.seekg(0, std::ios::end);
+        const std::streampos end = in_.tellg();
+        if (end != std::streampos(-1) && end >= here) {
+            streamBytes_ =
+                static_cast<u64>(end) - static_cast<u64>(here);
+            sizeKnown_ = true;
+        }
+        in_.seekg(here);
+    }
+    in_.clear(); // failed seeks on pipes must not poison the stream
+
+    char magic[trace::kMagicBytes];
+    in_.read(magic, sizeof(magic));
+    if (in_.gcount() != sizeof(magic)) {
+        COP_FATAL("not a COP trace stream (short magic)");
+    } else if (std::memcmp(magic, trace::kMagicV2, sizeof(magic)) == 0) {
+        version_ = 2;
+        if (!trace::readScalarLe(in_, declared_))
+            COP_FATAL("truncated trace header");
+        consumed_ = trace::kMagicBytes + sizeof(u64);
+    } else if (std::memcmp(magic, trace::kMagicV1, sizeof(magic)) == 0) {
+        version_ = 1;
+        u32 declared32 = 0;
+        if (!trace::readScalarLe(in_, declared32))
+            COP_FATAL("truncated trace header");
+        declared_ = declared32;
+        consumed_ = trace::kMagicBytes + sizeof(u32);
+    } else {
+        COP_FATAL("not a COP trace stream (bad magic)");
+    }
+}
+
+bool
+BinaryTraceSource::next(Epoch &epoch)
+{
+    u64 instructions;
+    if (!trace::readScalarLe(in_, instructions)) {
+        // End of stream at an epoch boundary: only legitimate when the
+        // header declared no count or exactly this many epochs.
+        if (declared_ != 0 && epochs_ != declared_) {
+            COP_FATAL("trace declares " + std::to_string(declared_) +
+                      " epochs but the stream ended after " +
+                      std::to_string(epochs_));
+        }
+        return false;
+    }
+    u32 count;
+    if (!trace::readScalarLe(in_, count))
+        COP_FATAL("truncated trace epoch header");
+    consumed_ += trace::kEpochHeaderBytes;
+
+    epoch.instructions = instructions;
+    epoch.accesses.clear();
+    if (sizeKnown_) {
+        // The whole point of the up-front measurement: an untrusted
+        // count is checked against bytes that actually exist before
+        // the reserve, so corruption cannot drive the allocator.
+        const u64 remaining = streamBytes_ - consumed_;
+        if (static_cast<u64>(count) * trace::kAccessBytes > remaining)
+            truncatedAccesses(count, remaining / trace::kAccessBytes);
+        epoch.accesses.reserve(count);
+    } else {
+        epoch.accesses.reserve(std::min(count, kUnboundedReserveCap));
+    }
+    for (u32 i = 0; i < count; ++i) {
+        u64 word;
+        if (!trace::readScalarLe(in_, word))
+            COP_FATAL("truncated trace access record");
+        epoch.accesses.push_back(
+            {word & ~static_cast<u64>(1), (word & 1) != 0});
+    }
+    consumed_ += static_cast<u64>(count) * trace::kAccessBytes;
+    ++epochs_;
+    accesses_ += count;
+    return true;
+}
+
+// ---------------------------------------------------------------- mmap
+
+bool
+MmapTraceSource::supported()
+{
+    return COP_TRACE_HAVE_MMAP != 0;
+}
+
+#if COP_TRACE_HAVE_MMAP
+
+MmapTraceSource::MmapTraceSource(const std::string &path) : path_(path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        COP_FATAL("cannot open trace " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        COP_FATAL("cannot mmap trace " + path + " (not a regular file)");
+    }
+    size_ = static_cast<u64>(st.st_size);
+    if (size_ > 0) {
+        void *map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (map == MAP_FAILED) {
+            ::close(fd);
+            COP_FATAL("cannot mmap trace " + path);
+        }
+        // Sequential readahead + drop-behind: the mapping streams
+        // through the page cache instead of accumulating residency.
+        ::madvise(map, size_, MADV_SEQUENTIAL);
+        base_ = static_cast<const unsigned char *>(map);
+    }
+    ::close(fd); // the mapping keeps its own reference
+
+    if (size_ < trace::kMagicBytes + sizeof(u32))
+        COP_FATAL("not a COP trace stream (short magic): " + path);
+    if (std::memcmp(base_, trace::kMagicV2, trace::kMagicBytes) == 0) {
+        version_ = 2;
+        if (size_ < trace::kMagicBytes + sizeof(u64))
+            COP_FATAL("truncated trace header: " + path);
+        declared_ = trace::loadLe<u64>(base_ + trace::kMagicBytes);
+        pos_ = trace::kMagicBytes + sizeof(u64);
+    } else if (std::memcmp(base_, trace::kMagicV1,
+                           trace::kMagicBytes) == 0) {
+        version_ = 1;
+        declared_ = trace::loadLe<u32>(base_ + trace::kMagicBytes);
+        pos_ = trace::kMagicBytes + sizeof(u32);
+    } else {
+        COP_FATAL("not a COP trace stream (bad magic): " + path);
+    }
+}
+
+MmapTraceSource::~MmapTraceSource()
+{
+    if (base_ != nullptr)
+        ::munmap(const_cast<unsigned char *>(base_), size_);
+}
+
+bool
+MmapTraceSource::next(Epoch &epoch)
+{
+    if (pos_ == size_) {
+        if (declared_ != 0 && epochs_ != declared_) {
+            COP_FATAL("trace declares " + std::to_string(declared_) +
+                      " epochs but the stream ended after " +
+                      std::to_string(epochs_));
+        }
+        return false;
+    }
+    if (size_ - pos_ < trace::kEpochHeaderBytes)
+        COP_FATAL("truncated trace epoch header: " + path_);
+    epoch.instructions = trace::loadLe<u64>(base_ + pos_);
+    const u32 count = trace::loadLe<u32>(base_ + pos_ + sizeof(u64));
+    pos_ += trace::kEpochHeaderBytes;
+
+    const u64 remaining = size_ - pos_;
+    if (static_cast<u64>(count) * trace::kAccessBytes > remaining) {
+        COP_FATAL("trace epoch declares " + std::to_string(count) +
+                  " accesses but only " +
+                  std::to_string(remaining / trace::kAccessBytes) +
+                  " more fit in the remaining stream bytes");
+    }
+    epoch.accesses.clear();
+    epoch.accesses.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        const u64 word = trace::loadLe<u64>(base_ + pos_);
+        pos_ += trace::kAccessBytes;
+        epoch.accesses.push_back(
+            {word & ~static_cast<u64>(1), (word & 1) != 0});
+    }
+    ++epochs_;
+    accesses_ += count;
+    return true;
+}
+
+#else // !COP_TRACE_HAVE_MMAP
+
+MmapTraceSource::MmapTraceSource(const std::string &path) : path_(path)
+{
+    COP_FATAL("mmap trace ingestion is not supported on this platform; "
+              "use the buffered binary reader for " + path);
+}
+
+MmapTraceSource::~MmapTraceSource() = default;
+
+bool
+MmapTraceSource::next(Epoch &)
+{
+    COP_FATAL("mmap trace ingestion is not supported on this platform");
+}
+
+#endif // COP_TRACE_HAVE_MMAP
+
+} // namespace cop

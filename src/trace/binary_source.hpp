@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Binary COPTRC readers: a buffered-stream parser (works on any
+ * istream, including pipes and the gzip inflater) and an mmap fast
+ * path for seekable regular files. Both accept the v1 (u32 header
+ * count) and v2 (u64) formats and validate every declared length
+ * against what the stream can actually deliver before allocating —
+ * a corrupt epoch header claiming 4 billion accesses dies with a
+ * clean "declares N accesses but only M bytes remain", not a 32 GB
+ * bad_alloc.
+ */
+
+#ifndef COP_TRACE_BINARY_SOURCE_HPP
+#define COP_TRACE_BINARY_SOURCE_HPP
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/trace_source.hpp"
+
+namespace cop {
+
+/**
+ * Streaming binary reader over any istream. When the stream is
+ * seekable its total size is measured once up front and every epoch's
+ * declared access count is validated against the bytes that remain;
+ * on unseekable streams the reserve is capped (push_back grows past
+ * the cap) and truncation still fails loudly at the short read.
+ */
+class BinaryTraceSource : public TraceSource
+{
+  public:
+    /** Parse the header eagerly; fatal on bad magic / short header. */
+    explicit BinaryTraceSource(std::istream &in);
+
+    /** Owning variant (the factory's path-opened streams). */
+    explicit BinaryTraceSource(std::unique_ptr<std::istream> in);
+
+    bool next(Epoch &epoch) override;
+
+    u64 declaredEpochs() const override { return declared_; }
+    const char *formatName() const override { return "binary"; }
+
+    /** On-disk format version parsed from the magic (1 or 2). */
+    unsigned formatVersion() const { return version_; }
+
+  private:
+    void readHeader();
+
+    std::unique_ptr<std::istream> owned_;
+    std::istream &in_;
+    u64 declared_ = 0;
+    unsigned version_ = 2;
+    /** Total stream bytes when seekable, else 0 (unknown). */
+    u64 streamBytes_ = 0;
+    bool sizeKnown_ = false;
+    /** Bytes consumed so far (header + parsed records). */
+    u64 consumed_ = 0;
+};
+
+/**
+ * mmap fast path: the whole file is mapped read-only and parsed in
+ * place with exact bounds checks (madvise(SEQUENTIAL) keeps the page
+ * cache streaming, so resident memory stays bounded by the kernel's
+ * readahead, not the file size). Construction fails loudly on
+ * non-regular files; openTraceSource falls back to the buffered
+ * reader instead of calling this blindly.
+ */
+class MmapTraceSource : public TraceSource
+{
+  public:
+    explicit MmapTraceSource(const std::string &path);
+    ~MmapTraceSource() override;
+
+    bool next(Epoch &epoch) override;
+
+    u64 declaredEpochs() const override { return declared_; }
+    const char *formatName() const override { return "binary/mmap"; }
+    unsigned formatVersion() const { return version_; }
+
+    /** Whether this platform can mmap at all (POSIX only). */
+    static bool supported();
+
+  private:
+    std::string path_;
+    const unsigned char *base_ = nullptr;
+    u64 size_ = 0;
+    u64 pos_ = 0;
+    u64 declared_ = 0;
+    unsigned version_ = 2;
+};
+
+} // namespace cop
+
+#endif // COP_TRACE_BINARY_SOURCE_HPP

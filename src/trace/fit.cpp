@@ -1,0 +1,85 @@
+#include "trace/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cop {
+
+WorkloadProfile
+fitProfileFromTrace(TraceSource &src, const std::string &name,
+                    const TraceFitOptions &opts, TraceFitReport *report)
+{
+    TraceFitReport r;
+    Addr minAddr = ~0ULL;
+    Addr maxAddr = 0;
+    u64 writes = 0;
+    u64 seqPairs = 0;
+    u64 transitions = 0;
+
+    Epoch epoch;
+    while ((opts.maxEpochs == 0 || r.epochsScanned < opts.maxEpochs) &&
+           src.next(epoch)) {
+        ++r.epochsScanned;
+        r.instructionsScanned += epoch.instructions;
+        Addr prev = ~0ULL; // sequentiality never spans epochs
+        for (const TraceAccess &access : epoch.accesses) {
+            ++r.accessesScanned;
+            writes += access.isWrite;
+            minAddr = std::min(minAddr, access.addr);
+            maxAddr = std::max(maxAddr, access.addr);
+            if (prev != ~0ULL) {
+                ++transitions;
+                if (access.addr == prev + kBlockBytes)
+                    ++seqPairs;
+            }
+            prev = access.addr;
+        }
+    }
+    if (r.epochsScanned == 0)
+        COP_FATAL("cannot fit a profile to an empty trace");
+    if (r.accessesScanned == 0)
+        COP_FATAL("cannot fit a profile to a trace with no accesses");
+
+    r.spanBlocks = (maxAddr - minAddr) / kBlockBytes + 1;
+    r.apki = r.instructionsScanned
+                 ? 1000.0 * static_cast<double>(r.accessesScanned) /
+                       static_cast<double>(r.instructionsScanned)
+                 : 0.0;
+    r.writeFraction = static_cast<double>(writes) /
+                      static_cast<double>(r.accessesScanned);
+    r.meanAccessesPerEpoch = static_cast<double>(r.accessesScanned) /
+                             static_cast<double>(r.epochsScanned);
+    r.streamFraction =
+        transitions
+            ? static_cast<double>(seqPairs) /
+                  static_cast<double>(transitions)
+            : 0.0;
+
+    WorkloadProfile profile;
+    if (opts.contentTemplate != nullptr) {
+        profile = *opts.contentTemplate;
+    } else {
+        // Neutral content stand-in: a uniform category mix. Content is
+        // not recoverable from an address trace, so the fit makes the
+        // substitution explicit rather than guessing a benchmark.
+        for (unsigned c = 0; c < kBlockCategories; ++c)
+            profile.mix.weight[c] = 1.0 / kBlockCategories;
+    }
+    profile.name = name;
+    profile.memoryIntensive = false;
+    profile.sharedFootprint = false;
+    profile.footprintBlocks = std::max<u64>(1, r.spanBlocks);
+    profile.l3Apki = r.apki > 0 ? r.apki : profile.l3Apki;
+    profile.writeFraction = r.writeFraction;
+    profile.streamFraction = r.streamFraction;
+    // The synthetic generator draws 1 + below(2*mlp) accesses per
+    // epoch (mean mlp + 0.5); invert that for the MLP proxy.
+    profile.mlp = static_cast<unsigned>(std::max<long>(
+        1, std::lround(r.meanAccessesPerEpoch - 0.5)));
+
+    if (report != nullptr)
+        *report = r;
+    return profile;
+}
+
+} // namespace cop

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Profile fitting: estimate a WorkloadProfile's access-model knobs
+ * from a bounded prefix of a captured trace, so a user-supplied trace
+ * can be compared against the synthetic suite on equal terms — "what
+ * synthetic benchmark does this trace behave like?".
+ *
+ * Only the access model is measurable from an address trace (footprint,
+ * APKI, write fraction, MLP, sequentiality); block *content* is not in
+ * the trace, so the mix / generator parameters / perfect-L3 IPC come
+ * from a content template (a named synthetic profile, default a
+ * balanced mix). A fitted profile is therefore a comparison twin — it
+ * drives the same simulator honestly — but it is NOT the byte-identity
+ * replay path: that uses the original capture profile (DESIGN.md §9).
+ */
+
+#ifndef COP_TRACE_FIT_HPP
+#define COP_TRACE_FIT_HPP
+
+#include <string>
+
+#include "trace/trace_source.hpp"
+
+namespace cop {
+
+struct TraceFitOptions
+{
+    /**
+     * Epochs of the trace prefix the estimators run over. Bounded by
+     * default so fitting a multi-gigabyte trace stays cheap; 0 means
+     * the whole trace.
+     */
+    u64 maxEpochs = 10000;
+    /**
+     * Profile supplying the unmeasurable content knobs (mix, generator
+     * params, perfectIpc, suite). Null uses a neutral balanced mix.
+     */
+    const WorkloadProfile *contentTemplate = nullptr;
+};
+
+/** What fitProfileFromTrace measured (reporting / tests). */
+struct TraceFitReport
+{
+    u64 epochsScanned = 0;
+    u64 accessesScanned = 0;
+    u64 instructionsScanned = 0;
+    u64 spanBlocks = 0;  ///< Address span, in blocks (footprint bound).
+    double apki = 0;
+    double writeFraction = 0;
+    double meanAccessesPerEpoch = 0;
+    double streamFraction = 0;
+};
+
+/**
+ * Estimate a profile named @p name from a prefix of @p src. The
+ * returned profile plugs straight into System / makeTraceReplayFactory
+ * for single-trace (cores=1) replay — the one-core path uses a single
+ * shared pool, so the span-based footprint estimate can never fault
+ * poolFor's multi-core region partitioning.
+ * @p report (optional) receives the raw measurements.
+ */
+WorkloadProfile
+fitProfileFromTrace(TraceSource &src, const std::string &name,
+                    const TraceFitOptions &opts = {},
+                    TraceFitReport *report = nullptr);
+
+} // namespace cop
+
+#endif // COP_TRACE_FIT_HPP

@@ -1,0 +1,308 @@
+#include "trace/gzip_source.hpp"
+
+#include <istream>
+#include <ostream>
+
+#if COP_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace cop {
+
+namespace {
+/** Fixed compressed/uncompressed chunk size: bounded memory, few
+ *  syscalls. Two of these per direction is the whole gzip footprint. */
+constexpr size_t kChunkBytes = 256 * 1024;
+} // namespace
+
+bool
+gzipSupported()
+{
+    return COP_HAVE_ZLIB != 0;
+}
+
+#if COP_HAVE_ZLIB
+
+// ------------------------------------------------------------- inflate
+
+struct GzipInflateBuf::Impl {
+    std::unique_ptr<std::istream> in;
+    z_stream zs{};
+    std::vector<unsigned char> compressed;
+    std::vector<char> plain;
+    bool eof = false;
+};
+
+GzipInflateBuf::GzipInflateBuf(std::unique_ptr<std::istream> in)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->in = std::move(in);
+    impl_->compressed.resize(kChunkBytes);
+    impl_->plain.resize(kChunkBytes);
+    // windowBits 15+32: accept gzip or raw zlib framing, autodetect.
+    if (inflateInit2(&impl_->zs, 15 + 32) != Z_OK)
+        COP_FATAL("zlib inflateInit failed");
+    setg(impl_->plain.data(), impl_->plain.data(), impl_->plain.data());
+}
+
+GzipInflateBuf::~GzipInflateBuf()
+{
+    inflateEnd(&impl_->zs);
+}
+
+GzipInflateBuf::int_type
+GzipInflateBuf::underflow()
+{
+    if (gptr() < egptr())
+        return traits_type::to_int_type(*gptr());
+    Impl &im = *impl_;
+    if (im.eof)
+        return traits_type::eof();
+
+    im.zs.next_out = reinterpret_cast<Bytef *>(im.plain.data());
+    im.zs.avail_out = static_cast<uInt>(im.plain.size());
+    while (im.zs.avail_out == im.plain.size()) {
+        if (im.zs.avail_in == 0) {
+            im.in->read(reinterpret_cast<char *>(im.compressed.data()),
+                        static_cast<std::streamsize>(im.compressed.size()));
+            if (im.in->bad())
+                COP_FATAL("gzip trace: read of compressed stream failed");
+            im.zs.next_in = im.compressed.data();
+            im.zs.avail_in = static_cast<uInt>(im.in->gcount());
+            if (im.zs.avail_in == 0) {
+                COP_FATAL("gzip trace: compressed stream ended "
+                          "mid-member (truncated .gz?)");
+            }
+        }
+        const int rc = inflate(&im.zs, Z_NO_FLUSH);
+        if (rc == Z_STREAM_END) {
+            if (im.zs.avail_in != 0 || im.in->peek() != EOF)
+                COP_FATAL("gzip trace: trailing garbage after the "
+                          "gzip member");
+            im.eof = true;
+            break;
+        }
+        if (rc != Z_OK) {
+            COP_FATAL(std::string("gzip trace: inflate failed (") +
+                      (im.zs.msg != nullptr ? im.zs.msg : "corrupt data") +
+                      ")");
+        }
+    }
+    const size_t produced = im.plain.size() - im.zs.avail_out;
+    if (produced == 0)
+        return traits_type::eof();
+    setg(im.plain.data(), im.plain.data(), im.plain.data() + produced);
+    return traits_type::to_int_type(*gptr());
+}
+
+// ------------------------------------------------------------- deflate
+
+struct GzipDeflateBuf::Impl {
+    std::unique_ptr<std::ostream> out;
+    z_stream zs{};
+    std::vector<char> plain;
+    std::vector<unsigned char> compressed;
+    bool finished = false;
+};
+
+GzipDeflateBuf::GzipDeflateBuf(std::unique_ptr<std::ostream> out)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->out = std::move(out);
+    impl_->plain.resize(kChunkBytes);
+    impl_->compressed.resize(kChunkBytes);
+    // windowBits 15+16: emit gzip framing (header + CRC trailer).
+    if (deflateInit2(&impl_->zs, Z_DEFAULT_COMPRESSION, Z_DEFLATED,
+                     15 + 16, 8, Z_DEFAULT_STRATEGY) != Z_OK)
+        COP_FATAL("zlib deflateInit failed");
+    setp(impl_->plain.data(),
+         impl_->plain.data() + impl_->plain.size());
+}
+
+GzipDeflateBuf::~GzipDeflateBuf()
+{
+    if (!impl_->finished)
+        finish();
+    deflateEnd(&impl_->zs);
+}
+
+GzipDeflateBuf::int_type
+GzipDeflateBuf::overflow(int_type ch)
+{
+    if (sync() != 0)
+        return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+        *pptr() = traits_type::to_char_type(ch);
+        pbump(1);
+    }
+    return traits_type::not_eof(ch);
+}
+
+int
+GzipDeflateBuf::sync()
+{
+    Impl &im = *impl_;
+    im.zs.next_in = reinterpret_cast<Bytef *>(pbase());
+    im.zs.avail_in = static_cast<uInt>(pptr() - pbase());
+    while (im.zs.avail_in > 0) {
+        im.zs.next_out = im.compressed.data();
+        im.zs.avail_out = static_cast<uInt>(im.compressed.size());
+        if (deflate(&im.zs, Z_NO_FLUSH) != Z_OK)
+            COP_FATAL("gzip trace: deflate failed");
+        const size_t produced = im.compressed.size() - im.zs.avail_out;
+        if (produced > 0) {
+            im.out->write(reinterpret_cast<const char *>(
+                              im.compressed.data()),
+                          static_cast<std::streamsize>(produced));
+            if (!*im.out)
+                COP_FATAL("gzip trace: write of compressed stream "
+                          "failed (disk full?)");
+        }
+    }
+    setp(im.plain.data(), im.plain.data() + im.plain.size());
+    return 0;
+}
+
+void
+GzipDeflateBuf::finish()
+{
+    Impl &im = *impl_;
+    if (im.finished)
+        return;
+    sync(); // drain the put area first
+    im.zs.next_in = nullptr;
+    im.zs.avail_in = 0;
+    int rc = Z_OK;
+    do {
+        im.zs.next_out = im.compressed.data();
+        im.zs.avail_out = static_cast<uInt>(im.compressed.size());
+        rc = deflate(&im.zs, Z_FINISH);
+        if (rc != Z_OK && rc != Z_STREAM_END)
+            COP_FATAL("gzip trace: deflate(Z_FINISH) failed");
+        const size_t produced = im.compressed.size() - im.zs.avail_out;
+        if (produced > 0) {
+            im.out->write(reinterpret_cast<const char *>(
+                              im.compressed.data()),
+                          static_cast<std::streamsize>(produced));
+        }
+    } while (rc != Z_STREAM_END);
+    im.out->flush();
+    if (!*im.out)
+        COP_FATAL("gzip trace: write of compressed stream failed "
+                  "(disk full?)");
+    im.finished = true;
+}
+
+namespace {
+
+/** istream that owns its inflating buffer. */
+class GzipIstream : public std::istream
+{
+  public:
+    explicit GzipIstream(std::unique_ptr<std::istream> in)
+        : std::istream(nullptr), buf_(std::move(in))
+    {
+        rdbuf(&buf_);
+    }
+
+  private:
+    GzipInflateBuf buf_;
+};
+
+/** ostream that owns its deflating buffer; flush() finishes cleanly. */
+class GzipOstream : public std::ostream
+{
+  public:
+    explicit GzipOstream(std::unique_ptr<std::ostream> out)
+        : std::ostream(nullptr), buf_(std::move(out))
+    {
+        rdbuf(&buf_);
+    }
+
+    ~GzipOstream() override { buf_.finish(); }
+
+  private:
+    GzipDeflateBuf buf_;
+};
+
+} // namespace
+
+std::unique_ptr<std::istream>
+makeGzipIstream(std::unique_ptr<std::istream> in)
+{
+    return std::make_unique<GzipIstream>(std::move(in));
+}
+
+std::unique_ptr<std::ostream>
+makeGzipOstream(std::unique_ptr<std::ostream> out)
+{
+    return std::make_unique<GzipOstream>(std::move(out));
+}
+
+GzipTraceSource::GzipTraceSource(std::unique_ptr<std::istream> compressed)
+    : inner_(std::make_unique<BinaryTraceSource>(
+          makeGzipIstream(std::move(compressed))))
+{
+}
+
+bool
+GzipTraceSource::next(Epoch &epoch)
+{
+    if (!inner_->next(epoch))
+        return false;
+    ++epochs_;
+    accesses_ += epoch.accesses.size();
+    return true;
+}
+
+#else // !COP_HAVE_ZLIB
+
+namespace {
+[[noreturn]] void
+noZlib()
+{
+    COP_FATAL("this build has no zlib: gzip traces are unavailable. "
+              "Decompress with `gzip -d` first, or rebuild with zlib "
+              "development headers installed.");
+}
+} // namespace
+
+struct GzipInflateBuf::Impl {};
+struct GzipDeflateBuf::Impl {};
+
+GzipInflateBuf::GzipInflateBuf(std::unique_ptr<std::istream>) { noZlib(); }
+GzipInflateBuf::~GzipInflateBuf() = default;
+GzipInflateBuf::int_type GzipInflateBuf::underflow() { noZlib(); }
+
+GzipDeflateBuf::GzipDeflateBuf(std::unique_ptr<std::ostream>) { noZlib(); }
+GzipDeflateBuf::~GzipDeflateBuf() = default;
+GzipDeflateBuf::int_type GzipDeflateBuf::overflow(int_type) { noZlib(); }
+int GzipDeflateBuf::sync() { noZlib(); }
+void GzipDeflateBuf::finish() { noZlib(); }
+
+std::unique_ptr<std::istream>
+makeGzipIstream(std::unique_ptr<std::istream>)
+{
+    noZlib();
+}
+
+std::unique_ptr<std::ostream>
+makeGzipOstream(std::unique_ptr<std::ostream>)
+{
+    noZlib();
+}
+
+GzipTraceSource::GzipTraceSource(std::unique_ptr<std::istream>)
+{
+    noZlib();
+}
+
+bool
+GzipTraceSource::next(Epoch &)
+{
+    noZlib();
+}
+
+#endif // COP_HAVE_ZLIB
+
+} // namespace cop

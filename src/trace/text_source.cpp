@@ -1,0 +1,176 @@
+#include "trace/text_source.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace cop {
+
+namespace {
+
+constexpr const char *kEpochMarker = "#epoch";
+
+[[noreturn]] void
+badLine(u64 line, const std::string &text, const std::string &why)
+{
+    COP_FATAL("text trace line " + std::to_string(line) + ": " + why +
+              ": \"" + text + "\"");
+}
+
+/** Parse a hex (0x…) or decimal block address; fatal on junk. */
+Addr
+parseAddr(const std::string &token, u64 line, const std::string &text)
+{
+    if (token.empty())
+        badLine(line, text, "missing address");
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 0);
+    if (errno != 0 || end == token.c_str() || *end != '\0')
+        badLine(line, text, "malformed address '" + token + "'");
+    if (value % kBlockBytes != 0) {
+        badLine(line, text,
+                "address is not " + std::to_string(kBlockBytes) +
+                    "-byte block aligned");
+    }
+    return value;
+}
+
+} // namespace
+
+TextTraceSource::TextTraceSource(std::istream &in) : in_(in) {}
+
+TextTraceSource::TextTraceSource(std::unique_ptr<std::istream> in)
+    : owned_(std::move(in)), in_(*owned_)
+{
+}
+
+bool
+TextTraceSource::fill()
+{
+    std::string raw;
+    while (std::getline(in_, raw)) {
+        ++line_;
+        // Trim trailing CR (tolerate CRLF captures) and whitespace.
+        size_t end = raw.size();
+        while (end > 0 &&
+               std::isspace(static_cast<unsigned char>(raw[end - 1])))
+            --end;
+        size_t begin = 0;
+        while (begin < end &&
+               std::isspace(static_cast<unsigned char>(raw[begin])))
+            ++begin;
+        const std::string text = raw.substr(begin, end - begin);
+        if (text.empty())
+            continue;
+
+        if (text[0] == '#') {
+            if (text.compare(0, 6, kEpochMarker) != 0)
+                continue; // plain comment
+            // '#epoch <instructions>' opens the next epoch; the one
+            // being accumulated (if any) is complete.
+            const std::string arg = text.substr(6);
+            const size_t pos = arg.find_first_not_of(" \t");
+            if (pos == std::string::npos)
+                badLine(line_, text, "missing instruction count");
+            char *endp = nullptr;
+            errno = 0;
+            const unsigned long long instr =
+                std::strtoull(arg.c_str() + pos, &endp, 10);
+            if (errno != 0 || endp == arg.c_str() + pos || *endp != '\0')
+                badLine(line_, text, "malformed instruction count");
+            if (open_) {
+                const u64 pendingInstr = pending_.instructions;
+                // Emit the finished epoch, stash the new marker.
+                nextInstr_ = instr;
+                markerPending_ = true;
+                pending_.instructions = pendingInstr;
+                return true;
+            }
+            open_ = true;
+            pending_.instructions = instr;
+            pending_.accesses.clear();
+            continue;
+        }
+
+        // '<addr> R|W'
+        const size_t sp = text.find_first_of(" \t");
+        if (sp == std::string::npos)
+            badLine(line_, text, "expected '<addr> R|W'");
+        const std::string addrTok = text.substr(0, sp);
+        const size_t dir = text.find_first_not_of(" \t", sp);
+        if (dir == std::string::npos ||
+            text.find_first_not_of(" \t", dir + 1) != std::string::npos)
+            badLine(line_, text, "expected '<addr> R|W'");
+        const char rw = text[dir];
+        if (rw != 'R' && rw != 'W')
+            badLine(line_, text, "direction must be R or W");
+        if (!open_)
+            badLine(line_, text, "access before the first #epoch marker");
+        pending_.accesses.push_back(
+            {parseAddr(addrTok, line_, text), rw == 'W'});
+    }
+    if (in_.bad())
+        COP_FATAL("text trace read failed at line " +
+                  std::to_string(line_));
+    // EOF: the accumulated epoch (if any) is the last one.
+    if (open_) {
+        open_ = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+TextTraceSource::next(Epoch &epoch)
+{
+    if (!fill())
+        return false;
+    epoch.instructions = pending_.instructions;
+    epoch.accesses.swap(pending_.accesses);
+    pending_.accesses.clear();
+    if (markerPending_) {
+        // fill() returned because a new '#epoch' marker closed the
+        // previous epoch; that marker's epoch starts accumulating now.
+        pending_.instructions = nextInstr_;
+        markerPending_ = false;
+        open_ = true;
+    }
+    ++epochs_;
+    accesses_ += epoch.accesses.size();
+    return true;
+}
+
+u64
+writeTextTrace(TraceSource &src, std::ostream &out)
+{
+    out << "# COP text trace (\"#epoch <instructions>\" then \"<addr> "
+           "R|W\" per line)\n";
+    Epoch epoch;
+    char buf[64];
+    u64 written = 0;
+    while (src.next(epoch)) {
+        std::snprintf(buf, sizeof(buf), "#epoch %llu\n",
+                      static_cast<unsigned long long>(epoch.instructions));
+        out << buf;
+        for (const TraceAccess &access : epoch.accesses) {
+            std::snprintf(buf, sizeof(buf), "0x%llx %c\n",
+                          static_cast<unsigned long long>(access.addr),
+                          access.isWrite ? 'W' : 'R');
+            out << buf;
+        }
+        ++written;
+        if (!out)
+            COP_FATAL("text trace write failed (disk full?)");
+    }
+    out.flush();
+    if (!out)
+        COP_FATAL("text trace write failed (disk full?)");
+    return written;
+}
+
+} // namespace cop

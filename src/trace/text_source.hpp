@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Human-readable text trace format:
+ *
+ *   # comment                      ('#' alone starts a comment…)
+ *   #epoch 1850                    (…but '#epoch N' opens an epoch of
+ *                                   N instructions)
+ *   0x1a40 R                       (one access per line: block
+ *   6720 W                          address, hex or decimal, then R|W)
+ *
+ * Every access belongs to the most recent '#epoch' marker; an access
+ * before the first marker, a malformed line, or an unaligned address
+ * is fatal with the line number named. Blank lines are ignored. The
+ * format carries no epoch count — a text source always reads to EOF.
+ */
+
+#ifndef COP_TRACE_TEXT_SOURCE_HPP
+#define COP_TRACE_TEXT_SOURCE_HPP
+
+#include <iosfwd>
+#include <memory>
+
+#include "trace/trace_source.hpp"
+
+namespace cop {
+
+/** Streaming line-by-line text reader (one epoch buffered, ever). */
+class TextTraceSource : public TraceSource
+{
+  public:
+    explicit TextTraceSource(std::istream &in);
+    explicit TextTraceSource(std::unique_ptr<std::istream> in);
+
+    bool next(Epoch &epoch) override;
+
+    const char *formatName() const override { return "text"; }
+
+  private:
+    /** Parse lines until the next '#epoch' marker or EOF. */
+    bool fill();
+
+    std::unique_ptr<std::istream> owned_;
+    std::istream &in_;
+    u64 line_ = 0;
+    /** Pending epoch state: marker seen, accesses accumulated. */
+    bool open_ = false;
+    Epoch pending_;
+    /** A '#epoch' marker closed the pending epoch; its instruction
+     *  count is stashed until next() hands the finished epoch out. */
+    bool markerPending_ = false;
+    u64 nextInstr_ = 0;
+};
+
+/**
+ * Serialise @p src into the text format (the `trace_tool convert`
+ * path). Streams epoch by epoch; fatal when @p out fails.
+ */
+u64 writeTextTrace(TraceSource &src, std::ostream &out);
+
+} // namespace cop
+
+#endif // COP_TRACE_TEXT_SOURCE_HPP

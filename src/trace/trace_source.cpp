@@ -1,0 +1,108 @@
+#include "trace/trace_source.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "trace/binary_source.hpp"
+#include "trace/format.hpp"
+#include "trace/gzip_source.hpp"
+#include "trace/text_source.hpp"
+
+namespace cop {
+
+const char *
+traceFormatName(TraceFormat f)
+{
+    switch (f) {
+    case TraceFormat::Auto: return "auto";
+    case TraceFormat::Binary: return "bin";
+    case TraceFormat::Text: return "text";
+    case TraceFormat::Gzip: return "gz";
+    }
+    COP_PANIC("bad TraceFormat");
+}
+
+TraceFormat
+parseTraceFormat(const std::string &s)
+{
+    if (s == "auto")
+        return TraceFormat::Auto;
+    if (s == "bin" || s == "binary")
+        return TraceFormat::Binary;
+    if (s == "text" || s == "txt")
+        return TraceFormat::Text;
+    if (s == "gz" || s == "gzip")
+        return TraceFormat::Gzip;
+    COP_FATAL("unknown trace format '" + s +
+              "' (expected auto|bin|text|gz)");
+}
+
+namespace {
+
+std::unique_ptr<std::ifstream>
+openFile(const std::string &path)
+{
+    auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+    if (!*in)
+        COP_FATAL("cannot open trace " + path);
+    return in;
+}
+
+/** Sniff the leading bytes of a fresh stream, then rewind it. */
+TraceFormat
+sniff(std::istream &in, const std::string &path)
+{
+    unsigned char head[trace::kMagicBytes] = {};
+    in.read(reinterpret_cast<char *>(head), sizeof(head));
+    const std::streamsize got = in.gcount();
+    in.clear();
+    in.seekg(0);
+    if (!in)
+        COP_FATAL("cannot rewind trace " + path + " after sniffing");
+    if (got >= 2 && head[0] == 0x1f && head[1] == 0x8b)
+        return TraceFormat::Gzip;
+    if (got >= 6 && std::memcmp(head, "COPTRC", 6) == 0)
+        return TraceFormat::Binary;
+    // Anything else is treated as text; a genuinely alien file dies in
+    // the text parser with a line number rather than here with a guess.
+    return TraceFormat::Text;
+}
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+openTraceSource(const std::string &path, TraceFormat format)
+{
+    auto in = openFile(path);
+    if (format == TraceFormat::Auto)
+        format = sniff(*in, path);
+
+    switch (format) {
+    case TraceFormat::Binary:
+        // mmap fast path for regular files; anything it cannot map
+        // (FIFOs, /dev/stdin) streams through the buffered reader.
+        if (MmapTraceSource::supported()) {
+            // The mmap ctor is fatal on non-regular files, so only
+            // take it when the stream is seekable to a real end
+            // (regular-file behaviour).
+            in->seekg(0, std::ios::end);
+            const bool seekable = static_cast<bool>(*in);
+            in->clear();
+            in->seekg(0);
+            if (seekable) {
+                in.reset(); // release the fd before mapping
+                return std::make_unique<MmapTraceSource>(path);
+            }
+        }
+        return std::make_unique<BinaryTraceSource>(std::move(in));
+    case TraceFormat::Text:
+        return std::make_unique<TextTraceSource>(std::move(in));
+    case TraceFormat::Gzip:
+        return std::make_unique<GzipTraceSource>(std::move(in));
+    case TraceFormat::Auto:
+        break;
+    }
+    COP_PANIC("bad TraceFormat");
+}
+
+} // namespace cop

@@ -146,6 +146,12 @@ BlockContentPool::sample(unsigned n, u64 seed) const
     return blocks;
 }
 
+u64
+contentPoolSalt(const WorkloadProfile &profile, unsigned core_id)
+{
+    return profile.sharedFootprint ? 0 : mix64(core_id);
+}
+
 TraceGenerator::TraceGenerator(const WorkloadProfile &profile,
                                unsigned core_id, u64 seed_salt,
                                unsigned content_cache_entries)
@@ -154,7 +160,7 @@ TraceGenerator::TraceGenerator(const WorkloadProfile &profile,
       base_(profile.sharedFootprint
                 ? 0
                 : core_id * profile.footprintBlocks * kBlockBytes),
-      pool_(profile, profile.sharedFootprint ? 0 : mix64(core_id),
+      pool_(profile, contentPoolSalt(profile, core_id),
             content_cache_entries)
 {
     cursor_ = rng_.below(profile.footprintBlocks);

@@ -10,6 +10,8 @@
 #ifndef COP_WORKLOADS_TRACE_GEN_HPP
 #define COP_WORKLOADS_TRACE_GEN_HPP
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/flat_map.hpp"
@@ -223,11 +225,79 @@ struct Epoch
 };
 
 /**
+ * Replay-progress counters an EpochSource may expose (trace-driven
+ * sources only; synthetic generators report none). The System exports
+ * them as trace.* gauges so agg_stats.py --check can verify that every
+ * epoch and access read off disk was replayed.
+ */
+struct ReplaySourceCounters
+{
+    u64 epochs = 0;
+    u64 accesses = 0;
+};
+
+/**
+ * One core's epoch stream plus the functional-memory pool backing its
+ * address region — what the System consumes, whether the epochs come
+ * from the synthetic TraceGenerator or from a captured trace
+ * (TraceReplayGenerator in src/trace/). Implementations own a
+ * BlockContentPool so the simulator's content/version machinery is
+ * identical for both.
+ */
+class EpochSource
+{
+  public:
+    virtual ~EpochSource() = default;
+
+    EpochSource(const EpochSource &) = delete;
+    EpochSource &operator=(const EpochSource &) = delete;
+
+    /**
+     * Produce the next epoch. The reference stays valid until the next
+     * call on this source (buffers are reused — no per-epoch
+     * allocation); copy-construct an Epoch to retain one. A source with
+     * a finite stream is fatal on exhaustion — the System sizes
+     * epochsPerCore to what the trace holds.
+     */
+    virtual const Epoch &next() = 0;
+
+    /** Block content pool for this core's address region. */
+    virtual BlockContentPool &pool() = 0;
+    virtual const BlockContentPool &pool() const = 0;
+
+    /** Replay counters, when this source reads a trace. */
+    virtual bool
+    replayCounters(ReplaySourceCounters &) const
+    {
+        return false;
+    }
+
+  protected:
+    EpochSource() = default;
+};
+
+/**
+ * Builds one EpochSource per core — SystemConfig::epochSource and the
+ * shard workers (which need independent replicas of every core's
+ * stream) both call it. @p content_cache_entries is 0 for replicas that
+ * only need the pure generateAt path.
+ */
+using EpochSourceFactory = std::function<std::unique_ptr<EpochSource>(
+    unsigned core, unsigned content_cache_entries)>;
+
+/**
+ * Pool seed salt for @p core_id under @p profile — the value
+ * TraceGenerator bakes into its pool. Exposed so a trace replay can
+ * construct a byte-identical functional memory for the same core.
+ */
+u64 contentPoolSalt(const WorkloadProfile &profile, unsigned core_id);
+
+/**
  * Per-core epoch generator. SPEC benchmarks run in rate mode (each core
  * gets a disjoint copy of the footprint); PARSEC profiles share one
  * footprint across cores.
  */
-class TraceGenerator
+class TraceGenerator : public EpochSource
 {
   public:
     TraceGenerator(const WorkloadProfile &profile, unsigned core_id,
@@ -235,16 +305,10 @@ class TraceGenerator
                    unsigned content_cache_entries =
                        kDefaultContentCacheEntries);
 
-    /**
-     * Produce the next epoch. The reference stays valid until the next
-     * call on this generator (the epoch buffer is reused — no per-epoch
-     * allocation); copy-construct an Epoch to retain one.
-     */
-    const Epoch &next();
+    const Epoch &next() override;
 
-    /** Block content pool for this core's address region. */
-    BlockContentPool &pool() { return pool_; }
-    const BlockContentPool &pool() const { return pool_; }
+    BlockContentPool &pool() override { return pool_; }
+    const BlockContentPool &pool() const override { return pool_; }
 
     /** First byte address of this core's footprint region. */
     Addr regionBase() const { return base_; }

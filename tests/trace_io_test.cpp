@@ -36,19 +36,19 @@ TEST(TraceIo, WriteReadRoundTrip)
     }
     TraceReader reader(buf);
     Epoch e;
-    ASSERT_TRUE(reader.read(e));
+    ASSERT_TRUE(reader.next(e));
     EXPECT_EQ(e.instructions, 1000u);
     ASSERT_EQ(e.accesses.size(), 2u);
     EXPECT_EQ(e.accesses[0].addr, 0u);
     EXPECT_FALSE(e.accesses[0].isWrite);
     EXPECT_EQ(e.accesses[1].addr, 64u);
     EXPECT_TRUE(e.accesses[1].isWrite);
-    ASSERT_TRUE(reader.read(e));
+    ASSERT_TRUE(reader.next(e));
     EXPECT_EQ(e.accesses.size(), 1u);
-    ASSERT_TRUE(reader.read(e));
+    ASSERT_TRUE(reader.next(e));
     EXPECT_EQ(e.instructions, 42u);
     EXPECT_TRUE(e.accesses.empty());
-    EXPECT_FALSE(reader.read(e));
+    EXPECT_FALSE(reader.next(e));
     EXPECT_EQ(reader.epochsRead(), 3u);
 }
 
@@ -64,9 +64,9 @@ TEST(TraceIo, BackPatchesDeclaredEpochCount)
     TraceReader reader(buf);
     EXPECT_EQ(reader.declaredEpochs(), 2u);
     Epoch e;
-    ASSERT_TRUE(reader.read(e));
-    ASSERT_TRUE(reader.read(e));
-    EXPECT_FALSE(reader.read(e));
+    ASSERT_TRUE(reader.next(e));
+    ASSERT_TRUE(reader.next(e));
+    EXPECT_FALSE(reader.next(e));
 }
 
 TEST(TraceIo, ExplicitFinishIsIdempotent)
@@ -93,15 +93,15 @@ TEST(TraceIo, DetectsTruncationAtEpochBoundary)
         writer.write(epochOf(30, {{128, false}}));
     }
     const std::string full = buf.str();
-    // Header (12) + two epochs of (8 + 4 + 8) bytes each.
-    const std::string truncated = full.substr(0, 12 + 2 * 20);
+    // Header (16: magic + u64 count) + two epochs of (8 + 4 + 8) bytes.
+    const std::string truncated = full.substr(0, 16 + 2 * 20);
 
     std::stringstream cut(truncated);
     TraceReader reader(cut);
     Epoch e;
-    ASSERT_TRUE(reader.read(e));
-    ASSERT_TRUE(reader.read(e));
-    EXPECT_DEATH({ reader.read(e); },
+    ASSERT_TRUE(reader.next(e));
+    ASSERT_TRUE(reader.next(e));
+    EXPECT_DEATH({ reader.next(e); },
                  "declares 3 epochs but the stream ended after 2");
 }
 
@@ -114,13 +114,14 @@ TEST(TraceIo, ZeroDeclaredCountStillReadsToEof)
         writer.write(epochOf(10, {{0, false}}));
     }
     std::string bytes = buf.str();
-    bytes[8] = bytes[9] = bytes[10] = bytes[11] = 0;
+    for (int i = 8; i < 16; ++i) // u64 count field of the v2 header
+        bytes[i] = 0;
     std::stringstream zeroed(bytes);
     TraceReader reader(zeroed);
     EXPECT_EQ(reader.declaredEpochs(), 0u);
     Epoch e;
-    ASSERT_TRUE(reader.read(e));
-    EXPECT_FALSE(reader.read(e));
+    ASSERT_TRUE(reader.next(e));
+    EXPECT_FALSE(reader.next(e));
 }
 
 TEST(TraceIo, RejectsBadMagic)
@@ -140,7 +141,7 @@ TEST(TraceIo, LargeAddressesSurvive)
     }
     TraceReader reader(buf);
     Epoch e;
-    ASSERT_TRUE(reader.read(e));
+    ASSERT_TRUE(reader.next(e));
     EXPECT_EQ(e.accesses[0].addr, big);
     EXPECT_TRUE(e.accesses[0].isWrite);
 }
@@ -156,7 +157,7 @@ TEST(TraceIo, CaptureMatchesGenerator)
     TraceReader reader(buf);
     Epoch replayed;
     for (int i = 0; i < 100; ++i) {
-        ASSERT_TRUE(reader.read(replayed));
+        ASSERT_TRUE(reader.next(replayed));
         const Epoch expected = reference.next();
         ASSERT_EQ(replayed.instructions, expected.instructions);
         ASSERT_EQ(replayed.accesses.size(), expected.accesses.size());
@@ -167,7 +168,7 @@ TEST(TraceIo, CaptureMatchesGenerator)
                       expected.accesses[k].isWrite);
         }
     }
-    EXPECT_FALSE(reader.read(replayed));
+    EXPECT_FALSE(reader.next(replayed));
 }
 
 TEST(TraceIo, SummaryStatistics)
