@@ -268,6 +268,9 @@ class GridRunner
                        static_cast<u64>(opts_.simThreads));
         top_timing.add("sim_threads_clamped",
                        static_cast<u64>(simThreadsClamped_ ? 1 : 0));
+        top_timing.add("fast_timing", static_cast<u64>(fastTiming_ ? 1 : 0));
+        top_timing.add("fast_timing_clamped",
+                       static_cast<u64>(fastTimingClamped_ ? 1 : 0));
         top_timing.add("wall_ms_total", totalMs_);
         top_timing.add("elapsed_ms", elapsedMs_);
         top_timing.add("cells_per_sec",
@@ -317,6 +320,24 @@ class GridRunner
         }
         for (Cell &cell : cells_)
             cell.cfg.simThreads = simThreads_;
+
+        // Fast timing rides on intra-cell threads: with simThreads
+        // clamped to 1 there is nothing to shard, so the request is
+        // dropped with the same loud clamp (and recorded in the timing
+        // sidecar as fast_timing_clamped).
+        fastTiming_ = opts_.fastTiming;
+        if (fastTiming_ && simThreads_ == 1) {
+            std::fprintf(
+                stderr,
+                "[runner] %s: --fast-timing ignored (clamped off): it "
+                "needs intra-cell threads (--sim-threads >= 2 under "
+                "--serial or --jobs 1)\n",
+                name_.c_str());
+            fastTiming_ = false;
+            fastTimingClamped_ = true;
+        }
+        for (Cell &cell : cells_)
+            cell.cfg.fastTiming = fastTiming_;
     }
 
     /** Point a cell's trace sink into COP_TRACE_STATS, if set. */
@@ -393,6 +414,8 @@ class GridRunner
     double elapsedMs_ = 0;
     unsigned simThreads_ = 1;
     bool simThreadsClamped_ = false;
+    bool fastTiming_ = false;
+    bool fastTimingClamped_ = false;
     JsonObjectBuilder derived_;
 };
 

@@ -22,6 +22,13 @@
  *     --trace-interval <n>   epochs between trace snapshots
  *     --sim-threads <n>      sharded-simulation thread budget; results
  *                            are byte-identical to 1 (0 = all cores)
+ *     --fast-timing          relaxed-consistency fast mode: true
+ *                            shard parallelism under --sim-threads,
+ *                            deterministic but NOT byte-identical to
+ *                            the exact model (divergence is reported
+ *                            in the ft_* results fields)
+ *     --ft-quantum <n>       epochs per core between fast-timing
+ *                            reconciliation barriers (default 64)
  *     --trace-in <file>      replay a captured trace instead of the
  *                            synthetic generator; repeat once per core
  *                            (cores = number of --trace-in files)
@@ -147,6 +154,11 @@ main(int argc, char **argv)
             // 0 is the resolve-to-hardware-concurrency request.
             cfg.simThreads = static_cast<unsigned>(
                 parseU64(next(), "--sim-threads"));
+        } else if (arg == "--fast-timing") {
+            cfg.fastTiming = true;
+        } else if (arg == "--ft-quantum") {
+            cfg.fastTimingQuantumEpochs =
+                parsePositiveU64(next(), "--ft-quantum");
         } else if (arg == "--list") {
             return listBenchmarks();
         } else {

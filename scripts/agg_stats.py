@@ -150,6 +150,33 @@ def check_adaptive_gauges(path, lineno, counters, running):
              "adaptive victim evictions != demotions in snapshot")
 
 
+DIVERGENCE_GAUGES = ("shard.divergence_barriers",
+                     "shard.divergence_ambient_stall_cycles",
+                     "shard.divergence_ambient_row_closes",
+                     "shard.divergence_clock_skew_max",
+                     "shard.divergence_version_merges")
+
+
+def check_divergence_gauges(path, lineno, counters):
+    """Validate the fast-timing divergence gauges (when present).
+
+    Only fast-timing runs (SystemConfig::fastTiming) register the
+    shard.divergence_* family — exact runs must not carry it. When any
+    member appears, all of them must: the divergence contract promises
+    the approximation is reported in full, never selectively. All are
+    running totals (clock_skew_max is a running max), so the drained
+    per-snapshot deltas the schema checks elsewhere are non-negative
+    by construction.
+    """
+    present = [name for name in DIVERGENCE_GAUGES if name in counters]
+    if not present or len(present) == len(DIVERGENCE_GAUGES):
+        return
+    missing = sorted(set(DIVERGENCE_GAUGES) - set(present))
+    fail(path, lineno,
+         f"fast-timing trace carries {present[0]!r} but is missing "
+         f"divergence gauge(s) {missing}")
+
+
 def load(path):
     """Parse and schema-check one trace; returns the snapshot list."""
     snapshots = []
@@ -198,6 +225,7 @@ def load(path):
             check_trace_gauges(path, lineno, counters)
             check_adaptive_gauges(path, lineno, counters,
                                   adaptive_running)
+            check_divergence_gauges(path, lineno, counters)
 
             hists = snap["histograms"]
             if not isinstance(hists, dict):

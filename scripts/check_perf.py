@@ -40,6 +40,15 @@ only when the recording host had >= 4 CPUs (on smaller hosts — like
 single-CPU CI containers — a wall speedup is physically impossible and
 the check is skipped loudly).
 
+The same thread-sweep results carry the fast-timing gates
+(SystemConfig::fastTiming, DESIGN.md §8.2): the IPC divergence of the
+relaxed mode vs. the simThreads=1 oracle on the default profile is a
+ratio of two deterministic simulated IPCs and must stay under its
+contract ceiling (2% for cop4) on any host, while the fast-timing wall
+speedup — the whole point of trading byte-identity away — is gated
+only when the recording host had >= 4 CPUs, like the sharded wall
+gate.
+
 A fourth gate is fully deterministic: `fault_campaign --quick` records
 the fraction of injected 2-flip raw events the on-die SEC filter
 miscorrects and the number of ECC-region slots the adaptive-capacity
@@ -114,6 +123,15 @@ def main() -> int:
     parser.add_argument("--sharded-speedup-min", type=float, default=1.8,
                         help="floor for the deterministic modeled "
                              "sharded speedup (min over cop4/coper)")
+    parser.add_argument("--fast-timing-speedup-min", type=float,
+                        default=2.5,
+                        help="floor for the fast-timing wall speedup "
+                             "(min over cop4/coper; only gated when "
+                             "the recording host had >= 4 CPUs)")
+    parser.add_argument("--ft-divergence-max", type=float, default=0.02,
+                        help="ceiling for the fast-timing IPC "
+                             "divergence vs. the simThreads=1 oracle "
+                             "on the default profile (cop4)")
     args = parser.parse_args()
 
     failed = False
@@ -193,6 +211,44 @@ def main() -> int:
             print(f"sharded/wall_speedup: skipped (host_cpus="
                   f"{host_cpus} < 4 — no parallelism to measure; the "
                   "modeled gate above still applies)")
+        # Fast-timing gates. The IPC divergence vs. the simThreads=1
+        # oracle is a ratio of two deterministic simulated IPCs, so it
+        # gates on any host; the wall speedup again needs real cores
+        # under it. Guarded on key presence so the gate still accepts
+        # results files recorded before the fast-timing mode existed.
+        if "ft_ipc_divergence" in sweep:
+            div = float(sweep["ft_ipc_divergence"]["cop4"])
+            div_ok = div <= args.ft_divergence_max
+            print(f"fast-timing/ft_ipc_divergence/cop4: {div:.4f} "
+                  f"(ceiling {args.ft_divergence_max:.2f}) "
+                  f"... {'ok' if div_ok else 'FAIL'}")
+            if not div_ok:
+                failed = True
+                print("fast-timing: the relaxed mode's IPC diverged "
+                      "from the serial oracle beyond its contract on "
+                      "the default profile — the ambient-contention "
+                      "model is mis-calibrated or broken.",
+                      file=sys.stderr)
+            if host_cpus >= 4:
+                ftw = float(sweep["fast_timing_speedup_min"])
+                ftw_ok = ftw >= args.fast_timing_speedup_min
+                print(f"fast-timing/fast_timing_speedup_min: "
+                      f"{ftw:.2f}x "
+                      f"(floor {args.fast_timing_speedup_min:.2f}x, "
+                      f"host_cpus={host_cpus}) "
+                      f"... {'ok' if ftw_ok else 'FAIL'}")
+                if not ftw_ok:
+                    failed = True
+                    print("fast-timing: the relaxed mode no longer "
+                          "beats the byte-identical ceiling on a "
+                          "multi-core host — the shard barriers or "
+                          "the partitioned LLC are costing more than "
+                          "the parallelism pays.", file=sys.stderr)
+            else:
+                print(f"fast-timing/fast_timing_speedup_min: skipped "
+                      f"(host_cpus={host_cpus} < 4 — no parallelism "
+                      "to measure; the divergence gate above still "
+                      "applies)")
     else:
         print(f"sharded: {args.system_threads_results} not found, "
               "skipping gate")

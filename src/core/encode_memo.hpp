@@ -6,9 +6,11 @@
  * Why this cannot change simulated behaviour: encode is a pure function
  * of the 64 block bytes and the (immutable) codec configuration — the
  * codec holds no mutable state, the static hash is a constant, and the
- * encoder never looks at the address or the clock. The memo is
- * direct-mapped on a hash of the content but keyed on the FULL 64-byte
- * block: a slot only answers when its stored key compares equal, so a
+ * encoder never looks at the address or the clock. The memo is 4-way
+ * set-associative on a hash of the content (tree pseudo-LRU per set,
+ * common/plru.hpp — the original direct-mapped table thrashed when two
+ * hot contents hashed to one slot) but keyed on the FULL 64-byte
+ * block: a way only answers when its stored key compares equal, so a
  * hash collision evicts rather than corrupts. See DESIGN.md.
  *
  * One memo per System (never shared across parallel workers), so grid
@@ -25,23 +27,26 @@
 
 namespace cop {
 
-/** Content-keyed direct-mapped cache of encode results. */
+/** Content-keyed 4-way set-associative cache of encode results. */
 class EncodeMemo
 {
   public:
+    static constexpr unsigned kWays = 4;
+
     /**
-     * @param entries Slot count (rounded up to a power of two). 0 makes
-     *        the memo counting-only: every encode runs the codec, but
-     *        the perf counters still accumulate.
+     * @param entries Total capacity; sets = entries / kWays, rounded up
+     *        to a power of two. 0 makes the memo counting-only: every
+     *        encode runs the codec, but the perf counters still
+     *        accumulate.
      */
     explicit EncodeMemo(unsigned entries)
     {
         if (entries > 0) {
-            unsigned cap = 1;
-            while (cap < entries)
-                cap <<= 1;
-            slots_.resize(cap);
-            mask_ = cap - 1;
+            unsigned sets = 1;
+            while (sets * kWays < entries)
+                sets <<= 1;
+            sets_.resize(sets);
+            mask_ = sets - 1;
         }
     }
 
@@ -54,21 +59,34 @@ class EncodeMemo
     encode(const CopCodec &codec, const CacheBlock &data)
     {
         ++lookups_;
-        if (slots_.empty()) {
+        if (sets_.empty()) {
             scratch_ = missEncode(codec, data);
             schemeTrials_ += scratch_.schemeTrials;
             return scratch_;
         }
-        Entry &slot = slots_[contentHash(data) & mask_];
-        if (slot.valid && slot.key == data) {
-            ++hits_;
-            return slot.result;
+        Set &set = sets_[contentHash(data) & mask_];
+        unsigned way = kWays;
+        for (unsigned w = 0; w < kWays; ++w) {
+            Entry &e = set.ways[w];
+            if (e.valid && e.key == data) {
+                ++hits_;
+                set.plru.touch(w);
+                return e.result;
+            }
+            if (way == kWays && !e.valid)
+                way = w;
         }
-        slot.valid = true;
-        slot.key = data;
-        slot.result = missEncode(codec, data);
-        schemeTrials_ += slot.result.schemeTrials;
-        return slot.result;
+        if (way == kWays) {
+            way = set.plru.victim();
+            ++conflictEvictions_;
+        }
+        Entry &e = set.ways[way];
+        e.valid = true;
+        e.key = data;
+        e.result = missEncode(codec, data);
+        schemeTrials_ += e.result.schemeTrials;
+        set.plru.touch(way);
+        return e.result;
     }
 
     /**
@@ -80,15 +98,17 @@ class EncodeMemo
      */
     void attachWarmStore(const WarmEncodeStore *warm) { warm_ = warm; }
 
-    /** Slot count (0 = counting-only). */
+    /** Total entry capacity (0 = counting-only). */
     unsigned capacity() const
     {
-        return static_cast<unsigned>(slots_.size());
+        return static_cast<unsigned>(sets_.size()) * kWays;
     }
 
     u64 lookups() const { return lookups_; }
     u64 hits() const { return hits_; }
     u64 schemeTrials() const { return schemeTrials_; }
+    /** Misses that displaced a valid, differently-keyed entry. */
+    u64 conflictEvictions() const { return conflictEvictions_; }
 
   private:
     struct Entry
@@ -96,6 +116,12 @@ class EncodeMemo
         bool valid = false;
         CacheBlock key;
         CopEncodeResult result;
+    };
+
+    struct Set
+    {
+        Entry ways[kWays];
+        Plru4 plru;
     };
 
     /** Multiply-xor mix of the eight block words. */
@@ -116,12 +142,13 @@ class EncodeMemo
         return codec.encode(data);
     }
 
-    std::vector<Entry> slots_;
+    std::vector<Set> sets_;
     const WarmEncodeStore *warm_ = nullptr;
     u64 mask_ = 0;
     u64 lookups_ = 0;
     u64 hits_ = 0;
     u64 schemeTrials_ = 0;
+    u64 conflictEvictions_ = 0;
     /** Result holder for the counting-only (uncached) mode. */
     CopEncodeResult scratch_;
 };

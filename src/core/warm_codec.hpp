@@ -3,10 +3,14 @@
  * Warm result stores for the thread-parallel sharded simulation core
  * (SystemConfig::simThreads > 1, see DESIGN.md §8 and sim/shard.hpp).
  *
- * A warm store is a coordinator-private, direct-mapped table of
- * precomputed pure-function results produced ahead of time by shard
+ * A warm store is a coordinator-private, 4-way set-associative table
+ * of precomputed pure-function results produced ahead of time by shard
  * workers: encode results keyed on the full 64-byte source content,
- * decode results keyed on the full 64-byte stored image. Lookups only
+ * decode results keyed on the full 64-byte stored image. Direct-mapped
+ * stores were conflict-prone on big footprints (two hot blocks hashing
+ * to one slot evict each other forever); four ways under a tree
+ * pseudo-LRU (common/plru.hpp) absorb those collisions at one byte of
+ * replacement state per set. Lookups only
  * answer when the stored key compares equal, and both CopCodec::encode
  * and CopCodec::decode are pure functions of their 64-byte input plus
  * the immutable codec configuration — so substituting a warm result
@@ -28,6 +32,7 @@
 
 #include <vector>
 
+#include "common/plru.hpp"
 #include "core/codec.hpp"
 
 namespace cop {
@@ -45,17 +50,20 @@ blockContentHash(const CacheBlock &data)
     return h;
 }
 
-/** Direct-mapped block-keyed store of precomputed results. */
+/** 4-way set-associative block-keyed store of precomputed results. */
 template <typename Result> class WarmBlockStore
 {
   public:
+    static constexpr unsigned kWays = 4;
+
+    /** @param entries total capacity; sets = entries / kWays (pow2). */
     explicit WarmBlockStore(unsigned entries)
     {
-        unsigned cap = 1;
-        while (cap < entries)
-            cap <<= 1;
-        slots_.resize(cap);
-        mask_ = cap - 1;
+        unsigned sets = 1;
+        while (sets * kWays < entries)
+            sets <<= 1;
+        sets_.resize(sets);
+        mask_ = sets - 1;
     }
 
     /** The precomputed result for @p key, or null (counts a lookup). */
@@ -63,10 +71,14 @@ template <typename Result> class WarmBlockStore
     lookup(const CacheBlock &key) const
     {
         ++lookups_;
-        const Entry &slot = slots_[blockContentHash(key) & mask_];
-        if (slot.valid && slot.key == key) {
-            ++hits_;
-            return &slot.result;
+        const Set &set = sets_[blockContentHash(key) & mask_];
+        for (unsigned w = 0; w < kWays; ++w) {
+            const Entry &e = set.ways[w];
+            if (e.valid && e.key == key) {
+                ++hits_;
+                set.plru.touch(w);
+                return &e.result;
+            }
         }
         return nullptr;
     }
@@ -74,14 +86,31 @@ template <typename Result> class WarmBlockStore
     void
     install(const CacheBlock &key, const Result &result)
     {
-        Entry &slot = slots_[blockContentHash(key) & mask_];
-        slot.valid = true;
-        slot.key = key;
-        slot.result = result;
+        Set &set = sets_[blockContentHash(key) & mask_];
+        unsigned way = kWays;
+        for (unsigned w = 0; w < kWays && way == kWays; ++w)
+            if (set.ways[w].valid && set.ways[w].key == key)
+                way = w; // refresh in place
+        for (unsigned w = 0; w < kWays && way == kWays; ++w)
+            if (!set.ways[w].valid)
+                way = w;
+        if (way == kWays) {
+            way = set.plru.victim();
+            ++conflictEvictions_;
+        }
+        Entry &e = set.ways[way];
+        e.valid = true;
+        e.key = key;
+        e.result = result;
+        set.plru.touch(way);
+        ++installs_;
     }
 
     u64 lookups() const { return lookups_; }
     u64 hits() const { return hits_; }
+    u64 installs() const { return installs_; }
+    /** Installs that displaced a valid, differently-keyed entry. */
+    u64 conflictEvictions() const { return conflictEvictions_; }
 
   private:
     struct Entry
@@ -91,11 +120,21 @@ template <typename Result> class WarmBlockStore
         Result result;
     };
 
-    std::vector<Entry> slots_;
+    struct Set
+    {
+        Entry ways[kWays];
+        /** Recency state; advanced on hits, so mutable like the
+         *  counters (lookup stays logically const). */
+        mutable Plru4 plru;
+    };
+
+    std::vector<Set> sets_;
     u64 mask_ = 0;
     /** Telemetry only (lookup is logically const). */
     mutable u64 lookups_ = 0;
     mutable u64 hits_ = 0;
+    u64 installs_ = 0;
+    u64 conflictEvictions_ = 0;
 };
 
 /** Worker-precomputed CopCodec::encode results, keyed on the content. */

@@ -1,7 +1,30 @@
 #include "dram/dram_system.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
+
+namespace {
+
+/**
+ * Deterministic uniform draw in [0, 1) from (address, arrival) — a
+ * splitmix64-style finalizer, so the ambient row-close model needs no
+ * RNG state and fast-timing runs stay reproducible.
+ */
+double
+ambientHash(cop::Addr addr, cop::Cycle arrival)
+{
+    cop::u64 x = addr * 0x9E3779B97F4A7C15ULL ^
+                 (arrival + 0xD1B54A32D192ED03ULL);
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+} // namespace
 
 namespace cop {
 
@@ -14,6 +37,29 @@ DramSystem::DramSystem(const DramConfig &cfg) : cfg_(cfg), map_(cfg)
             static_cast<size_t>(cfg_.ranksPerChannel) * cfg_.banksPerRank);
         ch.ranks.resize(cfg_.ranksPerChannel);
     }
+}
+
+void
+DramSystem::setAmbientBusLoad(double load)
+{
+    if (load < 0.0)
+        load = 0.0;
+    if (load > 0.9)
+        load = 0.9; // bound 1/(1-load)
+    // Calibrated against the simThreads=1 oracle (see DESIGN.md §8.2).
+    // The raw processor-sharing stretch load/(1-load) is amplified by
+    // kAmbientGain: the mean-load view misses transient burst
+    // collisions (several cores' epoch boundaries lining up), and the
+    // partitioned shard also keeps row hits the shared banks would
+    // have lost to cross-core row closes. It is capped at
+    // kAmbientCap: each core's bounded miss-level parallelism closes
+    // the queueing loop, so the real slowdown saturates near the
+    // fair-bandwidth share instead of growing without bound.
+    constexpr double kAmbientGain = 1.45;
+    constexpr double kAmbientCap = 0.8;
+    ambientLoad_ = load;
+    ambientFactor_ =
+        std::min(kAmbientGain * load / (1.0 - load), kAmbientCap);
 }
 
 DramSystem::Bank &
@@ -102,7 +148,27 @@ DramSystem::access(const DramRequest &req)
     DramResult result;
     Cycle cas; // cycle the column command issues
 
-    if (bank.rowOpen && bank.openRow == loc.row) {
+    bool row_hit = bank.rowOpen && bank.openRow == loc.row;
+    if (row_hit && ambientCloseRate_ > 0.0) {
+        // Ambient row-buffer interference (fast-timing mode): the
+        // longer the bank sat untouched by this shard, the likelier
+        // another shard's access closed the row in the meantime. A
+        // demoted hit takes the row-conflict path below — precharge
+        // then activate — exactly what the shared model charges when
+        // another core's row is open.
+        const Cycle gap = req.arrival > bank.lastUse
+                              ? req.arrival - bank.lastUse
+                              : 0;
+        const double survive =
+            std::exp(-ambientCloseRate_ * static_cast<double>(gap));
+        if (ambientHash(req.addr, req.arrival) >= survive) {
+            row_hit = false;
+            ++stats_.ambientRowCloses;
+        }
+    }
+    bank.lastUse = req.arrival;
+
+    if (row_hit) {
         // Row hit: column access only.
         result.rowHit = true;
         ++stats_.rowHits;
@@ -161,16 +227,36 @@ DramSystem::access(const DramRequest &req)
     channel.busBusy += burst;
     stats_.busBusyCycles += burst;
     stats_.beatsSaved += 8 - req.burstBeats;
-    result.complete = data + burst;
+    const Cycle physical_complete = data + burst;
+    result.complete = physical_complete;
+    if (ambientFactor_ > 0.0) {
+        // Fast-timing ambient load: this shard owns only a
+        // (1 - load) share of the memory system's service capacity —
+        // the other shards' interleaved traffic stretches every
+        // arrival-to-data sojourn by a calibrated factor of
+        // load / (1 - load). The stretch delays only the *requester*
+        // (and the recorded latency, mirroring the oracle's queueing);
+        // bank and bus state keep the physical completion time — bank-
+        // level cross-shard interference is modelled separately by the
+        // ambient row-close draw above, and letting the stretch
+        // compound through the write-recovery back-annotation
+        // double-counts it.
+        const Cycle extra = static_cast<Cycle>(
+            static_cast<double>(physical_complete - req.arrival) *
+                ambientFactor_ +
+            0.5);
+        result.complete += extra;
+        stats_.ambientStallCycles += extra;
+    }
 
-    // Back-annotate bank state.
+    // Back-annotate bank state (physical times, never the stretch).
     const Cycle effective_cas = data - cas_to_data;
     bank.casReady = std::max(bank.casReady, effective_cas + cfg_.tCCD);
     if (req.isWrite) {
         ++stats_.writes;
         stats_.writeBeats += req.burstBeats;
         bank.preReady =
-            std::max(bank.preReady, result.complete + cfg_.tWR);
+            std::max(bank.preReady, physical_complete + cfg_.tWR);
         stats_.totalWriteLatency += result.complete - req.arrival;
         stats_.writeLatency.record(result.complete - req.arrival);
     } else {

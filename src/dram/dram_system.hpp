@@ -70,6 +70,22 @@ struct DramStats
     Cycle busBusyCycles = 0;
     /** Bus direction flips that imposed a tWTR/tRTW turnaround gap. */
     u64 busTurnarounds = 0;
+    /**
+     * Cycles added by the fast-timing ambient bus load (expected
+     * contention from other shards' channels, see setAmbientBusLoad).
+     * Always zero outside fast-timing mode — a divergence counter, not
+     * a physical bus statistic, so it stays out of busBusyCycles and
+     * its per-channel conservation identity.
+     */
+    Cycle ambientStallCycles = 0;
+    /**
+     * Row hits demoted to row conflicts by the fast-timing ambient
+     * row-close model (expected row-buffer interference from other
+     * shards' traffic, see setAmbientRowCloseRate). Always zero
+     * outside fast-timing mode; a divergence counter like
+     * ambientStallCycles.
+     */
+    u64 ambientRowCloses = 0;
     /** Per-access arrival-to-last-beat latency (simulated cycles). */
     Histogram readLatency;
     Histogram writeLatency;
@@ -129,6 +145,49 @@ class DramSystem
     void registerStats(StatsRegistry &reg) const;
 
     /**
+     * Fast-timing reconciliation hook (sim/system.cpp): model the bus
+     * occupancy of the *other* shards' traffic as capacity sharing.
+     * @p load is the external utilisation in [0, 1) — the coordinator
+     * computes it from the other shards' busBusyCycles deltas at each
+     * quantum barrier. Under it the shard owns only a (1 - load)
+     * share of the memory system's service capacity, so every access's
+     * arrival-to-data sojourn is stretched by a calibrated
+     * processor-sharing factor derived from load / (1 - load) (gain
+     * and saturation cap in the implementation, fitted against the
+     * simThreads=1 oracle — see DESIGN.md §8.2). This stands in for
+     * the queueing the partitioned model no longer sees directly (bank
+     * conflicts included, not just the bus). The stretch is counted in
+     * DramStats::ambientStallCycles
+     * (never in busBusyCycles, whose per-channel conservation identity
+     * stays exact) so the approximation is reported, never hidden.
+     * 0 (the default) is the exact model.
+     */
+    void setAmbientBusLoad(double load);
+
+    /** The external bus utilisation currently modelled. */
+    double ambientBusLoad() const { return ambientLoad_; }
+
+    /**
+     * Fast-timing reconciliation hook, companion to
+     * setAmbientBusLoad(): model the *row-buffer* interference of the
+     * other shards' traffic. @p rate is their access rate per bank per
+     * cycle; a row that sat open for g cycles since this shard last
+     * touched the bank survived that interference with probability
+     * exp(-rate * g), so each would-be row hit is demoted to a row
+     * conflict (precharge + activate, exactly what the shared model
+     * would see with another core's row open) with the complementary
+     * probability. The draw is a deterministic hash of
+     * (address, arrival), keeping fast-timing runs reproducible.
+     * Demotions are counted in DramStats::ambientRowCloses. 0 (the
+     * default) disables the model.
+     */
+    void
+    setAmbientRowCloseRate(double rate)
+    {
+        ambientCloseRate_ = rate > 0.0 ? rate : 0.0;
+    }
+
+    /**
      * Earliest cycle the addressed bank could issue the first command
      * of a new access (CAS on an open-row hit, ACT otherwise),
      * consulting the same per-rank tRRD/tFAW windows and refresh state
@@ -144,6 +203,7 @@ class DramSystem
         Cycle casReady = 0; ///< Earliest next CAS.
         Cycle preReady = 0; ///< Earliest next PRE (tRAS/tWR respected).
         Cycle actReady = 0; ///< Earliest next ACT (after PRE done).
+        Cycle lastUse = 0;  ///< Last arrival here (ambient row closes).
     };
 
     struct Rank
@@ -185,6 +245,10 @@ class DramSystem
     AddressMap map_;
     std::vector<Channel> channels_;
     DramStats stats_;
+    /** Ambient-contention model state (fast-timing mode only). */
+    double ambientLoad_ = 0.0;
+    double ambientFactor_ = 0.0;    ///< Calibrated sojourn stretch.
+    double ambientCloseRate_ = 0.0; ///< Row closes /bank/cycle.
 };
 
 } // namespace cop

@@ -53,6 +53,22 @@ writeReport(const SystemResults &results, const SystemConfig &cfg,
         line(out, "perfect-L3 IPC (per core)", profile.perfectIpc);
     }
 
+    if (results.fastTiming) {
+        // Always printed for a fast-timing run, whatever the section
+        // mask: the reader must know these numbers came from the
+        // relaxed-consistency model, not the byte-identical one.
+        section(out, "fast timing (relaxed consistency; "
+                     "NOT byte-identical to the exact model)");
+        lineCount(out, "shards", results.ftShards);
+        lineCount(out, "quantum barriers", results.ftBarriers);
+        lineCount(out, "ambient stall cycles",
+                  results.dram.ambientStallCycles);
+        lineCount(out, "ambient row closes",
+                  results.dram.ambientRowCloses);
+        lineCount(out, "max shard clock skew", results.ftClockSkewMax);
+        lineCount(out, "version merges", results.ftVersionMerges);
+    }
+
     if (options.cache) {
         section(out, "shared L3");
         lineCount(out, "hits", results.llc.hits);

@@ -34,6 +34,9 @@ parseRunnerOptions(int argc, char **argv)
         opts.simThreads =
             static_cast<unsigned>(parseU64(env, "COP_SIM_THREADS"));
     }
+    if (const char *env = std::getenv("COP_FAST_TIMING")) {
+        opts.fastTiming = std::string(env) != "0";
+    }
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--serial") {
@@ -48,6 +51,8 @@ parseRunnerOptions(int argc, char **argv)
                 COP_FATAL("--sim-threads needs a value");
             opts.simThreads = static_cast<unsigned>(
                 parseU64(argv[++i], "--sim-threads"));
+        } else if (arg == "--fast-timing") {
+            opts.fastTiming = true;
         }
     }
     return opts;
@@ -262,7 +267,20 @@ appendResultsJson(std::string &out, const SystemResults &r)
     field(out, "adaptive_demotions", r.adaptive.demotions);
     field(out, "adaptive_victim_evictions", r.adaptive.victimEvictions);
     field(out, "adaptive_released_blocks_hw",
-          r.adaptive.releasedBlocksHighWater, false);
+          r.adaptive.releasedBlocksHighWater);
+    // Fast-timing divergence accounting — appended strictly after
+    // everything that existed before it (same convention). All zero
+    // for exact-mode runs, so those stay byte-identical to builds
+    // without the mode; a fast-timing run's approximation is always
+    // visible right here, never hidden.
+    field(out, "fast_timing", r.fastTiming ? 1 : 0);
+    field(out, "ft_shards", r.ftShards);
+    field(out, "ft_quantum_epochs", r.ftQuantumEpochs);
+    field(out, "ft_barriers", r.ftBarriers);
+    field(out, "ft_ambient_stall_cycles", r.dram.ambientStallCycles);
+    field(out, "ft_ambient_row_closes", r.dram.ambientRowCloses);
+    field(out, "ft_clock_skew_max", r.ftClockSkewMax);
+    field(out, "ft_version_merges", r.ftVersionMerges, false);
     out += '}';
 }
 

@@ -38,6 +38,13 @@ struct RunnerOptions
      * GridRunner does, loudly.
      */
     unsigned simThreads = 1;
+    /**
+     * Per-cell SystemConfig::fastTiming request (COP_FAST_TIMING /
+     * --fast-timing). Like simThreads, it multiplies with grid-level
+     * parallelism, so consumers running cells under more than one grid
+     * worker must clamp it off — the GridRunner does, loudly.
+     */
+    bool fastTiming = false;
 
     /** The worker count actually used (resolves 0 and serial). */
     unsigned effectiveJobs() const;
@@ -48,7 +55,9 @@ struct RunnerOptions
  * (positive integer) sets the worker count; `--serial` forces
  * single-threaded in-order execution; `--jobs N` overrides the
  * environment; COP_SIM_THREADS / `--sim-threads N` set the per-cell
- * sharded-simulation thread budget (0 = hardware concurrency).
+ * sharded-simulation thread budget (0 = hardware concurrency);
+ * COP_FAST_TIMING / `--fast-timing` request the relaxed-consistency
+ * fast-timing mode (SystemConfig::fastTiming) for every cell.
  * Unrecognised arguments are ignored (benches keep their own flags,
  * e.g. fig11's `--config`).
  */

@@ -101,6 +101,14 @@ struct ShardTelemetry
     u64 warmEncodeHits = 0;
     u64 warmDecodeLookups = 0;
     u64 warmDecodeHits = 0;
+    /** Install traffic + set-conflict evictions per warm store (the
+     *  4-way associativity change is measurable per store). */
+    u64 warmContentInstalls = 0;
+    u64 warmContentConflicts = 0;
+    u64 warmEncodeInstalls = 0;
+    u64 warmEncodeConflicts = 0;
+    u64 warmDecodeInstalls = 0;
+    u64 warmDecodeConflicts = 0;
 };
 
 /**
@@ -203,6 +211,42 @@ class ShardProducer
     };
     std::vector<SeenContent> contentSeen_;
     std::vector<SeenBlock> codecSeen_;
+};
+
+/**
+ * Generation barrier for the fast-timing mode's quantum loop
+ * (SystemConfig::fastTiming): all shard threads arrive, the last
+ * arrival flips the generation and releases everyone. Reusable across
+ * quanta. Mutex + condvar — the barrier fires at quantum granularity
+ * (thousands of epochs), so contention is noise, and TSan sees plain
+ * happens-before edges.
+ */
+class QuantumBarrier
+{
+  public:
+    explicit QuantumBarrier(unsigned parties) : parties_(parties) {}
+
+    /** Arrive; block until all @p parties of this generation have. */
+    void
+    arriveAndWait()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        const u64 gen = generation_;
+        if (++waiting_ == parties_) {
+            waiting_ = 0;
+            ++generation_;
+            cv_.notify_all();
+            return;
+        }
+        cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+
+  private:
+    std::mutex m_;
+    std::condition_variable cv_;
+    unsigned parties_;
+    unsigned waiting_ = 0;
+    u64 generation_ = 0;
 };
 
 /** Worker-thread parameters (everything but the profile, by value). */

@@ -1,6 +1,7 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <thread>
 
@@ -61,10 +62,67 @@ makeController(ControllerKind kind, DramSystem &dram,
     COP_PANIC("bad controller kind");
 }
 
+unsigned
+System::fastShardCount(const SystemConfig &cfg)
+{
+    if (!cfg.fastTiming)
+        return 1;
+    if (cfg.fault.enabled)
+        COP_FATAL("fastTiming is incompatible with fault injection: the "
+                  "error-recovery paths are defined against the exact "
+                  "serial interleaving");
+    if (cfg.cores < 2)
+        COP_FATAL("fastTiming needs >= 2 cores to partition");
+    if (cfg.fastTimingQuantumEpochs == 0)
+        COP_FATAL("fastTimingQuantumEpochs must be positive");
+    unsigned threads = cfg.simThreads;
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : hw;
+    }
+    if (threads < 2)
+        COP_FATAL("fastTiming needs simThreads >= 2 (one shard would "
+                  "only add approximation without speedup)");
+    return std::min<unsigned>(threads, cfg.cores);
+}
+
+CacheConfig
+System::fastLlcConfig(const CacheConfig &llc, unsigned shard_count)
+{
+    // Way-partition: each shard owns ways/shard_count ways of every
+    // set, so the set count — and with it the index function — is
+    // unchanged and per-shard capacity sums to the original cache.
+    CacheConfig out = llc;
+    out.ways = std::max(1u, llc.ways / shard_count);
+    out.sizeBytes = llc.sets() * out.ways * kBlockBytes;
+    return out;
+}
+
 System::System(const WorkloadProfile &profile, const SystemConfig &cfg)
-    : profile_(profile), cfg_(cfg), dram_(cfg.dram), llc_(cfg.llc)
+    : System(profile, cfg, 0, fastShardCount(cfg))
+{
+}
+
+System::System(const WorkloadProfile &profile, const SystemConfig &cfg,
+               unsigned shard_index, unsigned shard_count)
+    : profile_(profile), cfg_(cfg), dram_(cfg.dram),
+      llc_(shard_count > 1 ? fastLlcConfig(cfg.llc, shard_count)
+                           : cfg.llc),
+      shardIndex_(shard_index), shardCount_(shard_count)
 {
     COP_ASSERT(cfg_.cores >= 1);
+    if (shardCount_ > 1) {
+        // Relaxed-consistency shard: way-partitioned LLC, a
+        // metadata-cache share, and no verify oracle — a shared
+        // footprint is reconciled only at quantum barriers, so a
+        // shard's functional memory may be a few stores stale and the
+        // oracle would flag exactly the staleness the divergence
+        // contract tolerates (DESIGN.md §8).
+        cfg_.llc = fastLlcConfig(cfg.llc, shardCount_);
+        cfg_.metaCacheBytes =
+            std::max<u64>(kBlockBytes, cfg.metaCacheBytes / shardCount_);
+        cfg_.verifyData = false;
+    }
     cores_.resize(cfg_.cores);
     for (unsigned c = 0; c < cfg_.cores; ++c) {
         if (cfg_.epochSource) {
@@ -129,6 +187,23 @@ System::System(const WorkloadProfile &profile, const SystemConfig &cfg)
 
     if (!cfg_.traceStatsPath.empty() && cfg_.traceStatsEpochInterval == 0)
         COP_FATAL("traceStatsEpochInterval must be positive");
+
+    if (shardCount_ > 1 && profile_.sharedFootprint) {
+        // Shared-footprint runs log every version bump so the owner
+        // can merge the shards' views at each quantum barrier.
+        cores_[0].gen->pool().enableBumpLog();
+    }
+    if (shardIndex_ == 0 && shardCount_ > 1) {
+        // The owner IS shard 0; it constructs the peer shards from the
+        // caller's original configuration (each peer applies its own
+        // partitioning above). Peers never open the stats trace — the
+        // owner's registry is the run's single observability stream.
+        SystemConfig peerCfg = cfg;
+        peerCfg.traceStatsPath.clear();
+        for (unsigned s = 1; s < shardCount_; ++s)
+            peers_.emplace_back(
+                new System(profile, peerCfg, s, shardCount_));
+    }
     registerAllStats();
 }
 
@@ -261,6 +336,38 @@ System::registerAllStats()
     statsRegistry_.gauge("adaptive.released_blocks_hw", [this] {
         return controller_->adaptiveStats().releasedBlocksHighWater;
     });
+    // Fast-timing divergence gauges — registered only on the owner of
+    // a relaxed-consistency run, so exact-mode stats traces are
+    // untouched by the feature. All four are nondecreasing (the trace
+    // checker requires non-negative deltas); they are drained only at
+    // quantum barriers, when every peer shard is parked at the exit
+    // barrier, so reading peer state here is race-free.
+    if (shardIndex_ == 0 && shardCount_ > 1) {
+        statsRegistry_.gauge("shard.divergence_barriers",
+                             [this] { return ft_.barriers; });
+        statsRegistry_.gauge("shard.divergence_ambient_stall_cycles",
+                             [this] {
+                                 Cycle total =
+                                     dram_.stats().ambientStallCycles;
+                                 for (const auto &peer : peers_)
+                                     total += peer->dram_.stats()
+                                                  .ambientStallCycles;
+                                 return total;
+                             });
+        statsRegistry_.gauge("shard.divergence_ambient_row_closes",
+                             [this] {
+                                 u64 total =
+                                     dram_.stats().ambientRowCloses;
+                                 for (const auto &peer : peers_)
+                                     total += peer->dram_.stats()
+                                                  .ambientRowCloses;
+                                 return total;
+                             });
+        statsRegistry_.gauge("shard.divergence_clock_skew_max",
+                             [this] { return ft_.clockSkewMax; });
+        statsRegistry_.gauge("shard.divergence_version_merges",
+                             [this] { return ft_.versionMerges; });
+    }
 }
 
 Cycle
@@ -575,14 +682,255 @@ System::runSharded(std::ofstream &trace)
     if (warmContent_) {
         shardTelemetry_.warmContentLookups = warmContent_->lookups();
         shardTelemetry_.warmContentHits = warmContent_->hits();
+        shardTelemetry_.warmContentInstalls = warmContent_->installs();
+        shardTelemetry_.warmContentConflicts =
+            warmContent_->conflictEvictions();
     }
     if (warmEncode_) {
         shardTelemetry_.warmEncodeLookups = warmEncode_->lookups();
         shardTelemetry_.warmEncodeHits = warmEncode_->hits();
+        shardTelemetry_.warmEncodeInstalls = warmEncode_->installs();
+        shardTelemetry_.warmEncodeConflicts =
+            warmEncode_->conflictEvictions();
     }
     if (warmDecode_) {
         shardTelemetry_.warmDecodeLookups = warmDecode_->lookups();
         shardTelemetry_.warmDecodeHits = warmDecode_->hits();
+        shardTelemetry_.warmDecodeInstalls = warmDecode_->installs();
+        shardTelemetry_.warmDecodeConflicts =
+            warmDecode_->conflictEvictions();
+    }
+}
+
+void
+System::runFastQuantum(u64 target_epochs)
+{
+    // The serial furthest-behind merge loop, restricted to this
+    // shard's cores (c ≡ shardIndex_ mod shardCount_) and capped at
+    // the quantum's epoch target. Deterministic: the shard touches no
+    // state outside itself between barriers.
+    while (true) {
+        Core *next = nullptr;
+        for (unsigned c = shardIndex_; c < cores_.size();
+             c += shardCount_) {
+            Core &core = cores_[c];
+            if (core.epochsDone >= target_epochs)
+                continue;
+            if (next == nullptr || core.clock < next->clock)
+                next = &core;
+        }
+        if (next == nullptr)
+            break;
+        runEpoch(*next, next->gen->next());
+    }
+}
+
+void
+System::reconcileShards(u64 quantum_cycles_hint)
+{
+    // Owner-only; every peer is parked at the exit barrier, so all
+    // shard state is quiescent and reads/writes here are race-free.
+    std::vector<System *> shards;
+    shards.reserve(shardCount_);
+    shards.push_back(this);
+    for (auto &peer : peers_)
+        shards.push_back(peer.get());
+
+    // (a) Ambient bus load: model the other shards' channel traffic as
+    // an expected queueing delay. Each shard's external utilisation is
+    // the sum of the *other* shards' bus-busy deltas over this
+    // quantum's cycle span and channel count.
+    Cycle globalClock = 0;
+    Cycle minShardClock = 0;
+    bool first = true;
+    for (System *s : shards) {
+        const Cycle c = s->maxCoreClock();
+        globalClock = std::max(globalClock, c);
+        minShardClock = first ? c : std::min(minShardClock, c);
+        first = false;
+    }
+    const Cycle span = globalClock > lastGlobalClock_
+                           ? globalClock - lastGlobalClock_
+                           : quantum_cycles_hint;
+    lastGlobalClock_ = globalClock;
+    ft_.clockSkewMax =
+        std::max(ft_.clockSkewMax, globalClock - minShardClock);
+
+    std::vector<Cycle> deltas(shards.size());
+    std::vector<u64> accessDeltas(shards.size());
+    Cycle totalDelta = 0;
+    u64 totalAccessDelta = 0;
+    for (size_t i = 0; i < shards.size(); ++i) {
+        const Cycle busy = shards[i]->dram_.stats().busBusyCycles;
+        deltas[i] = busy - shards[i]->lastBusBusy_;
+        shards[i]->lastBusBusy_ = busy;
+        totalDelta += deltas[i];
+        const u64 accesses = shards[i]->dram_.stats().reads +
+                             shards[i]->dram_.stats().writes;
+        accessDeltas[i] = accesses - shards[i]->lastAccesses_;
+        shards[i]->lastAccesses_ = accesses;
+        totalAccessDelta += accessDeltas[i];
+    }
+    const double denom = static_cast<double>(span) *
+                         static_cast<double>(cfg_.dram.channels);
+    // Row-buffer interference spreads over every bank in the system.
+    const double bank_cycles =
+        static_cast<double>(span) *
+        static_cast<double>(cfg_.dram.channels) *
+        static_cast<double>(cfg_.dram.ranksPerChannel) *
+        static_cast<double>(cfg_.dram.banksPerRank);
+    for (size_t i = 0; i < shards.size(); ++i) {
+        const double ext =
+            denom > 0.0
+                ? static_cast<double>(totalDelta - deltas[i]) / denom
+                : 0.0;
+        shards[i]->dram_.setAmbientBusLoad(ext);
+        const double close_rate =
+            bank_cycles > 0.0
+                ? static_cast<double>(totalAccessDelta -
+                                      accessDeltas[i]) /
+                      bank_cycles
+                : 0.0;
+        shards[i]->dram_.setAmbientRowCloseRate(close_rate);
+    }
+
+    // (b) Shared-footprint version merge: fold every shard's logged
+    // store bumps into the global version view, then advance every
+    // shard's pool to it. The touched list is sorted and deduplicated
+    // so the merge order — and with it the run — is deterministic.
+    // Content images already cached under a stale version are
+    // tolerated (verifyData is off in fast mode) and replaced on the
+    // next version-keyed miss.
+    if (profile_.sharedFootprint) {
+        std::vector<Addr> touched;
+        for (System *s : shards) {
+            for (const Addr a : s->cores_[0].pool->drainBumpLog()) {
+                ++globalVersions_[a];
+                touched.push_back(a);
+            }
+        }
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
+        for (const Addr a : touched) {
+            const u32 global = globalVersions_[a];
+            for (System *s : shards) {
+                BlockContentPool &pool = *s->cores_[0].pool;
+                if (pool.versionOf(a) != global) {
+                    pool.setVersion(a, global);
+                    ++ft_.versionMerges;
+                }
+            }
+        }
+    }
+}
+
+void
+System::runFastTiming(std::ofstream &trace)
+{
+    const u64 quantum = cfg_.fastTimingQuantumEpochs;
+
+    // The per-core epoch targets of the successive quanta — identical
+    // on every shard, so the barrier count is deterministic. A short
+    // warm-up quantum comes first: the ambient-contention estimates
+    // start at zero (a fresh run has no traffic history), and without
+    // it the whole first quantum — a large share of a short CI run —
+    // would simulate contention-free.
+    std::vector<u64> targets;
+    {
+        const u64 warmup = std::min<u64>(8, quantum);
+        u64 t = std::min(cfg_.epochsPerCore, warmup);
+        targets.push_back(t);
+        while (t < cfg_.epochsPerCore) {
+            t = std::min(cfg_.epochsPerCore, t + quantum);
+            targets.push_back(t);
+        }
+    }
+
+    // Two generation barriers per quantum: all shards arrive at
+    // `enter` with their quantum complete; peers then park at `exit`
+    // while the owner reconciles; the owner's arrival at `exit`
+    // releases everyone into the next quantum. Shard errors set the
+    // failure flag but keep arriving at both barriers, so a dying run
+    // can never deadlock the others — the owner re-raises after join.
+    QuantumBarrier enter(shardCount_);
+    QuantumBarrier exitB(shardCount_);
+    std::vector<std::string> failures(shardCount_);
+    std::atomic<bool> failed{false};
+
+    auto guarded = [&](unsigned shard, auto &&fn) {
+        if (failed.load(std::memory_order_relaxed))
+            return;
+        try {
+            fn();
+        } catch (const std::exception &e) {
+            failures[shard] = e.what();
+            failed.store(true, std::memory_order_relaxed);
+        } catch (...) {
+            failures[shard] = "unknown shard failure";
+            failed.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(peers_.size());
+    for (auto &peerPtr : peers_) {
+        System *peer = peerPtr.get();
+        threads.emplace_back([&, peer] {
+            for (const u64 target : targets) {
+                guarded(peer->shardIndex_,
+                        [&] { peer->runFastQuantum(target); });
+                enter.arriveAndWait();
+                exitB.arriveAndWait();
+            }
+        });
+    }
+
+    const u64 interval = cfg_.traceStatsEpochInterval;
+    auto globalEpochs = [&] {
+        u64 total = 0;
+        for (const Core &core : cores_)
+            total += core.epochsDone;
+        for (const auto &peer : peers_)
+            for (const Core &core : peer->cores_)
+                total += core.epochsDone;
+        return total;
+    };
+
+    for (const u64 target : targets) {
+        guarded(0, [&] { runFastQuantum(target); });
+        enter.arriveAndWait();
+        guarded(0, [&] {
+            reconcileShards(quantum);
+            ++ft_.barriers;
+            // Owner-registry snapshot at barrier cadence: the closest
+            // deterministic analogue of the serial trace's per-epoch
+            // interval (snapshots can only happen when all shards are
+            // quiescent).
+            if (trace.is_open() &&
+                globalEpochs() - lastSnapshotEpochs_ >= interval) {
+                trace << statsRegistry_.drainEpochJson(globalEpochs(),
+                                                       lastGlobalClock_)
+                      << "\n";
+                lastSnapshotEpochs_ = globalEpochs();
+            }
+        });
+        exitB.arriveAndWait();
+    }
+    for (std::thread &t : threads)
+        t.join();
+    if (failed.load()) {
+        for (unsigned s = 0; s < shardCount_; ++s)
+            if (!failures[s].empty())
+                COP_FATAL("fast-timing shard " + std::to_string(s) +
+                          " failed: " + failures[s]);
+        COP_FATAL("fast-timing run failed");
+    }
+    if (trace.is_open()) {
+        // Final snapshot so the trace always sums to the run totals.
+        trace << statsRegistry_.drainEpochJson(globalEpochs(),
+                                               lastGlobalClock_)
+              << "\n";
     }
 }
 
@@ -600,7 +948,9 @@ System::run()
             COP_FATAL("cannot open stats trace " + cfg_.traceStatsPath);
     }
 
-    if (resolvedSimThreads() <= 1) {
+    if (cfg_.fastTiming) {
+        runFastTiming(trace);
+    } else if (resolvedSimThreads() <= 1) {
         mergeLoop(
             [](Core &core, unsigned) -> const Epoch & {
                 return core.gen->next();
@@ -610,6 +960,28 @@ System::run()
         runSharded(trace);
     }
 
+    SystemResults results = collectResults();
+    if (cfg_.fastTiming) {
+        // Fold the peer shards in. touchedBlocks is a per-shard image
+        // count — exact in rate mode (disjoint regions), a slight
+        // over-count in shared-footprint mode (a block both shards
+        // touched has an image in each); part of the documented
+        // divergence contract, like everything below.
+        for (auto &peer : peers_)
+            mergeResultsInto(results, peer->collectResults());
+        results.fastTiming = true;
+        results.ftShards = shardCount_;
+        results.ftQuantumEpochs = cfg_.fastTimingQuantumEpochs;
+        results.ftBarriers = ft_.barriers;
+        results.ftClockSkewMax = ft_.clockSkewMax;
+        results.ftVersionMerges = ft_.versionMerges;
+    }
+    return results;
+}
+
+SystemResults
+System::collectResults()
+{
     SystemResults results;
     for (const auto &core : cores_) {
         results.instructions += core.instructions;
@@ -650,6 +1022,89 @@ System::run()
             coper->everIncompressibleBlocks();
     }
     return results;
+}
+
+void
+System::mergeResultsInto(SystemResults &into, const SystemResults &peer)
+{
+    // Counter-wise sum of one peer shard's results (fast-timing mode
+    // only — faults are forbidden there, so the error log stays all
+    // zero and is not merged). Cycles take the max — the run is as
+    // long as its slowest shard — and the IPC is recomputed over the
+    // merged totals.
+    into.instructions += peer.instructions;
+    into.cycles = std::max(into.cycles, peer.cycles);
+    into.llcMisses += peer.llcMisses;
+    into.writebacks += peer.writebacks;
+    into.aliasPinEvents += peer.aliasPinEvents;
+
+    into.llc.hits += peer.llc.hits;
+    into.llc.misses += peer.llc.misses;
+    into.llc.evictions += peer.llc.evictions;
+    into.llc.dirtyEvictions += peer.llc.dirtyEvictions;
+    into.llc.aliasPinned += peer.llc.aliasPinned;
+    into.llc.setOverflows += peer.llc.setOverflows;
+    into.llc.spillHits += peer.llc.spillHits;
+
+    into.dram.reads += peer.dram.reads;
+    into.dram.writes += peer.dram.writes;
+    into.dram.rowHits += peer.dram.rowHits;
+    into.dram.rowMisses += peer.dram.rowMisses;
+    into.dram.rowConflicts += peer.dram.rowConflicts;
+    into.dram.refreshStalls += peer.dram.refreshStalls;
+    into.dram.refreshStallsCas += peer.dram.refreshStallsCas;
+    into.dram.totalReadLatency += peer.dram.totalReadLatency;
+    into.dram.totalWriteLatency += peer.dram.totalWriteLatency;
+    into.dram.readBeats += peer.dram.readBeats;
+    into.dram.writeBeats += peer.dram.writeBeats;
+    into.dram.beatsSaved += peer.dram.beatsSaved;
+    into.dram.busBusyCycles += peer.dram.busBusyCycles;
+    into.dram.busTurnarounds += peer.dram.busTurnarounds;
+    into.dram.ambientStallCycles += peer.dram.ambientStallCycles;
+    into.dram.ambientRowCloses += peer.dram.ambientRowCloses;
+    into.dram.readLatency.merge(peer.dram.readLatency);
+    into.dram.writeLatency.merge(peer.dram.writeLatency);
+
+    into.mem.reads += peer.mem.reads;
+    into.mem.writes += peer.mem.writes;
+    into.mem.protectedWrites += peer.mem.protectedWrites;
+    into.mem.unprotectedWrites += peer.mem.unprotectedWrites;
+    into.mem.aliasRejects += peer.mem.aliasRejects;
+    into.mem.metaReads += peer.mem.metaReads;
+    into.mem.metaWrites += peer.mem.metaWrites;
+    into.mem.metaCacheHits += peer.mem.metaCacheHits;
+    into.mem.metaCacheMisses += peer.mem.metaCacheMisses;
+    for (size_t i = 0; i < into.mem.schemeWrites.size(); ++i)
+        into.mem.schemeWrites[i] += peer.mem.schemeWrites[i];
+    into.mem.encodeCalls += peer.mem.encodeCalls;
+    into.mem.encodeMemoHits += peer.mem.encodeMemoHits;
+    into.mem.schemeTrials += peer.mem.schemeTrials;
+
+    for (size_t i = 0; i < into.vuln.byClass.size(); ++i) {
+        into.vuln.byClass[i].reads += peer.vuln.byClass[i].reads;
+        into.vuln.byClass[i].totalCycles +=
+            peer.vuln.byClass[i].totalCycles;
+    }
+
+    into.adaptive.slotsReclaimed += peer.adaptive.slotsReclaimed;
+    into.adaptive.demotions += peer.adaptive.demotions;
+    into.adaptive.victimEvictions += peer.adaptive.victimEvictions;
+    into.adaptive.releasedBlocks += peer.adaptive.releasedBlocks;
+    into.adaptive.releasedBlocksHighWater +=
+        peer.adaptive.releasedBlocksHighWater;
+
+    into.everUncompressedBlocks += peer.everUncompressedBlocks;
+    into.touchedBlocks += peer.touchedBlocks;
+    into.eccRegionBytes += peer.eccRegionBytes;
+    into.eccRegionBytesNoDealloc += peer.eccRegionBytesNoDealloc;
+    into.poolBlockForCalls += peer.poolBlockForCalls;
+    into.poolContentCacheHits += peer.poolContentCacheHits;
+    into.poolContentCacheMisses += peer.poolContentCacheMisses;
+
+    into.ipc = into.cycles
+                   ? static_cast<double>(into.instructions) /
+                         static_cast<double>(into.cycles)
+                   : 0.0;
 }
 
 } // namespace cop

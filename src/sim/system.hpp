@@ -144,6 +144,32 @@ struct SystemConfig
      */
     unsigned simThreads = 1;
     /**
+     * Relaxed-consistency fast-timing mode (opt-in, like --serial gates
+     * the grid runner). Off — the default — every simThreads value is
+     * byte-identical to the serial oracle. On, the run is partitioned
+     * into min(simThreads, cores) shards that each own a subset of the
+     * cores plus a private DRAM timing model, an LLC way-partition and
+     * a metadata-cache share, and run truly concurrently; shards
+     * synchronize only at a quantum barrier every
+     * fastTimingQuantumEpochs epochs per core, where cross-shard
+     * effects (bus contention, shared-footprint content versions) are
+     * reconciled approximately. Results are deterministic (two fast
+     * runs are byte-identical to each other) but NOT byte-identical to
+     * the oracle; the divergence is measured and emitted in the
+     * results JSON (ft_* fields), never hidden. Incompatible with
+     * fault injection (fatal) — the error-recovery paths are defined
+     * against the exact interleaving. See DESIGN.md §8.
+     */
+    bool fastTiming = false;
+    /**
+     * Epochs per core between fast-timing quantum barriers. Smaller
+     * quanta track cross-shard contention more closely; larger quanta
+     * amortise the barrier. 64 epochs ≈ the reconciliation cadence at
+     * which bus-load divergence stays within a couple of percent on
+     * the default profiles.
+     */
+    u64 fastTimingQuantumEpochs = 64;
+    /**
      * Per-core epoch source factory. Empty (the default) runs the
      * synthetic TraceGenerator; set it to replay captured traces
      * (makeTraceReplayFactory in trace/replay.hpp). The factory must
@@ -189,6 +215,19 @@ struct SystemResults
     u64 poolBlockForCalls = 0;
     u64 poolContentCacheHits = 0;
     u64 poolContentCacheMisses = 0;
+    // --- fast-timing divergence accounting (all zero when off) --------
+    /** The run used the relaxed-consistency fast-timing mode. */
+    bool fastTiming = false;
+    /** Shards the run was partitioned into (0 when fastTiming off). */
+    unsigned ftShards = 0;
+    /** Quantum size (epochs per core per barrier interval). */
+    u64 ftQuantumEpochs = 0;
+    /** Quantum barriers crossed. */
+    u64 ftBarriers = 0;
+    /** Max cycle skew between shard clocks seen at any barrier. */
+    Cycle ftClockSkewMax = 0;
+    /** Shared-footprint version entries merged across shards. */
+    u64 ftVersionMerges = 0;
 };
 
 /** One simulated system instance for one benchmark. */
@@ -218,7 +257,27 @@ class System
         return shardTelemetry_;
     }
 
+    /**
+     * Shards a fast-timing run of @p cfg will use: validates the
+     * configuration (fatal on fault injection, <2 cores, or <2
+     * resolved threads — fast timing with one shard would only add
+     * approximation without speedup) and returns min(threads, cores);
+     * 1 when fastTiming is off.
+     */
+    static unsigned fastShardCount(const SystemConfig &cfg);
+
   private:
+    /**
+     * Shard constructor: builds shard @p shard_index of
+     * @p shard_count. The public constructor delegates here with
+     * (0, fastShardCount(cfg)); shard 0 — the owner — constructs the
+     * peer shards itself. Each shard owns cores c ≡ shard_index
+     * (mod shard_count), a private DRAM system, an LLC way-partition
+     * and a metaCacheBytes/shard_count metadata share.
+     */
+    System(const WorkloadProfile &profile, const SystemConfig &cfg,
+           unsigned shard_index, unsigned shard_count);
+
     struct Core
     {
         std::unique_ptr<EpochSource> gen;
@@ -243,6 +302,28 @@ class System
     unsigned resolvedSimThreads() const;
     /** The sharded run path: workers + warm stores + the merge loop. */
     void runSharded(std::ofstream &trace);
+    /** LLC way-partition for one fast-timing shard (sets constant). */
+    static CacheConfig fastLlcConfig(const CacheConfig &llc,
+                                     unsigned shard_count);
+    /**
+     * Run this shard's owned cores up to @p target_epochs each — the
+     * serial furthest-behind loop restricted to cores c ≡ shardIndex_
+     * (mod shardCount_).
+     */
+    void runFastQuantum(u64 target_epochs);
+    /**
+     * Owner-side cross-shard reconciliation at one quantum barrier:
+     * ambient bus load from the other shards' busBusyCycles deltas,
+     * clock-skew tracking, and shared-footprint version merging.
+     */
+    void reconcileShards(u64 quantum_cycles_hint);
+    /** The fast-timing run path: shard threads + quantum barriers. */
+    void runFastTiming(std::ofstream &trace);
+    /** Assemble this shard's SystemResults (the serial run() tail). */
+    SystemResults collectResults();
+    /** Fold a peer shard's results into @p into (fast-timing merge). */
+    static void mergeResultsInto(SystemResults &into,
+                                 const SystemResults &peer);
     /** Hook every subsystem's counters into statsRegistry_. */
     void registerAllStats();
     /** Highest core clock reached (trace snapshot timestamps). */
@@ -286,6 +367,32 @@ class System
     std::unique_ptr<WarmEncodeStore> warmEncode_;
     std::unique_ptr<WarmDecodeStore> warmDecode_;
     ShardTelemetry shardTelemetry_;
+
+    // --- fast-timing shard state (inert when fastTiming is off) -------
+    /** This System's shard index; the owner (public ctor) is shard 0. */
+    unsigned shardIndex_ = 0;
+    /** Total shards; 1 for every non-fast run. */
+    unsigned shardCount_ = 1;
+    /** Peer shards (owner only; peers see an empty vector). */
+    std::vector<std::unique_ptr<System>> peers_;
+    /** Owner-side divergence accounting across the whole run. */
+    struct FastTimingState
+    {
+        u64 barriers = 0;
+        Cycle clockSkewMax = 0;
+        u64 versionMerges = 0;
+    };
+    FastTimingState ft_;
+    /** busBusyCycles at the previous barrier (delta computation). */
+    Cycle lastBusBusy_ = 0;
+    /** DRAM reads+writes at the previous barrier (row-close rate). */
+    u64 lastAccesses_ = 0;
+    /** max core clock at the previous barrier (quantum cycle span). */
+    Cycle lastGlobalClock_ = 0;
+    /** Owner's merged view of shared-footprint block versions. */
+    FlatMap<u32> globalVersions_;
+    /** Global epochs already snapshot to the stats trace (fast mode). */
+    u64 lastSnapshotEpochs_ = 0;
 };
 
 /**

@@ -99,6 +99,23 @@ class Histogram
 
     void reset() { *this = Histogram{}; }
 
+    /**
+     * Accumulate @p other into this histogram, bucket-wise — as if
+     * every sample recorded into @p other had been recorded here. The
+     * fast-timing result merge uses it to combine per-shard latency
+     * distributions; deterministic like everything else here.
+     */
+    void
+    merge(const Histogram &other)
+    {
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+        for (unsigned i = 0; i < kBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+    }
+
     /** Bucket index of @p value (values < 16 map to themselves). */
     static unsigned
     indexOf(u64 value)

@@ -131,6 +131,8 @@ void
 BlockContentPool::bumpVersion(Addr block_addr)
 {
     ++versions_[block_addr];
+    if (bumpLogEnabled_)
+        bumpLog_.push_back(block_addr);
 }
 
 std::vector<CacheBlock>

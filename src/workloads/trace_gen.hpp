@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/flat_map.hpp"
+#include "common/plru.hpp"
 #include "workloads/profile.hpp"
 
 namespace cop {
@@ -29,35 +30,44 @@ inline constexpr unsigned kDefaultContentCacheEntries = 1u << 14;
 /**
  * Warm functional-memory content, precomputed by shard workers for the
  * thread-parallel simulation core (SystemConfig::simThreads > 1).
- * Direct-mapped on the block index, keyed on the full (addr, version)
- * pair — content is a pure function of (profile, addr, version), so a
- * warm hit substitutes an identical block for the RNG regeneration a
- * pool miss would otherwise run. Written only by the coordinator
- * thread at deterministic bundle-install points; the telemetry
- * counters stay out of the results JSON / StatsRegistry (see
- * core/warm_codec.hpp for the byte-identity argument).
+ * 4-way set-associative on the block index under a tree pseudo-LRU
+ * (common/plru.hpp — direct mapping was conflict-prone on big
+ * footprints), keyed on the full (addr, version) pair — content is a
+ * pure function of (profile, addr, version), so a warm hit substitutes
+ * an identical block for the RNG regeneration a pool miss would
+ * otherwise run. A version bump reuses the address's way, so one block
+ * never occupies two ways. Written only by the coordinator thread at
+ * deterministic bundle-install points; the telemetry counters stay out
+ * of the results JSON / StatsRegistry (see core/warm_codec.hpp for the
+ * byte-identity argument).
  */
 class WarmContentStore
 {
   public:
+    static constexpr unsigned kWays = 4;
+
+    /** @param entries total capacity; sets = entries / kWays (pow2). */
     explicit WarmContentStore(unsigned entries)
     {
-        unsigned cap = 1;
-        while (cap < entries)
-            cap <<= 1;
-        slots_.resize(cap);
-        mask_ = cap - 1;
+        unsigned sets = 1;
+        while (sets * kWays < entries)
+            sets <<= 1;
+        sets_.resize(sets);
+        mask_ = sets - 1;
     }
 
     const CacheBlock *
     lookup(Addr addr, u32 version) const
     {
         ++lookups_;
-        const Entry &slot = slots_[(addr / kBlockBytes) & mask_];
-        if (slot.valid && slot.addr == addr &&
-            slot.version == version) {
-            ++hits_;
-            return &slot.block;
+        const Set &set = sets_[(addr / kBlockBytes) & mask_];
+        for (unsigned w = 0; w < kWays; ++w) {
+            const Entry &e = set.ways[w];
+            if (e.valid && e.addr == addr && e.version == version) {
+                ++hits_;
+                set.plru.touch(w);
+                return &e.block;
+            }
         }
         return nullptr;
     }
@@ -65,15 +75,32 @@ class WarmContentStore
     void
     install(Addr addr, u32 version, const CacheBlock &block)
     {
-        Entry &slot = slots_[(addr / kBlockBytes) & mask_];
-        slot.addr = addr;
-        slot.version = version;
-        slot.valid = true;
-        slot.block = block;
+        Set &set = sets_[(addr / kBlockBytes) & mask_];
+        unsigned way = kWays;
+        for (unsigned w = 0; w < kWays && way == kWays; ++w)
+            if (set.ways[w].valid && set.ways[w].addr == addr)
+                way = w; // new version of a resident block: same way
+        for (unsigned w = 0; w < kWays && way == kWays; ++w)
+            if (!set.ways[w].valid)
+                way = w;
+        if (way == kWays) {
+            way = set.plru.victim();
+            ++conflictEvictions_;
+        }
+        Entry &e = set.ways[way];
+        e.addr = addr;
+        e.version = version;
+        e.valid = true;
+        e.block = block;
+        set.plru.touch(way);
+        ++installs_;
     }
 
     u64 lookups() const { return lookups_; }
     u64 hits() const { return hits_; }
+    u64 installs() const { return installs_; }
+    /** Installs that displaced a valid entry of a different address. */
+    u64 conflictEvictions() const { return conflictEvictions_; }
 
   private:
     struct Entry
@@ -84,11 +111,20 @@ class WarmContentStore
         CacheBlock block;
     };
 
-    std::vector<Entry> slots_;
+    struct Set
+    {
+        Entry ways[kWays];
+        /** Advanced on hits too, so mutable like the counters. */
+        mutable Plru4 plru;
+    };
+
+    std::vector<Set> sets_;
     u64 mask_ = 0;
     /** Telemetry only (lookup is logically const). */
     mutable u64 lookups_ = 0;
     mutable u64 hits_ = 0;
+    u64 installs_ = 0;
+    u64 conflictEvictions_ = 0;
 };
 
 /**
@@ -136,6 +172,46 @@ class BlockContentPool
 
     /** Record a store: the block's content changes deterministically. */
     void bumpVersion(Addr block_addr);
+
+    // --- fast-timing version reconciliation (sim/system.cpp) ----------
+    /**
+     * Start logging the addresses bumpVersion touches. The fast-timing
+     * coordinator drains the log at each quantum barrier to merge the
+     * shards' views of a shared footprint; off (the default) the log
+     * costs nothing.
+     */
+    void enableBumpLog() { bumpLogEnabled_ = true; }
+
+    /** Move out (and clear) the bump log; one entry per bumpVersion. */
+    std::vector<Addr>
+    drainBumpLog()
+    {
+        std::vector<Addr> out = std::move(bumpLog_);
+        bumpLog_.clear();
+        return out;
+    }
+
+    /** Current version of a block (0 when never written). */
+    u32
+    versionOf(Addr block_addr) const
+    {
+        if (versions_.empty())
+            return 0;
+        const auto it = versions_.find(block_addr);
+        return it != versions_.end() ? it->second : 0;
+    }
+
+    /**
+     * Force a block's version (fast-timing merge only: advance this
+     * shard's view to the globally merged count). Does not touch the
+     * content cache — the stale cached image, if any, is tolerated by
+     * the fast-timing divergence contract and replaced on the next
+     * version-keyed miss.
+     */
+    void setVersion(Addr block_addr, u32 version)
+    {
+        versions_[block_addr] = version;
+    }
 
     /**
      * Generate the content of @p block_addr at an explicit @p version,
@@ -208,6 +284,9 @@ class BlockContentPool
     mutable u64 blockForCalls_ = 0;
     mutable u64 contentCacheHits_ = 0;
     const WarmContentStore *warm_ = nullptr;
+    /** Fast-timing merge support (see enableBumpLog). */
+    bool bumpLogEnabled_ = false;
+    std::vector<Addr> bumpLog_;
 };
 
 /** One L3 reference. */

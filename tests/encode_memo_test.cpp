@@ -42,11 +42,12 @@ TEST(EncodeMemo, MemoizedResultsMatchDirectEncodes)
 
 TEST(EncodeMemo, CollisionHeavyTinyMemoStaysCorrect)
 {
-    // Two slots: nearly every lookup evicts. Correctness must come
-    // from the full-key compare, not from hash luck.
+    // One 4-way set: nearly every lookup evicts through the PLRU.
+    // Correctness must come from the full-key compare, not hash luck.
     const CopCodec codec(CopConfig::fourByte());
     EncodeMemo memo(2);
-    EXPECT_EQ(memo.capacity(), 2u);
+    EXPECT_EQ(memo.capacity(), 4u); // rounds up to one full set
+    EXPECT_EQ(memo.conflictEvictions(), 0u);
     Rng rng(12);
     BlockGenParams params;
     for (int iter = 0; iter < 2000; ++iter) {
@@ -56,6 +57,7 @@ TEST(EncodeMemo, CollisionHeavyTinyMemoStaysCorrect)
         ASSERT_TRUE(sameEncode(memo.encode(codec, block),
                                codec.encode(block)));
     }
+    EXPECT_GT(memo.conflictEvictions(), 0u); // the set really thrashed
 }
 
 TEST(EncodeMemo, CountsHitsAndRoundsCapacityUp)
